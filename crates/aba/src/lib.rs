@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Asynchronous Byzantine agreement from the shunning common coin — the
+//! paper's §5, completing Theorem 1: optimal resilience (`n > 3t`),
+//! almost-sure termination, and polynomial efficiency, simultaneously.
+//!
+//! The reduction follows the classic Bracha/Canetti–Rabin shape (the paper
+//! defers to Canetti's thesis, Fig. 5-11): repeated *validated* voting
+//! rounds, with a fresh common-coin session breaking symmetry whenever a
+//! round fails to converge. Safety (agreement + validity) holds
+//! *unconditionally* — the coin only drives liveness, which is exactly
+//! what tolerates SCC sessions voided by shunning (at most `t(n−t)` of
+//! them, the paper's `O(n²)` bound).
+//!
+//! Each round has three reliable-broadcast exchanges per process:
+//!
+//! 1. **Report** (`A`): broadcast my current bit; collect `n−t` *valid*
+//!    reports; take the majority.
+//! 2. **Candidate** (`B`): broadcast the majority; a value supported by
+//!    `⌊(n+t)/2⌋+1` valid candidates becomes my vote, else `⊥`. Quorum
+//!    intersection makes the candidate unique per round, globally.
+//! 3. **Vote** (`C`): broadcast the vote; on `n−t` valid votes — all `v`:
+//!    **decide** `v`; at least `n−2t` of `v`: adopt `v`; otherwise adopt
+//!    the round's coin.
+//!
+//! A message is *valid* once it could have been produced by **some**
+//! honest execution consistent with my delivered pools (monotone
+//! predicates, so honest messages always validate eventually). Deciders
+//! gossip `⟨decide⟩`; `t+1` matching decides adopt, `n−t` halt.
+//!
+//! Three coin providers share the same round machinery ([`CoinMode`]):
+//! the paper's SCC, a Ben-Or-style local coin (exponential baseline), and
+//! a seed-derived oracle (perfect common coin, or the ε-failing
+//! Canetti–Rabin stand-in).
+
+mod messages;
+mod node;
+mod round;
+
+pub use messages::{AbaMsg, VoteSlot, VoteValue};
+pub use node::{AbaConfig, AbaEvent, AbaNode, AbaProcess, CoinMode};
+pub use round::{RoundOutcome, RoundState};

@@ -1,0 +1,226 @@
+//! Wire messages for the agreement layer.
+
+use sba_broadcast::MuxMsg;
+use sba_coin::CoinMsg;
+use sba_field::Field;
+use sba_net::{CodecError, Kinded, Reader, Wire};
+
+/// RB slots of the vote layer. All slots carry the ABA instance id, so one
+/// node can run many agreement instances (e.g. one per log slot) over a
+/// single shunning domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VoteSlot {
+    /// Phase `A` (report) of a round.
+    Report {
+        /// The agreement instance.
+        instance: u32,
+        /// The round.
+        round: u32,
+    },
+    /// Phase `B` (candidate) of a round.
+    Candidate {
+        /// The agreement instance.
+        instance: u32,
+        /// The round.
+        round: u32,
+    },
+    /// Phase `C` (vote) of a round.
+    Vote {
+        /// The agreement instance.
+        instance: u32,
+        /// The round.
+        round: u32,
+    },
+    /// The decide gossip (one slot per instance per process).
+    Decide {
+        /// The agreement instance.
+        instance: u32,
+    },
+}
+
+impl VoteSlot {
+    /// The agreement instance this slot belongs to.
+    pub fn instance(self) -> u32 {
+        match self {
+            VoteSlot::Report { instance, .. }
+            | VoteSlot::Candidate { instance, .. }
+            | VoteSlot::Vote { instance, .. }
+            | VoteSlot::Decide { instance } => instance,
+        }
+    }
+}
+
+impl Wire for VoteSlot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            VoteSlot::Report { instance, round } => {
+                buf.push(0);
+                instance.encode(buf);
+                round.encode(buf);
+            }
+            VoteSlot::Candidate { instance, round } => {
+                buf.push(1);
+                instance.encode(buf);
+                round.encode(buf);
+            }
+            VoteSlot::Vote { instance, round } => {
+                buf.push(2);
+                instance.encode(buf);
+                round.encode(buf);
+            }
+            VoteSlot::Decide { instance } => {
+                buf.push(3);
+                instance.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.byte()? {
+            0 => Ok(VoteSlot::Report {
+                instance: u32::decode(r)?,
+                round: u32::decode(r)?,
+            }),
+            1 => Ok(VoteSlot::Candidate {
+                instance: u32::decode(r)?,
+                round: u32::decode(r)?,
+            }),
+            2 => Ok(VoteSlot::Vote {
+                instance: u32::decode(r)?,
+                round: u32::decode(r)?,
+            }),
+            3 => Ok(VoteSlot::Decide {
+                instance: u32::decode(r)?,
+            }),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+/// Values carried in vote slots: a bit (`A`/`B`/decide) or an optional bit
+/// (`C`, where `None` is the vote `⊥`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VoteValue {
+    /// A report/candidate/decide bit.
+    Bit(bool),
+    /// A vote: `Some(bit)` or `None` for `⊥`.
+    MaybeBit(Option<bool>),
+}
+
+impl Wire for VoteValue {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            VoteValue::Bit(b) => {
+                buf.push(0);
+                b.encode(buf);
+            }
+            VoteValue::MaybeBit(m) => {
+                buf.push(1);
+                m.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.byte()? {
+            0 => Ok(VoteValue::Bit(bool::decode(r)?)),
+            1 => Ok(VoteValue::MaybeBit(Option::decode(r)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+/// The full agreement-layer wire message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbaMsg<F> {
+    /// Vote-layer RB traffic.
+    Vote(MuxMsg<VoteSlot, VoteValue>),
+    /// Coin-layer traffic (SCC mode only).
+    Coin(CoinMsg<F>),
+}
+
+impl<F: Field> Wire for AbaMsg<F> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            AbaMsg::Vote(m) => {
+                buf.push(0);
+                m.encode(buf);
+            }
+            AbaMsg::Coin(m) => {
+                buf.push(1);
+                m.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.byte()? {
+            0 => Ok(AbaMsg::Vote(MuxMsg::decode(r)?)),
+            1 => Ok(AbaMsg::Coin(CoinMsg::decode(r)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<F> Kinded for AbaMsg<F> {
+    fn kind(&self) -> &'static str {
+        match self {
+            AbaMsg::Vote(m) => match m.tag {
+                VoteSlot::Report { .. } => "aba/report",
+                VoteSlot::Candidate { .. } => "aba/candidate",
+                VoteSlot::Vote { .. } => "aba/vote",
+                VoteSlot::Decide { .. } => "aba/decide",
+            },
+            AbaMsg::Coin(m) => m.kind(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sba_field::Gf61;
+    use sba_net::Pid;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encoded();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(T::decode(&mut r).unwrap(), v);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slots_round_trip() {
+        round_trip(VoteSlot::Report {
+            instance: 1,
+            round: 2,
+        });
+        round_trip(VoteSlot::Candidate {
+            instance: 0,
+            round: u32::MAX,
+        });
+        round_trip(VoteSlot::Vote {
+            instance: 9,
+            round: 3,
+        });
+        round_trip(VoteSlot::Decide { instance: 4 });
+    }
+
+    #[test]
+    fn values_round_trip() {
+        round_trip(VoteValue::Bit(true));
+        round_trip(VoteValue::MaybeBit(None));
+        round_trip(VoteValue::MaybeBit(Some(false)));
+    }
+
+    #[test]
+    fn messages_round_trip_and_kinds() {
+        let msg: AbaMsg<Gf61> = AbaMsg::Vote(MuxMsg {
+            tag: VoteSlot::Vote {
+                instance: 1,
+                round: 7,
+            },
+            origin: Pid::new(2),
+            inner: sba_broadcast::RbMsg::Ready(VoteValue::MaybeBit(None)),
+        });
+        round_trip(msg.clone());
+        assert_eq!(msg.kind(), "aba/vote");
+    }
+}

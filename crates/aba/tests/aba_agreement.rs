@@ -1,0 +1,146 @@
+//! Agreement, validity, and termination tests for the full ABA stack
+//! (Theorem 1), across coin modes, fault patterns, and schedules.
+
+use sba_aba::{AbaConfig, AbaMsg, AbaNode, AbaProcess, CoinMode};
+use sba_coin::oracle::OracleCoin;
+use sba_field::Gf61;
+use sba_net::Pid;
+use sba_sim::{schedulers, Simulation};
+
+type Msg = AbaMsg<Gf61>;
+
+/// Builds a typed simulation; `inputs[i] = None` makes process `i+1` a
+/// non-proposing bystander (it still relays, like a correct but idle
+/// process), while entries in `silent` are dropped from proposals AND
+/// never relay (handled by giving them no proposals and crashing them is
+/// not needed for these tests — SCC tolerates silence through quorums).
+fn typed_sim(
+    n: usize,
+    t: usize,
+    inputs: &[Option<bool>],
+    mode: CoinMode,
+    seed: u64,
+) -> Simulation<Msg, AbaProcess<Gf61>> {
+    assert_eq!(inputs.len(), n);
+    let params = sba_broadcast::Params::new(n, t).unwrap();
+    let procs: Vec<AbaProcess<Gf61>> = (1..=n)
+        .map(|i| {
+            let pid = Pid::new(i as u32);
+            let mut config = AbaConfig::scc(params, seed ^ ((i as u64) << 32));
+            config.mode = mode;
+            config.max_rounds = 200;
+            let node: AbaNode<Gf61> = AbaNode::new(pid, config);
+            match inputs[i - 1] {
+                Some(bit) => AbaProcess::new(node, vec![(0, bit)]),
+                None => AbaProcess::new(node, vec![]),
+            }
+        })
+        .collect();
+    Simulation::new(procs, schedulers::uniform(20), seed)
+}
+
+/// Runs to all-done; asserts all `live` processes decided the same value.
+/// Returns the agreed value and the maximum decision round.
+fn assert_agreement(
+    sim: &mut Simulation<Msg, AbaProcess<Gf61>>,
+    live: &[u32],
+    max_events: u64,
+) -> (bool, u32) {
+    let outcome = sim.run_until_all_done(max_events);
+    assert!(
+        outcome.all_done,
+        "agreement did not terminate within {max_events} events"
+    );
+    let mut agreed: Option<bool> = None;
+    let mut max_round = 0;
+    for &i in live {
+        let node = sim.process(Pid::new(i)).node();
+        let d = node
+            .decision(0)
+            .unwrap_or_else(|| panic!("p{i} halted without deciding"));
+        if let Some(v) = agreed {
+            assert_eq!(v, d, "disagreement at p{i}");
+        }
+        agreed = Some(d);
+        max_round = max_round.max(node.decision_round(0).unwrap_or(0));
+    }
+    (agreed.unwrap(), max_round)
+}
+
+/// Validity: unanimous `true` decides `true`, in round 1 (no coin needed).
+#[test]
+fn scc_unanimous_true_decides_true_round_one() {
+    for seed in 0..3 {
+        let mut sim = typed_sim(4, 1, &[Some(true); 4], CoinMode::Scc, seed);
+        let (v, round) = assert_agreement(&mut sim, &[1, 2, 3, 4], 3_000_000);
+        assert!(v, "validity: unanimous true must decide true");
+        assert_eq!(round, 1, "unanimous inputs decide in round 1");
+    }
+}
+
+#[test]
+fn scc_unanimous_false_decides_false() {
+    let mut sim = typed_sim(4, 1, &[Some(false); 4], CoinMode::Scc, 5);
+    let (v, _) = assert_agreement(&mut sim, &[1, 2, 3, 4], 3_000_000);
+    assert!(!v);
+}
+
+/// Agreement with split inputs: the coin must break symmetry.
+#[test]
+fn scc_split_inputs_agree() {
+    for seed in 0..4 {
+        let inputs = [Some(true), Some(false), Some(true), Some(false)];
+        let mut sim = typed_sim(4, 1, &inputs, CoinMode::Scc, 100 + seed);
+        let (_, round) = assert_agreement(&mut sim, &[1, 2, 3, 4], 8_000_000);
+        assert!(round <= 20, "split inputs took {round} rounds");
+    }
+}
+
+/// A non-proposing (idle-but-relaying) process does not block agreement
+/// among the other n−1 ≥ n−t.
+#[test]
+fn scc_tolerates_idle_process() {
+    for seed in 0..2 {
+        let inputs = [Some(true), Some(false), Some(true), None];
+        let mut sim = typed_sim(4, 1, &inputs, CoinMode::Scc, 200 + seed);
+        let _ = assert_agreement(&mut sim, &[1, 2, 3], 8_000_000);
+    }
+}
+
+/// The perfect-oracle baseline converges in a handful of rounds.
+#[test]
+fn oracle_coin_split_inputs_fast() {
+    let oracle = CoinMode::Oracle(OracleCoin::new(42, 0));
+    let inputs = [Some(true), Some(false), Some(false), Some(true)];
+    let mut sim = typed_sim(4, 1, &inputs, oracle, 7);
+    let (_, round) = assert_agreement(&mut sim, &[1, 2, 3, 4], 1_000_000);
+    assert!(round <= 10, "perfect coin should converge quickly: {round}");
+}
+
+/// The Ben-Or-style local coin still terminates for tiny n (exponential
+/// expectation only bites at scale — that contrast is experiment E2).
+#[test]
+fn local_coin_terminates_small_n() {
+    let inputs = [Some(true), Some(false), Some(true), Some(false)];
+    let mut sim = typed_sim(4, 1, &inputs, CoinMode::Local, 11);
+    let _ = assert_agreement(&mut sim, &[1, 2, 3, 4], 2_000_000);
+}
+
+/// n = 7, t = 2, mixed inputs.
+#[test]
+fn scc_larger_system() {
+    let inputs: Vec<Option<bool>> = (0..7).map(|i| Some(i % 2 == 0)).collect();
+    let mut sim = typed_sim(7, 2, &inputs, CoinMode::Scc, 13);
+    let _ = assert_agreement(&mut sim, &[1, 2, 3, 4, 5, 6, 7], 60_000_000);
+}
+
+/// Identical seeds replay identically (whole-stack determinism).
+#[test]
+fn replayable() {
+    let run = |seed| {
+        let inputs = [Some(true), Some(false), Some(true), Some(false)];
+        let mut sim = typed_sim(4, 1, &inputs, CoinMode::Scc, seed);
+        assert_agreement(&mut sim, &[1, 2, 3, 4], 8_000_000)
+    };
+    assert_eq!(run(33), run(33));
+}

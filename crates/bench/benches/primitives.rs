@@ -1,0 +1,57 @@
+//! Criterion wall-clock benchmarks of the computational primitives
+//! (experiment E9): field arithmetic, polynomial interpolation, and
+//! bivariate operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sba::field::{BiPoly, Field, Gf61, Poly};
+
+fn bench_field(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Gf61::random(&mut rng);
+    let b = Gf61::random(&mut rng);
+    c.bench_function("field/mul", |bench| {
+        bench.iter(|| std::hint::black_box(a) * std::hint::black_box(b))
+    });
+    c.bench_function("field/inv", |bench| {
+        bench.iter(|| std::hint::black_box(a).inv())
+    });
+}
+
+fn bench_poly(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    for t in [1usize, 3, 5] {
+        let poly = Poly::random_with_constant(Gf61::from_u64(7), t, &mut rng);
+        let pts: Vec<(Gf61, Gf61)> = (1..=(t as u64 + 1))
+            .map(|i| (Gf61::from_u64(i), poly.eval_at_index(i)))
+            .collect();
+        c.bench_function(&format!("poly/interpolate/t{t}"), |bench| {
+            bench.iter(|| Poly::interpolate(std::hint::black_box(&pts)).unwrap())
+        });
+        c.bench_function(&format!("poly/eval/t{t}"), |bench| {
+            bench.iter(|| std::hint::black_box(&poly).eval(Gf61::from_u64(9)))
+        });
+    }
+}
+
+fn bench_bipoly(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    for t in [1usize, 3, 5] {
+        let f = BiPoly::random_with_secret(Gf61::from_u64(5), t, &mut rng);
+        c.bench_function(&format!("bipoly/row/t{t}"), |bench| {
+            bench.iter(|| std::hint::black_box(&f).row(3))
+        });
+        let rows: Vec<(u64, Poly<Gf61>)> = (1..=(t as u64 + 1)).map(|i| (i, f.row(i))).collect();
+        c.bench_function(&format!("bipoly/interpolate_rows/t{t}"), |bench| {
+            bench.iter_batched(
+                || rows.clone(),
+                |rows| BiPoly::interpolate_rows(t, &rows).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, bench_field, bench_poly, bench_bipoly);
+criterion_main!(benches);

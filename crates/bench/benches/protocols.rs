@@ -1,0 +1,90 @@
+//! Criterion wall-clock benchmarks of full protocol runs on the
+//! deterministic simulator (experiment E9): reliable broadcast, SVSS
+//! share+reconstruct, one coin flip, and end-to-end agreement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sba::coin::{CoinEngine, CoinMsg};
+use sba::field::{Field, Gf61};
+use sba::svss::harness::SvssNet;
+use sba::{Cluster, ClusterConfig, Params, Pid, SvssId};
+
+fn bench_svss(c: &mut Criterion) {
+    for (n, t) in [(4usize, 1usize), (7, 2)] {
+        c.bench_function(&format!("svss/share+reconstruct/n{n}"), |bench| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                let params = Params::new(n, t).unwrap();
+                let mut net = SvssNet::<Gf61>::new(params, seed);
+                let sid = SvssId::new(1, Pid::new(1));
+                net.share(sid, Gf61::from_u64(42));
+                net.run();
+                net.reconstruct_all(sid);
+                net.run();
+                assert!(net.outputs(sid).iter().all(|(_, o)| o.is_some()));
+            })
+        });
+    }
+}
+
+fn bench_coin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coin");
+    group.sample_size(10);
+    {
+        let (n, t) = (4usize, 1usize);
+        group.bench_function(format!("flip/n{n}"), |bench| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                flip_once(n, t, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn flip_once(n: usize, t: usize, seed: u64) -> Vec<Option<bool>> {
+    use rand::{Rng, SeedableRng};
+    let params = Params::new(n, t).unwrap();
+    let mut engines: Vec<CoinEngine<Gf61>> = Pid::all(n)
+        .map(|p| CoinEngine::new(p, params, seed ^ (u64::from(p.index()) << 40)))
+        .collect();
+    let mut queue: Vec<(Pid, Pid, CoinMsg<Gf61>)> = Vec::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for p in Pid::all(n) {
+        let mut sends = Vec::new();
+        let e = &mut engines[(p.index() - 1) as usize];
+        e.start(1, &mut sends);
+        e.enable_reconstruct(1, &mut sends);
+        queue.extend(sends.into_iter().map(|(to, m)| (p, to, m)));
+    }
+    while !queue.is_empty() {
+        let k = rng.gen_range(0..queue.len());
+        let (from, to, msg) = queue.swap_remove(k);
+        let mut sends = Vec::new();
+        engines[(to.index() - 1) as usize].on_message(from, msg, &mut sends);
+        queue.extend(sends.into_iter().map(|(t2, m)| (to, t2, m)));
+    }
+    Pid::all(n)
+        .map(|p| engines[(p.index() - 1) as usize].output(1))
+        .collect()
+}
+
+fn bench_agreement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aba");
+    group.sample_size(10);
+    group.bench_function("agree/n4/unanimous", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            let config = ClusterConfig::new(4, 1).seed(seed);
+            let mut cluster = Cluster::new(config, &[Some(true); 4]);
+            let report = cluster.run(100_000_000);
+            assert!(report.terminated && report.agreement());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_svss, bench_coin, bench_agreement);
+criterion_main!(benches);

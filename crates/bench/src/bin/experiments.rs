@@ -1,0 +1,688 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p sba-bench --bin experiments -- all          # quick
+//! cargo run --release -p sba-bench --bin experiments -- all --full  # long
+//! cargo run --release -p sba-bench --bin experiments -- e3          # one table
+//! ```
+//!
+//! The paper (PODC 2008 theory paper) has no empirical tables or figures;
+//! each experiment here validates one of its *quantitative claims* — see
+//! DESIGN.md §3 for the claim-to-experiment mapping.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sba::adversary::Fault;
+use sba::coin::{CoinEngine, CoinMsg};
+use sba::field::{Field, Gf101, Gf61};
+use sba::{Cluster, ClusterConfig, CoinMode, OracleCoin, Params, Pid};
+use sba_bench::{loglog_slope, split_inputs, Stats};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let run_all = which == "all" || which == "--full";
+
+    println!(
+        "# sba experiments ({} mode)\n",
+        if full { "full" } else { "quick" }
+    );
+    if run_all || which == "e1" {
+        e1_termination(full);
+    }
+    if run_all || which == "e2" {
+        e2_rounds(full);
+    }
+    if run_all || which == "e3" {
+        e3_coin_probabilities(full);
+    }
+    if run_all || which == "e4" {
+        e4_complexity(full);
+    }
+    if run_all || which == "e5" {
+        e5_shunning_bound(full);
+    }
+    if run_all || which == "e6" {
+        e6_example1();
+    }
+    if run_all || which == "e7" {
+        e7_hiding(full);
+    }
+    if run_all || which == "e8" {
+        e8_ablation(full);
+    }
+    if run_all || which == "e10" {
+        e10_threaded(full);
+    }
+}
+
+// ---------------------------------------------------------------------
+// E1 - Theorem 1: termination matrix
+// ---------------------------------------------------------------------
+fn e1_termination(full: bool) {
+    println!("## E1 - almost-sure termination, optimal resilience (Theorem 1)\n");
+    println!("Fraction of runs in which every honest process decided & halted.\n");
+    let seeds: u64 = if full { 10 } else { 4 };
+    let systems: &[(usize, usize)] = if full {
+        &[(4, 1), (7, 2), (10, 3)]
+    } else {
+        &[(4, 1), (7, 2)]
+    };
+    let faults: Vec<(&str, Option<Fault>)> = vec![
+        ("none", None),
+        ("silent", Some(Fault::Silent)),
+        ("crash@1500", Some(Fault::CrashAfter(1500))),
+        ("lying-shares", Some(Fault::LyingShares { delta: 5 })),
+        ("flipped-votes", Some(Fault::FlippedVotes)),
+    ];
+    println!("| n | t | fault | terminated | agreement |");
+    println!("|---|---|-------|-----------|-----------|");
+    for &(n, t) in systems {
+        // Larger systems cost ~10M messages per coin; sample fewer seeds.
+        let seeds = if n > 4 && !full { 2 } else { seeds };
+        for (label, fault) in &faults {
+            let mut terminated = 0;
+            let mut agreed = 0;
+            for seed in 0..seeds {
+                let mut config = ClusterConfig::new(n, t).seed(seed * 31 + 7);
+                if let Some(f) = fault.clone() {
+                    config = config.fault(Pid::new(n as u32), f);
+                }
+                let mut cluster = Cluster::new(config, &split_inputs(n));
+                let report = cluster.run(600_000_000);
+                if report.terminated {
+                    terminated += 1;
+                }
+                if report.agreement() {
+                    agreed += 1;
+                }
+            }
+            println!("| {n} | {t} | {label} | {terminated}/{seeds} | {agreed}/{seeds} |");
+        }
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------
+// E2 - rounds to decide, per coin mode
+// ---------------------------------------------------------------------
+fn e2_rounds(full: bool) {
+    println!("## E2 - expected rounds to decide (split inputs)\n");
+    println!("The SCC and oracle coins give O(1) expected rounds; the Ben-Or-style");
+    println!("local coin needs ~n-t honest coins to collide: expected rounds grow");
+    println!("exponentially with n (measured via cheap vote-only rounds).\n");
+    println!("| coin | n | runs | mean rounds | p50 | p95 | max |");
+    println!("|------|---|------|-------------|-----|-----|-----|");
+
+    // SCC (full protocol, expensive): small n only.
+    let scc_systems: &[(usize, usize, u64)] = if full {
+        &[(4, 1, 20), (7, 2, 6)]
+    } else {
+        &[(4, 1, 8), (7, 2, 2)]
+    };
+    for &(n, t, runs) in scc_systems {
+        let mut rounds = Vec::new();
+        for seed in 0..runs {
+            let config = ClusterConfig::new(n, t).seed(seed * 13 + 1);
+            let mut cluster = Cluster::new(config, &split_inputs(n));
+            let report = cluster.run(900_000_000);
+            assert!(report.terminated, "SCC run must terminate");
+            rounds.push(f64::from(report.max_round));
+        }
+        let s = Stats::of(&rounds);
+        println!(
+            "| SCC | {n} | {runs} | {:.2} | {} | {} | {} |",
+            s.mean, s.p50, s.p95, s.max
+        );
+    }
+
+    // Oracle and local coins: vote rounds only (cheap), larger n.
+    let cheap_systems: &[(usize, usize)] = if full {
+        &[(4, 1), (7, 2), (10, 3), (13, 4), (16, 5)]
+    } else {
+        &[(4, 1), (7, 2), (10, 3), (13, 4)]
+    };
+    let runs: u64 = if full { 60 } else { 25 };
+    for (label, mode_of) in [
+        (
+            "oracle(perfect)",
+            Box::new(|seed: u64| CoinMode::Oracle(OracleCoin::new(seed, 0)))
+                as Box<dyn Fn(u64) -> CoinMode>,
+        ),
+        ("local(Ben-Or)", Box::new(|_| CoinMode::Local)),
+    ] {
+        for &(n, t) in cheap_systems {
+            let mut rounds = Vec::new();
+            for seed in 0..runs {
+                let config = ClusterConfig::new(n, t)
+                    .seed(seed * 17 + 3)
+                    .mode(mode_of(seed))
+                    .max_rounds(4000);
+                let mut cluster = Cluster::new(config, &split_inputs(n));
+                let report = cluster.run(900_000_000);
+                assert!(report.terminated, "{label} n={n} seed={seed} stalled");
+                rounds.push(f64::from(report.max_round));
+            }
+            let s = Stats::of(&rounds);
+            println!(
+                "| {label} | {n} | {runs} | {:.2} | {} | {} | {} |",
+                s.mean, s.p50, s.p95, s.max
+            );
+        }
+    }
+    println!();
+
+    // The benign-schedule rounds above converge quickly even for the local
+    // coin (majority tie-breaking forms candidates without coin help); the
+    // baselines separate sharply once a Byzantine vote-flipper keeps
+    // candidate formation contested.
+    println!("With one Byzantine vote-flipper (coin rounds forced):\n");
+    println!("| coin | n | runs | mean rounds | p50 | p95 | max |");
+    println!("|------|---|------|-------------|-----|-----|-----|");
+    let adv_systems: &[(usize, usize)] = if full {
+        &[(4, 1), (7, 2), (10, 3), (13, 4), (16, 5)]
+    } else {
+        &[(4, 1), (7, 2), (10, 3), (13, 4)]
+    };
+    let adv_runs: u64 = if full { 40 } else { 15 };
+    for (label, mode_of) in [
+        (
+            "oracle(perfect)",
+            Box::new(|seed: u64| CoinMode::Oracle(OracleCoin::new(seed, 0)))
+                as Box<dyn Fn(u64) -> CoinMode>,
+        ),
+        ("local(Ben-Or)", Box::new(|_| CoinMode::Local)),
+    ] {
+        for &(n, t) in adv_systems {
+            let mut rounds = Vec::new();
+            for seed in 0..adv_runs {
+                let config = ClusterConfig::new(n, t)
+                    .seed(seed * 19 + 7)
+                    .mode(mode_of(seed))
+                    .max_rounds(4000)
+                    .fault(Pid::new(n as u32), Fault::FlippedVotes);
+                let mut cluster = Cluster::new(config, &split_inputs(n));
+                let report = cluster.run(900_000_000);
+                assert!(report.terminated, "{label} n={n} seed={seed} stalled");
+                rounds.push(f64::from(report.max_round));
+            }
+            let s = Stats::of(&rounds);
+            println!(
+                "| {label} | {n} | {adv_runs} | {:.2} | {} | {} | {} |",
+                s.mean, s.p50, s.p95, s.max
+            );
+        }
+    }
+    println!();
+
+    // epsilon-failing Canetti-Rabin coin: probability of never terminating.
+    println!("Canetti-Rabin epsilon-coin baseline: a coin session hangs with");
+    println!("probability eps, and with it the whole agreement (the non-almost-sure");
+    println!("termination the paper eliminates). Fraction of runs that stalled:\n");
+    println!("| eps | runs | stalled |");
+    println!("|-----|------|---------|");
+    let runs = if full { 40 } else { 20 };
+    for eps in [0u32, 200, 500] {
+        let mut stalled = 0;
+        for seed in 0..runs {
+            let config = ClusterConfig::new(4, 1)
+                .seed(seed * 7 + 5)
+                .mode(CoinMode::Oracle(OracleCoin::new(seed, eps)))
+                .max_rounds(60);
+            let mut cluster = Cluster::new(config, &split_inputs(4));
+            let report = cluster.run(3_000_000);
+            if !report.terminated {
+                stalled += 1;
+            }
+        }
+        println!("| {:.1}% | {runs} | {stalled} |", f64::from(eps) / 10.0);
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------
+// E3 - SCC correctness probabilities (Lemma 4)
+// ---------------------------------------------------------------------
+struct CoinMesh {
+    engines: Vec<CoinEngine<Gf61>>,
+    queue: Vec<(Pid, Pid, CoinMsg<Gf61>)>,
+    rng: StdRng,
+    silenced: Vec<Pid>,
+}
+
+impl CoinMesh {
+    fn new(params: Params, seed: u64) -> Self {
+        CoinMesh {
+            engines: Pid::all(params.n())
+                .map(|p| CoinEngine::new(p, params, seed ^ (u64::from(p.index()) << 40)))
+                .collect(),
+            queue: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            silenced: Vec::new(),
+        }
+    }
+
+    fn drive(
+        &mut self,
+        p: Pid,
+        f: impl FnOnce(&mut CoinEngine<Gf61>, &mut Vec<(Pid, CoinMsg<Gf61>)>),
+    ) {
+        let mut sends = Vec::new();
+        f(&mut self.engines[(p.index() - 1) as usize], &mut sends);
+        for (to, m) in sends {
+            self.queue.push((p, to, m));
+        }
+    }
+
+    fn flip(&mut self, tag: u64) -> (Vec<Option<bool>>, u64, u64) {
+        use sba::net::Wire;
+        let n = self.engines.len();
+        for p in Pid::all(n) {
+            if !self.silenced.contains(&p) {
+                self.drive(p, |e, s| e.start(tag, s));
+                self.drive(p, |e, s| e.enable_reconstruct(tag, s));
+            }
+        }
+        let mut msgs = 0u64;
+        let mut bytes = 0u64;
+        while !self.queue.is_empty() {
+            let k = self.rng.gen_range(0..self.queue.len());
+            let (from, to, msg) = self.queue.swap_remove(k);
+            if self.silenced.contains(&to) {
+                continue;
+            }
+            msgs += 1;
+            bytes += msg.wire_len() as u64;
+            self.drive(to, |e, s| e.on_message(from, msg, s));
+        }
+        let outs = Pid::all(n)
+            .filter(|p| !self.silenced.contains(p))
+            .map(|p| self.engines[(p.index() - 1) as usize].output(tag))
+            .collect();
+        (outs, msgs, bytes)
+    }
+}
+
+fn e3_coin_probabilities(full: bool) {
+    println!("## E3 - SCC correctness (Lemma 4): Pr[all output s] >= 1/4 per side\n");
+    println!("| n | t | faults | sessions | all-0 | all-1 | mixed | bound |");
+    println!("|---|---|--------|----------|-------|-------|-------|-------|");
+    let configs: &[(usize, usize, usize, u64)] = if full {
+        &[(4, 1, 0, 120), (4, 1, 1, 60), (7, 2, 0, 30), (7, 2, 2, 15)]
+    } else {
+        &[(4, 1, 0, 40), (4, 1, 1, 20), (7, 2, 0, 6)]
+    };
+    for &(n, t, silent, sessions) in configs {
+        let params = Params::new(n, t).unwrap();
+        let mut all0 = 0;
+        let mut all1 = 0;
+        let mut mixed = 0;
+        for s in 0..sessions {
+            let mut mesh = CoinMesh::new(params, s * 101 + 17);
+            for k in 0..silent {
+                mesh.silenced.push(Pid::new((n - k) as u32));
+            }
+            let (outs, _, _) = mesh.flip(1);
+            assert!(outs.iter().all(Option::is_some), "coin must terminate");
+            let zeros = outs.iter().filter(|o| **o == Some(false)).count();
+            if zeros == outs.len() {
+                all0 += 1;
+            } else if zeros == 0 {
+                all1 += 1;
+            } else {
+                mixed += 1;
+            }
+        }
+        let frac = |x: usize| x as f64 / sessions as f64;
+        println!(
+            "| {n} | {t} | {silent} silent | {sessions} | {:.2} | {:.2} | {:.2} | 0.25 |",
+            frac(all0),
+            frac(all1),
+            frac(mixed)
+        );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------
+// E4 - message/bit complexity vs n (polynomial-degree fit)
+// ---------------------------------------------------------------------
+fn e4_complexity(full: bool) {
+    println!("## E4 - communication complexity vs n (polynomial, per Theorem 1)\n");
+    println!("One complete coin flip (the dominant cost of a round):\n");
+    println!("| n | t | messages | bytes | msgs / n^2 sessions |");
+    println!("|---|---|----------|-------|---------------------|");
+    let ns: &[(usize, usize)] = if full {
+        &[(4, 1), (5, 1), (6, 1), (7, 2), (8, 2), (10, 3)]
+    } else {
+        &[(4, 1), (5, 1), (6, 1), (7, 2)]
+    };
+    let mut pts = Vec::new();
+    for &(n, t) in ns {
+        let params = Params::new(n, t).unwrap();
+        let mut mesh = CoinMesh::new(params, 99);
+        let (outs, msgs, bytes) = mesh.flip(1);
+        assert!(outs.iter().all(Option::is_some));
+        pts.push((n as f64, msgs as f64));
+        println!(
+            "| {n} | {t} | {msgs} | {bytes} | {:.0} |",
+            msgs as f64 / (n * n) as f64
+        );
+    }
+    println!(
+        "\nlog-log slope (messages vs n): **{:.2}** - polynomial, not exponential.",
+        loglog_slope(&pts)
+    );
+    println!("(Structural count: n^2 SVSS sessions x ~2n^2 MW invocations x ~3n RB");
+    println!("slots x ~3n^2 RB messages => degree 7; the measured slope matches.");
+    println!("Polynomial with a large exponent is exactly what the paper promises -");
+    println!("its contribution is almost-sure termination at polynomial cost, not a");
+    println!("low-degree protocol.)\n");
+}
+
+// ---------------------------------------------------------------------
+// E5 - the O(n^2) shunning bound (paper section 5)
+// ---------------------------------------------------------------------
+fn e5_shunning_bound(full: bool) {
+    println!("## E5 - shunning bound: property failures <= t(n-t) (paper section 5)\n");
+    println!("A persistent forging adversary corrupts coin sessions until every");
+    println!("honest process shuns it; afterwards its lies are discarded.\n");
+    let seeds: u64 = if full { 6 } else { 3 };
+    println!(
+        "| n | t | seed | shun pairs | bound t(n-t) | disagreeing coin sessions | agreement |"
+    );
+    println!("|---|---|------|-----------|--------------|---------------------------|-----------|");
+    for seed in 0..seeds {
+        let (n, t) = (4usize, 1usize);
+        let config = ClusterConfig::new(n, t)
+            .seed(seed * 41 + 11)
+            .fault(Pid::new(n as u32), Fault::LyingShares { delta: 9 });
+        let mut cluster = Cluster::new(config, &split_inputs(n));
+        let report = cluster.run(900_000_000);
+        let mut pairs = report.shun_pairs.clone();
+        pairs.sort();
+        pairs.dedup();
+        // Count coin sessions where honest outputs disagreed.
+        let mut disagreeing = 0;
+        for round in 1..=report.max_round {
+            let tag = u64::from(round); // instance 0
+            let outs: Vec<Option<bool>> = cluster
+                .honest()
+                .iter()
+                .filter_map(|&p| cluster.sim().process(p).node())
+                .map(|node| node.coin().and_then(|c| c.output(tag)))
+                .collect();
+            let vals: Vec<bool> = outs.iter().flatten().copied().collect();
+            if vals.len() >= 2 && !vals.windows(2).all(|w| w[0] == w[1]) {
+                disagreeing += 1;
+            }
+        }
+        println!(
+            "| {n} | {t} | {seed} | {} | {} | {disagreeing} | {} |",
+            pairs.len(),
+            t * (n - t),
+            report.agreement()
+        );
+        assert!(pairs.len() <= t * (n - t), "bound violated!");
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------
+// E6 - Example 1 (reported; the deterministic schedule lives in
+// crates/svss/tests/example1.rs)
+// ---------------------------------------------------------------------
+fn e6_example1() {
+    println!("## E6 - paper Example 1 (MW-SVSS divergence, then shunning)\n");
+    println!("Reproduced as the deterministic regression test");
+    println!("`crates/svss/tests/example1.rs::example_1_divergent_outputs_then_shunning`:");
+    println!("- p1 reconstructs `s`, p3 reconstructs `s + 9d` (both complete, no");
+    println!("  detection yet) - weak binding broken exactly as the paper describes;");
+    println!("- releasing the delayed traffic makes p1 shun p2 *after the fact*;");
+    println!("- p3, whose only expectation was satisfied, never detects - matching");
+    println!("  the paper's remark that detection may be one-sided.\n");
+}
+
+// ---------------------------------------------------------------------
+// E7 - hiding: the adversary's share view is secret-independent
+// ---------------------------------------------------------------------
+fn e7_hiding(full: bool) {
+    use sba::svss::harness::{SvssNet, Tamper};
+    use sba::svss::{SvssMsg, SvssPriv};
+    use sba::SvssId;
+
+    println!("## E7 - hiding: t-view distribution is independent of the secret\n");
+    println!("For each secret, collect the row share the (passive) corrupted");
+    println!("process p4 receives across seeds (over GF(101)), and compare the");
+    println!("distributions with a two-sample chi-square statistic (4 bins).\n");
+    let samples: u64 = if full { 400 } else { 150 };
+    let mut hist = [[0f64; 4]; 2];
+    for (si, secret) in [0u64, 50].into_iter().enumerate() {
+        for seed in 0..samples {
+            // Disjoint seed ranges per secret: with shared seeds the two
+            // sample sets would be deterministically correlated (identical
+            // polynomials shifted by the secret) and the chi-square would
+            // detect the shift rather than an information leak.
+            let run_seed = seed * 11 + 3 + (si as u64) * 1_000_003;
+            let params = Params::new(4, 1).unwrap();
+            let mut net = SvssNet::<Gf101>::new(params, run_seed);
+            let captured: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+            let cap = Rc::clone(&captured);
+            // Capture the dealer's Rows message to p4 (its whole view of
+            // the secret at share time derives from it).
+            net.set_tamper(Pid::new(1), move |to, msg| {
+                if to == Pid::new(4) {
+                    if let SvssMsg::Priv(SvssPriv::Rows { g, .. }) = msg {
+                        *cap.borrow_mut() = Some(g.first().map_or(0, |v| v.as_u64()));
+                    }
+                }
+                Tamper::Keep
+            });
+            net.share(SvssId::new(1, Pid::new(1)), Gf101::from_u64(secret));
+            net.run();
+            let v = captured.borrow().expect("rows captured");
+            hist[si][(v % 4) as usize] += 1.0;
+        }
+    }
+    let mut chi2 = 0.0;
+    for (a, c) in hist[0].iter().zip(hist[1].iter()) {
+        let e = (a + c) / 2.0;
+        if e > 0.0 {
+            chi2 += (a - e).powi(2) / e + (c - e).powi(2) / e;
+        }
+    }
+    println!("| bin | secret=0 | secret=50 |");
+    println!("|-----|----------|-----------|");
+    for (b, (a, c)) in hist[0].iter().zip(hist[1].iter()).enumerate() {
+        println!("| {b} | {a:.0} | {c:.0} |");
+    }
+    println!("\nchi-square(3 dof) = {chi2:.2}; values below ~7.81 mean the");
+    println!("distributions are indistinguishable at the 5% level.\n");
+    assert!(chi2 < 16.27, "hiding violated (chi2 beyond the 0.1% tail)");
+}
+
+// ---------------------------------------------------------------------
+// E8 - ablation: disable the DMM and watch the adversary win rounds
+// ---------------------------------------------------------------------
+fn e8_ablation(full: bool) {
+    use sba::aba::{AbaConfig, AbaNode, AbaProcess};
+    use sba::adversary::lying_share_tamper;
+    use sba::coin::coin_svss_id;
+    use sba::field::Gf61 as F;
+    use sba::sim::{schedulers, Process, Simulation, TamperProcess};
+    use sba::svss::Reconstructed;
+    use sba::AbaMsg;
+
+    println!("## E8 - ablation: why shunning matters\n");
+    println!("A forging adversary attacks every SVSS session of every coin, across");
+    println!("many agreement instances. The paper's bound: each session whose");
+    println!("binding/validity breaks costs a NEW shun pair, so at most t(n-t)");
+    println!("sessions can ever be corrupted. With the DMM disabled that budget is");
+    println!("gone and corrupted sessions keep accumulating.\n");
+    println!("A 'corrupted session' is one where honest SVSS outputs disagree or");
+    println!("include bottom. Two slow honest processes make the forgery land.\n");
+
+    let (n, t) = (4usize, 1usize);
+    let instances: u32 = if full { 8 } else { 5 };
+    let params = Params::new(n, t).unwrap();
+    println!("| detection | instances | corrupted SVSS sessions | shun pairs | all agreed |");
+    println!("|-----------|-----------|-------------------------|------------|-----------|");
+    for &detection in &[true, false] {
+        enum P {
+            Honest(AbaProcess<F>),
+            Byz(TamperProcess<AbaProcess<F>, AbaMsg<F>>),
+        }
+        impl Process<AbaMsg<F>> for P {
+            fn on_start(&mut self, out: &mut sba::net::Outbox<AbaMsg<F>>) {
+                match self {
+                    P::Honest(x) => x.on_start(out),
+                    P::Byz(x) => x.on_start(out),
+                }
+            }
+            fn on_message(
+                &mut self,
+                from: Pid,
+                msg: AbaMsg<F>,
+                out: &mut sba::net::Outbox<AbaMsg<F>>,
+            ) {
+                match self {
+                    P::Honest(x) => x.on_message(from, msg, out),
+                    P::Byz(x) => x.on_message(from, msg, out),
+                }
+            }
+            fn done(&self) -> bool {
+                match self {
+                    P::Honest(x) => x.done(),
+                    P::Byz(_) => true,
+                }
+            }
+        }
+
+        let procs: Vec<P> = (1..=n as u32)
+            .map(|i| {
+                let pid = Pid::new(i);
+                let mut config = AbaConfig::scc(params, 7 ^ (u64::from(i) << 32));
+                config.detection = detection;
+                let node: AbaNode<F> = AbaNode::new(pid, config);
+                let proposals: Vec<(u32, bool)> =
+                    (0..instances).map(|k| (k, (k + i) % 2 == 0)).collect();
+                let proc_ = AbaProcess::new(node, proposals);
+                if i == n as u32 {
+                    P::Byz(TamperProcess::new(proc_, lying_share_tamper(3)))
+                } else {
+                    P::Honest(proc_)
+                }
+            })
+            .collect();
+        let sched = schedulers::lagged(vec![Pid::new(1), Pid::new(2)], 2, 9);
+        let mut sim = Simulation::new(procs, sched, 31);
+        let outcome = sim.run_until_all_done(2_000_000_000);
+
+        // Count corrupted SVSS sessions across every instance and round.
+        let honest: Vec<&AbaNode<F>> = (1..n as u32 + 1)
+            .filter(|&i| i != n as u32)
+            .map(|i| match sim.process(Pid::new(i)) {
+                P::Honest(x) => x.node(),
+                P::Byz(_) => unreachable!("liar is the last process"),
+            })
+            .collect();
+        let mut corrupted = 0u64;
+        let mut agreed = outcome.all_done;
+        for inst in 0..instances {
+            let decisions: Vec<Option<bool>> = honest.iter().map(|nd| nd.decision(inst)).collect();
+            agreed &= decisions.iter().all(|d| d.is_some() && *d == decisions[0]);
+            let max_round = honest
+                .iter()
+                .filter_map(|nd| nd.decision_round(inst))
+                .max()
+                .unwrap_or(1);
+            for round in 1..=max_round {
+                let tag = (u64::from(inst) << 24) | u64::from(round);
+                for dealer in Pid::all(n) {
+                    for target in Pid::all(n) {
+                        let sid = coin_svss_id(tag, dealer, target);
+                        let outs: Vec<Option<Reconstructed<F>>> = honest
+                            .iter()
+                            .filter_map(|nd| nd.coin())
+                            .map(|c| c.svss().output(sid))
+                            .collect();
+                        let vals: Vec<Option<F>> =
+                            outs.iter().flatten().map(|r| r.value()).collect();
+                        if vals.is_empty() {
+                            continue;
+                        }
+                        let bottom = vals.iter().any(Option::is_none);
+                        let split = !vals.windows(2).all(|w| w[0] == w[1]);
+                        if bottom || split {
+                            corrupted += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut shuns: Vec<(u32, Pid)> = Vec::new();
+        for (i, nd) in honest.iter().enumerate() {
+            let _ = nd;
+            if let P::Honest(x) = sim.process(Pid::new(i as u32 + 1)) {
+                for ev in x.events() {
+                    if let sba::AbaEvent::Shunned { process } = ev {
+                        shuns.push((i as u32 + 1, *process));
+                    }
+                }
+            }
+        }
+        shuns.sort_unstable();
+        shuns.dedup();
+        println!(
+            "| {} | {instances} | {corrupted} | {} | {agreed} |",
+            if detection { "on " } else { "off" },
+            shuns.len()
+        );
+        if detection {
+            assert!(shuns.len() <= t * (n - t), "shun bound violated: {shuns:?}");
+        }
+    }
+    println!();
+    println!("(With detection on, corruption is capped by the shunning budget and");
+    println!("later instances run clean; with it off the same attack keeps biting.)\n");
+}
+
+// ---------------------------------------------------------------------
+// E10 - real-thread runtime realism check
+// ---------------------------------------------------------------------
+fn e10_threaded(full: bool) {
+    use sba::field::Gf61 as F;
+    use sba::sim::threaded;
+    use sba::{AbaConfig, AbaNode, AbaProcess};
+    use std::time::Duration;
+
+    println!("## E10 - real-thread runtime (OS nondeterminism)\n");
+    println!("| n | run | agreement | wall time |");
+    println!("|---|-----|-----------|-----------|");
+    let runs = if full { 4 } else { 2 };
+    for run_idx in 0..runs {
+        let n = 4;
+        let params = Params::new(n, 1).unwrap();
+        let procs: Vec<AbaProcess<F>> = (1..=n as u32)
+            .map(|i| {
+                let node: AbaNode<F> = AbaNode::new(
+                    Pid::new(i),
+                    AbaConfig::scc(params, run_idx as u64 * 71 + u64::from(i) * 13),
+                );
+                AbaProcess::new(node, vec![(0, i % 2 == 0)])
+            })
+            .collect();
+        let (procs, stats) = threaded::run(procs, Duration::from_secs(180));
+        let decisions: Vec<Option<bool>> = procs.iter().map(|p| p.node().decision(0)).collect();
+        let ok = stats.all_done
+            && decisions.iter().all(Option::is_some)
+            && decisions.windows(2).all(|w| w[0] == w[1]);
+        println!("| {n} | {run_idx} | {ok} | {:?} |", stats.elapsed);
+        assert!(ok, "threaded run failed: {decisions:?}");
+    }
+    println!();
+}

@@ -1,0 +1,118 @@
+//! Shared helpers for benchmarks and the experiments harness: descriptive
+//! statistics, log–log slope fits, and run wrappers.
+
+use sba::{Cluster, ClusterConfig, ClusterReport};
+
+/// Descriptive statistics of a sample.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Computes statistics over a sample (empty samples give zeros).
+    pub fn of(values: &[f64]) -> Stats {
+        if values.is_empty() {
+            return Stats::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        Stats {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            p50: pct(0.5),
+            p95: pct(0.95),
+            max: *sorted.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)`: the polynomial degree
+/// estimate for complexity measurements. Exponential growth shows up as a
+/// slope that increases with `x` instead of stabilizing.
+///
+/// # Panics
+///
+/// Panics if fewer than two points or any non-positive coordinate.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log-log fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Runs one agreement cluster and returns its report.
+pub fn run_agreement(
+    config: ClusterConfig,
+    inputs: &[Option<bool>],
+    max_events: u64,
+) -> ClusterReport {
+    let mut cluster = Cluster::new(config, inputs);
+    cluster.run(max_events)
+}
+
+/// Standard split-input vector (alternating bits).
+pub fn split_inputs(n: usize) -> Vec<Option<bool>> {
+    (0..n).map(|i| Some(i % 2 == 0)).collect()
+}
+
+/// Renders a markdown table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sample() {
+        let s = Stats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = Stats::of(&[]);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn slope_of_cubic_is_three() {
+        let pts: Vec<(f64, f64)> = (2..10).map(|x| (x as f64, (x * x * x) as f64)).collect();
+        assert!((loglog_slope(&pts) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn slope_rejects_zero() {
+        let _ = loglog_slope(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Multiplexing many RB instances over one channel.
+//!
+//! Every reliable broadcast in the stack is identified by `(origin, tag)`:
+//! who is broadcasting, and which protocol slot the broadcast fills (an
+//! `ack` in MW-SVSS session X, a vote in agreement round Y, …). One RB
+//! instance per slot makes slot-level equivocation impossible: within an
+//! instance, Bracha RB guarantees all nonfaulty processes accept the same
+//! value, so "the value p broadcast for slot s" is well defined everywhere.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use sba_net::{CodecError, Kinded, Pid, Reader, Wire};
+
+use crate::{Params, Rb, RbMsg};
+
+/// A routed RB message: which instance it belongs to, plus the inner step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MuxMsg<T, P> {
+    /// Slot tag chosen by the broadcasting layer.
+    pub tag: T,
+    /// The broadcasting process (the RB dealer).
+    pub origin: Pid,
+    /// The RB protocol step.
+    pub inner: RbMsg<P>,
+}
+
+impl<T: Wire, P: Wire> Wire for MuxMsg<T, P> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.tag.encode(buf);
+        self.origin.encode(buf);
+        self.inner.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MuxMsg {
+            tag: T::decode(r)?,
+            origin: Pid::decode(r)?,
+            inner: RbMsg::decode(r)?,
+        })
+    }
+}
+
+impl<T, P> Kinded for MuxMsg<T, P> {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+}
+
+/// A delivery produced by the mux: `origin` reliably broadcast `value`
+/// for slot `tag`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RbDelivery<T, P> {
+    /// The broadcasting process.
+    pub origin: Pid,
+    /// The slot.
+    pub tag: T,
+    /// The accepted value (identical at every nonfaulty process).
+    pub value: P,
+}
+
+/// Manages all RB instances for one process.
+///
+/// # Examples
+///
+/// ```
+/// use sba_broadcast::{Params, RbMux};
+/// use sba_net::Pid;
+///
+/// let params = Params::new(4, 1).unwrap();
+/// let mut mux: RbMux<u32, u64> = RbMux::new(Pid::new(1), params);
+/// let mut sends = Vec::new();
+/// mux.broadcast(7, 99, &mut sends);
+/// assert_eq!(sends.len(), 4); // Init fan-out
+/// ```
+#[derive(Debug)]
+pub struct RbMux<T, P> {
+    me: Pid,
+    params: Params,
+    instances: HashMap<(Pid, T), Rb<P>>,
+}
+
+impl<T, P> RbMux<T, P>
+where
+    T: Clone + Eq + Hash,
+    P: Clone + Eq,
+{
+    /// Creates the mux for process `me`.
+    pub fn new(me: Pid, params: Params) -> Self {
+        RbMux {
+            me,
+            params,
+            instances: HashMap::new(),
+        }
+    }
+
+    /// This process's id.
+    pub fn me(&self) -> Pid {
+        self.me
+    }
+
+    /// System parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    fn instance(&mut self, origin: Pid, tag: T) -> &mut Rb<P> {
+        let me = self.me;
+        let params = self.params;
+        self.instances
+            .entry((origin, tag))
+            .or_insert_with(|| Rb::new(me, origin, params))
+    }
+
+    /// Reliably broadcasts `value` in slot `tag` (this process is origin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this process already broadcast in slot `tag` — slots are
+    /// single-use by construction.
+    pub fn broadcast(&mut self, tag: T, value: P, sends: &mut Vec<(Pid, MuxMsg<T, P>)>) {
+        let me = self.me;
+        let mut inner_sends = Vec::new();
+        self.instance(me, tag.clone())
+            .start(value, &mut inner_sends);
+        sends.extend(inner_sends.into_iter().map(|(to, m)| {
+            (
+                to,
+                MuxMsg {
+                    tag: tag.clone(),
+                    origin: me,
+                    inner: m,
+                },
+            )
+        }));
+    }
+
+    /// Routes one delivered mux message; returns an RB delivery if the
+    /// underlying instance just accepted.
+    pub fn on_message(
+        &mut self,
+        from: Pid,
+        msg: MuxMsg<T, P>,
+        sends: &mut Vec<(Pid, MuxMsg<T, P>)>,
+    ) -> Option<RbDelivery<T, P>> {
+        let MuxMsg { tag, origin, inner } = msg;
+        let mut inner_sends = Vec::new();
+        let accepted = self
+            .instance(origin, tag.clone())
+            .on_message(from, inner, &mut inner_sends);
+        sends.extend(inner_sends.into_iter().map(|(to, m)| {
+            (
+                to,
+                MuxMsg {
+                    tag: tag.clone(),
+                    origin,
+                    inner: m,
+                },
+            )
+        }));
+        accepted.map(|value| RbDelivery { origin, tag, value })
+    }
+
+    /// The accepted value for slot `(origin, tag)`, if that instance
+    /// accepted already.
+    pub fn accepted(&self, origin: Pid, tag: &T) -> Option<&P> {
+        self.instances
+            .get(&(origin, tag.clone()))
+            .and_then(|rb| rb.accepted())
+    }
+
+    /// Number of live RB instances (for memory accounting tests).
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Msg = MuxMsg<u32, u64>;
+
+    /// Synchronously runs a mesh of muxes to quiescence.
+    fn pump(
+        muxes: &mut [RbMux<u32, u64>],
+        mut inflight: Vec<(Pid, Pid, Msg)>,
+    ) -> Vec<Vec<RbDelivery<u32, u64>>> {
+        let mut delivered: Vec<Vec<RbDelivery<u32, u64>>> = vec![Vec::new(); muxes.len()];
+        while let Some((from, to, msg)) = inflight.pop() {
+            let mut out = Vec::new();
+            let d = muxes[(to.index() - 1) as usize].on_message(from, msg, &mut out);
+            if let Some(d) = d {
+                delivered[(to.index() - 1) as usize].push(d);
+            }
+            inflight.extend(out.into_iter().map(|(t, m)| (to, t, m)));
+        }
+        delivered
+    }
+
+    #[test]
+    fn concurrent_slots_do_not_interfere() {
+        let params = Params::new(4, 1).unwrap();
+        let mut muxes: Vec<RbMux<u32, u64>> = (1..=4u32)
+            .map(|i| RbMux::new(Pid::new(i), params))
+            .collect();
+        // p1 broadcasts in slot 10, p2 in slot 20, interleaved.
+        let mut sends = Vec::new();
+        muxes[0].broadcast(10, 111, &mut sends);
+        let mut inflight: Vec<(Pid, Pid, Msg)> = sends
+            .drain(..)
+            .map(|(to, m)| (Pid::new(1), to, m))
+            .collect();
+        let mut sends2 = Vec::new();
+        muxes[1].broadcast(20, 222, &mut sends2);
+        inflight.extend(sends2.into_iter().map(|(to, m)| (Pid::new(2), to, m)));
+
+        let delivered = pump(&mut muxes, inflight);
+        for (k, dels) in delivered.iter().enumerate() {
+            assert_eq!(dels.len(), 2, "p{} deliveries", k + 1);
+            let mut got: Vec<(u32, u64)> = dels.iter().map(|d| (d.tag, d.value)).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![(10, 111), (20, 222)]);
+        }
+    }
+
+    #[test]
+    fn same_tag_different_origins_are_distinct_instances() {
+        let params = Params::new(4, 1).unwrap();
+        let mut muxes: Vec<RbMux<u32, u64>> = (1..=4u32)
+            .map(|i| RbMux::new(Pid::new(i), params))
+            .collect();
+        let mut inflight = Vec::new();
+        for origin in [1u32, 2] {
+            let mut sends = Vec::new();
+            muxes[(origin - 1) as usize].broadcast(5, u64::from(origin) * 100, &mut sends);
+            inflight.extend(sends.into_iter().map(|(to, m)| (Pid::new(origin), to, m)));
+        }
+        let delivered = pump(&mut muxes, inflight);
+        for dels in &delivered {
+            assert_eq!(dels.len(), 2);
+            for d in dels {
+                assert_eq!(d.value, u64::from(d.origin.index()) * 100);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "started twice")]
+    fn slot_reuse_panics() {
+        let params = Params::new(4, 1).unwrap();
+        let mut mux: RbMux<u32, u64> = RbMux::new(Pid::new(1), params);
+        let mut sends = Vec::new();
+        mux.broadcast(1, 1, &mut sends);
+        mux.broadcast(1, 2, &mut sends);
+    }
+
+    #[test]
+    fn accepted_lookup() {
+        let params = Params::new(4, 1).unwrap();
+        let mut muxes: Vec<RbMux<u32, u64>> = (1..=4u32)
+            .map(|i| RbMux::new(Pid::new(i), params))
+            .collect();
+        let mut sends = Vec::new();
+        muxes[0].broadcast(3, 33, &mut sends);
+        let inflight: Vec<(Pid, Pid, Msg)> = sends
+            .drain(..)
+            .map(|(to, m)| (Pid::new(1), to, m))
+            .collect();
+        pump(&mut muxes, inflight);
+        for m in &muxes {
+            assert_eq!(m.accepted(Pid::new(1), &3), Some(&33));
+            assert_eq!(m.accepted(Pid::new(2), &3), None);
+        }
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let msg = MuxMsg {
+            tag: 7u32,
+            origin: Pid::new(2),
+            inner: RbMsg::Ready(5u64),
+        };
+        let bytes = msg.encoded();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MuxMsg::<u32, u64>::decode(&mut r).unwrap(), msg);
+    }
+}

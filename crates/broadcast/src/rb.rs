@@ -1,0 +1,301 @@
+//! Bracha Reliable Broadcast on top of WRB (paper, Lemma 6).
+
+use std::collections::HashMap;
+
+use sba_net::{CodecError, Kinded, Pid, Reader, Wire};
+
+use crate::{Params, Wrb, WrbMsg};
+
+/// RB wire messages: the embedded WRB exchange plus type-3 `Ready`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RbMsg<P> {
+    /// Types 1 and 2 (the WRB sub-protocol).
+    Wrb(WrbMsg<P>),
+    /// `(r, 3)` — "I know the WRB outcome is r".
+    Ready(P),
+}
+
+impl<P: Wire> Wire for RbMsg<P> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            RbMsg::Wrb(m) => {
+                buf.push(0);
+                m.encode(buf);
+            }
+            RbMsg::Ready(p) => {
+                buf.push(3);
+                p.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.byte()? {
+            0 => Ok(RbMsg::Wrb(WrbMsg::decode(r)?)),
+            3 => Ok(RbMsg::Ready(P::decode(r)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<P> Kinded for RbMsg<P> {
+    fn kind(&self) -> &'static str {
+        match self {
+            RbMsg::Wrb(m) => m.kind(),
+            RbMsg::Ready(_) => "rb/ready",
+        }
+    }
+}
+
+/// One Reliable Broadcast instance (one dealer, one slot).
+///
+/// Protocol (Appendix A.2):
+/// 1. the dealer WRB-broadcasts its value;
+/// 2. on WRB-accepting `r`, send `(r, 3)` to all;
+/// 3. on `t + 1` distinct `(r, 3)`, send `(r, 3)` if not yet sent;
+/// 4. on `n − t` distinct `(r, 3)`, accept `r`.
+///
+/// Guarantees for `n > 3t`: all nonfaulty processes that accept, accept
+/// the same value; if the dealer is nonfaulty everyone accepts its value;
+/// if *any* nonfaulty process accepts, every nonfaulty process eventually
+/// accepts (termination) — provided all nonfaulty processes keep relaying,
+/// which is why the DMM filter upstream never suppresses RB-internal
+/// traffic.
+#[derive(Clone, Debug)]
+pub struct Rb<P> {
+    params: Params,
+    wrb: Wrb<P>,
+    sent_ready: bool,
+    readies: HashMap<Pid, P>,
+    accepted: Option<P>,
+}
+
+impl<P: Clone + Eq> Rb<P> {
+    /// Creates an instance for `me` with the given `dealer`.
+    pub fn new(me: Pid, dealer: Pid, params: Params) -> Self {
+        let _ = me; // symmetry with Wrb::new; the RB steps are sender-agnostic
+        Rb {
+            params,
+            wrb: Wrb::new(me, dealer, params),
+            sent_ready: false,
+            readies: HashMap::new(),
+            accepted: None,
+        }
+    }
+
+    /// The value accepted so far, if any.
+    pub fn accepted(&self) -> Option<&P> {
+        self.accepted.as_ref()
+    }
+
+    /// Dealer entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not the dealer's instance or already started.
+    pub fn start(&mut self, value: P, sends: &mut Vec<(Pid, RbMsg<P>)>) {
+        let mut wrb_sends = Vec::new();
+        self.wrb.start(value, &mut wrb_sends);
+        sends.extend(wrb_sends.into_iter().map(|(p, m)| (p, RbMsg::Wrb(m))));
+    }
+
+    /// Handles one delivered message; returns the value if acceptance
+    /// happened just now.
+    pub fn on_message(
+        &mut self,
+        from: Pid,
+        msg: RbMsg<P>,
+        sends: &mut Vec<(Pid, RbMsg<P>)>,
+    ) -> Option<P> {
+        match msg {
+            RbMsg::Wrb(m) => {
+                let mut wrb_sends = Vec::new();
+                let wrb_accept = self.wrb.on_message(from, m, &mut wrb_sends);
+                sends.extend(wrb_sends.into_iter().map(|(p, m)| (p, RbMsg::Wrb(m))));
+                if let Some(v) = wrb_accept {
+                    self.send_ready(v, sends);
+                }
+                self.try_accept()
+            }
+            RbMsg::Ready(v) => {
+                self.readies.entry(from).or_insert(v);
+                // Amplification: t+1 readies for one value prove a nonfaulty
+                // process WRB-accepted it.
+                if !self.sent_ready {
+                    if let Some(v) = self.value_with_count(self.params.amplify()) {
+                        self.send_ready(v, sends);
+                    }
+                }
+                self.try_accept()
+            }
+        }
+    }
+
+    fn send_ready(&mut self, v: P, sends: &mut Vec<(Pid, RbMsg<P>)>) {
+        if self.sent_ready {
+            return;
+        }
+        self.sent_ready = true;
+        for p in Pid::all(self.params.n()) {
+            sends.push((p, RbMsg::Ready(v.clone())));
+        }
+    }
+
+    fn value_with_count(&self, threshold: usize) -> Option<P> {
+        let mut counts: Vec<(&P, usize)> = Vec::new();
+        for v in self.readies.values() {
+            if let Some(e) = counts.iter_mut().find(|(u, _)| *u == v) {
+                e.1 += 1;
+            } else {
+                counts.push((v, 1));
+            }
+        }
+        counts
+            .iter()
+            .find(|&&(_, c)| c >= threshold)
+            .map(|&(v, _)| v.clone())
+    }
+
+    fn try_accept(&mut self) -> Option<P> {
+        if self.accepted.is_some() {
+            return None;
+        }
+        let v = self.value_with_count(self.params.quorum())?;
+        self.accepted = Some(v.clone());
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny synchronous harness: delivers every in-flight message in
+    /// round-robin order until quiescent. Faulty processes are absent
+    /// (silent), modelled by skipping deliveries to them.
+    fn run_mesh(n: usize, t: usize, dealer: u32, value: u64, silent: &[u32]) -> Vec<Option<u64>> {
+        let params = Params::new(n, t).unwrap();
+        let mut procs: Vec<Rb<u64>> = (1..=n)
+            .map(|i| Rb::new(Pid::new(i as u32), Pid::new(dealer), params))
+            .collect();
+        let mut sends = Vec::new();
+        procs[(dealer - 1) as usize].start(value, &mut sends);
+        let mut inflight: Vec<(Pid, Pid, RbMsg<u64>)> = sends
+            .drain(..)
+            .map(|(to, m)| (Pid::new(dealer), to, m))
+            .collect();
+        let mut accepted: Vec<Option<u64>> = vec![None; n];
+        while let Some((from, to, msg)) = inflight.pop() {
+            if silent.contains(&to.index()) {
+                continue;
+            }
+            let mut out = Vec::new();
+            if let Some(v) = procs[(to.index() - 1) as usize].on_message(from, msg, &mut out) {
+                accepted[(to.index() - 1) as usize] = Some(v);
+            }
+            inflight.extend(out.into_iter().map(|(t2, m)| (to, t2, m)));
+        }
+        accepted
+    }
+
+    #[test]
+    fn honest_dealer_everyone_accepts() {
+        let acc = run_mesh(4, 1, 1, 42, &[]);
+        assert_eq!(acc, vec![Some(42); 4]);
+    }
+
+    #[test]
+    fn tolerates_one_silent_process() {
+        let acc = run_mesh(4, 1, 1, 42, &[3]);
+        assert_eq!(acc[0], Some(42));
+        assert_eq!(acc[1], Some(42));
+        assert_eq!(acc[3], Some(42));
+    }
+
+    #[test]
+    fn larger_system_with_max_faults() {
+        let acc = run_mesh(7, 2, 3, 7, &[1, 5]);
+        for (k, a) in acc.iter().enumerate() {
+            if [1usize, 5].contains(&(k + 1)) {
+                continue;
+            }
+            assert_eq!(*a, Some(7), "p{} did not accept", k + 1);
+        }
+    }
+
+    /// Termination amplification: a process that saw only `t+1` readies
+    /// (no WRB acceptance) still relays and eventually accepts.
+    #[test]
+    fn ready_amplification_accepts_without_wrb() {
+        let params = Params::new(4, 1).unwrap();
+        let mut p4 = Rb::<u64>::new(Pid::new(4), Pid::new(1), params);
+        let mut out = Vec::new();
+        // p4 never saw any WRB traffic, only readies from 2 peers (t+1=2).
+        assert!(p4
+            .on_message(Pid::new(2), RbMsg::Ready(9), &mut out)
+            .is_none());
+        assert!(out.is_empty());
+        assert!(p4
+            .on_message(Pid::new(3), RbMsg::Ready(9), &mut out)
+            .is_none());
+        // Amplified: p4 itself sends Ready to all 4 processes.
+        assert_eq!(out.len(), 4);
+        assert!(matches!(out[0].1, RbMsg::Ready(9)));
+        // Its own ready (self-delivery) is the 3rd distinct ready = quorum.
+        let acc = p4.on_message(Pid::new(4), RbMsg::Ready(9), &mut out);
+        assert_eq!(acc, Some(9));
+    }
+
+    #[test]
+    fn conflicting_readies_cannot_reach_quorum_for_two_values() {
+        let params = Params::new(4, 1).unwrap();
+        let mut p2 = Rb::<u64>::new(Pid::new(2), Pid::new(1), params);
+        let mut out = Vec::new();
+        p2.on_message(Pid::new(1), RbMsg::Ready(0), &mut out);
+        p2.on_message(Pid::new(3), RbMsg::Ready(1), &mut out);
+        p2.on_message(Pid::new(4), RbMsg::Ready(1), &mut out);
+        // p2 amplifies value 1 (t+1 = 2 readies) with its own ready.
+        let acc = p2.on_message(Pid::new(2), RbMsg::Ready(1), &mut out);
+        assert_eq!(acc, Some(1));
+        // Value 0 can never also be accepted: accepted is sticky.
+        assert!(p2
+            .on_message(Pid::new(2), RbMsg::Ready(0), &mut out)
+            .is_none());
+    }
+
+    #[test]
+    fn accept_fires_exactly_once() {
+        let params = Params::new(4, 1).unwrap();
+        let mut p2 = Rb::<u64>::new(Pid::new(2), Pid::new(1), params);
+        let mut out = Vec::new();
+        let mut accepts = 0;
+        for from in 1..=4u32 {
+            if p2
+                .on_message(Pid::new(from), RbMsg::Ready(5), &mut out)
+                .is_some()
+            {
+                accepts += 1;
+            }
+        }
+        assert_eq!(accepts, 1);
+        assert_eq!(p2.accepted(), Some(&5));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for msg in [
+            RbMsg::Wrb(WrbMsg::Init(1u64)),
+            RbMsg::Wrb(WrbMsg::Echo(2u64)),
+            RbMsg::Ready(3u64),
+        ] {
+            let bytes = msg.encoded();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(RbMsg::<u64>::decode(&mut r).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn kinds_are_labelled() {
+        assert_eq!(RbMsg::Wrb(WrbMsg::Init(1u64)).kind(), "rb/init");
+        assert_eq!(RbMsg::Ready(1u64).kind(), "rb/ready");
+    }
+}

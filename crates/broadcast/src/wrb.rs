@@ -1,0 +1,278 @@
+//! Weak Reliable Broadcast: Dolev's crusader agreement (paper, Lemma 5).
+
+use std::collections::HashMap;
+
+use sba_net::{CodecError, Kinded, Pid, Reader, Wire};
+
+use crate::Params;
+
+/// WRB wire messages. Type-1 carries the dealer's value; type-2 is the
+/// echo each process sends the first time it hears the dealer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WrbMsg<P> {
+    /// `(s, 1)` — dealer's initial value.
+    Init(P),
+    /// `(r, 2)` — echo of the value received from the dealer.
+    Echo(P),
+}
+
+impl<P: Wire> Wire for WrbMsg<P> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WrbMsg::Init(p) => {
+                buf.push(1);
+                p.encode(buf);
+            }
+            WrbMsg::Echo(p) => {
+                buf.push(2);
+                p.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.byte()? {
+            1 => Ok(WrbMsg::Init(P::decode(r)?)),
+            2 => Ok(WrbMsg::Echo(P::decode(r)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<P> Kinded for WrbMsg<P> {
+    fn kind(&self) -> &'static str {
+        match self {
+            WrbMsg::Init(_) => "rb/init",
+            WrbMsg::Echo(_) => "rb/echo",
+        }
+    }
+}
+
+/// One Weak Reliable Broadcast instance (one dealer, one slot).
+///
+/// Protocol (Appendix A.1):
+/// 1. the dealer sends `(s, 1)` to all;
+/// 2. a process receiving `(r, 1)` from the dealer that has never echoed
+///    sends `(r, 2)` to all;
+/// 3. a process receiving `n − t` echoes with the same value accepts it.
+///
+/// # Examples
+///
+/// ```
+/// use sba_broadcast::{Params, Wrb, WrbMsg};
+/// use sba_net::Pid;
+///
+/// let params = Params::new(4, 1).unwrap();
+/// let mut dealer = Wrb::<u64>::new(Pid::new(1), Pid::new(1), params);
+/// let mut sends = Vec::new();
+/// dealer.start(7, &mut sends);
+/// assert_eq!(sends.len(), 4); // Init to everyone, including itself
+/// ```
+#[derive(Clone, Debug)]
+pub struct Wrb<P> {
+    me: Pid,
+    dealer: Pid,
+    params: Params,
+    sent_echo: bool,
+    started: bool,
+    echoes: HashMap<Pid, P>,
+    accepted: Option<P>,
+}
+
+impl<P: Clone + Eq> Wrb<P> {
+    /// Creates an instance for `me`, with the given `dealer` and params.
+    pub fn new(me: Pid, dealer: Pid, params: Params) -> Self {
+        Wrb {
+            me,
+            dealer,
+            params,
+            sent_echo: false,
+            started: false,
+            echoes: HashMap::new(),
+            accepted: None,
+        }
+    }
+
+    /// The value accepted so far, if any.
+    pub fn accepted(&self) -> Option<&P> {
+        self.accepted.as_ref()
+    }
+
+    /// Dealer entry point: broadcast `value` to all processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not the dealer's instance or already started.
+    pub fn start(&mut self, value: P, sends: &mut Vec<(Pid, WrbMsg<P>)>) {
+        assert_eq!(self.me, self.dealer, "only the dealer starts WRB");
+        assert!(!self.started, "WRB instance started twice");
+        self.started = true;
+        for p in Pid::all(self.params.n()) {
+            sends.push((p, WrbMsg::Init(value.clone())));
+        }
+    }
+
+    /// Handles one delivered message; pushes outgoing messages to `sends`
+    /// and returns a newly accepted value, if acceptance happened just now.
+    pub fn on_message(
+        &mut self,
+        from: Pid,
+        msg: WrbMsg<P>,
+        sends: &mut Vec<(Pid, WrbMsg<P>)>,
+    ) -> Option<P> {
+        match msg {
+            WrbMsg::Init(v) => {
+                // Only the dealer's type-1 counts; echo at most once.
+                if from == self.dealer && !self.sent_echo {
+                    self.sent_echo = true;
+                    for p in Pid::all(self.params.n()) {
+                        sends.push((p, WrbMsg::Echo(v.clone())));
+                    }
+                }
+                None
+            }
+            WrbMsg::Echo(v) => {
+                // First echo per sender counts; equivocators change nothing.
+                self.echoes.entry(from).or_insert(v);
+                self.try_accept()
+            }
+        }
+    }
+
+    fn try_accept(&mut self) -> Option<P> {
+        if self.accepted.is_some() {
+            return None;
+        }
+        // Count echoes per value; accept at quorum.
+        let quorum = self.params.quorum();
+        let mut counts: Vec<(&P, usize)> = Vec::new();
+        for v in self.echoes.values() {
+            if let Some(e) = counts.iter_mut().find(|(u, _)| *u == v) {
+                e.1 += 1;
+            } else {
+                counts.push((v, 1));
+            }
+        }
+        let winner = counts
+            .iter()
+            .find(|&&(_, c)| c >= quorum)
+            .map(|&(v, _)| v.clone())?;
+        self.accepted = Some(winner.clone());
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params4() -> Params {
+        Params::new(4, 1).unwrap()
+    }
+
+    /// Drives a full WRB exchange by hand among 4 processes.
+    #[test]
+    fn honest_dealer_all_accept() {
+        let params = params4();
+        let mut procs: Vec<Wrb<u64>> = (1..=4)
+            .map(|i| Wrb::new(Pid::new(i), Pid::new(1), params))
+            .collect();
+        let mut sends = Vec::new();
+        procs[0].start(99, &mut sends);
+
+        // Deliver all messages until quiescent (synchronous full mesh).
+        let mut inflight: Vec<(Pid, Pid, WrbMsg<u64>)> = sends
+            .drain(..)
+            .map(|(to, m)| (Pid::new(1), to, m))
+            .collect();
+        let mut accepted = vec![None; 4];
+        while let Some((from, to, msg)) = inflight.pop() {
+            let mut out = Vec::new();
+            let acc = procs[(to.index() - 1) as usize].on_message(from, msg, &mut out);
+            if let Some(v) = acc {
+                accepted[(to.index() - 1) as usize] = Some(v);
+            }
+            inflight.extend(out.into_iter().map(|(t, m)| (to, t, m)));
+        }
+        assert_eq!(accepted, vec![Some(99); 4]);
+    }
+
+    /// Two nonfaulty processes can never accept different values, even if
+    /// the dealer equivocates: quorums of echoes intersect in a nonfaulty
+    /// echoer who echoes once.
+    #[test]
+    fn equivocating_dealer_cannot_split_acceptance() {
+        let params = params4();
+        // p1 faulty dealer; p2..p4 honest. Dealer sends Init(0) to p2, p3
+        // and Init(1) to p4. Honest echoes: p2, p3 echo 0; p4 echoes 1.
+        let mut p2 = Wrb::<u64>::new(Pid::new(2), Pid::new(1), params);
+        let mut p3 = Wrb::<u64>::new(Pid::new(3), Pid::new(1), params);
+        let mut p4 = Wrb::<u64>::new(Pid::new(4), Pid::new(1), params);
+        let mut out = Vec::new();
+        p2.on_message(Pid::new(1), WrbMsg::Init(0), &mut out);
+        p3.on_message(Pid::new(1), WrbMsg::Init(0), &mut out);
+        p4.on_message(Pid::new(1), WrbMsg::Init(1), &mut out);
+        // Feed every honest echo plus a faulty echo for value 1 to all.
+        let echoes = [
+            (Pid::new(2), 0u64),
+            (Pid::new(3), 0),
+            (Pid::new(4), 1),
+            (Pid::new(1), 1), // faulty echo
+        ];
+        let mut accs = Vec::new();
+        for proc_ in [&mut p2, &mut p3, &mut p4] {
+            for &(from, v) in &echoes {
+                let mut o = Vec::new();
+                if let Some(a) = proc_.on_message(from, WrbMsg::Echo(v), &mut o) {
+                    accs.push(a);
+                }
+            }
+        }
+        // Value 0 has 2 echoes, value 1 has 2: quorum is 3 — nobody accepts.
+        assert!(accs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_echoes_do_not_fake_quorum() {
+        let params = params4();
+        let mut p2 = Wrb::<u64>::new(Pid::new(2), Pid::new(1), params);
+        let mut out = Vec::new();
+        // Same faulty sender echoes three times.
+        for _ in 0..3 {
+            assert!(p2
+                .on_message(Pid::new(3), WrbMsg::Echo(5), &mut out)
+                .is_none());
+        }
+        assert!(p2.accepted().is_none());
+    }
+
+    #[test]
+    fn echo_sent_once_even_with_two_inits() {
+        let params = params4();
+        let mut p2 = Wrb::<u64>::new(Pid::new(2), Pid::new(1), params);
+        let mut out = Vec::new();
+        p2.on_message(Pid::new(1), WrbMsg::Init(5), &mut out);
+        assert_eq!(out.len(), 4);
+        p2.on_message(Pid::new(1), WrbMsg::Init(6), &mut out);
+        assert_eq!(out.len(), 4, "second Init must not trigger another echo");
+    }
+
+    #[test]
+    fn init_from_non_dealer_ignored() {
+        let params = params4();
+        let mut p2 = Wrb::<u64>::new(Pid::new(2), Pid::new(1), params);
+        let mut out = Vec::new();
+        p2.on_message(Pid::new(3), WrbMsg::Init(5), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for msg in [WrbMsg::Init(42u64), WrbMsg::Echo(7u64)] {
+            let bytes = msg.encoded();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(WrbMsg::<u64>::decode(&mut r).unwrap(), msg);
+        }
+        let mut r = Reader::new(&[9]);
+        assert!(WrbMsg::<u64>::decode(&mut r).is_err());
+    }
+}

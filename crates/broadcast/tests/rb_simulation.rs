@@ -1,0 +1,216 @@
+//! Reliable-broadcast properties under randomized asynchronous schedules,
+//! driven through the deterministic simulator.
+
+use proptest::prelude::*;
+use sba_broadcast::{MuxMsg, Params, RbDelivery, RbMux};
+use sba_net::{Outbox, Pid};
+use sba_sim::{schedulers, Process, Simulation};
+
+type Msg = MuxMsg<u32, u64>;
+
+/// A process that RB-broadcasts scripted values at start and records all
+/// deliveries.
+struct Broadcaster {
+    mux: RbMux<u32, u64>,
+    to_send: Vec<(u32, u64)>,
+    delivered: Vec<RbDelivery<u32, u64>>,
+    expected: usize,
+}
+
+impl Broadcaster {
+    fn new(me: Pid, params: Params, to_send: Vec<(u32, u64)>, expected: usize) -> Self {
+        Broadcaster {
+            mux: RbMux::new(me, params),
+            to_send,
+            delivered: Vec::new(),
+            expected,
+        }
+    }
+}
+
+impl Process<Msg> for Broadcaster {
+    fn on_start(&mut self, out: &mut Outbox<Msg>) {
+        let mut sends = Vec::new();
+        for (tag, value) in self.to_send.clone() {
+            self.mux.broadcast(tag, value, &mut sends);
+        }
+        for (to, m) in sends {
+            out.send(to, m);
+        }
+    }
+
+    fn on_message(&mut self, from: Pid, msg: Msg, out: &mut Outbox<Msg>) {
+        let mut sends = Vec::new();
+        if let Some(d) = self.mux.on_message(from, msg, &mut sends) {
+            self.delivered.push(d);
+        }
+        for (to, m) in sends {
+            out.send(to, m);
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.delivered.len() >= self.expected
+    }
+}
+
+fn run_broadcasts(
+    n: usize,
+    t: usize,
+    sends_per_proc: &[Vec<(u32, u64)>],
+    seed: u64,
+    max_delay: u64,
+) -> Vec<Vec<RbDelivery<u32, u64>>> {
+    let params = Params::new(n, t).unwrap();
+    let total: usize = sends_per_proc.iter().map(Vec::len).sum();
+    let procs: Vec<Broadcaster> = (1..=n)
+        .map(|i| {
+            Broadcaster::new(
+                Pid::new(i as u32),
+                params,
+                sends_per_proc[i - 1].clone(),
+                total,
+            )
+        })
+        .collect();
+    let mut sim = Simulation::new(procs, schedulers::uniform(max_delay), seed);
+    let outcome = sim.run_until_all_done(5_000_000);
+    assert!(outcome.all_done, "RB did not deliver everything");
+    (1..=n)
+        .map(|i| sim.process(Pid::new(i as u32)).delivered.clone())
+        .collect()
+}
+
+#[test]
+fn every_process_delivers_every_broadcast_identically() {
+    let sends = vec![
+        vec![(1u32, 10u64), (2, 20)],
+        vec![(1, 30)],
+        vec![],
+        vec![(5, 50)],
+    ];
+    let all = run_broadcasts(4, 1, &sends, 7, 15);
+    // All four processes deliver the same set of (origin, tag, value).
+    let canon = |d: &[RbDelivery<u32, u64>]| {
+        let mut v: Vec<(u32, u32, u64)> = d
+            .iter()
+            .map(|x| (x.origin.index(), x.tag, x.value))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let first = canon(&all[0]);
+    assert_eq!(first.len(), 4);
+    for other in &all[1..] {
+        assert_eq!(canon(other), first);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, max_shrink_iters: 0, ..ProptestConfig::default() })]
+
+    /// RB agreement + totality under random schedules, loads, and system
+    /// sizes.
+    #[test]
+    fn rb_agreement_random_schedules(
+        seed in any::<u64>(),
+        max_delay in 1u64..60,
+        loads in proptest::collection::vec(0usize..4, 4),
+    ) {
+        let sends: Vec<Vec<(u32, u64)>> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (0..k).map(|j| (j as u32, (i * 10 + j) as u64)).collect())
+            .collect();
+        let all = run_broadcasts(4, 1, &sends, seed, max_delay);
+        let canon = |d: &[RbDelivery<u32, u64>]| {
+            let mut v: Vec<(u32, u32, u64)> =
+                d.iter().map(|x| (x.origin.index(), x.tag, x.value)).collect();
+            v.sort_unstable();
+            v
+        };
+        let first = canon(&all[0]);
+        for other in &all[1..] {
+            prop_assert_eq!(canon(other), first.clone());
+        }
+    }
+}
+
+/// An equivocating origin (different Init per recipient, injected raw)
+/// can stall its slot but can never get two honest processes to accept
+/// different values.
+#[test]
+fn equivocation_cannot_split_slot() {
+    use sba_broadcast::{RbMsg, WrbMsg};
+
+    let params = Params::new(4, 1).unwrap();
+    // p1 equivocates: Init(1) to p2, Init(2) to p3, nothing to p4.
+    struct Equivocator;
+    impl Process<Msg> for Equivocator {
+        fn on_start(&mut self, out: &mut Outbox<Msg>) {
+            for (to, v) in [(2u32, 1u64), (3, 2)] {
+                out.send(
+                    Pid::new(to),
+                    MuxMsg {
+                        tag: 9,
+                        origin: Pid::new(1),
+                        inner: RbMsg::Wrb(WrbMsg::Init(v)),
+                    },
+                );
+            }
+        }
+        fn on_message(&mut self, _: Pid, _: Msg, _: &mut Outbox<Msg>) {}
+        fn done(&self) -> bool {
+            true
+        }
+    }
+
+    enum P {
+        Byz(Equivocator),
+        Honest(Broadcaster),
+    }
+    impl Process<Msg> for P {
+        fn on_start(&mut self, out: &mut Outbox<Msg>) {
+            match self {
+                P::Byz(x) => x.on_start(out),
+                P::Honest(x) => x.on_start(out),
+            }
+        }
+        fn on_message(&mut self, from: Pid, msg: Msg, out: &mut Outbox<Msg>) {
+            match self {
+                P::Byz(x) => x.on_message(from, msg, out),
+                P::Honest(x) => x.on_message(from, msg, out),
+            }
+        }
+    }
+
+    for seed in 0..16 {
+        let procs: Vec<P> = (1..=4)
+            .map(|i| {
+                if i == 1 {
+                    P::Byz(Equivocator)
+                } else {
+                    P::Honest(Broadcaster::new(Pid::new(i), params, vec![], usize::MAX))
+                }
+            })
+            .collect();
+        let mut sim = Simulation::new(procs, schedulers::uniform(10), seed);
+        sim.run_to_quiescence(1_000_000);
+        let mut accepted: Vec<u64> = Vec::new();
+        for i in 2..=4u32 {
+            if let P::Honest(b) = sim.process(Pid::new(i)) {
+                for d in &b.delivered {
+                    assert_eq!(d.tag, 9);
+                    accepted.push(d.value);
+                }
+            }
+        }
+        // Either nobody accepted (stalled slot) or all accepted the same.
+        accepted.sort_unstable();
+        accepted.dedup();
+        assert!(
+            accepted.len() <= 1,
+            "seed {seed}: equivocation split the slot: {accepted:?}"
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! The per-process SCC engine.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sba_broadcast::{Params, RbMux};
+use sba_field::Field;
+use sba_net::{Pid, ProcessSet, SvssId};
+use sba_svss::{Reconstructed, SvssEngine, SvssEvent};
+
+use crate::{coin_svss_id, decode_coin_svss_id, CoinMsg, CoinSlot};
+
+/// Events reported by the coin engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoinEvent {
+    /// Coin session `tag` produced an output at this process.
+    Flipped {
+        /// The session.
+        tag: u64,
+        /// The coin value.
+        value: bool,
+    },
+    /// The underlying DMM started shunning `process` (forwarded from the
+    /// SVSS layer; at most `t(n−t)` of these per execution, which bounds
+    /// the number of coin sessions that may fail to be common).
+    Shunned {
+        /// The newly shunned process.
+        process: Pid,
+    },
+}
+
+/// Per-session state.
+#[derive(Debug, Default)]
+struct CoinSession {
+    started: bool,
+    /// Dealers whose secret-attached-to-me share completed, arrival order.
+    my_dealers: Vec<Pid>,
+    attach_broadcast: bool,
+    /// Delivered attach sets `T_j`.
+    t_sets: HashMap<Pid, ProcessSet>,
+    /// Completed SVSS shares of this coin session (any dealer/target).
+    completed_shares: BTreeSet<SvssId>,
+    /// Accepted ("attached") processes.
+    accepted: ProcessSet,
+    support_broadcast: bool,
+    /// Delivered support sets.
+    supports: Vec<(Pid, ProcessSet)>,
+    /// Senders of validated supports.
+    validated: ProcessSet,
+    /// The fixed union of the first `n−t` validated supports.
+    b_set: Option<ProcessSet>,
+    recon_enabled: bool,
+    recon_invoked: BTreeSet<SvssId>,
+    /// Reconstructed secrets.
+    outputs: HashMap<SvssId, Reconstructed<Gf64Erased>>,
+    output: Option<bool>,
+}
+
+// The session state must not be generic over F (it lives in a plain map),
+// so reconstructed values are erased to their canonical u64 form.
+type Gf64Erased = u64;
+
+/// The shunning common coin for one process.
+///
+/// Drive it with [`CoinEngine::start`] (every nonfaulty process must start
+/// every session), [`CoinEngine::enable_reconstruct`] (the agreement layer
+/// gates this on its vote lock), and [`CoinEngine::on_message`]; collect
+/// [`CoinEvent`]s with [`CoinEngine::take_events`].
+pub struct CoinEngine<F: Field> {
+    me: Pid,
+    params: Params,
+    rng: StdRng,
+    svss: SvssEngine<F>,
+    mux: RbMux<CoinSlot, ProcessSet>,
+    sessions: HashMap<u64, CoinSession>,
+    events: Vec<CoinEvent>,
+}
+
+impl<F: Field> CoinEngine<F> {
+    /// Creates the coin engine for process `me`.
+    pub fn new(me: Pid, params: Params, seed: u64) -> Self {
+        CoinEngine {
+            me,
+            params,
+            rng: StdRng::seed_from_u64(seed ^ 0xC014),
+            svss: SvssEngine::new(me, params, seed ^ 0x5C0_FFEE),
+            mux: RbMux::new(me, params),
+            sessions: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// This process's id.
+    pub fn me(&self) -> Pid {
+        self.me
+    }
+
+    /// System parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// Drains accumulated events.
+    pub fn take_events(&mut self) -> Vec<CoinEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The coin output of session `tag`, if flipped.
+    pub fn output(&self, tag: u64) -> Option<bool> {
+        self.sessions.get(&tag).and_then(|s| s.output)
+    }
+
+    /// Read access to the underlying SVSS engine (for experiments).
+    pub fn svss(&self) -> &SvssEngine<F> {
+        &self.svss
+    }
+
+    /// Disables shunning detection (experiment E8 ablation).
+    pub fn disable_detection(&mut self) {
+        self.svss.disable_detection();
+    }
+
+    /// Starts coin session `tag`: deal one random secret per process.
+    ///
+    /// Every nonfaulty process must call this for the session to
+    /// terminate.
+    pub fn start(&mut self, tag: u64, sends: &mut Vec<(Pid, CoinMsg<F>)>) {
+        let session = self.sessions.entry(tag).or_default();
+        if session.started {
+            return;
+        }
+        session.started = true;
+        let mut svss_sends = Vec::new();
+        for target in Pid::all(self.params.n()) {
+            let secret = F::random(&mut self.rng);
+            self.svss
+                .share(coin_svss_id(tag, self.me, target), secret, &mut svss_sends);
+        }
+        sends.extend(svss_sends.into_iter().map(|(to, m)| (to, CoinMsg::Svss(m))));
+        self.pump(tag, sends);
+    }
+
+    /// Allows session `tag` to enter its reconstruct phase. The agreement
+    /// layer calls this only after locking its vote for the round, so the
+    /// adversary cannot learn the coin before honest votes are cast.
+    pub fn enable_reconstruct(&mut self, tag: u64, sends: &mut Vec<(Pid, CoinMsg<F>)>) {
+        let session = self.sessions.entry(tag).or_default();
+        if !session.recon_enabled {
+            session.recon_enabled = true;
+            self.pump(tag, sends);
+        }
+    }
+
+    /// Feeds one delivered message.
+    pub fn on_message(&mut self, from: Pid, msg: CoinMsg<F>, sends: &mut Vec<(Pid, CoinMsg<F>)>) {
+        match msg {
+            CoinMsg::Svss(m) => {
+                let mut svss_sends = Vec::new();
+                self.svss.on_message(from, m, &mut svss_sends);
+                sends.extend(svss_sends.into_iter().map(|(to, m)| (to, CoinMsg::Svss(m))));
+                let tags = self.absorb_svss_events();
+                for tag in tags {
+                    self.pump(tag, sends);
+                }
+            }
+            CoinMsg::Rb(m) => {
+                let mut rb_sends = Vec::new();
+                let delivery = self.mux.on_message(from, m, &mut rb_sends);
+                sends.extend(rb_sends.into_iter().map(|(to, m)| (to, CoinMsg::Rb(m))));
+                if let Some(d) = delivery {
+                    let tag = d.tag.coin_tag();
+                    let session = self.sessions.entry(tag).or_default();
+                    match d.tag {
+                        CoinSlot::Attach(_) => {
+                            // |T_j| must be exactly t+1; malformed sets are
+                            // ignored (their sender is never accepted).
+                            if d.value.len() == self.params.t() + 1 {
+                                session.t_sets.entry(d.origin).or_insert(d.value);
+                            }
+                        }
+                        CoinSlot::Support(_) => {
+                            session.supports.push((d.origin, d.value));
+                        }
+                    }
+                    self.pump(tag, sends);
+                }
+            }
+        }
+    }
+
+    /// Pulls SVSS events into coin-session state; returns affected tags.
+    fn absorb_svss_events(&mut self) -> Vec<u64> {
+        let mut tags = Vec::new();
+        for ev in self.svss.take_events() {
+            match ev {
+                SvssEvent::ShareCompleted(sid) => {
+                    let (tag, dealer, target) = decode_coin_svss_id(sid);
+                    // A Byzantine dealer can share under arbitrary session
+                    // ids; only canonical coin ids may influence sessions.
+                    if coin_svss_id(tag, dealer, target) != sid {
+                        continue;
+                    }
+                    let session = self.sessions.entry(tag).or_default();
+                    session.completed_shares.insert(sid);
+                    if target == self.me && !session.my_dealers.contains(&sid.dealer()) {
+                        session.my_dealers.push(sid.dealer());
+                    }
+                    tags.push(tag);
+                }
+                SvssEvent::Reconstructed(sid, value) => {
+                    let (tag, dealer, target) = decode_coin_svss_id(sid);
+                    if coin_svss_id(tag, dealer, target) != sid {
+                        continue;
+                    }
+                    let session = self.sessions.entry(tag).or_default();
+                    let erased = match value {
+                        Reconstructed::Value(v) => Reconstructed::Value(v.as_u64()),
+                        Reconstructed::Bottom => Reconstructed::Bottom,
+                    };
+                    session.outputs.insert(sid, erased);
+                    tags.push(tag);
+                }
+                SvssEvent::Shunned { process, .. } => {
+                    self.events.push(CoinEvent::Shunned { process });
+                }
+                SvssEvent::MwShareCompleted(_) | SvssEvent::MwReconstructed(..) => {}
+            }
+        }
+        tags.sort_unstable();
+        tags.dedup();
+        tags
+    }
+
+    /// Monotone advancement of one coin session.
+    fn pump(&mut self, tag: u64, sends: &mut Vec<(Pid, CoinMsg<F>)>) {
+        let n = self.params.n();
+        let t = self.params.t();
+        let quorum = self.params.quorum();
+        let me = self.me;
+
+        // Step 2: attach after t+1 dealers completed secrets for me.
+        {
+            let session = self.sessions.entry(tag).or_default();
+            if !session.attach_broadcast && session.my_dealers.len() > t {
+                session.attach_broadcast = true;
+                let t_set: ProcessSet = session.my_dealers.iter().take(t + 1).copied().collect();
+                let mut rb_sends = Vec::new();
+                self.mux
+                    .broadcast(CoinSlot::Attach(tag), t_set, &mut rb_sends);
+                sends.extend(rb_sends.into_iter().map(|(to, m)| (to, CoinMsg::Rb(m))));
+            }
+        }
+
+        // Step 3: acceptance.
+        {
+            let session = self.sessions.entry(tag).or_default();
+            let mut newly: Vec<Pid> = Vec::new();
+            for (&j, t_j) in &session.t_sets {
+                if session.accepted.contains(j) {
+                    continue;
+                }
+                let all_done = t_j
+                    .iter()
+                    .all(|k| session.completed_shares.contains(&coin_svss_id(tag, k, j)));
+                if all_done {
+                    newly.push(j);
+                }
+            }
+            for j in newly {
+                session.accepted.insert(j);
+            }
+        }
+
+        // Step 4: support broadcast at quorum.
+        {
+            let session = self.sessions.entry(tag).or_default();
+            if !session.support_broadcast && session.accepted.len() >= quorum {
+                session.support_broadcast = true;
+                let snapshot = session.accepted.clone();
+                let mut rb_sends = Vec::new();
+                self.mux
+                    .broadcast(CoinSlot::Support(tag), snapshot, &mut rb_sends);
+                sends.extend(rb_sends.into_iter().map(|(to, m)| (to, CoinMsg::Rb(m))));
+            }
+        }
+
+        // Step 5: validate supports; fix B at n−t validated.
+        {
+            let session = self.sessions.entry(tag).or_default();
+            let accepted = session.accepted.clone();
+            for (l, s_l) in &session.supports {
+                if !session.validated.contains(*l) && s_l.is_subset(&accepted) {
+                    session.validated.insert(*l);
+                }
+            }
+            if session.b_set.is_none() && session.validated.len() >= quorum {
+                let mut b = ProcessSet::new();
+                let mut counted = 0usize;
+                for (l, s_l) in &session.supports {
+                    if session.validated.contains(*l) && counted < quorum {
+                        // First occurrence of each validated sender counts.
+                        b.extend_from(s_l);
+                        counted += 1;
+                    }
+                }
+                session.b_set = Some(b);
+            }
+        }
+
+        // Step 6: reconstruct secrets of accepted processes (gated).
+        {
+            let mut to_recon: Vec<SvssId> = Vec::new();
+            {
+                let session = self.sessions.entry(tag).or_default();
+                if session.recon_enabled {
+                    for j in session.accepted.iter() {
+                        if let Some(t_j) = session.t_sets.get(&j) {
+                            for k in t_j.iter() {
+                                let sid = coin_svss_id(tag, k, j);
+                                if session.recon_invoked.insert(sid) {
+                                    to_recon.push(sid);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let mut svss_sends = Vec::new();
+            for sid in to_recon {
+                self.svss.reconstruct(sid, &mut svss_sends);
+            }
+            sends.extend(svss_sends.into_iter().map(|(to, m)| (to, CoinMsg::Svss(m))));
+            // Reconstruction may complete synchronously via self-routing.
+            let extra_tags = self.absorb_svss_events();
+            for extra in extra_tags {
+                if extra != tag {
+                    self.pump(extra, sends);
+                }
+            }
+        }
+
+        // Step 7: output once every B-member's value is known.
+        {
+            let session = self.sessions.entry(tag).or_default();
+            if session.output.is_none() && session.recon_enabled {
+                if let Some(b) = session.b_set.clone() {
+                    let mut zero_seen = false;
+                    let mut all_known = true;
+                    'members: for j in b.iter() {
+                        let Some(t_j) = session.t_sets.get(&j) else {
+                            all_known = false;
+                            break;
+                        };
+                        let mut sum: u128 = 0;
+                        for k in t_j.iter() {
+                            match session.outputs.get(&coin_svss_id(tag, k, j)) {
+                                Some(Reconstructed::Value(v)) => sum += u128::from(*v),
+                                Some(Reconstructed::Bottom) => {
+                                    // Binding was broken (shunning case):
+                                    // treat the value as nonzero.
+                                    continue 'members;
+                                }
+                                None => {
+                                    all_known = false;
+                                    break 'members;
+                                }
+                            }
+                        }
+                        let v_j = (sum % u128::from(F::MODULUS)) % (n as u128);
+                        if v_j == 0 {
+                            zero_seen = true;
+                        }
+                    }
+                    if all_known {
+                        // Output 0 iff some attached value hit zero.
+                        let value = !zero_seen;
+                        session.output = Some(value);
+                        self.events.push(CoinEvent::Flipped { tag, value });
+                    }
+                }
+            }
+        }
+        let _ = me; // `me` is reserved for future per-process tracing
+    }
+}

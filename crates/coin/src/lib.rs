@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! The shunning common coin (SCC) — §5 of Abraham–Dolev–Halpern (PODC
+//! 2008), instantiating the Canetti–Rabin common-coin construction
+//! (Canetti's thesis, Fig. 5-9) with SVSS in place of AVSS.
+//!
+//! For every coin session, each process deals `n` random secrets — one
+//! *attached* to each process — via SVSS. A process is attached the sum of
+//! `t+1` dealers' secrets (at least one nonfaulty, so the value is uniform
+//! and hidden until reconstruction). Attach sets, acceptance sets, and
+//! support sets are reliably broadcast; each process outputs **0** if any
+//! process in its support union carries the value `0 (mod n)`, else **1**.
+//!
+//! SCC properties (Definition 2 of the paper): termination always; and for
+//! each `σ ∈ {0, 1}`, with probability ≥ 1/4 *all* nonfaulty processes
+//! output `σ` — unless some nonfaulty process starts shunning some new
+//! faulty process in this session, which can happen at most `t(n−t)`
+//! times across an entire execution.
+//!
+//! The [`oracle`] module provides two baselines: a perfect common coin
+//! and an ε-failing Canetti–Rabin-style coin (experiments E2/E3).
+
+mod engine;
+mod messages;
+pub mod oracle;
+
+pub use engine::{CoinEngine, CoinEvent};
+pub use messages::{coin_svss_id, decode_coin_svss_id, CoinMsg, CoinSlot};

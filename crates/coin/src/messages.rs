@@ -1,0 +1,147 @@
+//! Wire messages and session-id conventions for the common coin.
+
+use sba_broadcast::MuxMsg;
+use sba_field::Field;
+use sba_net::{CodecError, Kinded, Pid, ProcessSet, Reader, SvssId, Wire};
+use sba_svss::SvssMsg;
+
+/// Builds the SVSS session id of "dealer `dealer`'s secret attached to
+/// `target` in coin session `coin_tag`".
+///
+/// # Panics
+///
+/// Panics if `coin_tag ≥ 2^56` (the low 8 bits encode the target, so the
+/// tag must fit in the remaining 56).
+pub fn coin_svss_id(coin_tag: u64, dealer: Pid, target: Pid) -> SvssId {
+    assert!(coin_tag < (1 << 56), "coin tag too large");
+    assert!(target.index() < 256, "coin supports up to 255 processes");
+    SvssId::new((coin_tag << 8) | u64::from(target.index()), dealer)
+}
+
+/// Inverse of [`coin_svss_id`]: `(coin_tag, dealer, target)`.
+pub fn decode_coin_svss_id(id: SvssId) -> (u64, Pid, Pid) {
+    let target = (id.tag() & 0xff) as u32;
+    (id.tag() >> 8, id.dealer(), Pid::new(target.max(1)))
+}
+
+/// RB slots of the coin layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoinSlot {
+    /// "Attach these `t+1` dealers' secrets to me" (origin: the attached
+    /// process).
+    Attach(u64),
+    /// "I have accepted this set of attached processes" (origin: the
+    /// supporter).
+    Support(u64),
+}
+
+impl CoinSlot {
+    /// The coin session this slot belongs to.
+    pub fn coin_tag(self) -> u64 {
+        match self {
+            CoinSlot::Attach(t) | CoinSlot::Support(t) => t,
+        }
+    }
+}
+
+impl Wire for CoinSlot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CoinSlot::Attach(t) => {
+                buf.push(0);
+                t.encode(buf);
+            }
+            CoinSlot::Support(t) => {
+                buf.push(1);
+                t.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.byte()? {
+            0 => Ok(CoinSlot::Attach(u64::decode(r)?)),
+            1 => Ok(CoinSlot::Support(u64::decode(r)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+/// The coin layer's wire message: nested SVSS traffic plus the coin's own
+/// reliable broadcasts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoinMsg<F> {
+    /// SVSS-stack traffic (shares, reconstructions, their broadcasts).
+    Svss(SvssMsg<F>),
+    /// Coin-level RB traffic (attach/support sets).
+    Rb(MuxMsg<CoinSlot, ProcessSet>),
+}
+
+impl<F: Field> Wire for CoinMsg<F> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CoinMsg::Svss(m) => {
+                buf.push(0);
+                m.encode(buf);
+            }
+            CoinMsg::Rb(m) => {
+                buf.push(1);
+                m.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.byte()? {
+            0 => Ok(CoinMsg::Svss(SvssMsg::decode(r)?)),
+            1 => Ok(CoinMsg::Rb(MuxMsg::decode(r)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<F> Kinded for CoinMsg<F> {
+    fn kind(&self) -> &'static str {
+        match self {
+            CoinMsg::Svss(m) => m.kind(),
+            CoinMsg::Rb(m) => match m.tag {
+                CoinSlot::Attach(_) => "coin/attach",
+                CoinSlot::Support(_) => "coin/support",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sba_broadcast::RbMsg;
+    use sba_field::Gf61;
+
+    #[test]
+    fn svss_id_round_trip() {
+        let id = coin_svss_id(77, Pid::new(3), Pid::new(9));
+        let (tag, dealer, target) = decode_coin_svss_id(id);
+        assert_eq!((tag, dealer, target), (77, Pid::new(3), Pid::new(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_tag_rejected() {
+        let _ = coin_svss_id(1 << 56, Pid::new(1), Pid::new(1));
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        let slot = CoinSlot::Attach(5);
+        let bytes = slot.encoded();
+        assert_eq!(CoinSlot::decode(&mut Reader::new(&bytes)).unwrap(), slot);
+
+        let msg: CoinMsg<Gf61> = CoinMsg::Rb(MuxMsg {
+            tag: CoinSlot::Support(9),
+            origin: Pid::new(2),
+            inner: RbMsg::Ready(Pid::all(3).collect()),
+        });
+        let bytes = msg.encoded();
+        assert_eq!(CoinMsg::decode(&mut Reader::new(&bytes)).unwrap(), msg);
+        assert_eq!(msg.kind(), "coin/support");
+    }
+}

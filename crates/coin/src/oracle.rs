@@ -1,0 +1,121 @@
+//! Baseline coins: the perfect oracle and the ε-failing Canetti–Rabin
+//! stand-in.
+//!
+//! Both are *globally consistent by construction* (a hash of the session
+//! tag and a shared seed), standing in for idealized primitives the paper
+//! compares against:
+//!
+//! - [`OracleCoin`] with `epsilon_millis = 0`: a perfect common coin — the
+//!   lower-bound reference for agreement round counts (experiment E2).
+//! - [`OracleCoin`] with `epsilon_millis > 0`: Canetti–Rabin's AVSS-based
+//!   coin, whose sessions fail to terminate with probability ε — the
+//!   protocol the paper's abstract calls out as *not* almost-surely
+//!   terminating. A failed session returns [`Flip::Hangs`], modelling the
+//!   non-terminating execution.
+
+/// Outcome of consulting the oracle for one session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flip {
+    /// All processes see this common value.
+    Common(bool),
+    /// This session never terminates (the ε-failure of Canetti–Rabin).
+    Hangs,
+}
+
+/// A deterministic, globally consistent stand-in coin.
+///
+/// # Examples
+///
+/// ```
+/// use sba_coin::oracle::{Flip, OracleCoin};
+///
+/// let perfect = OracleCoin::new(42, 0);
+/// assert!(matches!(perfect.flip(7), Flip::Common(_)));
+/// assert_eq!(perfect.flip(7), perfect.flip(7)); // deterministic
+///
+/// let epsilon = OracleCoin::new(42, 500); // fails half the sessions
+/// let hangs = (0..1000).filter(|&s| epsilon.flip(s) == Flip::Hangs).count();
+/// assert!(hangs > 350 && hangs < 650);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct OracleCoin {
+    seed: u64,
+    epsilon_millis: u32,
+}
+
+impl OracleCoin {
+    /// Creates an oracle; `epsilon_millis` is the per-session hang
+    /// probability in thousandths (0 = perfect coin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon_millis > 1000`.
+    pub fn new(seed: u64, epsilon_millis: u32) -> Self {
+        assert!(epsilon_millis <= 1000, "probability above 1");
+        OracleCoin {
+            seed,
+            epsilon_millis,
+        }
+    }
+
+    fn mix(self, tag: u64) -> u64 {
+        // SplitMix64 over (seed, tag): deterministic, well distributed.
+        let mut z = self.seed ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The (global) outcome of session `tag`.
+    pub fn flip(self, tag: u64) -> Flip {
+        let h = self.mix(tag);
+        if (h % 1000) < u64::from(self.epsilon_millis) {
+            Flip::Hangs
+        } else {
+            Flip::Common(h & (1 << 17) != 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_coin_never_hangs_and_is_fair() {
+        let coin = OracleCoin::new(7, 0);
+        let mut ones = 0;
+        for tag in 0..2000u64 {
+            match coin.flip(tag) {
+                Flip::Common(true) => ones += 1,
+                Flip::Common(false) => {}
+                Flip::Hangs => panic!("perfect coin hung"),
+            }
+        }
+        assert!((800..1200).contains(&ones), "biased coin: {ones}/2000");
+    }
+
+    #[test]
+    fn epsilon_controls_hang_rate() {
+        for (eps, lo, hi) in [(100u32, 120usize, 280usize), (1000, 2000, 2000)] {
+            let coin = OracleCoin::new(3, eps);
+            let hangs = (0..2000u64)
+                .filter(|&t| coin.flip(t) == Flip::Hangs)
+                .count();
+            assert!((lo..=hi).contains(&hangs), "eps={eps}: {hangs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn epsilon_bounds_checked() {
+        let _ = OracleCoin::new(0, 1001);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = OracleCoin::new(1, 0);
+        let b = OracleCoin::new(2, 0);
+        assert!((0..64).any(|t| a.flip(t) != b.flip(t)));
+    }
+}

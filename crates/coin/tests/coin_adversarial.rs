@@ -1,0 +1,192 @@
+//! SCC under active adversaries: the correctness clause-2 path (property
+//! failure ⇒ new shun pair), attach-set validation, and non-canonical
+//! session-id injection.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sba_broadcast::{MuxMsg, Params, RbMsg, WrbMsg};
+use sba_coin::{CoinEngine, CoinMsg, CoinSlot};
+use sba_field::{Field, Gf61};
+use sba_net::{Pid, ProcessSet};
+use sba_svss::{SvssMsg, SvssRbValue, SvssSlot};
+
+type Msg = CoinMsg<Gf61>;
+
+enum Tamper {
+    Keep,
+    Replace(Vec<Msg>),
+}
+
+type TamperFn = Box<dyn FnMut(Pid, &Msg) -> Tamper>;
+
+/// Coin mesh with per-process outgoing tampering.
+struct Net {
+    params: Params,
+    engines: Vec<CoinEngine<Gf61>>,
+    queue: Vec<(Pid, Pid, Msg)>,
+    rng: StdRng,
+    tampers: Vec<Option<TamperFn>>,
+    shuns: Vec<(Pid, Pid)>,
+}
+
+impl Net {
+    fn new(params: Params, seed: u64) -> Self {
+        Net {
+            params,
+            engines: Pid::all(params.n())
+                .map(|p| CoinEngine::new(p, params, seed ^ (u64::from(p.index()) << 40)))
+                .collect(),
+            queue: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            tampers: (0..params.n()).map(|_| None).collect(),
+            shuns: Vec::new(),
+        }
+    }
+
+    fn drive(&mut self, p: Pid, f: impl FnOnce(&mut CoinEngine<Gf61>, &mut Vec<(Pid, Msg)>)) {
+        let idx = (p.index() - 1) as usize;
+        let mut sends = Vec::new();
+        f(&mut self.engines[idx], &mut sends);
+        for ev in self.engines[idx].take_events() {
+            if let sba_coin::CoinEvent::Shunned { process } = ev {
+                self.shuns.push((p, process));
+            }
+        }
+        for (to, msg) in sends {
+            match self.tampers[idx].as_mut() {
+                None => self.queue.push((p, to, msg)),
+                Some(t) => match t(to, &msg) {
+                    Tamper::Keep => self.queue.push((p, to, msg)),
+                    Tamper::Replace(list) => {
+                        for m in list {
+                            self.queue.push((p, to, m));
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    fn flip_all(&mut self, tag: u64) {
+        for p in Pid::all(self.params.n()) {
+            self.drive(p, |e, s| e.start(tag, s));
+            self.drive(p, |e, s| e.enable_reconstruct(tag, s));
+        }
+        while !self.queue.is_empty() {
+            let k = self.rng.gen_range(0..self.queue.len());
+            let (from, to, msg) = self.queue.swap_remove(k);
+            self.drive(to, |e, s| e.on_message(from, msg, s));
+        }
+    }
+
+    fn outputs(&self, tag: u64) -> Vec<Option<bool>> {
+        Pid::all(self.params.n())
+            .map(|p| self.engines[(p.index() - 1) as usize].output(tag))
+            .collect()
+    }
+}
+
+/// Lemma 4 clause 2: a forging process either leaves the coin common, or
+/// some honest process shuns it. Across multiple sessions the attack
+/// saturates: shun pairs stay within t(n−t) and name only the liar.
+#[test]
+fn forger_is_shunned_or_coin_is_common() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = Net::new(params, 23);
+    let liar = Pid::new(4);
+    net.tampers[3] = Some(Box::new(|_to, msg| {
+        if let CoinMsg::Svss(SvssMsg::Rb(m)) = msg {
+            if let (SvssSlot::MwRecon(..), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(v)))) =
+                (m.tag, &m.inner)
+            {
+                return Tamper::Replace(vec![CoinMsg::Svss(SvssMsg::Rb(MuxMsg {
+                    tag: m.tag,
+                    origin: m.origin,
+                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(*v + Gf61::from_u64(5)))),
+                }))]);
+            }
+        }
+        Tamper::Keep
+    }));
+    for tag in 1..=3u64 {
+        net.flip_all(tag);
+        let outs = net.outputs(tag);
+        // Termination holds for the honest trio regardless.
+        for p in [1u32, 2, 3] {
+            assert!(outs[(p - 1) as usize].is_some(), "p{p} session {tag}");
+        }
+        let honest: Vec<bool> = [1usize, 2, 3].iter().filter_map(|&i| outs[i - 1]).collect();
+        let common = honest.windows(2).all(|w| w[0] == w[1]);
+        if !common {
+            assert!(
+                net.shuns.iter().any(|&(_, bad)| bad == liar),
+                "session {tag}: coin not common and nobody shunned the liar"
+            );
+        }
+    }
+    let mut pairs = net.shuns.clone();
+    pairs.sort();
+    pairs.dedup();
+    assert!(pairs.len() <= 3, "bound t(n−t): {pairs:?}");
+    for (_, bad) in pairs {
+        assert_eq!(bad, liar, "only the liar may be shunned");
+    }
+}
+
+/// An attach broadcast with the wrong cardinality is ignored: its sender
+/// is simply never accepted, and the coin still terminates on the other
+/// n−t processes' attachments.
+#[test]
+fn malformed_attach_sets_ignored() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = Net::new(params, 31);
+    net.tampers[3] = Some(Box::new(|_to, msg| {
+        if let CoinMsg::Rb(m) = msg {
+            if let (CoinSlot::Attach(tag), RbMsg::Wrb(WrbMsg::Init(_))) = (m.tag, &m.inner) {
+                // Oversized T set (|T| must be exactly t+1 = 2).
+                let bogus: ProcessSet = Pid::all(4).collect();
+                return Tamper::Replace(vec![CoinMsg::Rb(MuxMsg {
+                    tag: CoinSlot::Attach(tag),
+                    origin: m.origin,
+                    inner: RbMsg::Wrb(WrbMsg::Init(bogus)),
+                })]);
+            }
+        }
+        Tamper::Keep
+    }));
+    net.flip_all(1);
+    for p in [1u32, 2, 3] {
+        assert!(
+            net.outputs(1)[(p - 1) as usize].is_some(),
+            "p{p} must terminate despite the malformed attach"
+        );
+    }
+    assert!(
+        net.shuns.is_empty(),
+        "malformed sets are not a shun offence"
+    );
+}
+
+/// Values are never leaked before reconstruct is enabled, even with an
+/// eager adversary that enables its own reconstruction immediately.
+#[test]
+fn early_enabler_cannot_force_output() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = Net::new(params, 37);
+    // Everyone starts; ONLY p4 enables reconstruct.
+    for p in Pid::all(4) {
+        net.drive(p, |e, s| e.start(1, s));
+    }
+    net.drive(Pid::new(4), |e, s| e.enable_reconstruct(1, s));
+    while !net.queue.is_empty() {
+        let k = net.rng.gen_range(0..net.queue.len());
+        let (from, to, msg) = net.queue.swap_remove(k);
+        net.drive(to, |e, s| e.on_message(from, msg, s));
+    }
+    // p1..p3 must not have output (their gate is closed); p4 alone cannot
+    // reconstruct degree-t secrets: SVSS-R needs all honest to begin R.
+    for p in [1u32, 2, 3] {
+        assert_eq!(net.outputs(1)[(p - 1) as usize], None, "p{p} leaked");
+    }
+    assert_eq!(net.outputs(1)[3], None, "p4 alone cannot reconstruct");
+}

@@ -1,0 +1,242 @@
+//! SCC property tests (paper Definition 2): termination, common-value
+//! probability bounds, reconstruct gating, and fault tolerance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sba_broadcast::Params;
+use sba_coin::{CoinEngine, CoinEvent, CoinMsg};
+use sba_field::Gf61;
+use sba_net::Pid;
+
+/// A deterministic mesh of coin engines (same pattern as
+/// `sba_svss::harness::SvssNet`).
+struct CoinNet {
+    params: Params,
+    engines: Vec<CoinEngine<Gf61>>,
+    queue: Vec<(Pid, Pid, CoinMsg<Gf61>)>,
+    rng: StdRng,
+    silenced: Vec<Pid>,
+    shuns: Vec<(Pid, Pid)>,
+}
+
+impl CoinNet {
+    fn new(params: Params, seed: u64) -> Self {
+        CoinNet {
+            params,
+            engines: Pid::all(params.n())
+                .map(|p| CoinEngine::new(p, params, seed ^ (u64::from(p.index()) << 40)))
+                .collect(),
+            queue: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            silenced: Vec::new(),
+            shuns: Vec::new(),
+        }
+    }
+
+    fn with_engine(
+        &mut self,
+        p: Pid,
+        f: impl FnOnce(&mut CoinEngine<Gf61>, &mut Vec<(Pid, CoinMsg<Gf61>)>),
+    ) {
+        let idx = (p.index() - 1) as usize;
+        let mut sends = Vec::new();
+        f(&mut self.engines[idx], &mut sends);
+        for ev in self.engines[idx].take_events() {
+            if let CoinEvent::Shunned { process } = ev {
+                self.shuns.push((p, process));
+            }
+        }
+        for (to, msg) in sends {
+            self.queue.push((p, to, msg));
+        }
+    }
+
+    fn start_all(&mut self, tag: u64) {
+        for p in Pid::all(self.params.n()) {
+            if !self.silenced.contains(&p) {
+                self.with_engine(p, |e, s| e.start(tag, s));
+            }
+        }
+    }
+
+    fn enable_all(&mut self, tag: u64) {
+        for p in Pid::all(self.params.n()) {
+            if !self.silenced.contains(&p) {
+                self.with_engine(p, |e, s| e.enable_reconstruct(tag, s));
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        let mut steps = 0u64;
+        while !self.queue.is_empty() {
+            steps += 1;
+            assert!(steps <= 50_000_000, "coin harness livelock");
+            let k = self.rng.gen_range(0..self.queue.len());
+            let (from, to, msg) = self.queue.swap_remove(k);
+            if self.silenced.contains(&to) {
+                continue;
+            }
+            self.with_engine(to, |e, s| e.on_message(from, msg, s));
+        }
+    }
+
+    fn outputs(&self, tag: u64) -> Vec<Option<bool>> {
+        Pid::all(self.params.n())
+            .filter(|p| !self.silenced.contains(p))
+            .map(|p| self.engines[(p.index() - 1) as usize].output(tag))
+            .collect()
+    }
+}
+
+/// Termination + Correctness margins: across seeds, every process outputs;
+/// both all-0 and all-1 runs occur with healthy frequency.
+#[test]
+fn coin_terminates_and_both_values_occur() {
+    let mut all_zero = 0;
+    let mut all_one = 0;
+    let mut common = 0;
+    const RUNS: u64 = 40;
+    for seed in 0..RUNS {
+        let params = Params::new(4, 1).unwrap();
+        let mut net = CoinNet::new(params, seed * 7 + 1);
+        net.start_all(1);
+        net.enable_all(1);
+        net.run();
+        let outs = net.outputs(1);
+        assert!(
+            outs.iter().all(Option::is_some),
+            "seed {seed}: coin did not terminate: {outs:?}"
+        );
+        let vals: Vec<bool> = outs.into_iter().flatten().collect();
+        if vals.iter().all(|&v| v == vals[0]) {
+            common += 1;
+            if vals[0] {
+                all_one += 1;
+            } else {
+                all_zero += 1;
+            }
+        }
+        assert!(net.shuns.is_empty(), "honest run must not shun");
+    }
+    // Lemma 4 bounds are ≥ 1/4 each; leave generous slack for 40 samples.
+    assert!(all_zero >= 4, "all-zero runs too rare: {all_zero}/{RUNS}");
+    assert!(all_one >= 4, "all-one runs too rare: {all_one}/{RUNS}");
+    assert!(
+        common >= RUNS as i32 as usize * 3 / 4,
+        "common outcomes too rare: {common}/{RUNS}"
+    );
+}
+
+/// The coin tolerates `t` silent processes.
+#[test]
+fn coin_with_silent_fault() {
+    for seed in 0..6 {
+        let params = Params::new(4, 1).unwrap();
+        let mut net = CoinNet::new(params, 100 + seed);
+        net.silenced.push(Pid::new(4));
+        net.start_all(1);
+        net.enable_all(1);
+        net.run();
+        let outs = net.outputs(1);
+        assert!(
+            outs.iter().all(Option::is_some),
+            "seed {seed}: coin with silent fault did not terminate: {outs:?}"
+        );
+    }
+}
+
+/// Reconstruct gating: no output before `enable_reconstruct`, output after.
+#[test]
+fn reconstruct_gating() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = CoinNet::new(params, 5);
+    net.start_all(3);
+    net.run();
+    assert!(
+        net.outputs(3).iter().all(Option::is_none),
+        "no process may learn the coin before the vote lock"
+    );
+    net.enable_all(3);
+    net.run();
+    assert!(net.outputs(3).iter().all(Option::is_some));
+}
+
+/// Determinism: identical seeds give identical outcomes.
+#[test]
+fn coin_is_replayable() {
+    let run = |seed: u64| {
+        let params = Params::new(4, 1).unwrap();
+        let mut net = CoinNet::new(params, seed);
+        net.start_all(1);
+        net.enable_all(1);
+        net.run();
+        net.outputs(1)
+    };
+    assert_eq!(run(9), run(9));
+}
+
+/// Two sequential coin sessions on the same engines (the agreement layer's
+/// usage pattern).
+#[test]
+fn sequential_sessions() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = CoinNet::new(params, 77);
+    for tag in 1..=2u64 {
+        net.start_all(tag);
+        net.enable_all(tag);
+        net.run();
+        assert!(
+            net.outputs(tag).iter().all(Option::is_some),
+            "session {tag} did not terminate"
+        );
+    }
+}
+
+/// Larger system: n = 7, t = 2, two silent.
+#[test]
+fn coin_n7_with_two_silent() {
+    let params = Params::new(7, 2).unwrap();
+    let mut net = CoinNet::new(params, 13);
+    net.silenced.push(Pid::new(6));
+    net.silenced.push(Pid::new(7));
+    net.start_all(1);
+    net.enable_all(1);
+    net.run();
+    assert!(net.outputs(1).iter().all(Option::is_some));
+}
+
+/// The coin is field-generic: a full session over the tiny field GF(101)
+/// (|F| = 101 > n, satisfying the paper's field-size requirement).
+#[test]
+fn coin_over_small_field() {
+    use rand::{Rng, SeedableRng};
+    use sba_field::Gf101;
+
+    let params = Params::new(4, 1).unwrap();
+    let mut engines: Vec<CoinEngine<Gf101>> = Pid::all(4)
+        .map(|p| CoinEngine::new(p, params, 3 ^ (u64::from(p.index()) << 40)))
+        .collect();
+    let mut queue: Vec<(Pid, Pid, CoinMsg<Gf101>)> = Vec::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for p in Pid::all(4) {
+        let mut sends = Vec::new();
+        let e = &mut engines[(p.index() - 1) as usize];
+        e.start(1, &mut sends);
+        e.enable_reconstruct(1, &mut sends);
+        queue.extend(sends.into_iter().map(|(to, m)| (p, to, m)));
+    }
+    while !queue.is_empty() {
+        let k = rng.gen_range(0..queue.len());
+        let (from, to, msg) = queue.swap_remove(k);
+        let mut sends = Vec::new();
+        engines[(to.index() - 1) as usize].on_message(from, msg, &mut sends);
+        queue.extend(sends.into_iter().map(|(t2, m)| (to, t2, m)));
+    }
+    for p in Pid::all(4) {
+        assert!(
+            engines[(p.index() - 1) as usize].output(1).is_some(),
+            "{p} did not flip over GF(101)"
+        );
+    }
+}

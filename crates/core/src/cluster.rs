@@ -1,0 +1,386 @@
+//! A batteries-included multi-process harness: build a cluster, inject
+//! faults, run agreement, read a report.
+
+use sba_aba::{AbaConfig, AbaMsg, AbaNode, AbaProcess, CoinMode};
+use sba_field::Gf61;
+use sba_net::{Outbox, Pid};
+use sba_sim::{
+    schedulers, CrashProcess, Metrics, Process, Scheduler, SilentProcess, Simulation, TamperProcess,
+};
+
+use crate::adversary::{self, Fault};
+
+/// The cluster's wire message type (the full stack over `GF(2^61−1)`).
+pub type Msg = AbaMsg<Gf61>;
+
+/// Configuration for a [`Cluster`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    n: usize,
+    t: usize,
+    seed: u64,
+    mode: CoinMode,
+    max_rounds: u32,
+    max_delay: u64,
+    detection: bool,
+    faults: Vec<(Pid, Fault)>,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n` processes tolerating `t` faults, with the SCC
+    /// coin, seed 0, uniform random delays up to 20, and a round cap of
+    /// 200.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t`.
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(n > 3 * t, "Byzantine agreement requires n > 3t");
+        ClusterConfig {
+            n,
+            t,
+            seed: 0,
+            mode: CoinMode::Scc,
+            max_rounds: 200,
+            max_delay: 20,
+            detection: true,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Sets the run seed (drives scheduling and all randomness).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the coin construction.
+    pub fn mode(mut self, mode: CoinMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Caps the number of voting rounds (for diverging baselines).
+    pub fn max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the maximum random message delay.
+    pub fn max_delay(mut self, max_delay: u64) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Corrupts process `p` with the given fault.
+    pub fn fault(mut self, p: Pid, fault: Fault) -> Self {
+        self.faults.push((p, fault));
+        self
+    }
+
+    /// Disables shunning detection (experiment E8 ablation only).
+    pub fn without_detection(mut self) -> Self {
+        self.detection = false;
+        self
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fault bound.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+}
+
+/// One process of the cluster: honest, or one of the fault models.
+pub enum ClusterProcess {
+    /// Runs the full honest protocol.
+    Honest(AbaProcess<Gf61>),
+    /// Sends nothing, ever.
+    Silent(SilentProcess),
+    /// Honest until a delivery budget runs out, then dead.
+    Crash(CrashProcess<AbaProcess<Gf61>>),
+    /// Honest state machine with tampered outgoing messages.
+    Byzantine(TamperProcess<AbaProcess<Gf61>, Msg>),
+}
+
+impl ClusterProcess {
+    /// The underlying node, when one exists (silent processes have none).
+    pub fn node(&self) -> Option<&AbaNode<Gf61>> {
+        match self {
+            ClusterProcess::Honest(p) => Some(p.node()),
+            ClusterProcess::Silent(_) => None,
+            ClusterProcess::Crash(p) => Some(p.inner().node()),
+            ClusterProcess::Byzantine(p) => Some(p.inner().node()),
+        }
+    }
+
+    fn is_honest(&self) -> bool {
+        matches!(self, ClusterProcess::Honest(_))
+    }
+}
+
+impl Process<Msg> for ClusterProcess {
+    fn on_start(&mut self, out: &mut Outbox<Msg>) {
+        match self {
+            ClusterProcess::Honest(p) => p.on_start(out),
+            ClusterProcess::Silent(p) => Process::<Msg>::on_start(p, out),
+            ClusterProcess::Crash(p) => p.on_start(out),
+            ClusterProcess::Byzantine(p) => p.on_start(out),
+        }
+    }
+    fn on_message(&mut self, from: Pid, msg: Msg, out: &mut Outbox<Msg>) {
+        match self {
+            ClusterProcess::Honest(p) => p.on_message(from, msg, out),
+            ClusterProcess::Silent(p) => Process::<Msg>::on_message(p, from, msg, out),
+            ClusterProcess::Crash(p) => p.on_message(from, msg, out),
+            ClusterProcess::Byzantine(p) => p.on_message(from, msg, out),
+        }
+    }
+    fn done(&self) -> bool {
+        match self {
+            ClusterProcess::Honest(p) => p.done(),
+            ClusterProcess::Silent(_) => true,
+            // Corrupted processes never gate termination.
+            ClusterProcess::Crash(_) | ClusterProcess::Byzantine(_) => true,
+        }
+    }
+}
+
+/// Outcome of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Whether all honest processes halted within the event budget.
+    pub terminated: bool,
+    /// Per-process decision (index `i` is pid `i+1`; `None` for corrupted
+    /// processes and undecided ones).
+    pub decisions: Vec<Option<bool>>,
+    /// Per-process decision round.
+    pub rounds: Vec<Option<u32>>,
+    /// The maximum decision round among honest processes.
+    pub max_round: u32,
+    /// Total network messages sent.
+    pub messages: u64,
+    /// Total network bytes sent.
+    pub bytes: u64,
+    /// Simulator metrics snapshot (per-kind breakdowns for experiments).
+    pub metrics: Metrics,
+    /// (shunner, shunned) pairs observed by honest processes.
+    pub shun_pairs: Vec<(Pid, Pid)>,
+}
+
+impl ClusterReport {
+    /// Whether every honest process decided.
+    pub fn all_decided(&self) -> bool {
+        self.terminated && self.decisions.iter().flatten().count() > 0
+    }
+
+    /// Whether all honest decisions agree.
+    pub fn agreement(&self) -> bool {
+        let mut vals = self.decisions.iter().flatten();
+        let Some(first) = vals.next() else {
+            return true;
+        };
+        vals.all(|v| v == first)
+    }
+}
+
+/// A simulated cluster running one agreement instance.
+///
+/// See the crate-level docs for a quickstart; `examples/` for richer
+/// scenarios.
+pub struct Cluster {
+    sim: Simulation<Msg, ClusterProcess>,
+    honest: Vec<Pid>,
+}
+
+impl Cluster {
+    /// Builds a cluster. `inputs[i]` is process `i+1`'s proposal (or
+    /// `None` for a non-proposing bystander). Faults from the config
+    /// override behaviour entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n` or more than `t` processes are
+    /// corrupted.
+    pub fn new(config: ClusterConfig, inputs: &[Option<bool>]) -> Self {
+        Self::with_scheduler(
+            config.clone(),
+            inputs,
+            schedulers::uniform(config.max_delay),
+        )
+    }
+
+    /// Builds a cluster with a custom adversarial scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Cluster::new`].
+    pub fn with_scheduler(
+        config: ClusterConfig,
+        inputs: &[Option<bool>],
+        scheduler: Box<dyn Scheduler<Msg>>,
+    ) -> Self {
+        assert_eq!(inputs.len(), config.n, "one input slot per process");
+        assert!(
+            config.faults.len() <= config.t,
+            "more corrupted processes than t"
+        );
+        let params = sba_broadcast::Params::new(config.n, config.t).expect("n > 3t");
+        let mut honest = Vec::new();
+        let procs: Vec<ClusterProcess> = (1..=config.n)
+            .map(|i| {
+                let pid = Pid::new(i as u32);
+                let fault = config
+                    .faults
+                    .iter()
+                    .find(|(p, _)| *p == pid)
+                    .map(|(_, f)| f.clone());
+                let mut aba_config = AbaConfig::scc(params, config.seed ^ ((i as u64) << 32));
+                aba_config.mode = config.mode;
+                aba_config.max_rounds = config.max_rounds;
+                aba_config.detection = config.detection;
+                let node: AbaNode<Gf61> = AbaNode::new(pid, aba_config);
+                let proposals = match inputs[i - 1] {
+                    Some(bit) => vec![(0u32, bit)],
+                    None => vec![],
+                };
+                let process = AbaProcess::new(node, proposals);
+                match fault {
+                    None => {
+                        honest.push(pid);
+                        ClusterProcess::Honest(process)
+                    }
+                    Some(Fault::Silent) => ClusterProcess::Silent(SilentProcess),
+                    Some(Fault::CrashAfter(k)) => {
+                        ClusterProcess::Crash(CrashProcess::new(process, k))
+                    }
+                    Some(Fault::LyingShares { delta }) => ClusterProcess::Byzantine(
+                        TamperProcess::new(process, adversary::lying_share_tamper(delta)),
+                    ),
+                    Some(Fault::FlippedVotes) => ClusterProcess::Byzantine(TamperProcess::new(
+                        process,
+                        adversary::vote_flip_tamper(),
+                    )),
+                }
+            })
+            .collect();
+        Cluster {
+            sim: Simulation::new(procs, scheduler, config.seed),
+            honest,
+        }
+    }
+
+    /// Direct access to the simulation (metrics, stepping).
+    pub fn sim(&self) -> &Simulation<Msg, ClusterProcess> {
+        &self.sim
+    }
+
+    /// The honest process ids.
+    pub fn honest(&self) -> &[Pid] {
+        &self.honest
+    }
+
+    /// Runs until all honest processes halt (or the event budget runs
+    /// out) and reports.
+    pub fn run(&mut self, max_events: u64) -> ClusterReport {
+        let outcome = self.sim.run_until_all_done(max_events);
+        let n = self.sim.n();
+        let mut decisions = vec![None; n];
+        let mut rounds = vec![None; n];
+        let mut shun_pairs = Vec::new();
+        let mut max_round = 0;
+        for i in 1..=n as u32 {
+            let pid = Pid::new(i);
+            let proc_ = self.sim.process(pid);
+            if !proc_.is_honest() {
+                continue;
+            }
+            if let Some(node) = proc_.node() {
+                decisions[(i - 1) as usize] = node.decision(0);
+                rounds[(i - 1) as usize] = node.decision_round(0);
+                if let Some(r) = node.decision_round(0) {
+                    max_round = max_round.max(r);
+                }
+            }
+            if let ClusterProcess::Honest(p) = proc_ {
+                for ev in p.events() {
+                    if let sba_aba::AbaEvent::Shunned { process } = ev {
+                        shun_pairs.push((pid, *process));
+                    }
+                }
+            }
+        }
+        let metrics = self.sim.metrics().clone();
+        ClusterReport {
+            terminated: outcome.all_done,
+            decisions,
+            rounds,
+            max_round,
+            messages: metrics.messages_sent,
+            bytes: metrics.bytes_sent,
+            metrics,
+            shun_pairs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "n > 3t")]
+    fn rejects_insufficient_resilience() {
+        let _ = ClusterConfig::new(6, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input slot per process")]
+    fn rejects_wrong_input_count() {
+        let config = ClusterConfig::new(4, 1);
+        let _ = Cluster::new(config, &[Some(true); 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more corrupted processes than t")]
+    fn rejects_too_many_faults() {
+        let config = ClusterConfig::new(4, 1)
+            .fault(Pid::new(3), Fault::Silent)
+            .fault(Pid::new(4), Fault::Silent);
+        let _ = Cluster::new(config, &[Some(true); 4]);
+    }
+
+    #[test]
+    fn report_agreement_logic() {
+        let base = ClusterReport {
+            terminated: true,
+            decisions: vec![Some(true), Some(true), None, Some(true)],
+            rounds: vec![Some(1), Some(1), None, Some(2)],
+            max_round: 2,
+            messages: 0,
+            bytes: 0,
+            metrics: sba_sim::Metrics::new(),
+            shun_pairs: vec![],
+        };
+        assert!(base.agreement());
+        assert!(base.all_decided());
+        let mut split = base.clone();
+        split.decisions[3] = Some(false);
+        assert!(!split.agreement());
+        let mut empty = base.clone();
+        empty.decisions = vec![None; 4];
+        assert!(empty.agreement(), "vacuous agreement with no decisions");
+        assert!(!empty.all_decided());
+    }
+
+    #[test]
+    fn config_accessors() {
+        let c = ClusterConfig::new(7, 2).seed(5).max_rounds(9).max_delay(3);
+        assert_eq!(c.n(), 7);
+        assert_eq!(c.t(), 2);
+    }
+}

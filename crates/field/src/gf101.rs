@@ -1,0 +1,115 @@
+//! `GF(101)`: a deliberately tiny field for exhaustive and statistical tests.
+//!
+//! With only 101 elements, property tests can enumerate meaningful portions
+//! of the space (e.g. the hiding experiment E7 compares share-transcript
+//! distributions across all secrets).
+
+use rand::Rng;
+
+use crate::traits::{impl_field_ops, Field};
+
+/// The prime modulus 101.
+pub const P101: u64 = 101;
+
+/// An element of `GF(101)`, stored as its canonical representative.
+///
+/// # Examples
+///
+/// ```
+/// use sba_field::{Field, Gf101};
+///
+/// assert_eq!(Gf101::from_u64(100) + Gf101::ONE, Gf101::ZERO);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gf101(u64);
+
+impl Gf101 {
+    #[inline]
+    fn add_impl(self, rhs: Self) -> Self {
+        Gf101((self.0 + rhs.0) % P101)
+    }
+
+    #[inline]
+    fn sub_impl(self, rhs: Self) -> Self {
+        Gf101((self.0 + P101 - rhs.0) % P101)
+    }
+
+    #[inline]
+    fn mul_impl(self, rhs: Self) -> Self {
+        Gf101((self.0 * rhs.0) % P101)
+    }
+
+    #[inline]
+    fn neg_impl(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Gf101(P101 - self.0)
+        }
+    }
+
+    /// Iterates over every element of the field, `0..=100`.
+    pub fn all() -> impl Iterator<Item = Gf101> {
+        (0..P101).map(Gf101)
+    }
+}
+
+impl_field_ops!(Gf101);
+
+impl Field for Gf101 {
+    const ZERO: Self = Gf101(0);
+    const ONE: Self = Gf101(1);
+    const MODULUS: u64 = P101;
+
+    fn from_u64(v: u64) -> Self {
+        Gf101(v % P101)
+    }
+
+    fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Gf101(rng.gen_range(0..P101))
+    }
+
+    fn inv(self) -> Self {
+        assert!(self.0 != 0, "attempted to invert zero in GF(101)");
+        self.pow(P101 - 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_inverses() {
+        for a in Gf101::all() {
+            if a == Gf101::ZERO {
+                continue;
+            }
+            assert_eq!(a * a.inv(), Gf101::ONE, "bad inverse for {a}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_add_sub_round_trip() {
+        for a in Gf101::all() {
+            for b in Gf101::all() {
+                assert_eq!((a + b) - b, a);
+                assert_eq!((a * b), (b * a));
+            }
+        }
+    }
+
+    #[test]
+    fn all_yields_distinct_101() {
+        let v: Vec<_> = Gf101::all().collect();
+        assert_eq!(v.len(), 101);
+        let mut sorted = v.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 101);
+    }
+}

@@ -1,0 +1,200 @@
+//! `GF(2^61 − 1)`: the production field.
+//!
+//! `p = 2^61 − 1` is a Mersenne prime, so reduction after a 128-bit product
+//! is two shifts and adds. `|F| ≈ 2.3 · 10^18` comfortably exceeds any
+//! realistic process count `n`, as §3.2 of the paper requires (`|F| > n`).
+
+use rand::Rng;
+
+use crate::traits::{impl_field_ops, Field};
+
+/// The Mersenne prime `2^61 − 1`.
+pub const P61: u64 = (1u64 << 61) - 1;
+
+/// An element of `GF(2^61 − 1)`, stored as its canonical representative.
+///
+/// # Examples
+///
+/// ```
+/// use sba_field::{Field, Gf61};
+///
+/// let a = Gf61::from_u64(Gf61::MODULUS - 1);
+/// assert_eq!(a + Gf61::ONE, Gf61::ZERO);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gf61(u64);
+
+impl Gf61 {
+    /// Reduces an arbitrary `u128` modulo `2^61 − 1` using the Mersenne
+    /// identity `2^61 ≡ 1 (mod p)`.
+    #[inline]
+    fn reduce128(x: u128) -> u64 {
+        // Split into three 61-bit limbs; x < 2^128 so the top limb is < 2^6.
+        let lo = (x as u64) & P61;
+        let mid = ((x >> 61) as u64) & P61;
+        let hi = (x >> 122) as u64; // < 2^6
+        let mut s = lo + mid + hi; // < 3 * 2^61 < 2^63: no overflow
+        s = (s & P61) + (s >> 61);
+        if s >= P61 {
+            s -= P61;
+        }
+        s
+    }
+
+    #[inline]
+    fn add_impl(self, rhs: Self) -> Self {
+        let mut s = self.0 + rhs.0; // both < 2^61, no overflow
+        if s >= P61 {
+            s -= P61;
+        }
+        Gf61(s)
+    }
+
+    #[inline]
+    fn sub_impl(self, rhs: Self) -> Self {
+        let s = if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + P61 - rhs.0
+        };
+        Gf61(s)
+    }
+
+    #[inline]
+    fn mul_impl(self, rhs: Self) -> Self {
+        Gf61(Self::reduce128(u128::from(self.0) * u128::from(rhs.0)))
+    }
+
+    #[inline]
+    fn neg_impl(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Gf61(P61 - self.0)
+        }
+    }
+}
+
+impl_field_ops!(Gf61);
+
+impl Field for Gf61 {
+    const ZERO: Self = Gf61(0);
+    const ONE: Self = Gf61(1);
+    const MODULUS: u64 = P61;
+
+    fn from_u64(v: u64) -> Self {
+        // v < 2^64 = 8 * 2^61, two folding rounds reach canonical range.
+        let mut s = (v & P61) + (v >> 61);
+        if s >= P61 {
+            s -= P61;
+        }
+        Gf61(s)
+    }
+
+    fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Gf61(rng.gen_range(0..P61))
+    }
+
+    fn inv(self) -> Self {
+        assert!(self.0 != 0, "attempted to invert zero in GF(2^61-1)");
+        // Fermat: a^(p-2) = a^-1.
+        self.pow(P61 - 2)
+    }
+}
+
+impl From<u32> for Gf61 {
+    fn from(v: u32) -> Self {
+        Gf61(u64::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn el() -> impl Strategy<Value = Gf61> {
+        (0..P61).prop_map(Gf61)
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in el(), b in el()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn mul_commutes(a in el(), b in el()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn add_associates(a in el(), b in el(), c in el()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn mul_associates(a in el(), b in el(), c in el()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn distributive(a in el(), b in el(), c in el()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn sub_is_add_neg(a in el(), b in el()) {
+            prop_assert_eq!(a - b, a + (-b));
+        }
+
+        #[test]
+        fn inverse_round_trip(a in el()) {
+            prop_assume!(a != Gf61::ZERO);
+            prop_assert_eq!(a * a.inv(), Gf61::ONE);
+            prop_assert_eq!(a / a, Gf61::ONE);
+        }
+
+        #[test]
+        fn from_u64_canonical(v in any::<u64>()) {
+            let x = Gf61::from_u64(v);
+            prop_assert!(x.as_u64() < P61);
+            prop_assert_eq!(u128::from(x.as_u64()) % u128::from(P61),
+                            u128::from(v) % u128::from(P61));
+        }
+
+        #[test]
+        fn reduce128_matches_bigint(hi in any::<u64>(), lo in any::<u64>()) {
+            let x = (u128::from(hi) << 64) | u128::from(lo);
+            prop_assert_eq!(u128::from(Gf61::reduce128(x)), x % u128::from(P61));
+        }
+    }
+
+    #[test]
+    fn modulus_edge_cases() {
+        assert_eq!(Gf61::from_u64(P61), Gf61::ZERO);
+        assert_eq!(Gf61::from_u64(P61 + 1), Gf61::ONE);
+        assert_eq!(Gf61::from_u64(u64::MAX).as_u64(), u64::MAX % P61);
+        assert_eq!(-Gf61::ZERO, Gf61::ZERO);
+        assert_eq!(Gf61::ONE + Gf61::from_u64(P61 - 1), Gf61::ZERO);
+    }
+
+    #[test]
+    fn random_is_in_range_and_varies() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let xs: Vec<Gf61> = (0..64).map(|_| Gf61::random(&mut rng)).collect();
+        assert!(xs.iter().all(|x| x.as_u64() < P61));
+        assert!(xs.windows(2).any(|w| w[0] != w[1]), "64 samples all equal");
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn invert_zero_panics() {
+        let _ = Gf61::ZERO.inv();
+    }
+}

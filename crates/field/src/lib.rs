@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Finite-field and polynomial arithmetic for the `sba` workspace.
+//!
+//! The SVSS protocols of Abraham–Dolev–Halpern (PODC 2008) operate over an
+//! arbitrary finite field `F` with `|F| > n`. This crate provides:
+//!
+//! - the [`Field`] trait abstracting a prime field,
+//! - [`Gf61`], the production field `GF(2^61 − 1)` with fast Mersenne
+//!   reduction,
+//! - [`Gf101`], a tiny field used by exhaustive property tests,
+//! - [`Poly`], univariate degree-bounded polynomials with Lagrange
+//!   interpolation,
+//! - [`BiPoly`], bivariate polynomials of degree `t` in each variable, with
+//!   the row/column extraction (`g_j(y) = f(j, y)`, `h_j(x) = f(x, j)`)
+//!   used by the SVSS share protocol.
+//!
+//! # Examples
+//!
+//! Share-style sampling: a random degree-`t` polynomial with a fixed
+//! constant term, evaluated at process indices.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sba_field::{Field, Gf61, Poly};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let secret = Gf61::from_u64(42);
+//! let poly = Poly::random_with_constant(secret, 2, &mut rng);
+//! // Any 3 = t+1 evaluations reconstruct the secret.
+//! let pts: Vec<(Gf61, Gf61)> = (1..=3u64)
+//!     .map(|i| (Gf61::from_u64(i), poly.eval(Gf61::from_u64(i))))
+//!     .collect();
+//! let back = Poly::interpolate(&pts).expect("distinct x's");
+//! assert_eq!(back.eval(Gf61::ZERO), secret);
+//! ```
+
+mod bipoly;
+mod gf101;
+mod gf61;
+mod poly;
+mod traits;
+
+pub use bipoly::BiPoly;
+pub use gf101::Gf101;
+pub use gf61::Gf61;
+pub use poly::{InterpolateError, Poly};
+pub use traits::Field;

@@ -1,0 +1,361 @@
+//! Univariate polynomials over a [`Field`], with Lagrange interpolation.
+//!
+//! The SVSS protocols manipulate degree-`t` polynomials in three ways:
+//! sampling with a fixed constant term (the secret), evaluating at process
+//! indices, and interpolating from `t+1` points. Reconstruction also needs
+//! *checked* interpolation: "is there a degree-`t` polynomial through all of
+//! these `≥ t+1` points?" (MW-SVSS `R′` step 4, SVSS `R` steps 2–3).
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::Field;
+
+/// A univariate polynomial, stored as coefficients, lowest degree first.
+///
+/// The representation is canonical: the highest coefficient is nonzero
+/// (the zero polynomial stores an empty coefficient vector).
+///
+/// # Examples
+///
+/// ```
+/// use sba_field::{Field, Gf101, Poly};
+///
+/// // 3 + 2x over GF(101)
+/// let p = Poly::from_coeffs(vec![Gf101::from_u64(3), Gf101::from_u64(2)]);
+/// assert_eq!(p.eval(Gf101::from_u64(10)), Gf101::from_u64(23));
+/// assert_eq!(p.degree(), Some(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Poly<F: Field> {
+    coeffs: Vec<F>,
+}
+
+/// Error returned by [`Poly::interpolate`] when input points are unusable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterpolateError {
+    /// Two points share the same x-coordinate.
+    DuplicateX,
+    /// The point list is empty.
+    Empty,
+}
+
+impl fmt::Display for InterpolateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpolateError::DuplicateX => write!(f, "duplicate x-coordinate"),
+            InterpolateError::Empty => write!(f, "no points to interpolate"),
+        }
+    }
+}
+
+impl std::error::Error for InterpolateError {}
+
+impl<F: Field> fmt::Debug for Poly<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Poly{:?}", self.coeffs)
+    }
+}
+
+impl<F: Field> Poly<F> {
+    /// Constructs a polynomial from coefficients (lowest degree first).
+    /// Trailing zero coefficients are trimmed to keep the form canonical.
+    pub fn from_coeffs(mut coeffs: Vec<F>) -> Self {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: F) -> Self {
+        Self::from_coeffs(vec![c])
+    }
+
+    /// Samples a uniformly random polynomial of degree **at most** `degree`
+    /// whose constant term is exactly `constant`.
+    ///
+    /// This is the dealer's sampling step: `f(0) = s` with the remaining
+    /// `degree` coefficients uniform, so any `degree` evaluations at nonzero
+    /// points reveal nothing about `s` (the hiding property).
+    pub fn random_with_constant<R: Rng + ?Sized>(constant: F, degree: usize, rng: &mut R) -> Self {
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        coeffs.push(constant);
+        for _ in 0..degree {
+            coeffs.push(F::random(rng));
+        }
+        Self::from_coeffs(coeffs)
+    }
+
+    /// The degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// The coefficients, lowest degree first (empty for the zero polynomial).
+    pub fn coeffs(&self) -> &[F] {
+        &self.coeffs
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: F) -> F {
+        let mut acc = F::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Evaluates at the *process index* `i` (1-based), i.e. at the field
+    /// element `i`.
+    pub fn eval_at_index(&self, i: u64) -> F {
+        self.eval(F::from_u64(i))
+    }
+
+    /// Interpolates the unique polynomial of degree `< points.len()` through
+    /// the given `(x, y)` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpolateError::Empty`] for an empty slice and
+    /// [`InterpolateError::DuplicateX`] if two x-coordinates coincide.
+    pub fn interpolate(points: &[(F, F)]) -> Result<Self, InterpolateError> {
+        if points.is_empty() {
+            return Err(InterpolateError::Empty);
+        }
+        for (a, &(xa, _)) in points.iter().enumerate() {
+            for &(xb, _) in &points[a + 1..] {
+                if xa == xb {
+                    return Err(InterpolateError::DuplicateX);
+                }
+            }
+        }
+        // Lagrange: sum over i of y_i * prod_{j != i} (x - x_j) / (x_i - x_j).
+        let mut result = vec![F::ZERO; points.len()];
+        let mut basis: Vec<F> = Vec::with_capacity(points.len());
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            // numerator polynomial prod_{j != i} (x - x_j), built incrementally
+            basis.clear();
+            basis.push(F::ONE);
+            let mut denom = F::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                denom = denom * (xi - xj);
+                // multiply basis by (x - xj)
+                basis.push(F::ZERO);
+                for k in (1..basis.len()).rev() {
+                    let prev = basis[k - 1];
+                    basis[k] = prev - xj * basis[k];
+                }
+                basis[0] = -xj * basis[0];
+            }
+            let scale = yi * denom.inv();
+            for (k, &b) in basis.iter().enumerate() {
+                result[k] = result[k] + scale * b;
+            }
+        }
+        Ok(Self::from_coeffs(result))
+    }
+
+    /// Checked interpolation for reconstruction: succeeds only if a
+    /// polynomial of degree at most `max_degree` passes through **all**
+    /// points. Returns `None` otherwise (including on duplicate x's).
+    ///
+    /// This is the predicate the paper's reconstruct protocols apply to
+    /// decide between outputting a value and outputting `⊥`.
+    pub fn interpolate_checked(points: &[(F, F)], max_degree: usize) -> Option<Self> {
+        if points.is_empty() {
+            return None;
+        }
+        let take = (max_degree + 1).min(points.len());
+        let poly = Self::interpolate(&points[..take]).ok()?;
+        if poly.degree().unwrap_or(0) > max_degree {
+            return None;
+        }
+        for &(x, y) in &points[take..] {
+            if poly.eval(x) != y {
+                return None;
+            }
+        }
+        // Reject duplicate x's hidden in the tail.
+        for (a, &(xa, _)) in points.iter().enumerate() {
+            for &(xb, _) in &points[a + 1..] {
+                if xa == xb {
+                    return None;
+                }
+            }
+        }
+        Some(poly)
+    }
+
+    /// Adds two polynomials.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let a = self.coeffs.get(k).copied().unwrap_or(F::ZERO);
+            let b = other.coeffs.get(k).copied().unwrap_or(F::ZERO);
+            out.push(a + b);
+        }
+        Self::from_coeffs(out)
+    }
+
+    /// Scales every coefficient by `s`.
+    pub fn scale(&self, s: F) -> Self {
+        Self::from_coeffs(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+}
+
+impl<F: Field> Default for Poly<F> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf101, Gf61};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_poly_invariants() {
+        let z = Poly::<Gf61>::zero();
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(Gf61::from_u64(5)), Gf61::ZERO);
+        assert_eq!(Poly::from_coeffs(vec![Gf61::ZERO; 4]), z);
+    }
+
+    #[test]
+    fn constant_trimming() {
+        let p = Poly::from_coeffs(vec![Gf101::from_u64(7), Gf101::ZERO, Gf101::ZERO]);
+        assert_eq!(p.degree(), Some(0));
+        assert_eq!(p.eval(Gf101::from_u64(50)), Gf101::from_u64(7));
+    }
+
+    #[test]
+    fn interpolate_empty_and_duplicates() {
+        assert_eq!(
+            Poly::<Gf61>::interpolate(&[]).unwrap_err(),
+            InterpolateError::Empty
+        );
+        let x = Gf61::from_u64(3);
+        let pts = [(x, Gf61::ONE), (x, Gf61::ZERO)];
+        assert_eq!(
+            Poly::interpolate(&pts).unwrap_err(),
+            InterpolateError::DuplicateX
+        );
+    }
+
+    #[test]
+    fn interpolate_checked_detects_off_curve_point() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = Poly::random_with_constant(Gf61::from_u64(9), 2, &mut rng);
+        let mut pts: Vec<(Gf61, Gf61)> = (1..=5u64)
+            .map(|i| (Gf61::from_u64(i), p.eval_at_index(i)))
+            .collect();
+        assert!(Poly::interpolate_checked(&pts, 2).is_some());
+        pts[4].1 += Gf61::ONE;
+        assert!(Poly::interpolate_checked(&pts, 2).is_none());
+    }
+
+    #[test]
+    fn interpolate_checked_rejects_high_degree() {
+        // Points from a degree-3 polynomial cannot be fit with max_degree 2.
+        let p = Poly::from_coeffs(vec![
+            Gf101::from_u64(1),
+            Gf101::from_u64(0),
+            Gf101::from_u64(0),
+            Gf101::from_u64(5),
+        ]);
+        let pts: Vec<_> = (1..=6u64)
+            .map(|i| (Gf101::from_u64(i), p.eval_at_index(i)))
+            .collect();
+        assert!(Poly::interpolate_checked(&pts, 3).is_some());
+        assert!(Poly::interpolate_checked(&pts, 2).is_none());
+    }
+
+    #[test]
+    fn interpolate_checked_rejects_duplicate_in_tail() {
+        let pts = [
+            (Gf101::from_u64(1), Gf101::from_u64(4)),
+            (Gf101::from_u64(2), Gf101::from_u64(4)),
+            (Gf101::from_u64(2), Gf101::from_u64(4)),
+        ];
+        assert!(Poly::interpolate_checked(&pts, 1).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn interpolation_round_trip(
+            seed in any::<u64>(),
+            degree in 0usize..6,
+            secret in 0u64..1_000_000,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let p = Poly::random_with_constant(Gf61::from_u64(secret), degree, &mut rng);
+            let pts: Vec<(Gf61, Gf61)> = (1..=(degree as u64 + 1))
+                .map(|i| (Gf61::from_u64(i), p.eval_at_index(i)))
+                .collect();
+            let q = Poly::interpolate(&pts).unwrap();
+            prop_assert_eq!(q.clone(), p);
+            prop_assert_eq!(q.eval(Gf61::ZERO), Gf61::from_u64(secret));
+        }
+
+        #[test]
+        fn any_t_plus_one_points_determine_poly(
+            seed in any::<u64>(),
+            // choose 4 distinct evaluation indices out of 1..=9
+            perm in proptest::sample::subsequence((1u64..=9).collect::<Vec<_>>(), 4),
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let p = Poly::random_with_constant(Gf61::from_u64(77), 3, &mut rng);
+            let pts: Vec<(Gf61, Gf61)> = perm
+                .iter()
+                .map(|&i| (Gf61::from_u64(i), p.eval_at_index(i)))
+                .collect();
+            prop_assert_eq!(Poly::interpolate(&pts).unwrap(), p);
+        }
+
+        #[test]
+        fn add_and_scale_agree_with_pointwise(
+            a in proptest::collection::vec(0u64..101, 0..5),
+            b in proptest::collection::vec(0u64..101, 0..5),
+            s in 0u64..101,
+            x in 0u64..101,
+        ) {
+            let pa = Poly::from_coeffs(a.into_iter().map(Gf101::from_u64).collect());
+            let pb = Poly::from_coeffs(b.into_iter().map(Gf101::from_u64).collect());
+            let s = Gf101::from_u64(s);
+            let x = Gf101::from_u64(x);
+            prop_assert_eq!(pa.add(&pb).eval(x), pa.eval(x) + pb.eval(x));
+            prop_assert_eq!(pa.scale(s).eval(x), pa.eval(x) * s);
+        }
+    }
+
+    /// Hiding, exhaustively over GF(101): for a degree-1 polynomial with a
+    /// fixed secret, the value at index 1 is uniform over the field.
+    #[test]
+    fn single_share_distribution_is_uniform() {
+        use std::collections::HashMap;
+        for secret in [0u64, 1, 50] {
+            let mut counts: HashMap<u64, usize> = HashMap::new();
+            // Enumerate all degree-1 polynomials with f(0) = secret.
+            for a1 in Gf101::all() {
+                let p = Poly::from_coeffs(vec![Gf101::from_u64(secret), a1]);
+                *counts.entry(p.eval_at_index(1).as_u64()).or_default() += 1;
+            }
+            assert_eq!(counts.len(), 101);
+            assert!(counts.values().all(|&c| c == 1), "share not uniform");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The [`Field`] trait: the minimal prime-field interface the protocols use.
+
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use rand::Rng;
+
+/// A prime field element.
+///
+/// The protocols only require field arithmetic, uniform sampling, and a
+/// canonical mapping to/from `u64` (for wire encoding and for the common
+/// coin's reduction of field elements to `[0, n)`).
+///
+/// Implementations must be value types (`Copy`) with total equality; all
+/// operations are infallible except division by zero, which panics.
+///
+/// # Examples
+///
+/// ```
+/// use sba_field::{Field, Gf101};
+///
+/// let a = Gf101::from_u64(40);
+/// let b = Gf101::from_u64(62);
+/// assert_eq!(a + b, Gf101::from_u64(1)); // 102 mod 101
+/// assert_eq!(a * a.inv(), Gf101::ONE);
+/// ```
+pub trait Field:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + Eq
+    + Hash
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// The field modulus, as a `u64`. All canonical representatives are in
+    /// `[0, MODULUS)`.
+    const MODULUS: u64;
+
+    /// Constructs the element congruent to `v` modulo [`Self::MODULUS`].
+    fn from_u64(v: u64) -> Self;
+
+    /// Returns the canonical representative in `[0, MODULUS)`.
+    fn as_u64(self) -> u64;
+
+    /// Samples a uniformly random field element.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+
+    /// Returns the multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    fn inv(self) -> Self;
+
+    /// Raises `self` to the power `e` by square-and-multiply.
+    fn pow(self, mut e: u64) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Whether this is the additive identity.
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+}
+
+/// Implements the standard operator traits and `Display` for a field type
+/// given inherent `add_impl`/`sub_impl`/`mul_impl`/`neg_impl` methods.
+macro_rules! impl_field_ops {
+    ($ty:ident) => {
+        impl std::ops::Add for $ty {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                self.add_impl(rhs)
+            }
+        }
+        impl std::ops::Sub for $ty {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                self.sub_impl(rhs)
+            }
+        }
+        impl std::ops::Mul for $ty {
+            type Output = Self;
+            fn mul(self, rhs: Self) -> Self {
+                self.mul_impl(rhs)
+            }
+        }
+        impl std::ops::Div for $ty {
+            type Output = Self;
+            /// # Panics
+            /// Panics if `rhs` is zero.
+            fn div(self, rhs: Self) -> Self {
+                self.mul_impl(crate::Field::inv(rhs))
+            }
+        }
+        impl std::ops::Neg for $ty {
+            type Output = Self;
+            fn neg(self) -> Self {
+                self.neg_impl()
+            }
+        }
+        impl std::ops::AddAssign for $ty {
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+        impl std::ops::SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+        impl std::ops::MulAssign for $ty {
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+        impl std::fmt::Display for $ty {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", crate::Field::as_u64(*self))
+            }
+        }
+        impl std::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(<$ty as crate::Field>::ZERO, |a, b| a + b)
+            }
+        }
+    };
+}
+
+pub(crate) use impl_field_ops;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf101, Gf61};
+
+    fn pow_matches_naive<F: Field>() {
+        let x = F::from_u64(7);
+        let mut acc = F::ONE;
+        for e in 0..20u64 {
+            assert_eq!(x.pow(e), acc, "pow mismatch at e={e}");
+            acc = acc * x;
+        }
+    }
+
+    #[test]
+    fn pow_gf61() {
+        pow_matches_naive::<Gf61>();
+    }
+
+    #[test]
+    fn pow_gf101() {
+        pow_matches_naive::<Gf101>();
+    }
+
+    #[test]
+    fn zero_one_identities() {
+        fn check<F: Field>() {
+            assert!(F::ZERO.is_zero());
+            assert!(!F::ONE.is_zero());
+            assert_eq!(F::ONE.pow(0), F::ONE);
+            assert_eq!(F::ZERO.pow(0), F::ONE); // convention: 0^0 = 1
+            assert_eq!(F::ZERO.pow(5), F::ZERO);
+        }
+        check::<Gf61>();
+        check::<Gf101>();
+    }
+}

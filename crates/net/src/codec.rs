@@ -1,0 +1,367 @@
+//! A minimal, canonical byte codec.
+//!
+//! No offline serialization *format* crate is available in this
+//! environment (serde alone emits nothing), so the workspace defines its
+//! own: fixed-width little-endian integers, length-prefixed sequences,
+//! 1-byte enum discriminants. Canonical encodings make wire-byte metrics
+//! exact and reproducible.
+//!
+//! Decoding validates everything it can (C-VALIDATE): field elements must
+//! be canonical representatives, lengths are bounded by the remaining
+//! input, booleans must be 0/1.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use sba_field::Field;
+
+use crate::Pid;
+
+/// Error produced when decoding malformed bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// An enum discriminant byte was out of range.
+    BadDiscriminant(u8),
+    /// A value failed validation (non-canonical field element, zero pid,
+    /// non-boolean byte, oversized length).
+    Invalid,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            CodecError::BadDiscriminant(d) => write!(f, "bad discriminant byte {d}"),
+            CodecError::Invalid => write!(f, "invalid encoded value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A cursor over encoded bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes `n` bytes off the front.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads a single byte.
+    pub fn byte(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+/// Canonical byte encoding for wire messages.
+///
+/// Laws (enforced by tests across the workspace):
+/// - round-trip: `T::decode(&mut Reader::new(&t.encoded()))? == t`
+/// - appending: `encode` only appends to the buffer.
+pub trait Wire: Sized {
+    /// Appends the canonical encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the input is truncated or malformed.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Convenience: the canonical encoding as a fresh vector.
+    fn encoded(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// The encoded length in bytes (used for wire metrics).
+    ///
+    /// Uses a thread-local scratch buffer: metrics charge every simulated
+    /// message, so this must not allocate per call.
+    fn wire_len(&self) -> usize {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Vec<u8>> =
+                std::cell::RefCell::new(Vec::with_capacity(1024));
+        }
+        SCRATCH.with(|b| {
+            let mut buf = b.borrow_mut();
+            buf.clear();
+            self.encode(&mut buf);
+            buf.len()
+        })
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.byte()
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(u32::from_le_bytes(r.take(4)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(u64::from_le_bytes(r.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid),
+        }
+    }
+}
+
+impl Wire for Pid {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.index().encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let idx = u32::decode(r)?;
+        if idx == 0 {
+            return Err(CodecError::Invalid);
+        }
+        Ok(Pid::new(idx))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u32::decode(r)? as usize;
+        // Each element takes at least one byte; bound before allocating.
+        if len > r.remaining() {
+            return Err(CodecError::Invalid);
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl Wire for crate::ProcessSet {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let v: Vec<Pid> = self.iter().collect();
+        v.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let v: Vec<Pid> = Vec::decode(r)?;
+        let set: BTreeSet<Pid> = v.iter().copied().collect();
+        if set.len() != v.len() {
+            return Err(CodecError::Invalid); // duplicates are non-canonical
+        }
+        Ok(v.into_iter().collect())
+    }
+}
+
+/// Encodes a field element as its canonical `u64` representative.
+pub fn put_field<F: Field>(x: F, buf: &mut Vec<u8>) {
+    x.as_u64().encode(buf);
+}
+
+/// Decodes a field element, rejecting non-canonical representatives.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Invalid`] if the encoded integer is `≥ F::MODULUS`.
+pub fn get_field<F: Field>(r: &mut Reader<'_>) -> Result<F, CodecError> {
+    let v = u64::decode(r)?;
+    if v >= F::MODULUS {
+        return Err(CodecError::Invalid);
+    }
+    Ok(F::from_u64(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sba_field::{Field, Gf101, Gf61};
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encoded();
+        let mut r = Reader::new(&bytes);
+        let back = T::decode(&mut r).expect("decode");
+        assert_eq!(back, v);
+        assert_eq!(r.remaining(), 0, "trailing bytes");
+        assert_eq!(v.wire_len(), bytes.len());
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(Pid::new(17));
+        round_trip(Some(Pid::new(3)));
+        round_trip(Option::<u64>::None);
+        round_trip((Pid::new(1), 9u64));
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Pid::all(5).collect::<crate::ProcessSet>());
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(u32::decode(&mut r).unwrap_err(), CodecError::UnexpectedEnd);
+        let mut r = Reader::new(&[]);
+        assert_eq!(u8::decode(&mut r).unwrap_err(), CodecError::UnexpectedEnd);
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        // bool must be 0/1
+        let mut r = Reader::new(&[2]);
+        assert_eq!(bool::decode(&mut r).unwrap_err(), CodecError::Invalid);
+        // pid must be nonzero
+        let mut r = Reader::new(&[0, 0, 0, 0]);
+        assert_eq!(Pid::decode(&mut r).unwrap_err(), CodecError::Invalid);
+        // option discriminant must be 0/1
+        let mut r = Reader::new(&[7]);
+        assert!(matches!(
+            Option::<u8>::decode(&mut r).unwrap_err(),
+            CodecError::BadDiscriminant(7)
+        ));
+        // absurd length prefix must not allocate
+        let mut bytes = Vec::new();
+        u32::MAX.encode(&mut bytes);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Vec::<u8>::decode(&mut r).unwrap_err(), CodecError::Invalid);
+        // duplicate entries in a ProcessSet are non-canonical
+        let dup = vec![Pid::new(1), Pid::new(1)];
+        let mut bytes = Vec::new();
+        dup.encode(&mut bytes);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            crate::ProcessSet::decode(&mut r).unwrap_err(),
+            CodecError::Invalid
+        );
+    }
+
+    #[test]
+    fn field_elements_validated() {
+        let mut buf = Vec::new();
+        put_field(Gf101::from_u64(100), &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_field::<Gf101>(&mut r).unwrap(), Gf101::from_u64(100));
+
+        let mut buf = Vec::new();
+        101u64.encode(&mut buf); // non-canonical for GF(101)
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_field::<Gf101>(&mut r).unwrap_err(), CodecError::Invalid);
+    }
+
+    proptest! {
+        #[test]
+        fn u64_round_trip(v in any::<u64>()) {
+            round_trip(v);
+        }
+
+        #[test]
+        fn vec_of_pairs_round_trip(v in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..20)) {
+            round_trip(v);
+        }
+
+        #[test]
+        fn gf61_round_trip(v in 0u64..<Gf61 as Field>::MODULUS) {
+            let x = Gf61::from_u64(v);
+            let mut buf = Vec::new();
+            put_field(x, &mut buf);
+            let mut r = Reader::new(&buf);
+            prop_assert_eq!(get_field::<Gf61>(&mut r).unwrap(), x);
+        }
+
+        #[test]
+        fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut r = Reader::new(&bytes);
+            let _ = Vec::<(Pid, u64)>::decode(&mut r);
+            let mut r = Reader::new(&bytes);
+            let _ = crate::ProcessSet::decode(&mut r);
+            let mut r = Reader::new(&bytes);
+            let _ = Option::<(u32, bool)>::decode(&mut r);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Identifiers, session tags, wire codec, and sans-io plumbing shared by
+//! every protocol crate in the `sba` workspace.
+//!
+//! Protocols in this workspace are written as *sans-io state machines*:
+//! they never touch sockets or clocks. They consume delivered messages and
+//! push outgoing [`Envelope`]s into an [`Outbox`]; a runtime (the
+//! deterministic simulator in `sba-sim`, or the threaded runtime) moves
+//! envelopes between processes.
+//!
+//! The hand-rolled [`Wire`] codec exists so that the complexity experiments
+//! can report *real* wire bytes: every message type in the workspace
+//! encodes to a canonical byte string, and the simulator charges its length.
+//!
+//! # Examples
+//!
+//! ```
+//! use sba_net::{Outbox, Pid};
+//!
+//! let mut out = Outbox::new(Pid::new(1));
+//! out.send(Pid::new(2), 42u64);
+//! out.broadcast(Pid::all(3), 7u64);
+//! assert_eq!(out.drain().len(), 4);
+//! ```
+
+mod codec;
+mod envelope;
+mod kind;
+mod pid;
+mod session;
+
+pub use codec::{get_field, put_field, CodecError, Reader, Wire};
+pub use envelope::{Envelope, Outbox};
+pub use kind::Kinded;
+pub use pid::{Pid, ProcessSet};
+pub use session::{MwId, SvssId};

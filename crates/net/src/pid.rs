@@ -1,0 +1,200 @@
+//! Process identifiers and small process sets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A process identifier.
+///
+/// Processes are numbered `1..=n`, matching the paper's convention: the
+/// index doubles as the field evaluation point for that process's share
+/// (`f_j(k)` is evaluated at the field element `k`), and `0` is reserved
+/// for the secret (`f(0)`).
+///
+/// # Examples
+///
+/// ```
+/// use sba_net::Pid;
+///
+/// let p = Pid::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// Creates a process id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is zero — index 0 is the secret's evaluation point
+    /// and must never name a process.
+    pub fn new(index: u32) -> Self {
+        assert!(index != 0, "process indices are 1-based");
+        Pid(index)
+    }
+
+    /// The 1-based index, usable directly as a field evaluation point.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The index widened to `u64` for field arithmetic.
+    pub fn as_u64(self) -> u64 {
+        u64::from(self.0)
+    }
+
+    /// Enumerates all `n` process ids `p1..=pn`.
+    pub fn all(n: usize) -> impl Iterator<Item = Pid> + Clone {
+        (1..=n as u32).map(Pid)
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An ordered set of process ids.
+///
+/// Used for the protocol sets the paper broadcasts (`L_j`, `M`, `G`,
+/// `G_j`, attach/support sets): deterministic iteration order matters for
+/// reproducible simulation, so this wraps a `BTreeSet`.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessSet(BTreeSet<Pid>);
+
+impl ProcessSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a process; returns whether it was newly inserted.
+    pub fn insert(&mut self, p: Pid) -> bool {
+        self.0.insert(p)
+    }
+
+    /// Whether `p` is a member.
+    pub fn contains(&self, p: Pid) -> bool {
+        self.0.contains(&p)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates members in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &ProcessSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Removes a process; returns whether it was present.
+    pub fn remove(&mut self, p: Pid) -> bool {
+        self.0.remove(&p)
+    }
+
+    /// Union with another set, in place.
+    pub fn extend_from(&mut self, other: &ProcessSet) {
+        self.0.extend(other.0.iter().copied());
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.0.iter()).finish()
+    }
+}
+
+impl FromIterator<Pid> for ProcessSet {
+    fn from_iter<T: IntoIterator<Item = Pid>>(iter: T) -> Self {
+        ProcessSet(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Pid> for ProcessSet {
+    fn extend<T: IntoIterator<Item = Pid>>(&mut self, iter: T) {
+        self.0.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a ProcessSet {
+    type Item = Pid;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, Pid>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_basics() {
+        let p = Pid::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.as_u64(), 7);
+        assert_eq!(format!("{p}"), "p7");
+        assert_eq!(format!("{p:?}"), "p7");
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn pid_zero_rejected() {
+        let _ = Pid::new(0);
+    }
+
+    #[test]
+    fn all_enumerates_n() {
+        let v: Vec<Pid> = Pid::all(4).collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0], Pid::new(1));
+        assert_eq!(v[3], Pid::new(4));
+    }
+
+    #[test]
+    fn process_set_operations() {
+        let mut s = ProcessSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Pid::new(2)));
+        assert!(!s.insert(Pid::new(2)));
+        s.insert(Pid::new(1));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Pid::new(1)));
+        let t: ProcessSet = Pid::all(3).collect();
+        assert!(s.is_subset(&t));
+        assert!(!t.is_subset(&s));
+        // Deterministic ascending iteration.
+        let order: Vec<u32> = s.iter().map(Pid::index).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn process_set_union_and_remove() {
+        let mut a: ProcessSet = [Pid::new(1), Pid::new(3)].into_iter().collect();
+        let b: ProcessSet = [Pid::new(2)].into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.remove(Pid::new(3)));
+        assert!(!a.remove(Pid::new(3)));
+    }
+}

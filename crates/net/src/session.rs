@@ -1,0 +1,211 @@
+//! Session identifiers for the VSS protocols.
+//!
+//! The paper tags every VSS invocation with a session id `(c, i)` — a
+//! counter and the dealer — and tags each MW-SVSS sub-invocation inside an
+//! SVSS session. Identifiers here are *structured* rather than bare
+//! counters so that higher layers (common coin, agreement rounds) can mint
+//! globally unique, self-describing sessions without coordination.
+
+use crate::{CodecError, Pid, Reader, Wire};
+
+/// Identifier of one SVSS invocation: the paper's `(c, i)`.
+///
+/// `tag` plays the role of the counter `c`, but is minted by the caller so
+/// it can encode context (e.g. the common coin packs `(round, target)` into
+/// it). Uniqueness contract: a dealer must never reuse a `tag`.
+///
+/// # Examples
+///
+/// ```
+/// use sba_net::{Pid, SvssId};
+///
+/// let sid = SvssId::new(7, Pid::new(2));
+/// assert_eq!(sid.dealer(), Pid::new(2));
+/// assert_eq!(sid.tag(), 7);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SvssId {
+    tag: u64,
+    dealer: Pid,
+}
+
+impl SvssId {
+    /// Creates a session id for `dealer` with caller-chosen unique `tag`.
+    pub fn new(tag: u64, dealer: Pid) -> Self {
+        SvssId { tag, dealer }
+    }
+
+    /// The counter/tag component (`c` in the paper).
+    pub fn tag(self) -> u64 {
+        self.tag
+    }
+
+    /// The dealer (`i` in the paper).
+    pub fn dealer(self) -> Pid {
+        self.dealer
+    }
+}
+
+impl Wire for SvssId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.tag.encode(buf);
+        self.dealer.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SvssId {
+            tag: u64::decode(r)?,
+            dealer: Pid::decode(r)?,
+        })
+    }
+}
+
+/// Identifier of one MW-SVSS invocation.
+///
+/// Standalone MW-SVSS sessions use [`MwId::standalone`]. Inside an SVSS
+/// session (§4 step 2 of the paper) each unordered pair `{j, l}` runs four
+/// MW-SVSS invocations — dealer and moderator in both assignments, for both
+/// matrix entries `f(row, col)`:
+///
+/// | dealer | moderator | secret      |
+/// |--------|-----------|-------------|
+/// | j      | l         | `f(l, j)`   |
+/// | j      | l         | `f(j, l)`   |
+/// | l      | j         | `f(l, j)`   |
+/// | l      | j         | `f(j, l)`   |
+///
+/// `(row, col)` names the bivariate entry the instance is supposed to
+/// carry, which is how SVSS reconstruction (step 1 of `R`) locates the
+/// value `r^j_{x,k,l}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MwId {
+    parent: SvssId,
+    dealer: Pid,
+    moderator: Pid,
+    row: Pid,
+    col: Pid,
+}
+
+impl MwId {
+    /// Creates the id of an MW-SVSS invocation nested in SVSS session
+    /// `parent`, with the given dealer/moderator and target entry.
+    pub fn nested(parent: SvssId, dealer: Pid, moderator: Pid, row: Pid, col: Pid) -> Self {
+        MwId {
+            parent,
+            dealer,
+            moderator,
+            row,
+            col,
+        }
+    }
+
+    /// Creates the id of a standalone MW-SVSS session (no enclosing SVSS).
+    ///
+    /// The entry coordinates are set to the dealer/moderator; they carry no
+    /// meaning outside SVSS.
+    pub fn standalone(tag: u64, dealer: Pid, moderator: Pid) -> Self {
+        let parent = SvssId::new(tag, dealer);
+        MwId {
+            parent,
+            dealer,
+            moderator,
+            row: dealer,
+            col: moderator,
+        }
+    }
+
+    /// The enclosing SVSS session (for standalone sessions, a synthetic id).
+    pub fn parent(self) -> SvssId {
+        self.parent
+    }
+
+    /// The MW-SVSS dealer.
+    pub fn dealer(self) -> Pid {
+        self.dealer
+    }
+
+    /// The MW-SVSS moderator.
+    pub fn moderator(self) -> Pid {
+        self.moderator
+    }
+
+    /// Row index of the bivariate entry this instance carries.
+    pub fn row(self) -> Pid {
+        self.row
+    }
+
+    /// Column index of the bivariate entry this instance carries.
+    pub fn col(self) -> Pid {
+        self.col
+    }
+}
+
+impl Wire for MwId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.parent.encode(buf);
+        self.dealer.encode(buf);
+        self.moderator.encode(buf);
+        self.row.encode(buf);
+        self.col.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MwId {
+            parent: SvssId::decode(r)?,
+            dealer: Pid::decode(r)?,
+            moderator: Pid::decode(r)?,
+            row: Pid::decode(r)?,
+            col: Pid::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svss_id_round_trip() {
+        let sid = SvssId::new(u64::MAX, Pid::new(9));
+        let bytes = sid.encoded();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(SvssId::decode(&mut r).unwrap(), sid);
+    }
+
+    #[test]
+    fn mw_id_round_trip_and_accessors() {
+        let parent = SvssId::new(3, Pid::new(1));
+        let id = MwId::nested(parent, Pid::new(2), Pid::new(4), Pid::new(4), Pid::new(2));
+        assert_eq!(id.parent(), parent);
+        assert_eq!(id.dealer(), Pid::new(2));
+        assert_eq!(id.moderator(), Pid::new(4));
+        assert_eq!(id.row(), Pid::new(4));
+        assert_eq!(id.col(), Pid::new(2));
+        let bytes = id.encoded();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MwId::decode(&mut r).unwrap(), id);
+    }
+
+    #[test]
+    fn four_nested_ids_per_pair_are_distinct() {
+        let parent = SvssId::new(0, Pid::new(1));
+        let (j, l) = (Pid::new(2), Pid::new(3));
+        let ids = [
+            MwId::nested(parent, j, l, l, j),
+            MwId::nested(parent, j, l, j, l),
+            MwId::nested(parent, l, j, l, j),
+            MwId::nested(parent, l, j, j, l),
+        ];
+        for (a, x) in ids.iter().enumerate() {
+            for y in &ids[a + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn standalone_id_is_self_describing() {
+        let id = MwId::standalone(5, Pid::new(1), Pid::new(2));
+        assert_eq!(id.parent().dealer(), Pid::new(1));
+        assert_eq!(id.parent().tag(), 5);
+        assert_eq!(id.moderator(), Pid::new(2));
+    }
+}

@@ -1,0 +1,422 @@
+//! The adversary's two powers: message scheduling and process corruption.
+//!
+//! Scheduling: a [`Scheduler`] assigns every envelope a finite virtual
+//! delivery time — arbitrary, adaptive reordering and delaying, but never
+//! dropping (the model guarantees eventual delivery).
+//!
+//! Corruption: Byzantine processes are [`Process`] implementations that
+//! deviate. This module provides generic ones (silence, crash); protocol
+//! crates add protocol-aware liars.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sba_net::{Envelope, Outbox, Pid};
+
+use crate::Process;
+
+/// Assigns delivery times to envelopes: the adversary's scheduling power.
+///
+/// Implementations may inspect the full envelope (sender, recipient,
+/// payload) and keep state, modelling an adaptive adversary. Returned
+/// times are clamped by the simulator to be strictly after `now`, so
+/// delivery is always eventual — exactly the asynchronous model.
+pub trait Scheduler<M>: Send {
+    /// Chooses the virtual delivery time for `env` sent at time `now`.
+    fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64;
+}
+
+/// A scheduler from a closure; the workhorse for custom adversaries.
+///
+/// # Examples
+///
+/// ```
+/// use sba_sim::FnScheduler;
+///
+/// // Deliver everything to p1 as late as possible within a window.
+/// let sched = FnScheduler::new(|env: &sba_net::Envelope<u64>, now, _rng| {
+///     if env.to == sba_net::Pid::new(1) { now + 100 } else { now + 1 }
+/// });
+/// # let _ = sched;
+/// ```
+pub struct FnScheduler<M, F>
+where
+    F: FnMut(&Envelope<M>, u64, &mut StdRng) -> u64 + Send,
+{
+    f: F,
+    _marker: std::marker::PhantomData<fn(&M)>,
+}
+
+impl<M, F> FnScheduler<M, F>
+where
+    F: FnMut(&Envelope<M>, u64, &mut StdRng) -> u64 + Send,
+{
+    /// Wraps a closure as a scheduler.
+    pub fn new(f: F) -> Self {
+        FnScheduler {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M, F> Scheduler<M> for FnScheduler<M, F>
+where
+    F: FnMut(&Envelope<M>, u64, &mut StdRng) -> u64 + Send,
+{
+    fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+        (self.f)(env, now, rng)
+    }
+}
+
+/// Stock schedulers used across tests and experiments.
+pub mod schedulers {
+    use super::*;
+
+    struct Uniform {
+        max_delay: u64,
+    }
+    impl<M> Scheduler<M> for Uniform {
+        fn delivery_time(&mut self, _env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+            now + rng.gen_range(1..=self.max_delay)
+        }
+    }
+
+    /// Uniformly random delay in `1..=max_delay`: the benign asynchronous
+    /// network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delay` is zero.
+    pub fn uniform<M: 'static>(max_delay: u64) -> Box<dyn Scheduler<M>> {
+        assert!(max_delay > 0, "max_delay must be positive");
+        Box::new(Uniform { max_delay })
+    }
+
+    struct Fifo;
+    impl<M> Scheduler<M> for Fifo {
+        fn delivery_time(&mut self, _env: &Envelope<M>, now: u64, _rng: &mut StdRng) -> u64 {
+            now + 1
+        }
+    }
+
+    /// Unit delay: synchronous-looking FIFO network (best case).
+    pub fn fifo<M: 'static>() -> Box<dyn Scheduler<M>> {
+        Box::new(Fifo)
+    }
+
+    struct Lagged {
+        slow: Vec<Pid>,
+        factor: u64,
+        base: u64,
+    }
+    impl<M> Scheduler<M> for Lagged {
+        fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+            let d = rng.gen_range(1..=self.base);
+            if self.slow.contains(&env.to) || self.slow.contains(&env.from) {
+                now + d * self.factor
+            } else {
+                now + d
+            }
+        }
+    }
+
+    /// Delays all traffic to/from `slow` processes by `factor`, modelling
+    /// the classic "fast core, lagging minority" schedule that drives the
+    /// paper's Example 1.
+    pub fn lagged<M: 'static>(slow: Vec<Pid>, base: u64, factor: u64) -> Box<dyn Scheduler<M>> {
+        assert!(base > 0 && factor > 0, "delays must be positive");
+        Box::new(Lagged { slow, factor, base })
+    }
+
+    struct Skew {
+        max_delay: u64,
+    }
+    impl<M> Scheduler<M> for Skew {
+        fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+            // Per-(sender,recipient) deterministic skew plus jitter: creates
+            // persistent asymmetry between links, the adversarial shape that
+            // most stresses quorum formation.
+            let link = u64::from(env.from.index()) * 31 + u64::from(env.to.index()) * 17;
+            now + 1 + (link % self.max_delay) + rng.gen_range(0..=self.max_delay / 4)
+        }
+    }
+
+    /// Persistently skewed per-link delays with jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delay` is zero.
+    pub fn skewed<M: 'static>(max_delay: u64) -> Box<dyn Scheduler<M>> {
+        assert!(max_delay > 0, "max_delay must be positive");
+        Box::new(Skew { max_delay })
+    }
+
+    struct Partition {
+        group_a: Vec<Pid>,
+        heal_at: u64,
+        base: u64,
+    }
+    impl<M> Scheduler<M> for Partition {
+        fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+            let a_from = self.group_a.contains(&env.from);
+            let a_to = self.group_a.contains(&env.to);
+            let d = now + rng.gen_range(1..=self.base);
+            if a_from == a_to {
+                d
+            } else {
+                // Cross-partition traffic is held until the heal point —
+                // delayed, never dropped: the asynchronous model's
+                // "temporary partition".
+                d.max(self.heal_at + rng.gen_range(1..=self.base))
+            }
+        }
+    }
+
+    /// Splits processes into `group_a` vs the rest until virtual time
+    /// `heal_at`; cross-group messages are buffered until the heal.
+    /// Protocols must stall (not err) during the partition and finish
+    /// after it heals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero.
+    pub fn partition_until<M: 'static>(
+        group_a: Vec<Pid>,
+        heal_at: u64,
+        base: u64,
+    ) -> Box<dyn Scheduler<M>> {
+        assert!(base > 0, "base delay must be positive");
+        Box::new(Partition {
+            group_a,
+            heal_at,
+            base,
+        })
+    }
+
+    struct Burst {
+        period: u64,
+        burst_len: u64,
+        base: u64,
+    }
+    impl<M> Scheduler<M> for Burst {
+        fn delivery_time(&mut self, _env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+            // Messages sent during the "quiet" part of each period are
+            // held and released in a burst at the period boundary.
+            let phase = now % self.period;
+            let d = now + rng.gen_range(1..=self.base);
+            if phase < self.burst_len {
+                d
+            } else {
+                d.max(now - phase + self.period)
+            }
+        }
+    }
+
+    /// Bursty delivery: messages pile up and land together at period
+    /// boundaries — stresses quorum logic with large simultaneous batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < burst_len < period` and `base > 0`.
+    pub fn bursty<M: 'static>(period: u64, burst_len: u64, base: u64) -> Box<dyn Scheduler<M>> {
+        assert!(burst_len > 0 && burst_len < period, "burst must fit period");
+        assert!(base > 0, "base delay must be positive");
+        Box::new(Burst {
+            period,
+            burst_len,
+            base,
+        })
+    }
+}
+
+/// A corrupted process that never sends anything (fail-silent from the
+/// start). Indistinguishable from an infinitely slow process — the
+/// strongest *crash-style* behaviour the asynchronous model allows.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SilentProcess;
+
+impl<M> Process<M> for SilentProcess {
+    fn on_start(&mut self, _out: &mut Outbox<M>) {}
+    fn on_message(&mut self, _from: Pid, _msg: M, _out: &mut Outbox<M>) {}
+    fn done(&self) -> bool {
+        true // never blocks experiment termination checks
+    }
+}
+
+/// Wraps an honest process and crashes it (drops all behaviour) after a
+/// fixed number of deliveries: fail-stop mid-protocol.
+pub struct CrashProcess<P> {
+    inner: P,
+    deliveries_left: u64,
+}
+
+impl<P> CrashProcess<P> {
+    /// Crashes `inner` after it has handled `deliveries` messages.
+    pub fn new(inner: P, deliveries: u64) -> Self {
+        CrashProcess {
+            inner,
+            deliveries_left: deliveries,
+        }
+    }
+
+    /// Whether the crash point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.deliveries_left == 0
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<M, P: Process<M>> Process<M> for CrashProcess<P> {
+    fn on_start(&mut self, out: &mut Outbox<M>) {
+        if self.deliveries_left > 0 {
+            self.inner.on_start(out);
+        }
+    }
+    fn on_message(&mut self, from: Pid, msg: M, out: &mut Outbox<M>) {
+        if self.deliveries_left == 0 {
+            return;
+        }
+        self.deliveries_left -= 1;
+        self.inner.on_message(from, msg, out);
+        if self.deliveries_left == 0 {
+            // Messages queued in this final step still go out; afterwards
+            // the process is dead.
+        }
+    }
+    fn done(&self) -> bool {
+        self.crashed() || self.inner.done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Process, Simulation};
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_delays_in_range() {
+        let mut s = schedulers::uniform::<u64>(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let env = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(2),
+            msg: 0u64,
+        };
+        for now in [0u64, 10, 1000] {
+            for _ in 0..100 {
+                let at = s.delivery_time(&env, now, &mut rng);
+                assert!(at > now && at <= now + 5);
+            }
+        }
+    }
+
+    #[test]
+    fn lagged_slows_target_traffic() {
+        let mut s = schedulers::lagged::<u64>(vec![Pid::new(3)], 1, 50);
+        let mut rng = StdRng::seed_from_u64(0);
+        let fast = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(2),
+            msg: 0u64,
+        };
+        let slow = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(3),
+            msg: 0u64,
+        };
+        assert_eq!(s.delivery_time(&fast, 0, &mut rng), 1);
+        assert_eq!(s.delivery_time(&slow, 0, &mut rng), 50);
+    }
+
+    #[test]
+    fn partition_holds_cross_traffic_until_heal() {
+        let mut s = schedulers::partition_until::<u64>(vec![Pid::new(1), Pid::new(2)], 1000, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let inside = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(2),
+            msg: 0u64,
+        };
+        let across = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(3),
+            msg: 0u64,
+        };
+        for _ in 0..50 {
+            assert!(s.delivery_time(&inside, 5, &mut rng) <= 7);
+            assert!(s.delivery_time(&across, 5, &mut rng) > 1000);
+        }
+        // After the heal point, cross-traffic flows normally.
+        for _ in 0..50 {
+            let at = s.delivery_time(&across, 2000, &mut rng);
+            assert!(at > 2000 && at <= 2002);
+        }
+    }
+
+    #[test]
+    fn bursty_releases_at_period_boundaries() {
+        let mut s = schedulers::bursty::<u64>(100, 10, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let env = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(2),
+            msg: 0u64,
+        };
+        // Sent in the quiet phase: held to the next boundary.
+        for _ in 0..20 {
+            let at = s.delivery_time(&env, 55, &mut rng);
+            assert!(at >= 100, "quiet-phase send released early: {at}");
+        }
+        // Sent inside the burst window: delivered promptly.
+        for _ in 0..20 {
+            let at = s.delivery_time(&env, 103, &mut rng);
+            assert!(at <= 106);
+        }
+    }
+
+    #[test]
+    fn crash_process_stops_reacting() {
+        struct Echoer;
+        impl Process<u64> for Echoer {
+            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+            fn on_message(&mut self, from: Pid, msg: u64, out: &mut Outbox<u64>) {
+                out.send(from, msg);
+            }
+        }
+        struct Driver {
+            replies: u64,
+        }
+        impl Process<u64> for Driver {
+            fn on_start(&mut self, out: &mut Outbox<u64>) {
+                for k in 0..10 {
+                    out.send(Pid::new(2), k);
+                }
+            }
+            fn on_message(&mut self, _from: Pid, _msg: u64, _out: &mut Outbox<u64>) {
+                self.replies += 1;
+            }
+        }
+        let procs: Vec<Box<dyn Process<u64>>> = vec![
+            Box::new(Driver { replies: 0 }),
+            Box::new(CrashProcess::new(Echoer, 4)),
+        ];
+        let mut sim = Simulation::new(procs, schedulers::fifo(), 9);
+        sim.run_to_quiescence(1000);
+        // Echoer answered exactly 4 of the 10 pings. 10 pings + 4 replies.
+        assert_eq!(sim.metrics().messages_sent, 14);
+    }
+
+    #[test]
+    fn silent_process_sends_nothing() {
+        let procs: Vec<Box<dyn Process<u64>>> = vec![Box::new(SilentProcess)];
+        let mut sim = Simulation::new(procs, schedulers::fifo(), 0);
+        let outcome = sim.run_to_quiescence(10);
+        assert!(outcome.quiescent);
+        assert_eq!(sim.metrics().messages_sent, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Run metrics: message, byte, and event accounting.
+
+use std::collections::BTreeMap;
+
+/// Counters accumulated over a simulation run.
+///
+/// `per_kind` is keyed by [`Kinded::kind`] labels, giving the per-protocol
+/// communication breakdown that experiment E4 reports.
+///
+/// [`Kinded::kind`]: sba_net::Kinded::kind
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Envelopes handed to the scheduler (excludes self-deliveries).
+    pub messages_sent: u64,
+    /// Total encoded payload bytes of those envelopes.
+    pub bytes_sent: u64,
+    /// Envelopes delivered to processes (excludes self-deliveries).
+    pub messages_delivered: u64,
+    /// Self-addressed envelopes (delivered immediately, not scheduled).
+    pub self_deliveries: u64,
+    /// Per message-kind `(messages, bytes)` sent.
+    pub per_kind: BTreeMap<&'static str, (u64, u64)>,
+    /// Virtual time of the last processed event.
+    pub virtual_time: u64,
+    /// Total events processed by the run loop.
+    pub events: u64,
+    /// Sum of per-message delivery delays (virtual ticks).
+    pub latency_sum: u64,
+    /// Maximum observed delivery delay.
+    pub latency_max: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_latency(&mut self, delay: u64) {
+        self.latency_sum += delay;
+        self.latency_max = self.latency_max.max(delay);
+    }
+
+    /// Mean delivery delay in virtual ticks (0 if nothing delivered).
+    pub fn latency_mean(&self) -> f64 {
+        if self.messages_delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.messages_delivered as f64
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, kind: &'static str, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        let e = self.per_kind.entry(kind).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes as u64;
+    }
+
+    /// Messages sent for kinds whose label starts with `prefix`.
+    pub fn sent_with_prefix(&self, prefix: &str) -> (u64, u64) {
+        self.per_kind
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .fold((0, 0), |(m, b), (_, &(dm, db))| (m + dm, b + db))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_prefix_query() {
+        let mut m = Metrics::new();
+        m.record_send("rb/echo", 10);
+        m.record_send("rb/ready", 20);
+        m.record_send("mw/share", 5);
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.bytes_sent, 35);
+        assert_eq!(m.sent_with_prefix("rb/"), (2, 30));
+        assert_eq!(m.sent_with_prefix("mw/"), (1, 5));
+        assert_eq!(m.sent_with_prefix("zzz"), (0, 0));
+    }
+}

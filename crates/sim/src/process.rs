@@ -1,0 +1,52 @@
+//! The sans-io process interface driven by the runtimes.
+
+use std::fmt::Debug;
+
+use sba_net::{Kinded, Outbox, Pid, Wire};
+
+/// Bound implied for simulated wire messages: cloneable, debuggable,
+/// byte-encodable (for metrics), kind-tagged (for per-protocol metrics),
+/// and sendable across threads (for the threaded runtime).
+pub trait SimMsg: Clone + Debug + Wire + Kinded + Send + 'static {}
+
+impl<M: Clone + Debug + Wire + Kinded + Send + 'static> SimMsg for M {}
+
+/// A simulated process: a deterministic state machine reacting to message
+/// deliveries.
+///
+/// Implementations must be deterministic given their construction-time
+/// RNG seed; all nondeterminism in a run comes from the [`Scheduler`] and
+/// the seeds, making runs replayable.
+///
+/// Byzantine processes are ordinary `Process` implementations that
+/// misbehave; the runtimes make no honesty assumptions.
+///
+/// [`Scheduler`]: crate::Scheduler
+pub trait Process<M>: Send {
+    /// Invoked once before any delivery; typically sends initial messages.
+    fn on_start(&mut self, out: &mut Outbox<M>);
+
+    /// Handles one delivered message.
+    fn on_message(&mut self, from: Pid, msg: M, out: &mut Outbox<M>);
+
+    /// Whether this process has produced its final output. Used by
+    /// [`Simulation::run_until_all_done`] and the threaded runtime to stop
+    /// early; defaults to `false` (run to quiescence).
+    ///
+    /// [`Simulation::run_until_all_done`]: crate::Simulation::run_until_all_done
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+impl<M> Process<M> for Box<dyn Process<M>> {
+    fn on_start(&mut self, out: &mut Outbox<M>) {
+        (**self).on_start(out);
+    }
+    fn on_message(&mut self, from: Pid, msg: M, out: &mut Outbox<M>) {
+        (**self).on_message(from, msg, out);
+    }
+    fn done(&self) -> bool {
+        (**self).done()
+    }
+}

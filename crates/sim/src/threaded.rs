@@ -1,0 +1,160 @@
+//! A thread-per-process runtime over real channels.
+//!
+//! The same [`Process`] state machines that run in the deterministic
+//! simulator run here over `crossbeam` channels with OS-scheduler-induced
+//! nondeterminism. Experiment E10 uses this as a realism check: protocol
+//! outcomes (agreement, validity) must hold under both runtimes.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use sba_net::{Envelope, Outbox, Pid};
+
+use crate::{Process, SimMsg};
+
+/// Statistics from a threaded run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadedStats {
+    /// Envelopes moved between threads (including self-sends).
+    pub messages: u64,
+    /// Whether every process reported done before the wall-clock limit.
+    pub all_done: bool,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// Runs each process on its own thread until all report
+/// [`Process::done`] or `wall_limit` elapses; returns the processes (for
+/// output inspection) and run statistics.
+///
+/// Unlike the simulator this is *not* deterministic — that is the point.
+pub fn run<M, P>(procs: Vec<P>, wall_limit: Duration) -> (Vec<P>, ThreadedStats)
+where
+    M: SimMsg,
+    P: Process<M> + 'static,
+{
+    let n = procs.len();
+    assert!(n > 0, "threaded runtime needs at least one process");
+    type Chan<M> = (Sender<Envelope<M>>, Receiver<Envelope<M>>);
+    let channels: Vec<Chan<M>> = (0..n).map(|_| unbounded()).collect();
+    let senders: Vec<Sender<Envelope<M>>> = channels.iter().map(|(s, _)| s.clone()).collect();
+    let done_count = Arc::new(AtomicUsize::new(0));
+    let msg_count = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let deadline = started + wall_limit;
+
+    let handles: Vec<_> = procs
+        .into_iter()
+        .enumerate()
+        .map(|(k, mut proc_)| {
+            let pid = Pid::new(k as u32 + 1);
+            let rx = channels[k].1.clone();
+            let senders = senders.clone();
+            let done_count = Arc::clone(&done_count);
+            let msg_count = Arc::clone(&msg_count);
+            std::thread::spawn(move || {
+                let mut flagged_done = false;
+                let dispatch = |out: &mut Outbox<M>| {
+                    for env in out.drain() {
+                        msg_count.fetch_add(1, Ordering::Relaxed);
+                        let idx = (env.to.index() - 1) as usize;
+                        // A closed peer channel just means that peer exited.
+                        let _ = senders[idx].send(env);
+                    }
+                };
+                let mut out = Outbox::new(pid);
+                proc_.on_start(&mut out);
+                dispatch(&mut out);
+                loop {
+                    if !flagged_done && proc_.done() {
+                        flagged_done = true;
+                        done_count.fetch_add(1, Ordering::SeqCst);
+                    }
+                    if done_count.load(Ordering::SeqCst) == n || Instant::now() >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(Duration::from_millis(10)) {
+                        Ok(env) => {
+                            let mut out = Outbox::new(pid);
+                            proc_.on_message(env.from, env.msg, &mut out);
+                            dispatch(&mut out);
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                proc_
+            })
+        })
+        .collect();
+
+    let procs: Vec<P> = handles
+        .into_iter()
+        .map(|h| h.join().expect("process thread panicked"))
+        .collect();
+    let stats = ThreadedStats {
+        messages: msg_count.load(Ordering::Relaxed),
+        all_done: done_count.load(Ordering::SeqCst) == n,
+        elapsed: started.elapsed(),
+    };
+    (procs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every process greets every other; done after hearing from all.
+    struct Greeter {
+        me: Pid,
+        n: usize,
+        heard: std::collections::BTreeSet<Pid>,
+    }
+
+    impl Process<u64> for Greeter {
+        fn on_start(&mut self, out: &mut Outbox<u64>) {
+            for p in Pid::all(self.n) {
+                if p != self.me {
+                    out.send(p, u64::from(self.me.index()));
+                }
+            }
+        }
+        fn on_message(&mut self, from: Pid, _msg: u64, _out: &mut Outbox<u64>) {
+            self.heard.insert(from);
+        }
+        fn done(&self) -> bool {
+            self.heard.len() == self.n - 1
+        }
+    }
+
+    #[test]
+    fn all_greeters_finish() {
+        let n = 5;
+        let procs: Vec<Greeter> = (1..=n)
+            .map(|i| Greeter {
+                me: Pid::new(i as u32),
+                n,
+                heard: Default::default(),
+            })
+            .collect();
+        let (procs, stats) = run(procs, Duration::from_secs(10));
+        assert!(stats.all_done, "threads did not finish: {stats:?}");
+        assert!(procs.iter().all(|p| p.done()));
+        assert_eq!(stats.messages, (n * (n - 1)) as u64);
+    }
+
+    #[test]
+    fn wall_limit_terminates_stuck_runs() {
+        /// Never done, never sends: the run must end by the wall limit.
+        struct Stuck;
+        impl Process<u64> for Stuck {
+            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+            fn on_message(&mut self, _from: Pid, _msg: u64, _out: &mut Outbox<u64>) {}
+        }
+        let started = Instant::now();
+        let (_, stats) = run(vec![Stuck, Stuck], Duration::from_millis(100));
+        assert!(!stats.all_done);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

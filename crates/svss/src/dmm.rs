@@ -1,0 +1,507 @@
+//! DMM — the Detection and Message Management protocol (paper §3.3).
+//!
+//! One DMM instance runs per process, for the lifetime of the SVSS scheme,
+//! concurrently with all VSS invocations. It maintains:
+//!
+//! - `D_i`: processes known faulty — all their messages are **discarded**;
+//! - `ACK_i`: dealer-side expectations `(broadcaster j, poly l, session, x)`
+//!   — "j must eventually RB `f_l(j) = x` in that session's reconstruct";
+//! - `DEAL_i`: monitor-side expectations `(broadcaster j, session, x)` —
+//!   "j must eventually RB `f_i(j) = x`";
+//! - the session partial order `→_i` (completed-before-started), driving
+//!   the **delay** rule: messages from `j` in a later session wait while
+//!   an expectation on `j` from an earlier session is outstanding.
+//!
+//! A mismatch between an expectation and the actual broadcast puts the
+//! broadcaster in `D_i` *silently* — this is the paper's shunning: the
+//! process acts on its detection without necessarily ever knowing the
+//! detected process is faulty.
+
+use std::collections::{BTreeSet, HashMap};
+
+use sba_field::Field;
+use sba_net::{MwId, Pid, SvssId};
+
+/// What to do with an incoming message, per the DMM rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Sender is in `D_i`: drop the message permanently (rule 4).
+    Discard,
+    /// An earlier-session expectation on the sender is outstanding:
+    /// buffer the message and retry later (rule 5).
+    Delay,
+    /// Pass the message to the VSS protocol (rule 5, final clause).
+    Act,
+}
+
+/// A VSS session for the purposes of the `→_i` order: either one MW-SVSS
+/// invocation (the granularity at which ACK/DEAL expectations live — a
+/// never-reconstructed MW invocation must never block later sessions,
+/// since its expectations legitimately stay open), or one enclosing SVSS
+/// session (for its own `Rows`/`G`-set messages).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SessionKey {
+    /// An MW-SVSS invocation.
+    Mw(MwId),
+    /// An SVSS session.
+    Svss(SvssId),
+}
+
+/// The per-process DMM state.
+#[derive(Clone, Debug)]
+pub struct Dmm<F> {
+    me: Pid,
+    /// When false, detection and filtering are inert (experiment E8's
+    /// ablation): no process is ever detected, delayed, or discarded.
+    enabled: bool,
+    /// `D_i`: known-faulty processes.
+    d: BTreeSet<Pid>,
+    /// `ACK_i` keyed by `(session, broadcaster, poly index)` → expected value.
+    ack: HashMap<(MwId, Pid, Pid), F>,
+    /// `DEAL_i` keyed by `(session, broadcaster)` → expected value of `f_me`.
+    deal: HashMap<(MwId, Pid), F>,
+    /// Logical clock for the `→_i` order.
+    epoch: u64,
+    started: HashMap<SessionKey, u64>,
+    completed: HashMap<SessionKey, u64>,
+    /// All reconstruct broadcasts seen, keyed by `(session, origin, poly)`.
+    /// Expectations registered *after* the broadcast arrived are checked
+    /// against this log, making rule 2/3 order-independent.
+    recon_log: HashMap<(MwId, Pid, Pid), F>,
+    /// Outstanding-expectation counts per `(session, broadcaster)` — the
+    /// index that makes the delay rule O(per-sender debt) per message
+    /// instead of O(all tuples).
+    open: HashMap<(MwId, Pid), usize>,
+    /// For each broadcaster: sessions that *completed* with expectations
+    /// still open (the only ones that can delay), with completion epoch.
+    debt: HashMap<Pid, HashMap<MwId, u64>>,
+    /// Bumped whenever a verdict could change (tuple resolved, `D_i`
+    /// grown, session order extended); lets callers skip re-filtering
+    /// buffered messages when nothing moved.
+    version: u64,
+    /// Processes newly added to `D_i`, with the session that exposed them;
+    /// drained by the engine for shun-event reporting.
+    new_shuns: Vec<(Pid, SvssId)>,
+}
+
+impl<F: Field> Dmm<F> {
+    /// Creates the DMM for process `me`.
+    pub fn new(me: Pid) -> Self {
+        Dmm {
+            me,
+            enabled: true,
+            d: BTreeSet::new(),
+            ack: HashMap::new(),
+            deal: HashMap::new(),
+            epoch: 0,
+            started: HashMap::new(),
+            completed: HashMap::new(),
+            recon_log: HashMap::new(),
+            open: HashMap::new(),
+            debt: HashMap::new(),
+            version: 0,
+            new_shuns: Vec::new(),
+        }
+    }
+
+    /// Monotone counter bumped whenever any verdict could have changed.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn open_inc(&mut self, mw: MwId, broadcaster: Pid) {
+        *self.open.entry((mw, broadcaster)).or_insert(0) += 1;
+        if let Some(&epoch) = self.completed.get(&SessionKey::Mw(mw)) {
+            self.debt.entry(broadcaster).or_default().insert(mw, epoch);
+        }
+    }
+
+    fn open_dec(&mut self, mw: MwId, broadcaster: Pid, by: usize) {
+        let remove = match self.open.get_mut(&(mw, broadcaster)) {
+            Some(c) => {
+                *c = c.saturating_sub(by);
+                *c == 0
+            }
+            None => false,
+        };
+        if remove {
+            self.open.remove(&(mw, broadcaster));
+            if let Some(d) = self.debt.get_mut(&broadcaster) {
+                d.remove(&mw);
+                if d.is_empty() {
+                    self.debt.remove(&broadcaster);
+                }
+            }
+            self.version += 1;
+        }
+    }
+
+    /// The processes currently in `D_i`.
+    pub fn detected(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.d.iter().copied()
+    }
+
+    /// Whether `p` is in `D_i`.
+    pub fn is_detected(&self, p: Pid) -> bool {
+        self.d.contains(&p)
+    }
+
+    /// Outstanding expectation counts `(|ACK_i|, |DEAL_i|)` (for tests and
+    /// liveness assertions).
+    pub fn expectation_counts(&self) -> (usize, usize) {
+        (self.ack.len(), self.deal.len())
+    }
+
+    /// Drains newly detected processes (with the session that exposed them).
+    pub fn take_new_shuns(&mut self) -> Vec<(Pid, SvssId)> {
+        std::mem::take(&mut self.new_shuns)
+    }
+
+    /// Records that this process began participating in `session`'s share
+    /// protocol. Idempotent.
+    pub fn session_started(&mut self, session: SessionKey) {
+        if !self.started.contains_key(&session) {
+            self.epoch += 1;
+            self.started.insert(session, self.epoch);
+            self.version += 1;
+        }
+    }
+
+    /// Records that this process completed `session`'s reconstruct
+    /// protocol. Idempotent.
+    pub fn session_completed(&mut self, session: SessionKey) {
+        if !self.completed.contains_key(&session) {
+            self.epoch += 1;
+            self.completed.insert(session, self.epoch);
+            self.version += 1;
+            // Any still-open expectations of this session become debt.
+            if let SessionKey::Mw(mw) = session {
+                let epoch = self.epoch;
+                let debtors: Vec<Pid> = self
+                    .open
+                    .keys()
+                    .filter(|&&(m, _)| m == mw)
+                    .map(|&(_, b)| b)
+                    .collect();
+                for b in debtors {
+                    self.debt.entry(b).or_default().insert(mw, epoch);
+                }
+            }
+        }
+    }
+
+    /// The `→_i` order: `a` precedes `b` iff this process completed `a`'s
+    /// reconstruct before starting `b`'s share.
+    pub fn precedes(&self, a: SessionKey, b: SessionKey) -> bool {
+        match (self.completed.get(&a), self.started.get(&b)) {
+            (Some(ca), Some(sb)) => ca < sb,
+            _ => false,
+        }
+    }
+
+    /// Disables detection and filtering (ablation experiments only).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    fn shun(&mut self, p: Pid, session: SvssId) {
+        if !self.enabled {
+            return;
+        }
+        if p != self.me && self.d.insert(p) {
+            self.new_shuns.push((p, session));
+            self.version += 1;
+        }
+    }
+
+    /// Registers a dealer-side expectation (share step 7): `broadcaster`
+    /// must RB `f_poly(broadcaster) = expected` during `mw`'s reconstruct.
+    ///
+    /// If that broadcast already arrived, the check is applied immediately.
+    pub fn register_ack(&mut self, mw: MwId, broadcaster: Pid, poly: Pid, expected: F) {
+        match self.recon_log.get(&(mw, broadcaster, poly)) {
+            Some(&v) if v == expected => {} // already satisfied
+            Some(_) => self.shun(broadcaster, mw.parent()),
+            None => {
+                self.ack.insert((mw, broadcaster, poly), expected);
+                self.open_inc(mw, broadcaster);
+            }
+        }
+    }
+
+    /// Registers a monitor-side expectation (share step 3): `broadcaster`
+    /// must RB `f_me(broadcaster) = expected` during `mw`'s reconstruct.
+    pub fn register_deal(&mut self, mw: MwId, broadcaster: Pid, expected: F) {
+        match self.recon_log.get(&(mw, broadcaster, self.me)) {
+            Some(&v) if v == expected => {}
+            Some(_) => self.shun(broadcaster, mw.parent()),
+            None => {
+                self.deal.insert((mw, broadcaster), expected);
+                self.open_inc(mw, broadcaster);
+            }
+        }
+    }
+
+    /// Drops the reconstruct-broadcast log of one MW session. Safe once
+    /// the session produced its local output: no new expectations can be
+    /// registered after the share phase, so the log (which only exists to
+    /// check *late-registered* expectations against *earlier* broadcasts)
+    /// is dead weight from then on. Late broadcasts still match live
+    /// tuples directly.
+    pub fn prune_recon_log(&mut self, mw: MwId) {
+        self.recon_log.retain(|&(m, _, _), _| m != mw);
+    }
+
+    /// Number of retained reconstruct-log entries (memory accounting).
+    pub fn recon_log_len(&self) -> usize {
+        self.recon_log.len()
+    }
+
+    /// Drops all `DEAL` expectations for session `mw` (share step 8: this
+    /// process is not in `M̂`, so nobody will broadcast its polynomial).
+    pub fn drop_deal_entries(&mut self, mw: MwId) {
+        let dropped: Vec<Pid> = self
+            .deal
+            .keys()
+            .filter(|&&(m, _)| m == mw)
+            .map(|&(_, b)| b)
+            .collect();
+        self.deal.retain(|&(m, _), _| m != mw);
+        for b in dropped {
+            self.open_dec(mw, b, 1);
+        }
+    }
+
+    /// Observes a reconstruct broadcast: `origin` RB'd "`f_poly(origin) =
+    /// value`" in session `mw`. Applies DMM rules 2 and 3 (match → remove
+    /// expectation; mismatch → `D_i`).
+    ///
+    /// Must be called for **every** such delivery, before the verdict
+    /// check — detection is unconditional. `log` should be false once the
+    /// session already produced its local output (no new expectations can
+    /// appear, so remembering the broadcast would be dead weight).
+    pub fn observe_recon(&mut self, mw: MwId, origin: Pid, poly: Pid, value: F, log: bool) {
+        // First delivery per slot wins; RB guarantees all nonfaulty see the
+        // same one.
+        if log {
+            self.recon_log.entry((mw, origin, poly)).or_insert(value);
+        }
+        if self.me == mw.dealer() {
+            if let Some(&expected) = self.ack.get(&(mw, origin, poly)) {
+                if expected == value {
+                    self.ack.remove(&(mw, origin, poly));
+                    self.open_dec(mw, origin, 1);
+                } else {
+                    self.shun(origin, mw.parent());
+                }
+            }
+        }
+        if poly == self.me {
+            if let Some(&expected) = self.deal.get(&(mw, origin)) {
+                if expected == value {
+                    self.deal.remove(&(mw, origin));
+                    self.open_dec(mw, origin, 1);
+                } else {
+                    self.shun(origin, mw.parent());
+                }
+            }
+        }
+    }
+
+    /// The filter (rules 4 and 5): what to do with a message from `sender`
+    /// belonging to `session`.
+    pub fn verdict(&self, sender: Pid, session: SessionKey) -> Verdict {
+        if !self.enabled {
+            return Verdict::Act;
+        }
+        if self.d.contains(&sender) {
+            return Verdict::Discard;
+        }
+        // Only sessions that completed with open expectations can delay;
+        // those are exactly the sender's debt entries.
+        let Some(debts) = self.debt.get(&sender) else {
+            return Verdict::Act;
+        };
+        let Some(&started) = self.started.get(&session) else {
+            return Verdict::Act;
+        };
+        if debts.values().any(|&completed| completed < started) {
+            Verdict::Delay
+        } else {
+            Verdict::Act
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sba_field::Gf61;
+
+    fn f(v: u64) -> Gf61 {
+        Gf61::from_u64(v)
+    }
+
+    fn session(tag: u64, dealer: u32) -> SvssId {
+        SvssId::new(tag, Pid::new(dealer))
+    }
+
+    fn mw(parent: SvssId) -> MwId {
+        MwId::nested(parent, Pid::new(1), Pid::new(2), Pid::new(1), Pid::new(2))
+    }
+
+    #[test]
+    fn matching_broadcast_clears_expectation() {
+        let s = session(1, 1);
+        let m = mw(s);
+        let mut dmm: Dmm<Gf61> = Dmm::new(Pid::new(1)); // me == dealer of m
+        dmm.register_ack(m, Pid::new(3), Pid::new(2), f(7));
+        assert_eq!(dmm.expectation_counts(), (1, 0));
+        dmm.observe_recon(m, Pid::new(3), Pid::new(2), f(7), true);
+        assert_eq!(dmm.expectation_counts(), (0, 0));
+        assert!(!dmm.is_detected(Pid::new(3)));
+    }
+
+    #[test]
+    fn mismatched_broadcast_detects_faulty() {
+        let s = session(1, 1);
+        let m = mw(s);
+        let mut dmm: Dmm<Gf61> = Dmm::new(Pid::new(1));
+        dmm.register_ack(m, Pid::new(3), Pid::new(2), f(7));
+        dmm.observe_recon(m, Pid::new(3), Pid::new(2), f(8), true);
+        assert!(dmm.is_detected(Pid::new(3)));
+        assert_eq!(
+            dmm.verdict(Pid::new(3), SessionKey::Svss(session(2, 2))),
+            Verdict::Discard
+        );
+        let shuns = dmm.take_new_shuns();
+        assert_eq!(shuns, vec![(Pid::new(3), s)]);
+        assert!(dmm.take_new_shuns().is_empty(), "shun reported once");
+    }
+
+    #[test]
+    fn expectation_after_broadcast_still_checked() {
+        // Rule 2/3 must be order-independent: the broadcast can arrive
+        // before the dealer registers its expectation.
+        let s = session(1, 1);
+        let m = mw(s);
+        let mut dmm: Dmm<Gf61> = Dmm::new(Pid::new(1));
+        dmm.observe_recon(m, Pid::new(3), Pid::new(2), f(9), true);
+        dmm.register_ack(m, Pid::new(3), Pid::new(2), f(7)); // mismatch
+        assert!(dmm.is_detected(Pid::new(3)));
+
+        let mut dmm2: Dmm<Gf61> = Dmm::new(Pid::new(1));
+        dmm2.observe_recon(m, Pid::new(3), Pid::new(2), f(7), true);
+        dmm2.register_ack(m, Pid::new(3), Pid::new(2), f(7)); // match
+        assert!(!dmm2.is_detected(Pid::new(3)));
+        assert_eq!(dmm2.expectation_counts(), (0, 0));
+    }
+
+    #[test]
+    fn deal_expectations_keyed_on_my_polynomial() {
+        let s = session(1, 1);
+        let m = mw(s);
+        let mut dmm: Dmm<Gf61> = Dmm::new(Pid::new(4)); // me = monitor p4
+        dmm.register_deal(m, Pid::new(2), f(5));
+        // A broadcast about someone else's polynomial must not match.
+        dmm.observe_recon(m, Pid::new(2), Pid::new(3), f(99), true);
+        assert_eq!(dmm.expectation_counts(), (0, 1));
+        // The broadcast about my polynomial with the right value clears it.
+        dmm.observe_recon(m, Pid::new(2), Pid::new(4), f(5), true);
+        assert_eq!(dmm.expectation_counts(), (0, 0));
+    }
+
+    #[test]
+    fn delay_applies_only_to_later_sessions() {
+        let s1 = session(1, 1);
+        let s2 = session(2, 2);
+        let s3 = session(3, 3);
+        let m1 = mw(s1);
+        let mut dmm: Dmm<Gf61> = Dmm::new(Pid::new(1));
+        dmm.session_started(SessionKey::Mw(m1));
+        dmm.register_ack(m1, Pid::new(3), Pid::new(2), f(7));
+        // The MW invocation's reconstruct completes with the expectation
+        // still open (that is the shunning scenario).
+        dmm.session_completed(SessionKey::Mw(m1));
+        dmm.session_started(SessionKey::Svss(s2));
+        // m1 →me s2, expectation from m1 outstanding on p3: delay p3 in s2.
+        assert_eq!(
+            dmm.verdict(Pid::new(3), SessionKey::Svss(s2)),
+            Verdict::Delay
+        );
+        // Other senders unaffected.
+        assert_eq!(dmm.verdict(Pid::new(2), SessionKey::Svss(s2)), Verdict::Act);
+        // Sessions not ordered after m1 are unaffected (s3 never started).
+        assert_eq!(dmm.verdict(Pid::new(3), SessionKey::Svss(s3)), Verdict::Act);
+        // m1 itself: not ordered after itself.
+        assert_eq!(dmm.verdict(Pid::new(3), SessionKey::Mw(m1)), Verdict::Act);
+        // Once the expectation resolves, the delay lifts.
+        dmm.observe_recon(m1, Pid::new(3), Pid::new(2), f(7), true);
+        assert_eq!(dmm.verdict(Pid::new(3), SessionKey::Svss(s2)), Verdict::Act);
+    }
+
+    /// The round-2 liveness regression behind the SessionKey design: a
+    /// never-reconstructed MW invocation leaves expectations open forever,
+    /// and they must NOT delay later sessions.
+    #[test]
+    fn unreconstructed_mw_session_never_blocks() {
+        let s1 = session(1, 1);
+        let m1 = mw(s1);
+        let s2 = session(2, 1);
+        let mut dmm: Dmm<Gf61> = Dmm::new(Pid::new(1));
+        dmm.session_started(SessionKey::Mw(m1));
+        dmm.register_ack(m1, Pid::new(3), Pid::new(2), f(7));
+        // The enclosing SVSS session completes, but m1's own reconstruct
+        // was never invoked (its pair fell outside Ĝ).
+        dmm.session_started(SessionKey::Svss(s1));
+        dmm.session_completed(SessionKey::Svss(s1));
+        dmm.session_started(SessionKey::Svss(s2));
+        assert_eq!(dmm.verdict(Pid::new(3), SessionKey::Svss(s2)), Verdict::Act);
+    }
+
+    #[test]
+    fn step8_drops_deal_entries() {
+        let s = session(1, 1);
+        let m = mw(s);
+        let mut dmm: Dmm<Gf61> = Dmm::new(Pid::new(4));
+        dmm.register_deal(m, Pid::new(2), f(5));
+        dmm.register_deal(m, Pid::new(3), f(6));
+        let other = mw(session(9, 1));
+        dmm.register_deal(other, Pid::new(2), f(1));
+        dmm.drop_deal_entries(m);
+        assert_eq!(dmm.expectation_counts(), (0, 1));
+    }
+
+    #[test]
+    fn ordering_is_completed_before_started() {
+        let s1 = session(1, 1);
+        let s2 = session(2, 2);
+        let mut dmm: Dmm<Gf61> = Dmm::new(Pid::new(1));
+        dmm.session_started(SessionKey::Svss(s1));
+        dmm.session_started(SessionKey::Svss(s2)); // concurrent
+        dmm.session_completed(SessionKey::Svss(s1));
+        assert!(
+            !dmm.precedes(SessionKey::Svss(s1), SessionKey::Svss(s2)),
+            "s2 started before s1 completed"
+        );
+        let s3 = session(3, 3);
+        dmm.session_started(SessionKey::Svss(s3));
+        assert!(dmm.precedes(SessionKey::Svss(s1), SessionKey::Svss(s3)));
+        assert!(!dmm.precedes(SessionKey::Svss(s3), SessionKey::Svss(s1)));
+        // Idempotence: re-registering must not bump epochs.
+        dmm.session_started(SessionKey::Svss(s3));
+        dmm.session_completed(SessionKey::Svss(s1));
+        assert!(dmm.precedes(SessionKey::Svss(s1), SessionKey::Svss(s3)));
+    }
+
+    #[test]
+    fn never_shuns_self() {
+        let s = session(1, 1);
+        let m = mw(s);
+        let mut dmm: Dmm<Gf61> = Dmm::new(Pid::new(3));
+        // An inconsistent dealer could try to frame us; self-shun is a bug.
+        dmm.register_deal(m, Pid::new(3), f(1));
+        dmm.observe_recon(m, Pid::new(3), Pid::new(3), f(2), true);
+        assert!(!dmm.is_detected(Pid::new(3)));
+    }
+}

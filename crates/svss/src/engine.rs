@@ -1,0 +1,558 @@
+//! The per-process SVSS engine: RB mux + DMM + all MW/SVSS machines.
+//!
+//! The engine is the deployable unit of this crate: it owns every
+//! sub-machine of one process and exposes a message-in/messages-out
+//! interface plus an event stream. Layering inside (paper §2–§4):
+//!
+//! ```text
+//! incoming ──► RbMux (relays always run) ──► DMM filter ──► MW / SVSS machines
+//!                                   │  rules 2+3 (detection) fire
+//!                                   └─ before the delay/discard verdict
+//! ```
+
+use std::collections::{BTreeSet, HashMap};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sba_broadcast::{Params, RbMux};
+use sba_field::Field;
+use sba_net::{MwId, Pid, ProcessSet, SvssId};
+
+use crate::{
+    Dmm, Mw, MwIn, MwOut, Reconstructed, SessionKey, Svss, SvssCtx, SvssMsg, SvssOut, SvssPriv,
+    SvssRbValue, SvssSlot, Verdict,
+};
+
+/// Events reported to the engine's caller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SvssEvent<F> {
+    /// An SVSS share protocol completed.
+    ShareCompleted(SvssId),
+    /// An SVSS reconstruct produced its output.
+    Reconstructed(SvssId, Reconstructed<F>),
+    /// A standalone MW-SVSS share completed.
+    MwShareCompleted(MwId),
+    /// A standalone MW-SVSS reconstruct produced its output.
+    MwReconstructed(MwId, Reconstructed<F>),
+    /// The DMM added `process` to `D_i` while handling `session` — the
+    /// shunning signal (the process itself may never "know" this beyond
+    /// the DMM's behaviour).
+    Shunned {
+        /// The newly detected faulty process.
+        process: Pid,
+        /// The session whose expectations exposed it.
+        session: SvssId,
+    },
+}
+
+/// A message the DMM told us to buffer.
+#[derive(Clone, Debug)]
+enum Inner<F> {
+    Priv(SvssPriv<F>),
+    Deliv {
+        slot: SvssSlot,
+        origin: Pid,
+        value: SvssRbValue<F>,
+    },
+}
+
+impl<F> Inner<F> {
+    fn session_key(&self) -> SessionKey {
+        match self {
+            Inner::Priv(p) => p.session_key(),
+            Inner::Deliv { slot, .. } => slot.session_key(),
+        }
+    }
+}
+
+/// The SVSS scheme for one process: invoke shares/reconstructs, feed it
+/// incoming messages, drain outgoing sends and events.
+///
+/// # Examples
+///
+/// See the crate-level documentation and `tests/` for full multi-process
+/// runs; the engine is driven either by `sba-sim` or by real channels.
+pub struct SvssEngine<F: Field> {
+    me: Pid,
+    params: Params,
+    rng: StdRng,
+    mux: RbMux<SvssSlot, SvssRbValue<F>>,
+    dmm: Dmm<F>,
+    mw: HashMap<MwId, Mw<F>>,
+    svss: HashMap<SvssId, Svss<F>>,
+    mw_completed: BTreeSet<MwId>,
+    mw_outputs: HashMap<MwId, Reconstructed<F>>,
+    pending: Vec<(Pid, Inner<F>)>,
+    pending_version: u64,
+    events: Vec<SvssEvent<F>>,
+}
+
+impl<F: Field> SvssEngine<F> {
+    /// Creates the engine for process `me`. `seed` drives all of this
+    /// process's polynomial sampling (determinism for replay).
+    pub fn new(me: Pid, params: Params, seed: u64) -> Self {
+        SvssEngine {
+            me,
+            params,
+            rng: StdRng::seed_from_u64(seed ^ 0x5755_5353),
+            mux: RbMux::new(me, params),
+            dmm: Dmm::new(me),
+            mw: HashMap::new(),
+            svss: HashMap::new(),
+            mw_completed: BTreeSet::new(),
+            mw_outputs: HashMap::new(),
+            pending: Vec::new(),
+            pending_version: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// This process's id.
+    pub fn me(&self) -> Pid {
+        self.me
+    }
+
+    /// System parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// Drains accumulated events.
+    pub fn take_events(&mut self) -> Vec<SvssEvent<F>> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Read access to the DMM (for assertions and experiments).
+    pub fn dmm(&self) -> &Dmm<F> {
+        &self.dmm
+    }
+
+    /// Disables the DMM's detection and filtering — the "no shunning"
+    /// ablation of experiment E8. Never use outside experiments.
+    pub fn disable_detection(&mut self) {
+        self.dmm.disable();
+    }
+
+    /// Whether SVSS session `id`'s share completed at this process.
+    pub fn share_completed(&self, id: SvssId) -> bool {
+        self.svss.get(&id).is_some_and(|s| s.share_completed())
+    }
+
+    /// The SVSS output of session `id`, if reconstructed.
+    pub fn output(&self, id: SvssId) -> Option<Reconstructed<F>> {
+        self.svss.get(&id).and_then(|s| s.output())
+    }
+
+    /// The standalone MW output of `id`, if reconstructed.
+    pub fn mw_output(&self, id: MwId) -> Option<Reconstructed<F>> {
+        self.mw_outputs.get(&id).copied()
+    }
+
+    /// Number of live MW machines (memory accounting).
+    pub fn mw_machine_count(&self) -> usize {
+        self.mw.len()
+    }
+
+    /// Number of DMM-delayed messages currently buffered. In honest runs
+    /// this must drain to zero at quiescence (no message left behind).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Local commands
+    // ------------------------------------------------------------------
+
+    /// Invokes protocol `S` as the dealer of session `id` with `secret`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this process is not `id.dealer()` or already shared `id`.
+    pub fn share(&mut self, id: SvssId, secret: F, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
+        assert_eq!(self.me, id.dealer(), "only the dealer may share");
+        self.dmm.session_started(SessionKey::Svss(id));
+        let n = self.params.n();
+        let t = self.params.t();
+        let machine = self
+            .svss
+            .entry(id)
+            .or_insert_with(|| Svss::new(id, self.me, n, t));
+        let ctx = SvssCtx {
+            mw_completed: &self.mw_completed,
+            mw_outputs: &self.mw_outputs,
+        };
+        let mut outs = Vec::new();
+        machine.start_share(secret, &mut self.rng, &ctx, &mut outs);
+        self.handle_svss_outs(id, outs, sends);
+        self.finish(sends);
+    }
+
+    /// Invokes protocol `R` for session `id` (begins once `S` completes).
+    pub fn reconstruct(&mut self, id: SvssId, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
+        self.dmm.session_started(SessionKey::Svss(id));
+        let n = self.params.n();
+        let t = self.params.t();
+        let me = self.me;
+        let machine = self
+            .svss
+            .entry(id)
+            .or_insert_with(|| Svss::new(id, me, n, t));
+        let ctx = SvssCtx {
+            mw_completed: &self.mw_completed,
+            mw_outputs: &self.mw_outputs,
+        };
+        let mut outs = Vec::new();
+        machine.start_reconstruct(&ctx, &mut outs);
+        self.handle_svss_outs(id, outs, sends);
+        self.finish(sends);
+    }
+
+    /// Invokes a standalone MW-SVSS share as its dealer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this process is not `id.dealer()`.
+    pub fn mw_share(&mut self, id: MwId, secret: F, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
+        self.dmm.session_started(SessionKey::Mw(id));
+        let mut outs = Vec::new();
+        let (n, t, me) = (self.params.n(), self.params.t(), self.me);
+        let machine = self.mw.entry(id).or_insert_with(|| Mw::new(id, me, n, t));
+        machine.start_share(secret, &mut self.rng, &mut outs);
+        self.handle_mw_outs(id, outs, sends);
+        self.finish(sends);
+    }
+
+    /// Provides the moderator input of a standalone MW-SVSS session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this process is not `id.moderator()`.
+    pub fn mw_set_moderator_input(
+        &mut self,
+        id: MwId,
+        value: F,
+        sends: &mut Vec<(Pid, SvssMsg<F>)>,
+    ) {
+        self.dmm.session_started(SessionKey::Mw(id));
+        let mut outs = Vec::new();
+        self.mw_machine(id).set_moderator_input(value, &mut outs);
+        self.handle_mw_outs(id, outs, sends);
+        self.finish(sends);
+    }
+
+    /// Begins the reconstruct protocol of a standalone MW-SVSS session.
+    pub fn mw_reconstruct(&mut self, id: MwId, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
+        self.dmm.session_started(SessionKey::Mw(id));
+        let mut outs = Vec::new();
+        self.mw_machine(id).start_reconstruct(&mut outs);
+        self.handle_mw_outs(id, outs, sends);
+        self.finish(sends);
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Feeds one delivered network message.
+    pub fn on_message(&mut self, from: Pid, msg: SvssMsg<F>, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
+        match msg {
+            SvssMsg::Rb(m) => {
+                let mut rb_sends = Vec::new();
+                let delivery = self.mux.on_message(from, m, &mut rb_sends);
+                sends.extend(rb_sends.into_iter().map(|(to, m)| (to, SvssMsg::Rb(m))));
+                if let Some(d) = delivery {
+                    // DMM rules 2/3: detection fires on every reconstruct
+                    // broadcast, before (and regardless of) the verdict.
+                    if let (SvssSlot::MwRecon(mw, poly), SvssRbValue::Value(v)) = (d.tag, &d.value)
+                    {
+                        let log = !self.mw_outputs.contains_key(&mw);
+                        self.dmm.observe_recon(mw, d.origin, poly, *v, log);
+                    }
+                    self.route(
+                        d.origin,
+                        Inner::Deliv {
+                            slot: d.tag,
+                            origin: d.origin,
+                            value: d.value,
+                        },
+                        sends,
+                    );
+                }
+            }
+            SvssMsg::Priv(p) => self.route(from, Inner::Priv(p), sends),
+        }
+        self.finish(sends);
+    }
+
+    /// DMM rules 4/5: discard, buffer, or act.
+    fn route(&mut self, sender: Pid, inner: Inner<F>, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
+        // Seeing a session's first message starts participation in it.
+        self.dmm.session_started(inner.session_key());
+        match self.dmm.verdict(sender, inner.session_key()) {
+            Verdict::Discard => {}
+            Verdict::Delay => self.pending.push((sender, inner)),
+            Verdict::Act => self.process_inner(sender, inner, sends),
+        }
+    }
+
+    fn process_inner(&mut self, sender: Pid, inner: Inner<F>, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
+        match inner {
+            Inner::Priv(p) => match p {
+                SvssPriv::MwDeal {
+                    mw,
+                    values,
+                    monitor_poly,
+                    moderator_poly,
+                } => self.feed_mw(
+                    mw,
+                    MwIn::Deal {
+                        from: sender,
+                        values,
+                        monitor_poly,
+                        moderator_poly,
+                    },
+                    sends,
+                ),
+                SvssPriv::MwPoint { mw, value } => self.feed_mw(
+                    mw,
+                    MwIn::Point {
+                        from: sender,
+                        value,
+                    },
+                    sends,
+                ),
+                SvssPriv::MwMonitorValue { mw, value } => self.feed_mw(
+                    mw,
+                    MwIn::MonitorValue {
+                        from: sender,
+                        value,
+                    },
+                    sends,
+                ),
+                SvssPriv::Rows { session, g, h } => {
+                    self.dmm.session_started(SessionKey::Svss(session));
+                    let n = self.params.n();
+                    let t = self.params.t();
+                    let me = self.me;
+                    let machine = self
+                        .svss
+                        .entry(session)
+                        .or_insert_with(|| Svss::new(session, me, n, t));
+                    let ctx = SvssCtx {
+                        mw_completed: &self.mw_completed,
+                        mw_outputs: &self.mw_outputs,
+                    };
+                    let mut outs = Vec::new();
+                    machine.on_rows(sender, g, h, &ctx, &mut outs);
+                    self.handle_svss_outs(session, outs, sends);
+                }
+            },
+            Inner::Deliv {
+                slot,
+                origin,
+                value,
+            } => match (slot, value) {
+                (SvssSlot::MwAck(m), SvssRbValue::Unit) => {
+                    self.feed_mw(m, MwIn::AckDelivered { origin }, sends)
+                }
+                (SvssSlot::MwL(m), SvssRbValue::Set(set)) => {
+                    self.feed_mw(m, MwIn::LDelivered { origin, set }, sends)
+                }
+                (SvssSlot::MwM(m), SvssRbValue::Set(set)) => {
+                    self.feed_mw(m, MwIn::MDelivered { origin, set }, sends)
+                }
+                (SvssSlot::MwOk(m), SvssRbValue::Unit) => {
+                    self.feed_mw(m, MwIn::OkDelivered { origin }, sends)
+                }
+                (SvssSlot::MwRecon(m, poly), SvssRbValue::Value(value)) => self.feed_mw(
+                    m,
+                    MwIn::ReconDelivered {
+                        origin,
+                        poly,
+                        value,
+                    },
+                    sends,
+                ),
+                (SvssSlot::Gsets(session), SvssRbValue::Gsets { g, members }) => {
+                    self.dmm.session_started(SessionKey::Svss(session));
+                    let n = self.params.n();
+                    let t = self.params.t();
+                    let me = self.me;
+                    let machine = self
+                        .svss
+                        .entry(session)
+                        .or_insert_with(|| Svss::new(session, me, n, t));
+                    let ctx = SvssCtx {
+                        mw_completed: &self.mw_completed,
+                        mw_outputs: &self.mw_outputs,
+                    };
+                    let mut outs = Vec::new();
+                    machine.on_gsets(origin, g, members, &ctx, &mut outs);
+                    self.handle_svss_outs(session, outs, sends);
+                }
+                _ => {} // slot/payload mismatch: malformed, ignore
+            },
+        }
+    }
+
+    fn valid_pid(&self, p: Pid) -> bool {
+        (p.index() as usize) <= self.params.n()
+    }
+
+    fn mw_machine(&mut self, id: MwId) -> &mut Mw<F> {
+        let n = self.params.n();
+        let t = self.params.t();
+        let me = self.me;
+        self.mw.entry(id).or_insert_with(|| Mw::new(id, me, n, t))
+    }
+
+    fn feed_mw(&mut self, id: MwId, input: MwIn<F>, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
+        if self.mw_outputs.contains_key(&id) {
+            return; // session finished here; late traffic is dead
+        }
+        if !self.valid_pid(id.dealer())
+            || !self.valid_pid(id.moderator())
+            || !self.valid_pid(id.row())
+            || !self.valid_pid(id.col())
+        {
+            return; // ids referencing unknown processes: drop
+        }
+        self.dmm.session_started(SessionKey::Mw(id));
+        let mut outs = Vec::new();
+        self.mw_machine(id).on_input(input, &mut outs);
+        self.handle_mw_outs(id, outs, sends);
+    }
+
+    fn handle_mw_outs(
+        &mut self,
+        id: MwId,
+        outs: Vec<MwOut<F>>,
+        sends: &mut Vec<(Pid, SvssMsg<F>)>,
+    ) {
+        for o in outs {
+            match o {
+                MwOut::Send(to, p) => sends.push((to, SvssMsg::Priv(p))),
+                MwOut::Broadcast(slot, value) => {
+                    let mut rb_sends = Vec::new();
+                    self.mux.broadcast(slot, value, &mut rb_sends);
+                    sends.extend(rb_sends.into_iter().map(|(to, m)| (to, SvssMsg::Rb(m))));
+                }
+                MwOut::RegisterAck {
+                    broadcaster,
+                    poly,
+                    expected,
+                } => self.dmm.register_ack(id, broadcaster, poly, expected),
+                MwOut::RegisterDeal {
+                    broadcaster,
+                    expected,
+                } => self.dmm.register_deal(id, broadcaster, expected),
+                MwOut::DropDealEntries => self.dmm.drop_deal_entries(id),
+                MwOut::ShareCompleted => {
+                    self.mw_completed.insert(id);
+                    if self.svss.contains_key(&id.parent()) {
+                        self.advance_svss(id.parent(), sends);
+                    } else {
+                        self.events.push(SvssEvent::MwShareCompleted(id));
+                    }
+                }
+                MwOut::Output(v) => {
+                    self.mw_outputs.insert(id, v);
+                    // Each MW invocation is a VSS session of its own for
+                    // →_i purposes; its reconstruct just completed.
+                    self.dmm.session_completed(SessionKey::Mw(id));
+                    // The machine's work is done (output is retained in
+                    // mw_outputs; late broadcasts still match DMM tuples
+                    // directly). Dropping it keeps memory polynomial in
+                    // the number of *live* sessions, per Theorem 1.
+                    self.mw.remove(&id);
+                    self.dmm.prune_recon_log(id);
+                    if self.svss.contains_key(&id.parent()) {
+                        self.advance_svss(id.parent(), sends);
+                    } else {
+                        self.events.push(SvssEvent::MwReconstructed(id, v));
+                    }
+                }
+            }
+        }
+    }
+
+    fn advance_svss(&mut self, sid: SvssId, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
+        let Some(machine) = self.svss.get_mut(&sid) else {
+            return;
+        };
+        let ctx = SvssCtx {
+            mw_completed: &self.mw_completed,
+            mw_outputs: &self.mw_outputs,
+        };
+        let mut outs = Vec::new();
+        machine.advance(&ctx, &mut outs);
+        self.handle_svss_outs(sid, outs, sends);
+    }
+
+    fn handle_svss_outs(
+        &mut self,
+        sid: SvssId,
+        outs: Vec<SvssOut<F>>,
+        sends: &mut Vec<(Pid, SvssMsg<F>)>,
+    ) {
+        for o in outs {
+            match o {
+                SvssOut::Send(to, p) => sends.push((to, SvssMsg::Priv(p))),
+                SvssOut::Broadcast(slot, value) => {
+                    let mut rb_sends = Vec::new();
+                    self.mux.broadcast(slot, value, &mut rb_sends);
+                    sends.extend(rb_sends.into_iter().map(|(to, m)| (to, SvssMsg::Rb(m))));
+                }
+                SvssOut::StartMwShare { mw, secret } => {
+                    let mut outs2 = Vec::new();
+                    let (n, t, me) = (self.params.n(), self.params.t(), self.me);
+                    let machine = self.mw.entry(mw).or_insert_with(|| Mw::new(mw, me, n, t));
+                    machine.start_share(secret, &mut self.rng, &mut outs2);
+                    self.handle_mw_outs(mw, outs2, sends);
+                }
+                SvssOut::SetMwModeratorInput { mw, value } => {
+                    let mut outs2 = Vec::new();
+                    self.mw_machine(mw).set_moderator_input(value, &mut outs2);
+                    self.handle_mw_outs(mw, outs2, sends);
+                }
+                SvssOut::StartMwReconstruct { mw } => {
+                    let mut outs2 = Vec::new();
+                    self.mw_machine(mw).start_reconstruct(&mut outs2);
+                    self.handle_mw_outs(mw, outs2, sends);
+                }
+                SvssOut::ShareCompleted => self.events.push(SvssEvent::ShareCompleted(sid)),
+                SvssOut::Output(v) => {
+                    self.dmm.session_completed(SessionKey::Svss(sid));
+                    self.events.push(SvssEvent::Reconstructed(sid, v));
+                }
+            }
+        }
+    }
+
+    /// Re-examines buffered messages until a fixpoint, then reports new
+    /// shun events. The rescan is skipped entirely unless some verdict
+    /// could have changed since the last pass (DMM version gate) — this
+    /// keeps per-message cost flat even with a large delay buffer.
+    fn finish(&mut self, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
+        while self.dmm.version() != self.pending_version && !self.pending.is_empty() {
+            self.pending_version = self.dmm.version();
+            let pending = std::mem::take(&mut self.pending);
+            for (sender, inner) in pending {
+                match self.dmm.verdict(sender, inner.session_key()) {
+                    Verdict::Discard => {}
+                    Verdict::Delay => self.pending.push((sender, inner)),
+                    Verdict::Act => self.process_inner(sender, inner, sends),
+                }
+            }
+        }
+        self.pending_version = self.dmm.version();
+        for (process, session) in self.dmm.take_new_shuns() {
+            self.events.push(SvssEvent::Shunned { process, session });
+        }
+    }
+
+    /// Processes this engine currently detects as faulty (`D_i`).
+    pub fn detected(&self) -> ProcessSet {
+        self.dmm.detected().collect()
+    }
+}

@@ -1,0 +1,243 @@
+//! A deterministic in-crate test harness: a mesh of [`SvssEngine`]s with
+//! seeded random scheduling and per-process outgoing-message tampering.
+//!
+//! This is deliberately simpler than `sba-sim` (no virtual time, no
+//! pluggable scheduler trait) so the crate's own tests and doctests can
+//! exercise full multi-process protocol runs without a dev-dependency
+//! cycle. Byzantine behaviour is modelled by *tampering*: a corrupted
+//! process runs the honest engine, but a test-supplied function may
+//! rewrite, duplicate, or drop each outgoing message — which captures
+//! lying dealers, lying confirmers, and equivocation attempts.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sba_broadcast::Params;
+use sba_field::Field;
+use sba_net::{MwId, Pid, SvssId};
+
+use crate::{Reconstructed, SvssEngine, SvssEvent, SvssMsg};
+
+/// What a tamper function decides about one outgoing message.
+pub enum Tamper<F> {
+    /// Send unchanged.
+    Keep,
+    /// Suppress the message.
+    Drop,
+    /// Send these messages instead.
+    Replace(Vec<SvssMsg<F>>),
+}
+
+type TamperFn<F> = Box<dyn FnMut(Pid, &SvssMsg<F>) -> Tamper<F>>;
+
+/// A deterministic mesh of SVSS engines.
+pub struct SvssNet<F: Field> {
+    params: Params,
+    engines: Vec<SvssEngine<F>>,
+    events: Vec<Vec<SvssEvent<F>>>,
+    queue: Vec<(Pid, Pid, SvssMsg<F>)>,
+    rng: StdRng,
+    silenced: BTreeSet<Pid>,
+    tampers: Vec<Option<TamperFn<F>>>,
+    delivered: u64,
+}
+
+impl<F: Field> SvssNet<F> {
+    /// Creates `params.n()` engines; `seed` drives both the engines'
+    /// sampling and the delivery schedule.
+    pub fn new(params: Params, seed: u64) -> Self {
+        let engines = Pid::all(params.n())
+            .map(|p| SvssEngine::new(p, params, seed ^ (u64::from(p.index()) << 32)))
+            .collect();
+        SvssNet {
+            params,
+            engines,
+            events: vec![Vec::new(); params.n()],
+            queue: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            silenced: BTreeSet::new(),
+            tampers: (0..params.n()).map(|_| None).collect(),
+            delivered: 0,
+        }
+    }
+
+    /// System parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// Immutable access to one process's engine.
+    pub fn engine(&self, p: Pid) -> &SvssEngine<F> {
+        &self.engines[(p.index() - 1) as usize]
+    }
+
+    /// Events a process has emitted so far.
+    pub fn events(&self, p: Pid) -> &[SvssEvent<F>] {
+        &self.events[(p.index() - 1) as usize]
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Makes `p` drop all incoming messages from now on (fail-silent).
+    pub fn silence(&mut self, p: Pid) {
+        self.silenced.insert(p);
+    }
+
+    /// Installs an outgoing-message tamper for `p` (Byzantine behaviour).
+    pub fn set_tamper(&mut self, p: Pid, f: impl FnMut(Pid, &SvssMsg<F>) -> Tamper<F> + 'static) {
+        self.tampers[(p.index() - 1) as usize] = Some(Box::new(f));
+    }
+
+    /// Injects a raw message (for hand-crafted Byzantine traffic).
+    pub fn push_raw(&mut self, from: Pid, to: Pid, msg: SvssMsg<F>) {
+        self.queue.push((from, to, msg));
+    }
+
+    fn enqueue_sends(&mut self, from: Pid, sends: Vec<(Pid, SvssMsg<F>)>) {
+        let idx = (from.index() - 1) as usize;
+        for (to, msg) in sends {
+            match self.tampers[idx].as_mut() {
+                None => self.queue.push((from, to, msg)),
+                Some(t) => match t(to, &msg) {
+                    Tamper::Keep => self.queue.push((from, to, msg)),
+                    Tamper::Drop => {}
+                    Tamper::Replace(list) => {
+                        for m in list {
+                            self.queue.push((from, to, m));
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    fn with_engine(
+        &mut self,
+        p: Pid,
+        f: impl FnOnce(&mut SvssEngine<F>, &mut Vec<(Pid, SvssMsg<F>)>),
+    ) {
+        let idx = (p.index() - 1) as usize;
+        let mut sends = Vec::new();
+        f(&mut self.engines[idx], &mut sends);
+        let evs = self.engines[idx].take_events();
+        self.events[idx].extend(evs);
+        self.enqueue_sends(p, sends);
+    }
+
+    /// Dealer `id.dealer()` shares `secret` in SVSS session `id`.
+    pub fn share(&mut self, id: SvssId, secret: F) {
+        self.with_engine(id.dealer(), |e, sends| e.share(id, secret, sends));
+    }
+
+    /// Every process invokes reconstruct for session `id`.
+    pub fn reconstruct_all(&mut self, id: SvssId) {
+        for p in Pid::all(self.params.n()) {
+            self.with_engine(p, |e, sends| e.reconstruct(id, sends));
+        }
+    }
+
+    /// Standalone MW share by its dealer.
+    pub fn mw_share(&mut self, id: MwId, secret: F) {
+        self.with_engine(id.dealer(), |e, sends| e.mw_share(id, secret, sends));
+    }
+
+    /// Standalone MW moderator input.
+    pub fn mw_set_moderator_input(&mut self, id: MwId, value: F) {
+        self.with_engine(id.moderator(), |e, sends| {
+            e.mw_set_moderator_input(id, value, sends)
+        });
+    }
+
+    /// Every process invokes the standalone MW reconstruct for `id`.
+    pub fn mw_reconstruct_all(&mut self, id: MwId) {
+        for p in Pid::all(self.params.n()) {
+            self.with_engine(p, |e, sends| e.mw_reconstruct(id, sends));
+        }
+    }
+
+    /// Delivers queued messages in seeded-random order until quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 20 million deliveries (livelock guard).
+    pub fn run(&mut self) {
+        self.run_steps(20_000_000);
+    }
+
+    /// Delivers only messages matching `pred` (in seeded-random order),
+    /// including matching messages generated along the way, until none
+    /// match. Non-matching messages stay queued — this is how tests script
+    /// the paper's adversarial schedules (e.g. Example 1).
+    pub fn deliver_matching(&mut self, pred: impl Fn(Pid, Pid, &SvssMsg<F>) -> bool) {
+        let mut steps = 0u64;
+        loop {
+            let matching: Vec<usize> = (0..self.queue.len())
+                .filter(|&k| {
+                    let (f, t, ref m) = self.queue[k];
+                    pred(f, t, m)
+                })
+                .collect();
+            if matching.is_empty() {
+                return;
+            }
+            steps += 1;
+            assert!(steps <= 20_000_000, "deliver_matching exceeded cap");
+            let k = matching[self.rng.gen_range(0..matching.len())];
+            let (from, to, msg) = self.queue.swap_remove(k);
+            if self.silenced.contains(&to) {
+                continue;
+            }
+            self.delivered += 1;
+            self.with_engine(to, |e, sends| e.on_message(from, msg, sends));
+        }
+    }
+
+    /// Delivers at most `max` messages in seeded-random order.
+    pub fn run_steps(&mut self, max: u64) {
+        let mut steps = 0u64;
+        while !self.queue.is_empty() {
+            steps += 1;
+            assert!(steps <= max, "harness exceeded {max} deliveries");
+            let k = self.rng.gen_range(0..self.queue.len());
+            let (from, to, msg) = self.queue.swap_remove(k);
+            if self.silenced.contains(&to) {
+                continue;
+            }
+            self.delivered += 1;
+            self.with_engine(to, |e, sends| e.on_message(from, msg, sends));
+        }
+    }
+
+    /// Whether every non-silenced process completed the share of `id`.
+    pub fn all_shares_completed(&self, id: SvssId) -> bool {
+        Pid::all(self.params.n())
+            .filter(|p| !self.silenced.contains(p))
+            .all(|p| self.engine(p).share_completed(id))
+    }
+
+    /// The SVSS outputs of all non-silenced processes for session `id`
+    /// (`None` entries for processes that have not output).
+    pub fn outputs(&self, id: SvssId) -> Vec<(Pid, Option<Reconstructed<F>>)> {
+        Pid::all(self.params.n())
+            .filter(|p| !self.silenced.contains(p))
+            .map(|p| (p, self.engine(p).output(id)))
+            .collect()
+    }
+
+    /// All (shunner, shunned) pairs reported so far.
+    pub fn shun_pairs(&self) -> Vec<(Pid, Pid)> {
+        let mut out = Vec::new();
+        for p in Pid::all(self.params.n()) {
+            for ev in self.events(p) {
+                if let SvssEvent::Shunned { process, .. } = ev {
+                    out.push((p, *process));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,862 @@
+//! MW-SVSS: moderated weak shunning verifiable secret sharing (paper §3.2).
+//!
+//! One [`Mw`] value is this process's view of one MW-SVSS invocation.
+//! The machine is sans-io: inputs are [`MwIn`] (delivered messages and
+//! local commands), outputs are [`MwOut`] (sends, broadcasts, DMM
+//! registrations, completion/output events). All conditions are evaluated
+//! by a monotone `advance` pass after every input, so message arrival
+//! order never matters for the final state.
+//!
+//! Roles in an invocation with `n` processes, dealer `d`, moderator `m`:
+//! every process is a potential *monitor* of its polynomial `f_j` and a
+//! *confirmer* for everyone else's; `d` additionally deals, `m` moderates.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use sba_field::{Field, Poly};
+use sba_net::{MwId, Pid, ProcessSet};
+
+use crate::{Reconstructed, SvssPriv, SvssRbValue, SvssSlot};
+
+/// Inputs to the MW-SVSS state machine.
+#[derive(Clone, Debug)]
+pub enum MwIn<F> {
+    /// Private: dealer's share message (step 1 → step 2 trigger).
+    Deal {
+        /// The sending process (must be the dealer).
+        from: Pid,
+        /// `f_1(me), …, f_n(me)`.
+        values: Vec<F>,
+        /// Coefficients of `f_me`.
+        monitor_poly: Vec<F>,
+        /// Coefficients of `f` (only meaningful for the moderator).
+        moderator_poly: Option<Vec<F>>,
+    },
+    /// Private: a confirmer's value `f̂^from_me` (step 2 → step 3 trigger).
+    Point {
+        /// The confirming process.
+        from: Pid,
+        /// The value it claims the dealer gave it for my polynomial.
+        value: F,
+    },
+    /// Private: a monitor's `f̂_from(0)` sent to the moderator (step 4).
+    MonitorValue {
+        /// The monitor.
+        from: Pid,
+        /// `f̂_from(0)`.
+        value: F,
+    },
+    /// RB delivery: `ack` from `origin` (step 2).
+    AckDelivered {
+        /// The acknowledging process.
+        origin: Pid,
+    },
+    /// RB delivery: `L̂_origin` (step 4).
+    LDelivered {
+        /// The monitor that broadcast its confirmer set.
+        origin: Pid,
+        /// The set.
+        set: ProcessSet,
+    },
+    /// RB delivery: `M̂` (step 6; only valid from the moderator).
+    MDelivered {
+        /// The broadcaster (checked against the moderator).
+        origin: Pid,
+        /// The set.
+        set: ProcessSet,
+    },
+    /// RB delivery: `OK` (step 7; only valid from the dealer).
+    OkDelivered {
+        /// The broadcaster (checked against the dealer).
+        origin: Pid,
+    },
+    /// RB delivery: reconstruct point — `origin` claims `f_poly(origin) =
+    /// value` (reconstruct step 1).
+    ReconDelivered {
+        /// The broadcasting confirmer.
+        origin: Pid,
+        /// Whose polynomial the point belongs to.
+        poly: Pid,
+        /// The value.
+        value: F,
+    },
+}
+
+/// Outputs of the MW-SVSS state machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MwOut<F> {
+    /// Send a private message.
+    Send(Pid, SvssPriv<F>),
+    /// Reliably broadcast `value` in `slot`.
+    Broadcast(SvssSlot, SvssRbValue<F>),
+    /// Register a dealer-side DMM expectation (share step 7).
+    RegisterAck {
+        /// Expected broadcaster.
+        broadcaster: Pid,
+        /// Polynomial index the broadcast is about.
+        poly: Pid,
+        /// Expected value.
+        expected: F,
+    },
+    /// Register a monitor-side DMM expectation (share step 3).
+    RegisterDeal {
+        /// Expected broadcaster.
+        broadcaster: Pid,
+        /// Expected value of my polynomial at the broadcaster's index.
+        expected: F,
+    },
+    /// Drop all DEAL expectations for this session (share step 8).
+    DropDealEntries,
+    /// The share protocol `S′` completed at this process (step 9).
+    ShareCompleted,
+    /// The reconstruct protocol `R′` produced an output (step 4 of `R′`).
+    Output(Reconstructed<F>),
+}
+
+/// This process's state in one MW-SVSS invocation.
+#[derive(Clone, Debug)]
+pub struct Mw<F: Field> {
+    id: MwId,
+    me: Pid,
+    n: usize,
+    t: usize,
+
+    // Dealer-only: the true polynomials f, f_1..f_n.
+    dealer_polys: Option<(Poly<F>, Vec<Poly<F>>)>,
+    ok_sent: bool,
+
+    // Every process: what the dealer sent me (step 1).
+    my_values: Option<Vec<F>>,
+    my_poly: Option<Poly<F>>,
+    acked: bool,
+
+    // Step 3 state: first point per confirmer, my confirmer set L_me.
+    points: HashMap<Pid, F>,
+    l_mine: ProcessSet,
+    l_frozen: bool,
+
+    // Moderator-only.
+    moderator_input: Option<F>,
+    moderator_poly: Option<Poly<F>>,
+    monitor_values: HashMap<Pid, F>,
+    m_mine: ProcessSet,
+    m_frozen: bool,
+
+    // RB-delivered public state.
+    acks: ProcessSet,
+    l_hat: HashMap<Pid, ProcessSet>,
+    m_hat: Option<ProcessSet>,
+    ok_delivered: bool,
+
+    share_completed: bool,
+    dropped_deal: bool,
+
+    // Reconstruct.
+    recon_requested: bool,
+    recon_sent: bool,
+    /// All reconstruct points in arrival order: (poly, origin, value).
+    recon_points: Vec<(Pid, Pid, F)>,
+    recon_polys: HashMap<Pid, Poly<F>>,
+    output: Option<Reconstructed<F>>,
+    output_emitted: bool,
+}
+
+impl<F: Field> Mw<F> {
+    /// Creates this process's view of invocation `id` in an `n`-process
+    /// system tolerating `t` faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t` and all ids address processes in `1..=n`.
+    pub fn new(id: MwId, me: Pid, n: usize, t: usize) -> Self {
+        assert!(n > 3 * t, "MW-SVSS requires n > 3t");
+        assert!(me.index() as usize <= n, "process id out of range");
+        assert!(
+            id.dealer().index() as usize <= n && id.moderator().index() as usize <= n,
+            "dealer/moderator out of range"
+        );
+        Mw {
+            id,
+            me,
+            n,
+            t,
+            dealer_polys: None,
+            ok_sent: false,
+            my_values: None,
+            my_poly: None,
+            acked: false,
+            points: HashMap::new(),
+            l_mine: ProcessSet::new(),
+            l_frozen: false,
+            moderator_input: None,
+            moderator_poly: None,
+            monitor_values: HashMap::new(),
+            m_mine: ProcessSet::new(),
+            m_frozen: false,
+            acks: ProcessSet::new(),
+            l_hat: HashMap::new(),
+            m_hat: None,
+            ok_delivered: false,
+            share_completed: false,
+            dropped_deal: false,
+            recon_requested: false,
+            recon_sent: false,
+            recon_points: Vec::new(),
+            recon_polys: HashMap::new(),
+            output: None,
+            output_emitted: false,
+        }
+    }
+
+    /// The invocation id.
+    pub fn id(&self) -> MwId {
+        self.id
+    }
+
+    /// Whether the share protocol completed at this process.
+    pub fn share_completed(&self) -> bool {
+        self.share_completed
+    }
+
+    /// The reconstruct output, if produced.
+    pub fn output(&self) -> Option<Reconstructed<F>> {
+        if self.output_emitted {
+            self.output
+        } else {
+            None
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// Dealer command (share step 1): pick the polynomials and send the
+    /// shares. `secret` is `s = f(0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this process is not the dealer or already started.
+    pub fn start_share<R: Rng + ?Sized>(
+        &mut self,
+        secret: F,
+        rng: &mut R,
+        out: &mut Vec<MwOut<F>>,
+    ) {
+        assert_eq!(self.me, self.id.dealer(), "only the dealer shares");
+        assert!(self.dealer_polys.is_none(), "share started twice");
+        let f = Poly::random_with_constant(secret, self.t, rng);
+        let fls: Vec<Poly<F>> = (1..=self.n as u64)
+            .map(|l| Poly::random_with_constant(f.eval_at_index(l), self.t, rng))
+            .collect();
+        for j in Pid::all(self.n) {
+            let values: Vec<F> = fls.iter().map(|fl| fl.eval_at_index(j.as_u64())).collect();
+            let monitor_poly = fls[(j.index() - 1) as usize].coeffs().to_vec();
+            let moderator_poly = if j == self.id.moderator() {
+                Some(f.coeffs().to_vec())
+            } else {
+                None
+            };
+            out.push(MwOut::Send(
+                j,
+                SvssPriv::MwDeal {
+                    mw: self.id,
+                    values,
+                    monitor_poly,
+                    moderator_poly,
+                },
+            ));
+        }
+        self.dealer_polys = Some((f, fls));
+        self.advance(out);
+    }
+
+    /// Moderator command: set the moderator's input `s′` (step 5 gate).
+    /// In SVSS this is derived from the moderator's rows; standalone
+    /// callers pass it explicitly.
+    pub fn set_moderator_input(&mut self, s_prime: F, out: &mut Vec<MwOut<F>>) {
+        assert_eq!(self.me, self.id.moderator(), "only the moderator has s′");
+        if self.moderator_input.is_none() {
+            self.moderator_input = Some(s_prime);
+            self.advance(out);
+        }
+    }
+
+    /// Command: begin the reconstruct protocol `R′`. If the share has not
+    /// completed locally yet, reconstruction starts as soon as it does.
+    pub fn start_reconstruct(&mut self, out: &mut Vec<MwOut<F>>) {
+        self.recon_requested = true;
+        self.advance(out);
+    }
+
+    /// Feeds one input into the machine.
+    pub fn on_input(&mut self, input: MwIn<F>, out: &mut Vec<MwOut<F>>) {
+        match input {
+            MwIn::Deal {
+                from,
+                values,
+                monitor_poly,
+                moderator_poly,
+            } => {
+                // Only the dealer's first well-formed deal counts.
+                if from != self.id.dealer() || self.my_values.is_some() {
+                    return;
+                }
+                if values.len() != self.n || monitor_poly.len() > self.t + 1 {
+                    return; // malformed: treat as never sent
+                }
+                let poly = Poly::from_coeffs(monitor_poly);
+                self.my_values = Some(values.clone());
+                self.my_poly = Some(poly);
+                if self.me == self.id.moderator() {
+                    match moderator_poly {
+                        Some(c) if c.len() <= self.t + 1 => {
+                            self.moderator_poly = Some(Poly::from_coeffs(c));
+                        }
+                        _ => {
+                            // Malformed moderator part: drop the whole deal.
+                            self.my_values = None;
+                            self.my_poly = None;
+                            return;
+                        }
+                    }
+                }
+                // Step 2: forward each value to its monitor, and ack.
+                for l in Pid::all(self.n) {
+                    out.push(MwOut::Send(
+                        l,
+                        SvssPriv::MwPoint {
+                            mw: self.id,
+                            value: values[(l.index() - 1) as usize],
+                        },
+                    ));
+                }
+                self.acked = true;
+                out.push(MwOut::Broadcast(
+                    SvssSlot::MwAck(self.id),
+                    SvssRbValue::Unit,
+                ));
+            }
+            MwIn::Point { from, value } => {
+                self.points.entry(from).or_insert(value);
+            }
+            MwIn::MonitorValue { from, value } => {
+                if self.me == self.id.moderator() {
+                    self.monitor_values.entry(from).or_insert(value);
+                }
+            }
+            MwIn::AckDelivered { origin } => {
+                self.acks.insert(origin);
+            }
+            MwIn::LDelivered { origin, set } => {
+                self.l_hat.entry(origin).or_insert(set);
+            }
+            MwIn::MDelivered { origin, set } => {
+                if origin == self.id.moderator() && self.m_hat.is_none() {
+                    self.m_hat = Some(set);
+                }
+            }
+            MwIn::OkDelivered { origin } => {
+                if origin == self.id.dealer() {
+                    self.ok_delivered = true;
+                }
+            }
+            MwIn::ReconDelivered {
+                origin,
+                poly,
+                value,
+            } => {
+                if !self
+                    .recon_points
+                    .iter()
+                    .any(|&(p, o, _)| p == poly && o == origin)
+                {
+                    self.recon_points.push((poly, origin, value));
+                }
+            }
+        }
+        self.advance(out);
+    }
+
+    /// Monotone evaluation of every protocol condition. Safe to call any
+    /// number of times; each action fires at most once.
+    fn advance(&mut self, out: &mut Vec<MwOut<F>>) {
+        self.step3_confirm(out);
+        self.step4_monitor(out);
+        self.step5_6_moderate(out);
+        self.step7_dealer_ok(out);
+        self.step8_drop_deal(out);
+        self.step9_complete(out);
+        self.recon_step1(out);
+        self.recon_interpolate(out);
+    }
+
+    /// Step 3: on matching point + ack + my polynomial, register the DEAL
+    /// expectation and grow `L_me` (until frozen at broadcast time).
+    fn step3_confirm(&mut self, out: &mut Vec<MwOut<F>>) {
+        if self.l_frozen {
+            return;
+        }
+        let Some(my_poly) = &self.my_poly else {
+            return;
+        };
+        for l in Pid::all(self.n) {
+            if self.l_mine.contains(l) || !self.acks.contains(l) {
+                continue;
+            }
+            let Some(&point) = self.points.get(&l) else {
+                continue;
+            };
+            let expected = my_poly.eval_at_index(l.as_u64());
+            if point == expected {
+                self.l_mine.insert(l);
+                out.push(MwOut::RegisterDeal {
+                    broadcaster: l,
+                    expected,
+                });
+            }
+        }
+    }
+
+    /// Step 4: freeze and broadcast `L_me`; send `f̂_me(0)` to the moderator.
+    fn step4_monitor(&mut self, out: &mut Vec<MwOut<F>>) {
+        if self.l_frozen || self.l_mine.len() < self.quorum() {
+            return;
+        }
+        self.l_frozen = true;
+        out.push(MwOut::Broadcast(
+            SvssSlot::MwL(self.id),
+            SvssRbValue::Set(self.l_mine.clone()),
+        ));
+        let f0 = self
+            .my_poly
+            .as_ref()
+            .expect("L_me nonempty implies my_poly present")
+            .eval(F::ZERO);
+        out.push(MwOut::Send(
+            self.id.moderator(),
+            SvssPriv::MwMonitorValue {
+                mw: self.id,
+                value: f0,
+            },
+        ));
+    }
+
+    /// Steps 5 and 6: the moderator accumulates `M` and broadcasts it.
+    fn step5_6_moderate(&mut self, out: &mut Vec<MwOut<F>>) {
+        if self.me != self.id.moderator() || self.m_frozen {
+            return;
+        }
+        let (Some(f_hat), Some(s_prime)) = (&self.moderator_poly, self.moderator_input) else {
+            return;
+        };
+        // Step 5 global precondition: the dealer's f must match s′.
+        if f_hat.eval(F::ZERO) != s_prime {
+            return;
+        }
+        for j in Pid::all(self.n) {
+            if self.m_mine.contains(j) {
+                continue;
+            }
+            let Some(&mv) = self.monitor_values.get(&j) else {
+                continue;
+            };
+            let Some(lj) = self.l_hat.get(&j) else {
+                continue;
+            };
+            let all_acked = lj.iter().all(|l| self.acks.contains(l));
+            if all_acked && mv == f_hat.eval_at_index(j.as_u64()) {
+                self.m_mine.insert(j);
+            }
+        }
+        if self.m_mine.len() >= self.quorum() {
+            self.m_frozen = true;
+            out.push(MwOut::Broadcast(
+                SvssSlot::MwM(self.id),
+                SvssRbValue::Set(self.m_mine.clone()),
+            ));
+        }
+    }
+
+    /// Step 7: the dealer validates `M̂` against the public record,
+    /// registers its ACK expectations, and broadcasts `OK`.
+    fn step7_dealer_ok(&mut self, out: &mut Vec<MwOut<F>>) {
+        if self.me != self.id.dealer() || self.ok_sent {
+            return;
+        }
+        let Some((_, fls)) = &self.dealer_polys else {
+            return;
+        };
+        let Some(m_hat) = &self.m_hat else {
+            return;
+        };
+        for j in m_hat.iter() {
+            let Some(lj) = self.l_hat.get(&j) else {
+                return;
+            };
+            if !lj.iter().all(|l| self.acks.contains(l)) {
+                return;
+            }
+        }
+        // All conditions met: register expectations for every (j, l).
+        for j in m_hat.iter() {
+            let fj = &fls[(j.index() - 1) as usize];
+            for l in self.l_hat[&j].iter() {
+                out.push(MwOut::RegisterAck {
+                    broadcaster: l,
+                    poly: j,
+                    expected: fj.eval_at_index(l.as_u64()),
+                });
+            }
+        }
+        self.ok_sent = true;
+        out.push(MwOut::Broadcast(SvssSlot::MwOk(self.id), SvssRbValue::Unit));
+    }
+
+    /// Step 8: if `M̂` excludes me, nobody will reconstruct my polynomial —
+    /// drop the DEAL expectations of this session.
+    fn step8_drop_deal(&mut self, out: &mut Vec<MwOut<F>>) {
+        if self.dropped_deal {
+            return;
+        }
+        let Some(m_hat) = &self.m_hat else {
+            return;
+        };
+        if !m_hat.contains(self.me) {
+            self.dropped_deal = true;
+            out.push(MwOut::DropDealEntries);
+        }
+    }
+
+    /// Step 9: completion of `S′`.
+    fn step9_complete(&mut self, out: &mut Vec<MwOut<F>>) {
+        if self.share_completed || !self.ok_delivered {
+            return;
+        }
+        let Some(m_hat) = &self.m_hat else {
+            return;
+        };
+        for l in m_hat.iter() {
+            let Some(ll) = self.l_hat.get(&l) else {
+                return;
+            };
+            if !ll.iter().all(|k| self.acks.contains(k)) {
+                return;
+            }
+        }
+        self.share_completed = true;
+        out.push(MwOut::ShareCompleted);
+    }
+
+    /// `R′` step 1: broadcast my points for every monitor in `M̂` whose
+    /// confirmer set contains me.
+    fn recon_step1(&mut self, out: &mut Vec<MwOut<F>>) {
+        if !self.recon_requested || self.recon_sent || !self.share_completed {
+            return;
+        }
+        let Some(m_hat) = &self.m_hat else {
+            return;
+        };
+        self.recon_sent = true;
+        let Some(values) = &self.my_values else {
+            return; // dealer never dealt to me; I am in no L̂_l
+        };
+        for l in m_hat.iter() {
+            let in_ll = self.l_hat.get(&l).is_some_and(|s| s.contains(self.me));
+            if in_ll {
+                out.push(MwOut::Broadcast(
+                    SvssSlot::MwRecon(self.id, l),
+                    SvssRbValue::Value(values[(l.index() - 1) as usize]),
+                ));
+            }
+        }
+    }
+
+    /// `R′` steps 2–4: interpolate each `f̄_l` from the first `t+1` valid
+    /// points, then fit the degree-`t` polynomial through `{(l, f̄_l(0))}`.
+    fn recon_interpolate(&mut self, out: &mut Vec<MwOut<F>>) {
+        if self.output_emitted || !self.recon_sent {
+            return;
+        }
+        let Some(m_hat) = self.m_hat.clone() else {
+            return;
+        };
+        for l in m_hat.iter() {
+            if self.recon_polys.contains_key(&l) {
+                continue;
+            }
+            let Some(ll) = self.l_hat.get(&l) else {
+                continue;
+            };
+            // K_{me,l}: points from confirmers in L̂_l, in arrival order.
+            let pts: Vec<(F, F)> = self
+                .recon_points
+                .iter()
+                .filter(|&&(p, o, _)| p == l && ll.contains(o))
+                .take(self.t + 1)
+                .map(|&(_, o, v)| (F::from_u64(o.as_u64()), v))
+                .collect();
+            if pts.len() == self.t + 1 {
+                let poly =
+                    Poly::interpolate(&pts).expect("confirmer indices are distinct field points");
+                self.recon_polys.insert(l, poly);
+            }
+        }
+        if m_hat.iter().all(|l| self.recon_polys.contains_key(&l)) {
+            let pts: Vec<(F, F)> = m_hat
+                .iter()
+                .map(|l| (F::from_u64(l.as_u64()), self.recon_polys[&l].eval(F::ZERO)))
+                .collect();
+            let result = match Poly::interpolate_checked(&pts, self.t) {
+                Some(fbar) => Reconstructed::Value(fbar.eval(F::ZERO)),
+                None => Reconstructed::Bottom,
+            };
+            self.output = Some(result);
+            self.output_emitted = true;
+            out.push(MwOut::Output(result));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sba_field::Gf61;
+
+    const N: usize = 4;
+    const T: usize = 1;
+
+    fn f(v: u64) -> Gf61 {
+        Gf61::from_u64(v)
+    }
+
+    fn mw_id() -> MwId {
+        MwId::standalone(1, Pid::new(1), Pid::new(2))
+    }
+
+    fn machine(me: u32) -> Mw<Gf61> {
+        Mw::new(mw_id(), Pid::new(me), N, T)
+    }
+
+    /// The dealer's start emits one deal per process (with the master
+    /// polynomial only for the moderator) and nothing else.
+    #[test]
+    fn dealer_start_emits_n_deals() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut m = machine(1);
+        let mut out = Vec::new();
+        m.start_share(f(42), &mut rng, &mut out);
+        let deals: Vec<&MwOut<Gf61>> = out
+            .iter()
+            .filter(|o| matches!(o, MwOut::Send(_, SvssPriv::MwDeal { .. })))
+            .collect();
+        assert_eq!(deals.len(), N);
+        let mut moderator_polys = 0;
+        for o in &out {
+            if let MwOut::Send(
+                to,
+                SvssPriv::MwDeal {
+                    moderator_poly,
+                    values,
+                    ..
+                },
+            ) = o
+            {
+                assert_eq!(values.len(), N);
+                if moderator_poly.is_some() {
+                    assert_eq!(*to, Pid::new(2), "only the moderator gets f");
+                    moderator_polys += 1;
+                }
+            }
+        }
+        assert_eq!(moderator_polys, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "share started twice")]
+    fn double_start_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut m = machine(1);
+        let mut out = Vec::new();
+        m.start_share(f(1), &mut rng, &mut out);
+        m.start_share(f(2), &mut rng, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "only the dealer")]
+    fn non_dealer_cannot_share() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut m = machine(3);
+        let mut out = Vec::new();
+        m.start_share(f(1), &mut rng, &mut out);
+    }
+
+    /// A well-formed deal triggers the step-2 fan-out: one point per
+    /// process plus the RB ack.
+    #[test]
+    fn deal_triggers_points_and_ack() {
+        let mut m = machine(3);
+        let mut out = Vec::new();
+        m.on_input(
+            MwIn::Deal {
+                from: Pid::new(1),
+                values: vec![f(1), f(2), f(3), f(4)],
+                monitor_poly: vec![f(9), f(8)],
+                moderator_poly: None,
+            },
+            &mut out,
+        );
+        let points = out
+            .iter()
+            .filter(|o| matches!(o, MwOut::Send(_, SvssPriv::MwPoint { .. })))
+            .count();
+        assert_eq!(points, N);
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, MwOut::Broadcast(SvssSlot::MwAck(_), _))));
+    }
+
+    /// Deals from anyone but the dealer, malformed deals, and repeat deals
+    /// are all inert.
+    #[test]
+    fn bogus_deals_ignored() {
+        let mut m = machine(3);
+        let mut out = Vec::new();
+        // Wrong sender.
+        m.on_input(
+            MwIn::Deal {
+                from: Pid::new(4),
+                values: vec![f(1); N],
+                monitor_poly: vec![f(1)],
+                moderator_poly: None,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+        // Wrong value-vector length.
+        m.on_input(
+            MwIn::Deal {
+                from: Pid::new(1),
+                values: vec![f(1); N + 2],
+                monitor_poly: vec![f(1)],
+                moderator_poly: None,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+        // Monitor polynomial of degree > t.
+        m.on_input(
+            MwIn::Deal {
+                from: Pid::new(1),
+                values: vec![f(1); N],
+                monitor_poly: vec![f(1); T + 5],
+                moderator_poly: None,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    /// Step 3: confirmations only count with a matching point AND an ack,
+    /// and freeze once L is broadcast.
+    #[test]
+    fn confirmations_gate_on_point_and_ack() {
+        let mut m = machine(3);
+        let mut out = Vec::new();
+        // Monitor polynomial f_3 with f_3(l) = 7 for all l (constant).
+        m.on_input(
+            MwIn::Deal {
+                from: Pid::new(1),
+                values: vec![f(7); N],
+                monitor_poly: vec![f(7)],
+                moderator_poly: None,
+            },
+            &mut out,
+        );
+        out.clear();
+        // A matching point without an ack: no DEAL registration yet.
+        m.on_input(
+            MwIn::Point {
+                from: Pid::new(2),
+                value: f(7),
+            },
+            &mut out,
+        );
+        assert!(!out.iter().any(|o| matches!(o, MwOut::RegisterDeal { .. })));
+        // The ack arrives: now the confirmation registers.
+        m.on_input(
+            MwIn::AckDelivered {
+                origin: Pid::new(2),
+            },
+            &mut out,
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            MwOut::RegisterDeal { broadcaster, .. } if *broadcaster == Pid::new(2)
+        )));
+        // A mismatching point from p4 never registers.
+        out.clear();
+        m.on_input(
+            MwIn::Point {
+                from: Pid::new(4),
+                value: f(8),
+            },
+            &mut out,
+        );
+        m.on_input(
+            MwIn::AckDelivered {
+                origin: Pid::new(4),
+            },
+            &mut out,
+        );
+        assert!(!out.iter().any(|o| matches!(
+            o,
+            MwOut::RegisterDeal { broadcaster, .. } if *broadcaster == Pid::new(4)
+        )));
+    }
+
+    /// M̂ from anyone but the moderator and OK from anyone but the dealer
+    /// are ignored.
+    #[test]
+    fn role_checked_broadcasts() {
+        let mut m = machine(3);
+        let mut out = Vec::new();
+        let all: ProcessSet = Pid::all(N).collect();
+        m.on_input(
+            MwIn::MDelivered {
+                origin: Pid::new(4), // not the moderator
+                set: all.clone(),
+            },
+            &mut out,
+        );
+        m.on_input(
+            MwIn::OkDelivered {
+                origin: Pid::new(4),
+            },
+            &mut out,
+        ); // not dealer
+        assert!(!m.share_completed());
+        assert!(out.is_empty());
+    }
+
+    /// Reconstruct points arriving before the local share completes are
+    /// buffered, not lost.
+    #[test]
+    fn early_recon_points_buffered() {
+        let mut m = machine(3);
+        let mut out = Vec::new();
+        m.on_input(
+            MwIn::ReconDelivered {
+                origin: Pid::new(2),
+                poly: Pid::new(1),
+                value: f(5),
+            },
+            &mut out,
+        );
+        // No output, no panic; the point is retained for later.
+        assert!(out.is_empty());
+        assert!(m.output().is_none());
+    }
+}

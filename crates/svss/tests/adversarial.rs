@@ -1,0 +1,285 @@
+//! Adversarial edge cases beyond the headline properties: lying
+//! moderators, forged `G`-set broadcasts, malformed messages, and the
+//! DMM's expectation-liveness guarantees (Lemma 1).
+
+use sba_broadcast::{MuxMsg, Params, RbMsg, WrbMsg};
+use sba_field::{Field, Gf61};
+use sba_net::{MwId, Pid, ProcessSet, SvssId};
+use sba_svss::harness::{SvssNet, Tamper};
+use sba_svss::{Reconstructed, SvssEvent, SvssMsg, SvssPriv, SvssRbValue, SvssSlot};
+
+fn f(v: u64) -> Gf61 {
+    Gf61::from_u64(v)
+}
+
+/// A moderator that broadcasts a forged (undersized) `M` set: honest
+/// processes must simply never complete the share (moderation is a
+/// liveness gate, not a safety risk).
+#[test]
+fn forged_m_set_blocks_completion_only() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = SvssNet::<Gf61>::new(params, 3);
+    let id = MwId::standalone(1, Pid::new(1), Pid::new(2));
+    // Moderator p2 replaces its M broadcast with a singleton set.
+    net.set_tamper(Pid::new(2), |_to, msg| {
+        if let SvssMsg::Rb(m) = msg {
+            if let (SvssSlot::MwM(_), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Set(_)))) =
+                (m.tag, &m.inner)
+            {
+                let forged: ProcessSet = [Pid::new(3)].into_iter().collect();
+                return Tamper::Replace(vec![SvssMsg::Rb(MuxMsg {
+                    tag: m.tag,
+                    origin: m.origin,
+                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Set(forged))),
+                })]);
+            }
+        }
+        Tamper::Keep
+    });
+    net.mw_share(id, f(5));
+    net.mw_set_moderator_input(id, f(5));
+    net.run();
+    // The dealer cannot validate the forged M̂ (it only has one member, so
+    // the OK gate may or may not fire) — but no honest process may end up
+    // with an output that differs from another's.
+    net.mw_reconstruct_all(id);
+    net.run();
+    let outs: Vec<Option<Gf61>> = [1u32, 3, 4]
+        .iter()
+        .filter_map(|&i| net.engine(Pid::new(i)).mw_output(id))
+        .map(Reconstructed::value)
+        .collect();
+    let non_bottom: Vec<Gf61> = outs.iter().flatten().copied().collect();
+    assert!(
+        non_bottom.windows(2).all(|w| w[0] == w[1]),
+        "forged M produced divergent non-⊥ outputs: {outs:?}"
+    );
+}
+
+/// A dealer broadcasting malformed `G` sets (missing self-inclusion,
+/// undersized) is ignored: share never completes, nothing panics.
+#[test]
+fn invalid_gsets_are_ignored() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = SvssNet::<Gf61>::new(params, 5);
+    let sid = SvssId::new(1, Pid::new(1));
+    net.set_tamper(Pid::new(1), |_to, msg| {
+        if let SvssMsg::Rb(m) = msg {
+            if let (SvssSlot::Gsets(_), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Gsets { .. }))) =
+                (m.tag, &m.inner)
+            {
+                // Broadcast G sets without self-inclusion.
+                let g: ProcessSet = Pid::all(3).collect();
+                let members: Vec<(Pid, ProcessSet)> = Pid::all(3)
+                    .map(|j| {
+                        let others: ProcessSet = Pid::all(4).filter(|&l| l != j).collect();
+                        (j, others)
+                    })
+                    .collect();
+                return Tamper::Replace(vec![SvssMsg::Rb(MuxMsg {
+                    tag: m.tag,
+                    origin: m.origin,
+                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Gsets { g, members })),
+                })]);
+            }
+        }
+        Tamper::Keep
+    });
+    net.share(sid, f(9));
+    net.run();
+    for p in Pid::all(4).skip(1) {
+        assert!(
+            !net.engine(p).share_completed(sid),
+            "{p} accepted invalid G sets"
+        );
+    }
+}
+
+/// Malformed private messages (wrong vector sizes, bogus ids) are dropped
+/// without panicking and without corrupting live sessions.
+#[test]
+fn malformed_messages_are_inert() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = SvssNet::<Gf61>::new(params, 6);
+    let sid = SvssId::new(1, Pid::new(1));
+    net.share(sid, f(77));
+    // Inject garbage from p4 into everyone.
+    let bogus_mw = MwId::standalone(2, Pid::new(99), Pid::new(98));
+    for to in Pid::all(4) {
+        net.push_raw(
+            Pid::new(4),
+            to,
+            SvssMsg::Priv(SvssPriv::MwDeal {
+                mw: bogus_mw,
+                values: vec![f(1); 2], // wrong length
+                monitor_poly: vec![f(1); 9],
+                moderator_poly: None,
+            }),
+        );
+        net.push_raw(
+            Pid::new(4),
+            to,
+            SvssMsg::Priv(SvssPriv::Rows {
+                session: sid,
+                g: vec![f(1); 9], // degree too high AND from non-dealer
+                h: vec![],
+            }),
+        );
+    }
+    net.run();
+    assert!(net.all_shares_completed(sid));
+    net.reconstruct_all(sid);
+    net.run();
+    for (p, out) in net.outputs(sid) {
+        assert_eq!(out.and_then(Reconstructed::value), Some(f(77)), "{p}");
+    }
+}
+
+/// Lemma 1(b) liveness: after a fully honest share + reconstruct, every
+/// ACK/DEAL expectation has been resolved at every process.
+#[test]
+fn expectations_drain_after_reconstruct() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = SvssNet::<Gf61>::new(params, 8);
+    let id = MwId::standalone(1, Pid::new(2), Pid::new(3));
+    net.mw_share(id, f(3));
+    net.mw_set_moderator_input(id, f(3));
+    net.run();
+    net.mw_reconstruct_all(id);
+    net.run();
+    for p in Pid::all(4) {
+        let (ack, deal) = net.engine(p).dmm().expectation_counts();
+        assert_eq!(
+            (ack, deal),
+            (0, 0),
+            "{p} has unresolved expectations after full reconstruct"
+        );
+    }
+}
+
+/// Shunning is monotone and bounded: repeating the forging attack across
+/// many sessions never produces more than t(n−t) distinct pairs, and the
+/// attacker is eventually fully muted (later sessions run clean).
+#[test]
+fn repeated_attacks_saturate_shun_pairs() {
+    let params = Params::new(4, 1).unwrap();
+    let n = 4;
+    let t = 1;
+    let mut net = SvssNet::<Gf61>::new(params, 13);
+    let liar = Pid::new(4);
+    net.set_tamper(liar, |_to, msg| {
+        if let SvssMsg::Rb(m) = msg {
+            if let (SvssSlot::MwRecon(..), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(v)))) =
+                (m.tag, &m.inner)
+            {
+                return Tamper::Replace(vec![SvssMsg::Rb(MuxMsg {
+                    tag: m.tag,
+                    origin: m.origin,
+                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(*v + Gf61::from_u64(2)))),
+                })]);
+            }
+        }
+        Tamper::Keep
+    });
+    for session in 1..=5u64 {
+        let id = MwId::standalone(session, Pid::new(1), Pid::new(2));
+        net.mw_share(id, f(session * 7));
+        net.mw_set_moderator_input(id, f(session * 7));
+        net.run();
+        net.mw_reconstruct_all(id);
+        net.run();
+    }
+    let mut pairs = net.shun_pairs();
+    pairs.sort();
+    pairs.dedup();
+    assert!(
+        pairs.len() <= t * (n - t),
+        "shun pairs exceed bound: {pairs:?}"
+    );
+    for (_, shunned) in &pairs {
+        assert_eq!(*shunned, liar, "only the liar may be shunned");
+    }
+}
+
+/// The standalone-MW event stream reports exactly one completion and one
+/// output per session per process.
+#[test]
+fn events_are_exactly_once() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = SvssNet::<Gf61>::new(params, 21);
+    let id = MwId::standalone(1, Pid::new(1), Pid::new(2));
+    net.mw_share(id, f(4));
+    net.mw_set_moderator_input(id, f(4));
+    net.run();
+    net.mw_reconstruct_all(id);
+    net.run();
+    for p in Pid::all(4) {
+        let completions = net
+            .events(p)
+            .iter()
+            .filter(|e| matches!(e, SvssEvent::MwShareCompleted(i) if *i == id))
+            .count();
+        let outputs = net
+            .events(p)
+            .iter()
+            .filter(|e| matches!(e, SvssEvent::MwReconstructed(i, _) if *i == id))
+            .count();
+        assert_eq!((completions, outputs), (1, 1), "{p}");
+    }
+}
+
+/// Memory hygiene (Theorem 1 mentions polynomial memory): after a full
+/// share + reconstruct, finished MW machines and the reconstruct log are
+/// dropped.
+#[test]
+fn finished_sessions_are_garbage_collected() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = SvssNet::<Gf61>::new(params, 30);
+    let sid = SvssId::new(1, Pid::new(1));
+    net.share(sid, f(11));
+    net.run();
+    net.reconstruct_all(sid);
+    net.run();
+    // n = 4 creates 4·C(4,2) = 24 MW invocations; every *reconstructed*
+    // one must be dropped. Sessions of pairs outside the frozen Ĝ never
+    // reconstruct and legitimately stay resident (bounded by the session).
+    for p in Pid::all(4) {
+        assert!(
+            net.engine(p).mw_machine_count() <= 12,
+            "{p}: reconstructed MW machines must be dropped (left {})",
+            net.engine(p).mw_machine_count()
+        );
+        assert_eq!(
+            net.engine(p).dmm().recon_log_len(),
+            0,
+            "{p}: reconstruct log must be pruned"
+        );
+        // Outputs survive the GC.
+        assert_eq!(
+            net.engine(p).output(sid).and_then(Reconstructed::value),
+            Some(f(11))
+        );
+    }
+}
+
+/// Liveness sanity: at quiescence of an honest multi-session run, no
+/// message is still sitting in any DMM delay buffer.
+#[test]
+fn no_messages_left_delayed_in_honest_runs() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = SvssNet::<Gf61>::new(params, 40);
+    for round in 1..=3u64 {
+        let sid = SvssId::new(round, Pid::new(((round % 4) + 1) as u32));
+        net.share(sid, f(round * 13));
+        net.run();
+        net.reconstruct_all(sid);
+        net.run();
+    }
+    for p in Pid::all(4) {
+        assert_eq!(
+            net.engine(p).pending_len(),
+            0,
+            "{p}: messages stuck in the delay buffer"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Wire-format fuzzing for the full SVSS message surface: random
+//! well-formed messages round-trip; random bytes never panic the decoder.
+
+use proptest::prelude::*;
+use sba_broadcast::{MuxMsg, RbMsg, WrbMsg};
+use sba_field::{Field, Gf61};
+use sba_net::{MwId, Pid, ProcessSet, Reader, SvssId, Wire};
+use sba_svss::{SvssMsg, SvssPriv, SvssRbValue, SvssSlot};
+
+fn pid() -> impl Strategy<Value = Pid> {
+    (1u32..200).prop_map(Pid::new)
+}
+
+fn field_el() -> impl Strategy<Value = Gf61> {
+    (0..Gf61::MODULUS).prop_map(Gf61::from_u64)
+}
+
+fn svss_id() -> impl Strategy<Value = SvssId> {
+    (any::<u64>(), pid()).prop_map(|(tag, dealer)| SvssId::new(tag, dealer))
+}
+
+fn mw_id() -> impl Strategy<Value = MwId> {
+    (svss_id(), pid(), pid(), pid(), pid())
+        .prop_map(|(parent, d, m, r, c)| MwId::nested(parent, d, m, r, c))
+}
+
+fn pid_set() -> impl Strategy<Value = ProcessSet> {
+    proptest::collection::btree_set(1u32..64, 0..8)
+        .prop_map(|s| s.into_iter().map(Pid::new).collect())
+}
+
+fn svss_priv() -> impl Strategy<Value = SvssPriv<Gf61>> {
+    prop_oneof![
+        (
+            mw_id(),
+            proptest::collection::vec(field_el(), 0..8),
+            proptest::collection::vec(field_el(), 0..4),
+            proptest::option::of(proptest::collection::vec(field_el(), 0..4)),
+        )
+            .prop_map(|(mw, values, monitor_poly, moderator_poly)| {
+                SvssPriv::MwDeal {
+                    mw,
+                    values,
+                    monitor_poly,
+                    moderator_poly,
+                }
+            }),
+        (mw_id(), field_el()).prop_map(|(mw, value)| SvssPriv::MwPoint { mw, value }),
+        (mw_id(), field_el()).prop_map(|(mw, value)| SvssPriv::MwMonitorValue { mw, value }),
+        (
+            svss_id(),
+            proptest::collection::vec(field_el(), 0..4),
+            proptest::collection::vec(field_el(), 0..4),
+        )
+            .prop_map(|(session, g, h)| SvssPriv::Rows { session, g, h }),
+    ]
+}
+
+fn svss_slot() -> impl Strategy<Value = SvssSlot> {
+    prop_oneof![
+        mw_id().prop_map(SvssSlot::MwAck),
+        mw_id().prop_map(SvssSlot::MwL),
+        mw_id().prop_map(SvssSlot::MwM),
+        mw_id().prop_map(SvssSlot::MwOk),
+        (mw_id(), pid()).prop_map(|(m, l)| SvssSlot::MwRecon(m, l)),
+        svss_id().prop_map(SvssSlot::Gsets),
+    ]
+}
+
+fn rb_value() -> impl Strategy<Value = SvssRbValue<Gf61>> {
+    prop_oneof![
+        Just(SvssRbValue::Unit),
+        pid_set().prop_map(SvssRbValue::Set),
+        field_el().prop_map(SvssRbValue::Value),
+        (
+            pid_set(),
+            proptest::collection::vec((pid(), pid_set()), 0..4)
+        )
+            .prop_map(|(g, members)| SvssRbValue::Gsets { g, members }),
+    ]
+}
+
+fn svss_msg() -> impl Strategy<Value = SvssMsg<Gf61>> {
+    prop_oneof![
+        svss_priv().prop_map(SvssMsg::Priv),
+        (svss_slot(), pid(), rb_value()).prop_map(|(tag, origin, value)| {
+            SvssMsg::Rb(MuxMsg {
+                tag,
+                origin,
+                inner: RbMsg::Wrb(WrbMsg::Init(value)),
+            })
+        }),
+        (svss_slot(), pid(), rb_value()).prop_map(|(tag, origin, value)| {
+            SvssMsg::Rb(MuxMsg {
+                tag,
+                origin,
+                inner: RbMsg::Ready(value),
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Canonical encode/decode is the identity and consumes all bytes.
+    #[test]
+    fn svss_messages_round_trip(msg in svss_msg()) {
+        let bytes = msg.encoded();
+        let mut r = Reader::new(&bytes);
+        let back = SvssMsg::<Gf61>::decode(&mut r).expect("well-formed");
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Arbitrary byte soup either decodes to SOMETHING (which must then
+    /// re-encode to a decodable value) or errors — never panics.
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut r = Reader::new(&bytes);
+        if let Ok(msg) = SvssMsg::<Gf61>::decode(&mut r) {
+            let re = msg.encoded();
+            let mut r2 = Reader::new(&re);
+            prop_assert!(SvssMsg::<Gf61>::decode(&mut r2).is_ok());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Agreement under active Byzantine faults: a process that forges its
+//! secret-sharing reconstruction points, and one that flips every vote.
+//!
+//! ```sh
+//! cargo run -p sba-examples --example fault_injection
+//! ```
+
+use sba::adversary::Fault;
+use sba::{Cluster, ClusterConfig, Pid};
+
+fn run(label: &str, fault: Fault, seed: u64) {
+    println!("=== {label} ===");
+    let config = ClusterConfig::new(4, 1)
+        .seed(seed)
+        .fault(Pid::new(4), fault);
+    let inputs = [Some(true), Some(false), Some(true), Some(false)];
+    let mut cluster = Cluster::new(config, &inputs);
+    let report = cluster.run(40_000_000);
+
+    assert!(report.terminated, "termination under faults");
+    assert!(report.agreement(), "agreement under faults");
+    println!(
+        "  decision  : {:?}",
+        report.decisions.iter().flatten().next().unwrap()
+    );
+    println!("  max round : {}", report.max_round);
+    println!("  messages  : {}", report.messages);
+    if report.shun_pairs.is_empty() {
+        println!("  shunning  : none needed");
+    }
+    for (shunner, shunned) in &report.shun_pairs {
+        println!("  shunning  : {shunner} → {shunned}");
+    }
+    println!();
+}
+
+fn main() {
+    run("fail-silent p4", Fault::Silent, 11);
+    run(
+        "p4 crashes after 2000 deliveries",
+        Fault::CrashAfter(2000),
+        12,
+    );
+    run(
+        "p4 forges reconstruction points (Example-1 attack, repeated)",
+        Fault::LyingShares { delta: 7 },
+        13,
+    );
+    run("p4 flips every vote bit", Fault::FlippedVotes, 14);
+}

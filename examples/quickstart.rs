@@ -1,0 +1,31 @@
+//! Quickstart: four processes reach Byzantine agreement on a bit.
+//!
+//! ```sh
+//! cargo run -p sba-examples --example quickstart
+//! ```
+
+use sba::{Cluster, ClusterConfig};
+
+fn main() {
+    // n = 4 processes, tolerating t = 1 Byzantine fault (n > 3t).
+    let config = ClusterConfig::new(4, 1).seed(2026);
+
+    // Processes propose conflicting bits — the common coin breaks the tie.
+    let inputs = [Some(true), Some(false), Some(true), Some(false)];
+    let mut cluster = Cluster::new(config, &inputs);
+
+    let report = cluster.run(20_000_000);
+
+    assert!(report.terminated, "almost-sure termination");
+    assert!(report.agreement(), "agreement");
+    println!("decision       : {:?}", report.decisions[0].unwrap());
+    println!("max round      : {}", report.max_round);
+    println!("messages sent  : {}", report.messages);
+    println!("bytes sent     : {}", report.bytes);
+    println!("virtual time   : {}", report.metrics.virtual_time);
+    println!();
+    println!("message breakdown by protocol step:");
+    for (kind, (count, bytes)) in &report.metrics.per_kind {
+        println!("  {kind:<16} {count:>8} msgs {bytes:>10} bytes");
+    }
+}

@@ -1,0 +1,1 @@
+//! Example helpers (see the `examples/` files).

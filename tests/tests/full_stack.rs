@@ -1,0 +1,186 @@
+//! Cross-crate integration: the full agreement stack under fault
+//! injection, adversarial scheduling, and on both runtimes.
+
+use sba::adversary::Fault;
+use sba::{Cluster, ClusterConfig, Pid};
+
+fn inputs_split(n: usize) -> Vec<Option<bool>> {
+    (0..n).map(|i| Some(i % 2 == 0)).collect()
+}
+
+/// Theorem 1 smoke: termination + agreement across seeds and fault types
+/// at n = 4, t = 1.
+#[test]
+fn agreement_under_every_fault_model() {
+    let faults: Vec<(&str, Option<Fault>)> = vec![
+        ("no fault", None),
+        ("silent", Some(Fault::Silent)),
+        ("crash", Some(Fault::CrashAfter(1500))),
+        ("lying shares", Some(Fault::LyingShares { delta: 3 })),
+        ("flipped votes", Some(Fault::FlippedVotes)),
+    ];
+    for (label, fault) in faults {
+        for seed in [1u64, 2] {
+            let mut config = ClusterConfig::new(4, 1).seed(seed);
+            if let Some(f) = fault.clone() {
+                config = config.fault(Pid::new(4), f);
+            }
+            let mut cluster = Cluster::new(config, &inputs_split(4));
+            let report = cluster.run(60_000_000);
+            assert!(report.terminated, "{label} seed {seed}: no termination");
+            assert!(report.agreement(), "{label} seed {seed}: disagreement");
+            assert!(report.all_decided(), "{label} seed {seed}: undecided");
+        }
+    }
+}
+
+/// Validity: unanimous inputs decide that value even with a Byzantine
+/// vote-flipper.
+#[test]
+fn validity_with_byzantine_voter() {
+    for bit in [true, false] {
+        let config = ClusterConfig::new(4, 1)
+            .seed(9)
+            .fault(Pid::new(2), Fault::FlippedVotes);
+        let inputs: Vec<Option<bool>> = vec![Some(bit); 4];
+        let mut cluster = Cluster::new(config, &inputs);
+        let report = cluster.run(60_000_000);
+        assert!(report.terminated && report.agreement());
+        for d in report.decisions.iter().flatten() {
+            assert_eq!(*d, bit, "validity violated");
+        }
+    }
+}
+
+/// The lying-shares adversary gets shunned, and shun pairs never exceed
+/// the paper's t(n−t) bound.
+#[test]
+fn lying_share_adversary_is_shunned_within_bound() {
+    let n = 4;
+    let t = 1;
+    let config = ClusterConfig::new(n, t)
+        .seed(4)
+        .fault(Pid::new(4), Fault::LyingShares { delta: 11 });
+    let mut cluster = Cluster::new(config, &inputs_split(n));
+    let report = cluster.run(60_000_000);
+    assert!(report.terminated && report.agreement());
+    // Bound: at most t(n−t) distinct (shunner, shunned) pairs.
+    let mut pairs = report.shun_pairs.clone();
+    pairs.sort();
+    pairs.dedup();
+    assert!(
+        pairs.len() <= t * (n - t),
+        "shun pairs exceed t(n−t): {pairs:?}"
+    );
+    // Every shunned process is the actual liar.
+    for (_, shunned) in &pairs {
+        assert_eq!(*shunned, Pid::new(4), "honest process shunned: {pairs:?}");
+    }
+}
+
+/// Adversarial link-skewed scheduling cannot break agreement.
+#[test]
+fn skewed_scheduler_agreement() {
+    use sba::sim::schedulers;
+    for seed in [3u64, 4] {
+        let config = ClusterConfig::new(4, 1).seed(seed);
+        let mut cluster = Cluster::with_scheduler(config, &inputs_split(4), schedulers::skewed(30));
+        let report = cluster.run(60_000_000);
+        assert!(report.terminated && report.agreement(), "seed {seed}");
+    }
+}
+
+/// The coin-steering scheduler (rushing adversary from DESIGN.md) delays
+/// victims' votes until after coin reveal; safety and termination hold.
+#[test]
+fn coin_steer_scheduler_agreement() {
+    use sba::adversary::coin_steer_scheduler;
+    let config = ClusterConfig::new(4, 1).seed(5);
+    let sched = coin_steer_scheduler(vec![Pid::new(1), Pid::new(2)], 500);
+    let mut cluster = Cluster::with_scheduler(config, &inputs_split(4), sched);
+    let report = cluster.run(120_000_000);
+    assert!(report.terminated, "steered run must still terminate");
+    assert!(report.agreement());
+}
+
+/// Determinism: a full cluster run replays bit-identically from its seed.
+#[test]
+fn cluster_replay() {
+    let run = |seed: u64| {
+        let config = ClusterConfig::new(4, 1).seed(seed);
+        let mut cluster = Cluster::new(config, &inputs_split(4));
+        let r = cluster.run(60_000_000);
+        (r.decisions.clone(), r.messages, r.metrics.virtual_time)
+    };
+    assert_eq!(run(77), run(77));
+}
+
+/// A temporary network partition (t+1 / n−t−1 split) stalls but never
+/// breaks agreement: progress resumes after the heal.
+#[test]
+fn partition_heals_and_agreement_completes() {
+    use sba::sim::schedulers;
+    let config = ClusterConfig::new(4, 1).seed(6);
+    let sched = schedulers::partition_until(vec![Pid::new(1), Pid::new(2)], 5_000, 10);
+    let mut cluster = Cluster::with_scheduler(config, &inputs_split(4), sched);
+    let report = cluster.run(120_000_000);
+    assert!(report.terminated, "agreement must resume after the heal");
+    assert!(report.agreement());
+}
+
+/// Bursty delivery (large simultaneous batches) is just another
+/// asynchronous schedule.
+#[test]
+fn bursty_schedule_agreement() {
+    use sba::sim::schedulers;
+    let config = ClusterConfig::new(4, 1).seed(8);
+    let sched = schedulers::bursty(200, 20, 5);
+    let mut cluster = Cluster::with_scheduler(config, &inputs_split(4), sched);
+    let report = cluster.run(120_000_000);
+    assert!(report.terminated && report.agreement());
+}
+
+/// A three-slot replicated log over the real SCC coin (not the oracle):
+/// repeated agreement against one shunning domain.
+#[test]
+fn scc_replicated_log_three_slots() {
+    use sba::field::Gf61;
+    use sba::sim::{schedulers, Simulation};
+    use sba::{AbaConfig, AbaNode, AbaProcess, Params};
+
+    let n = 4;
+    let params = Params::new(n, 1).unwrap();
+    let procs: Vec<AbaProcess<Gf61>> = (1..=n as u32)
+        .map(|i| {
+            let node: AbaNode<Gf61> =
+                AbaNode::new(Pid::new(i), AbaConfig::scc(params, 17 ^ (u64::from(i) << 32)));
+            let proposals: Vec<(u32, bool)> = (0..3).map(|s| (s, (s + i) % 2 == 0)).collect();
+            AbaProcess::new(node, proposals)
+        })
+        .collect();
+    let mut sim = Simulation::new(procs, schedulers::uniform(15), 23);
+    let outcome = sim.run_until_all_done(400_000_000);
+    assert!(outcome.all_done, "log did not complete");
+    for s in 0..3 {
+        let d: Vec<bool> = (1..=n as u32)
+            .map(|i| sim.process(Pid::new(i)).node().decision(s).unwrap())
+            .collect();
+        assert!(d.iter().all(|&x| x == d[0]), "slot {s}: {d:?}");
+    }
+}
+
+/// n = 7 with the full fault budget (t = 2): one silent process and one
+/// vote-flipper, oracle coin (the vote layer is what is under test).
+#[test]
+fn n7_with_two_byzantine_faults() {
+    use sba::{CoinMode, OracleCoin};
+    let config = ClusterConfig::new(7, 2)
+        .seed(3)
+        .mode(CoinMode::Oracle(OracleCoin::new(9, 0)))
+        .fault(Pid::new(6), Fault::Silent)
+        .fault(Pid::new(7), Fault::FlippedVotes);
+    let mut cluster = Cluster::new(config, &inputs_split(7));
+    let report = cluster.run(80_000_000);
+    assert!(report.terminated, "two-fault run must terminate");
+    assert!(report.agreement());
+}

@@ -1,0 +1,52 @@
+//! Experiment E10's backbone: the same protocol state machines over real
+//! threads and channels (OS-scheduler nondeterminism) must still reach
+//! agreement — protocol outcomes are runtime-independent.
+
+use std::time::Duration;
+
+use sba::field::Gf61;
+use sba::sim::threaded;
+use sba::{AbaConfig, AbaNode, AbaProcess, Params, Pid};
+
+#[test]
+fn threaded_agreement_n4() {
+    let params = Params::new(4, 1).unwrap();
+    let procs: Vec<AbaProcess<Gf61>> = (1..=4u32)
+        .map(|i| {
+            let node: AbaNode<Gf61> = AbaNode::new(
+                Pid::new(i),
+                AbaConfig::scc(params, 5 ^ (u64::from(i) << 32)),
+            );
+            AbaProcess::new(node, vec![(0, i % 2 == 0)])
+        })
+        .collect();
+    let (procs, stats) = threaded::run(procs, Duration::from_secs(120));
+    assert!(stats.all_done, "threaded run timed out: {stats:?}");
+    let decisions: Vec<bool> = procs
+        .iter()
+        .map(|p| p.node().decision(0).expect("decided"))
+        .collect();
+    assert!(
+        decisions.iter().all(|&d| d == decisions[0]),
+        "threaded disagreement: {decisions:?}"
+    );
+}
+
+#[test]
+fn threaded_unanimous_validity() {
+    let params = Params::new(4, 1).unwrap();
+    let procs: Vec<AbaProcess<Gf61>> = (1..=4u32)
+        .map(|i| {
+            let node: AbaNode<Gf61> = AbaNode::new(
+                Pid::new(i),
+                AbaConfig::scc(params, 9 ^ (u64::from(i) << 32)),
+            );
+            AbaProcess::new(node, vec![(0, true)])
+        })
+        .collect();
+    let (procs, stats) = threaded::run(procs, Duration::from_secs(120));
+    assert!(stats.all_done, "threaded run timed out: {stats:?}");
+    for p in &procs {
+        assert_eq!(p.node().decision(0), Some(true));
+    }
+}
