@@ -127,7 +127,12 @@ fn local_coin_terminates_small_n() {
 }
 
 /// n = 7, t = 2, mixed inputs.
+///
+/// Slow tier (n = 7 SCC with split inputs is by far the heaviest seed
+/// test: minutes in debug): `cargo test -- --ignored` or
+/// `--include-ignored`.
 #[test]
+#[ignore = "slow tier: n=7 SCC agreement, ~80s release / minutes in debug"]
 fn scc_larger_system() {
     let inputs: Vec<Option<bool>> = (0..7).map(|i| Some(i % 2 == 0)).collect();
     let mut sim = typed_sim(7, 2, &inputs, CoinMode::Scc, 13);

@@ -91,7 +91,11 @@ impl CoinNet {
 
 /// Termination + Correctness margins: across seeds, every process outputs;
 /// both all-0 and all-1 runs occur with healthy frequency.
+///
+/// Slow tier (40 full coin runs): `cargo test -- --ignored` or
+/// `--include-ignored`.
 #[test]
+#[ignore = "slow tier: 40-seed statistical sweep, ~20s in debug"]
 fn coin_terminates_and_both_values_occur() {
     let mut all_zero = 0;
     let mut all_one = 0;
@@ -194,7 +198,10 @@ fn sequential_sessions() {
 }
 
 /// Larger system: n = 7, t = 2, two silent.
+///
+/// Slow tier: `cargo test -- --ignored` or `--include-ignored`.
 #[test]
+#[ignore = "slow tier: n=7 coin run, ~16s in debug"]
 fn coin_n7_with_two_silent() {
     let params = Params::new(7, 2).unwrap();
     let mut net = CoinNet::new(params, 13);

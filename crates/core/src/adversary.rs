@@ -84,7 +84,7 @@ pub fn coin_steer_scheduler(victims: Vec<Pid>, factor: u64) -> Box<dyn Scheduler
     Box::new(FnScheduler::new(
         move |env: &Envelope<Msg>, now: u64, rng: &mut rand::rngs::StdRng| {
             use rand::Rng;
-            let base = now + rng.gen_range(1..=4);
+            let base = now + rng.gen_range(1..=4u64);
             let is_vote = matches!(
                 &env.msg,
                 AbaMsg::Vote(MuxMsg {

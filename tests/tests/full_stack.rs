@@ -8,10 +8,7 @@ fn inputs_split(n: usize) -> Vec<Option<bool>> {
     (0..n).map(|i| Some(i % 2 == 0)).collect()
 }
 
-/// Theorem 1 smoke: termination + agreement across seeds and fault types
-/// at n = 4, t = 1.
-#[test]
-fn agreement_under_every_fault_model() {
+fn assert_agreement_under_every_fault_model(seeds: &[u64]) {
     let faults: Vec<(&str, Option<Fault>)> = vec![
         ("no fault", None),
         ("silent", Some(Fault::Silent)),
@@ -20,7 +17,7 @@ fn agreement_under_every_fault_model() {
         ("flipped votes", Some(Fault::FlippedVotes)),
     ];
     for (label, fault) in faults {
-        for seed in [1u64, 2] {
+        for &seed in seeds {
             let mut config = ClusterConfig::new(4, 1).seed(seed);
             if let Some(f) = fault.clone() {
                 config = config.fault(Pid::new(4), f);
@@ -32,6 +29,22 @@ fn agreement_under_every_fault_model() {
             assert!(report.all_decided(), "{label} seed {seed}: undecided");
         }
     }
+}
+
+/// Theorem 1 smoke: termination + agreement across fault types at
+/// n = 4, t = 1 (one seed per fault in tier 1).
+#[test]
+fn agreement_under_every_fault_model() {
+    assert_agreement_under_every_fault_model(&[1]);
+}
+
+/// The same sweep across more seeds.
+///
+/// Slow tier: `cargo test -- --ignored` or `--include-ignored`.
+#[test]
+#[ignore = "slow tier: multi-seed fault sweep, ~10 cluster runs"]
+fn agreement_under_every_fault_model_multi_seed() {
+    assert_agreement_under_every_fault_model(&[2, 3]);
 }
 
 /// Validity: unanimous inputs decide that value even with a Byzantine
@@ -152,8 +165,10 @@ fn scc_replicated_log_three_slots() {
     let params = Params::new(n, 1).unwrap();
     let procs: Vec<AbaProcess<Gf61>> = (1..=n as u32)
         .map(|i| {
-            let node: AbaNode<Gf61> =
-                AbaNode::new(Pid::new(i), AbaConfig::scc(params, 17 ^ (u64::from(i) << 32)));
+            let node: AbaNode<Gf61> = AbaNode::new(
+                Pid::new(i),
+                AbaConfig::scc(params, 17 ^ (u64::from(i) << 32)),
+            );
             let proposals: Vec<(u32, bool)> = (0..3).map(|s| (s, (s + i) % 2 == 0)).collect();
             AbaProcess::new(node, proposals)
         })

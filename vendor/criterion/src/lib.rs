@@ -1,0 +1,244 @@
+//! Offline vendored subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its benches use: `Criterion`,
+//! `benchmark_group`, `Bencher::iter` / `iter_batched`, `BatchSize`, and
+//! the `criterion_group!` / `criterion_main!` macros. Instead of
+//! criterion's statistical machinery it runs a warm-up pass, then times a
+//! fixed wall-clock budget and reports mean ns/iter — honest numbers,
+//! no confidence intervals.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function to defeat constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The vendored runner treats all
+/// variants identically (setup is excluded from timing either way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup for every routine call.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; times the routine it is given.
+pub struct Bencher {
+    /// Accumulated measured time across timed iterations.
+    elapsed: Duration,
+    /// Number of timed iterations.
+    iters: u64,
+    /// Wall-clock budget for the timed phase.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Times repeated calls of `routine` until the budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: a few untimed calls, stopping early once they have
+        // already consumed the budget (heavy routines pay one call, not 4).
+        let warmup = Instant::now();
+        for _ in 0..3 {
+            black_box(routine());
+            if warmup.elapsed() >= self.budget {
+                break;
+            }
+        }
+        // Measure doubling batches under one clock read each, so the
+        // Instant::now() overhead amortizes away for nanosecond routines.
+        let mut batch = 1u64;
+        while self.elapsed < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t.elapsed();
+            self.iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warmup = Instant::now();
+        for _ in 0..3 {
+            black_box(routine(setup()));
+            if warmup.elapsed() >= self.budget {
+                break;
+            }
+        }
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Like `iter_batched`, mutating the input in place.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.as_ref(), self.budget, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Adjusts the sample budget (vendored runner: scales wall-clock
+    /// budget; criterion proper interprets this as a sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Map criterion's default of 100 samples onto the default budget.
+        let scaled = self.budget.as_millis() as u64 * n as u64 / 100;
+        self.budget = Duration::from_millis(scaled.max(10));
+        self
+    }
+
+    /// Registers and immediately runs one benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, self.budget, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(budget);
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("bench {id:<40} (no timed iterations)");
+        return;
+    }
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    println!(
+        "bench {id:<40} {:>14.1} ns/iter ({} iters)",
+        ns_per_iter, bencher.iters
+    );
+}
+
+/// Declares a function running each benchmark in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (for `harness = false` targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        c.budget = Duration::from_millis(5);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        c.budget = Duration::from_millis(5);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut count = 0u32;
+        group.bench_function("one", |b| {
+            count += 1;
+            b.iter_batched(|| 3u64, |x| black_box(x * 2), BatchSize::SmallInput);
+        });
+        group.finish();
+        assert_eq!(count, 1);
+    }
+}

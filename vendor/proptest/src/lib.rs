@@ -1,0 +1,672 @@
+//! Offline vendored subset of the `proptest` 1.x API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `proptest` its suites use: the [`strategy::Strategy`]
+//! trait with `prop_map`/`boxed`, integer-range / tuple / collection /
+//! option / sample strategies, `prop_oneof!`, and the `proptest!` +
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate for an offline test tier:
+//!
+//! - **No shrinking.** A failing case reports its case number and the
+//!   deterministic per-test seed instead of a minimized input.
+//!   (`max_shrink_iters` is accepted and ignored.)
+//! - **Deterministic seeding.** Each test's RNG is seeded from a hash of
+//!   its full module path, so runs are reproducible by construction; set
+//!   `PROPTEST_SEED` to perturb the whole suite.
+//! - `prop_assume!` skips the case rather than drawing a replacement.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A boxed, object-safe strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    /// Generates values of `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.gen_value(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of its payload.
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies
+    /// (the engine behind `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `arms` must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let k = rng.usize_below(self.arms.len());
+            self.arms[k].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.u64_below(span) as $ty
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    start + rng.u64_below(span + 1) as $ty
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+        (A, B, C, D, E, G, H)
+        (A, B, C, D, E, G, H, I)
+    }
+
+    /// Strategy for "any value of `T`"; see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Returns the canonical whole-domain strategy for `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! any_int_strategies {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    any_int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A half-open range of collection lengths.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            assert!(self.lo < self.hi, "empty size range");
+            self.lo + rng.usize_below(self.hi - self.lo)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`; see [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; see [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates sets of `element` values with *target* size drawn from
+    /// `size` (duplicates collapse, as with upstream proptest).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Bounded attempts: duplicates may keep the set below target.
+            for _ in 0..target * 4 {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.gen_value(rng));
+            }
+            set
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`; see [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.usize_below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over fixed collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding order-preserving subsequences; see [`subsequence`].
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        amount: usize,
+    }
+
+    /// Generates subsequences of exactly `amount` elements of `items`,
+    /// preserving the original relative order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > items.len()`.
+    pub fn subsequence<T: Clone>(items: Vec<T>, amount: usize) -> Subsequence<T> {
+        assert!(
+            amount <= items.len(),
+            "subsequence amount {} exceeds {} items",
+            amount,
+            items.len()
+        );
+        Subsequence { items, amount }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<T> {
+            // Floyd-style distinct index selection, then order preservation.
+            let n = self.items.len();
+            let mut picked = vec![false; n];
+            let mut chosen = 0usize;
+            while chosen < self.amount {
+                let k = rng.usize_below(n);
+                if !picked[k] {
+                    picked[k] = true;
+                    chosen += 1;
+                }
+            }
+            self.items
+                .iter()
+                .zip(&picked)
+                .filter(|(_, &p)| p)
+                .map(|(item, _)| item.clone())
+                .collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case-generation configuration and the deterministic test RNG.
+
+    /// Subset of proptest's `Config` honored by the vendored runner.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to generate per test.
+        pub cases: u32,
+        /// Accepted for source compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                // Upstream defaults to 256; the offline runner keeps the
+                // default moderate so in-crate suites stay fast. Tests that
+                // want more set `cases` explicitly.
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// SplitMix64 generator seeded per test from its module path.
+    pub struct TestRng {
+        state: u64,
+        initial: u64,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for the named test, deterministically.
+        /// `PROPTEST_SEED` (a u64) perturbs every test's stream at once.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let env_seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0);
+            let state = std::env::var("PROPTEST_REPLAY")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| h ^ env_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            TestRng {
+                state,
+                initial: state,
+            }
+        }
+
+        /// The starting stream state, for failure reporting: rerunning the
+        /// test with `PROPTEST_REPLAY=<this value>` reproduces the stream.
+        pub fn initial_state(&self) -> u64 {
+            self.initial
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+        pub fn u64_below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "u64_below(0)");
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// Uniform draw from `[0, bound)` as `usize`.
+        pub fn usize_below(&mut self, bound: usize) -> usize {
+            self.u64_below(bound as u64) as usize
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(args in strategies) { .. }` item
+/// becomes a `#[test]`-able function running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(unused_parens)]
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let strategy = ($($strategy),+);
+            for case in 0..config.cases {
+                let ($($parm),+) = $crate::strategy::Strategy::gen_value(&strategy, &mut rng);
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{} (stream {:#x}; rerun \
+                         this test with PROPTEST_REPLAY={} to reproduce): {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        rng.initial_state(),
+                        rng.initial_state(),
+                        message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        (0u32..10).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..9, y in 1u32..=3) {
+            prop_assert!((5..9).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn map_and_tuples_compose(v in small(), (a, b) in (0u8..4, 0u8..4)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(a < 4 && b < 4);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            exact in crate::collection::vec(crate::strategy::any::<bool>(), 4),
+            ranged in crate::collection::vec(0u8..8, 0..5),
+            set in crate::collection::btree_set(0u32..64, 0..8),
+            sub in crate::sample::subsequence(vec![1u32, 2, 3, 4, 5], 3),
+            opt in crate::option::of(0u8..4),
+        ) {
+            prop_assert_eq!(exact.len(), 4);
+            prop_assert!(ranged.len() < 5);
+            prop_assert!(set.len() < 8);
+            prop_assert_eq!(sub.len(), 3);
+            let sorted = { let mut s = sub.clone(); s.sort_unstable(); s };
+            prop_assert_eq!(&sorted, &sub, "subsequence must preserve order");
+            if let Some(x) = opt { prop_assert!(x < 4); }
+        }
+
+        #[test]
+        fn oneof_and_just_cover_arms(v in prop_oneof![Just(1u32), Just(2u32), (5u32..7)]) {
+            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        #[test]
+        fn explicit_config_is_honored(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u8..2) {
+            prop_assume!(x == 0);
+            prop_assert_eq!(x, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            #[allow(dead_code)]
+            fn inner(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("same::name");
+        let mut b = crate::test_runner::TestRng::for_test("same::name");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
