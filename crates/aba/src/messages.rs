@@ -94,6 +94,13 @@ impl Wire for VoteSlot {
             d => Err(CodecError::BadDiscriminant(d)),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            VoteSlot::Decide { .. } => 5,
+            _ => 9,
+        }
+    }
 }
 
 /// Values carried in vote slots: a bit (`A`/`B`/decide) or an optional bit
@@ -124,6 +131,13 @@ impl Wire for VoteValue {
             0 => Ok(VoteValue::Bit(bool::decode(r)?)),
             1 => Ok(VoteValue::MaybeBit(Option::decode(r)?)),
             d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            VoteValue::Bit(_) => 2,
+            VoteValue::MaybeBit(m) => 1 + m.encoded_len(),
         }
     }
 }
@@ -157,6 +171,13 @@ impl<F: Field> Wire for AbaMsg<F> {
             d => Err(CodecError::BadDiscriminant(d)),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            AbaMsg::Vote(m) => 1 + m.encoded_len(),
+            AbaMsg::Coin(m) => 1 + m.encoded_len(),
+        }
+    }
 }
 
 impl<F> Kinded for AbaMsg<F> {
@@ -181,6 +202,7 @@ mod tests {
 
     fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = v.encoded();
+        assert_eq!(v.encoded_len(), bytes.len(), "encoded_len mismatch");
         let mut r = Reader::new(&bytes);
         assert_eq!(T::decode(&mut r).unwrap(), v);
         assert_eq!(r.remaining(), 0);

@@ -536,16 +536,22 @@ pub struct AbaProcess<F: Field> {
     node: AbaNode<F>,
     proposals: Vec<(u32, bool)>,
     decided_events: Vec<AbaEvent>,
+    /// Cached `done()` answer. The run loop polls doneness after every
+    /// delivery for every process; halting is monotone, so once true it
+    /// stays true, and only a fresh `Halted` event can flip it.
+    done: bool,
 }
 
 impl<F: Field> AbaProcess<F> {
     /// Creates a process that will propose the given `(instance, bit)`
     /// pairs at start.
     pub fn new(node: AbaNode<F>, proposals: Vec<(u32, bool)>) -> Self {
+        let proposals_all_halted = proposals.iter().all(|&(instance, _)| node.halted(instance));
         AbaProcess {
             node,
             proposals,
             decided_events: Vec::new(),
+            done: proposals_all_halted,
         }
     }
 
@@ -572,7 +578,7 @@ where
         for (to, msg) in sends {
             out.send(to, msg);
         }
-        self.decided_events.extend(self.node.take_events());
+        self.absorb_events();
     }
 
     fn on_message(&mut self, from: Pid, msg: AbaMsg<F>, out: &mut sba_net::Outbox<AbaMsg<F>>) {
@@ -581,13 +587,30 @@ where
         for (to, m) in sends {
             out.send(to, m);
         }
-        self.decided_events.extend(self.node.take_events());
+        self.absorb_events();
     }
 
     fn done(&self) -> bool {
-        self.proposals
-            .iter()
-            .all(|&(instance, _)| self.node.halted(instance))
+        self.done
+    }
+}
+
+impl<F: Field> AbaProcess<F> {
+    /// Drains node events; a fresh `Halted` event is the only thing that
+    /// can flip doneness, so the cache recomputes exactly then.
+    fn absorb_events(&mut self) {
+        let before = self.decided_events.len();
+        self.decided_events.extend(self.node.take_events());
+        if !self.done
+            && self.decided_events[before..]
+                .iter()
+                .any(|e| matches!(e, AbaEvent::Halted { .. }))
+        {
+            self.done = self
+                .proposals
+                .iter()
+                .all(|&(instance, _)| self.node.halted(instance));
+        }
     }
 }
 

@@ -1,11 +1,15 @@
 //! Criterion wall-clock benchmarks of the computational primitives
-//! (experiment E9): field arithmetic, polynomial interpolation, and
-//! bivariate operations.
+//! (experiment E9): field arithmetic, polynomial interpolation (naive and
+//! domain-cached barycentric), batch verification, and bivariate
+//! operations, across the degree range `t ∈ {1, 2, 5, 10, 20}`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sba::field::{BiPoly, Field, Gf61, Poly};
+use sba::field::{BiPoly, Domain, Field, Gf61, Poly};
+
+/// The degree sweep shared by the interpolation/eval benches.
+const DEGREES: [usize; 5] = [1, 2, 5, 10, 20];
 
 fn bench_field(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
@@ -17,20 +21,61 @@ fn bench_field(c: &mut Criterion) {
     c.bench_function("field/inv", |bench| {
         bench.iter(|| std::hint::black_box(a).inv())
     });
+    c.bench_function("field/inv_small", |bench| {
+        bench.iter(|| std::hint::black_box(Gf61::from_u64(17)).inv())
+    });
 }
 
 fn bench_poly(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
-    for t in [1usize, 3, 5] {
+    let domain: Domain<Gf61> = Domain::new(32);
+    for t in DEGREES {
         let poly = Poly::random_with_constant(Gf61::from_u64(7), t, &mut rng);
         let pts: Vec<(Gf61, Gf61)> = (1..=(t as u64 + 1))
             .map(|i| (Gf61::from_u64(i), poly.eval_at_index(i)))
             .collect();
-        c.bench_function(&format!("poly/interpolate/t{t}"), |bench| {
+        let idx_pts: Vec<(u64, Gf61)> = (1..=(t as u64 + 1))
+            .map(|i| (i, poly.eval_at_index(i)))
+            .collect();
+        c.bench_function(format!("poly/interpolate/t{t}"), |bench| {
             bench.iter(|| Poly::interpolate(std::hint::black_box(&pts)).unwrap())
         });
-        c.bench_function(&format!("poly/eval/t{t}"), |bench| {
+        c.bench_function(format!("domain/interpolate/t{t}"), |bench| {
+            bench.iter(|| domain.interpolate(std::hint::black_box(&idx_pts)).unwrap())
+        });
+        c.bench_function(format!("domain/interpolate_at_zero/t{t}"), |bench| {
+            bench.iter(|| {
+                domain
+                    .interpolate_at_zero(std::hint::black_box(&idx_pts))
+                    .unwrap()
+            })
+        });
+        let mut coeffs: Vec<Gf61> = Vec::with_capacity(t + 1);
+        c.bench_function(format!("domain/interpolate_into/t{t}"), |bench| {
+            bench.iter(|| {
+                domain
+                    .interpolate_into(std::hint::black_box(&idx_pts), &mut coeffs)
+                    .unwrap()
+            })
+        });
+        c.bench_function(format!("poly/eval/t{t}"), |bench| {
             bench.iter(|| std::hint::black_box(&poly).eval(Gf61::from_u64(9)))
+        });
+        let xs = domain.points();
+        let mut out: Vec<Gf61> = Vec::with_capacity(xs.len());
+        c.bench_function(format!("poly/eval_many32/t{t}"), |bench| {
+            bench.iter(|| std::hint::black_box(&poly).eval_many(xs, &mut out))
+        });
+        // Batch verify: are all of 2(t+1) points on one degree-t polynomial?
+        let verify_pts: Vec<(u64, Gf61)> = (1..=(2 * (t as u64 + 1)).min(32))
+            .map(|i| (i, poly.eval_at_index(i)))
+            .collect();
+        c.bench_function(format!("domain/batch_verify/t{t}"), |bench| {
+            bench.iter(|| {
+                domain
+                    .interpolate_checked_at_zero(std::hint::black_box(&verify_pts), t)
+                    .unwrap()
+            })
         });
     }
 }
@@ -39,11 +84,15 @@ fn bench_bipoly(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     for t in [1usize, 3, 5] {
         let f = BiPoly::random_with_secret(Gf61::from_u64(5), t, &mut rng);
-        c.bench_function(&format!("bipoly/row/t{t}"), |bench| {
+        c.bench_function(format!("bipoly/row/t{t}"), |bench| {
             bench.iter(|| std::hint::black_box(&f).row(3))
         });
+        let mut buf: Vec<Gf61> = Vec::with_capacity(t + 1);
+        c.bench_function(format!("bipoly/row_into/t{t}"), |bench| {
+            bench.iter(|| std::hint::black_box(&f).row_into(3, &mut buf))
+        });
         let rows: Vec<(u64, Poly<Gf61>)> = (1..=(t as u64 + 1)).map(|i| (i, f.row(i))).collect();
-        c.bench_function(&format!("bipoly/interpolate_rows/t{t}"), |bench| {
+        c.bench_function(format!("bipoly/interpolate_rows/t{t}"), |bench| {
             bench.iter_batched(
                 || rows.clone(),
                 |rows| BiPoly::interpolate_rows(t, &rows).unwrap(),

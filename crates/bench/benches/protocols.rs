@@ -10,7 +10,7 @@ use sba::{Cluster, ClusterConfig, Params, Pid, SvssId};
 
 fn bench_svss(c: &mut Criterion) {
     for (n, t) in [(4usize, 1usize), (7, 2)] {
-        c.bench_function(&format!("svss/share+reconstruct/n{n}"), |bench| {
+        c.bench_function(format!("svss/share+reconstruct/n{n}"), |bench| {
             let mut seed = 0u64;
             bench.iter(|| {
                 seed += 1;

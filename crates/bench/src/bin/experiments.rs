@@ -4,11 +4,17 @@
 //! cargo run --release -p sba-bench --bin experiments -- all          # quick
 //! cargo run --release -p sba-bench --bin experiments -- all --full  # long
 //! cargo run --release -p sba-bench --bin experiments -- e3          # one table
+//! cargo run --release -p sba-bench --bin experiments -- e9 --json BENCH_2.json
 //! ```
 //!
 //! The paper (PODC 2008 theory paper) has no empirical tables or figures;
 //! each experiment here validates one of its *quantitative claims* — see
 //! DESIGN.md §3 for the claim-to-experiment mapping.
+//!
+//! `--json PATH` records the perf experiment (E9) as a machine-readable
+//! snapshot — the repo's perf trajectory file (`BENCH_<pr>.json`). In
+//! `--full` mode E9 additionally times the heavyweight n=7 SCC agreement
+//! run (the `scc_larger_system` slow-tier test's workload).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -19,13 +25,22 @@ use sba::adversary::Fault;
 use sba::coin::{CoinEngine, CoinMsg};
 use sba::field::{Field, Gf101, Gf61};
 use sba::{Cluster, ClusterConfig, CoinMode, OracleCoin, Params, Pid};
-use sba_bench::{loglog_slope, split_inputs, Stats};
+use sba_bench::{loglog_slope, split_inputs, JsonSink, Stats};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let which = args.first().map(String::as_str).unwrap_or("all");
-    let run_all = which == "all" || which == "--full";
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .map(String::as_str)
+        .unwrap_or("all");
+    let run_all = which == "all";
 
     println!(
         "# sba experiments ({} mode)\n",
@@ -55,8 +70,133 @@ fn main() {
     if run_all || which == "e8" {
         e8_ablation(full);
     }
+    if run_all || which == "e9" {
+        e9_perf(full, json_path.as_deref());
+    }
     if run_all || which == "e10" {
         e10_threaded(full);
+    }
+}
+
+// ---------------------------------------------------------------------
+// E9 - computational primitives + SCC wall time (the perf trajectory)
+// ---------------------------------------------------------------------
+
+/// Median ns/op over several timed batches of `op`.
+fn time_ns(mut op: impl FnMut()) -> f64 {
+    use std::time::Instant;
+    // Warm up, then size a batch to ~2ms and take the median of 5 batches.
+    op();
+    let probe = Instant::now();
+    op();
+    let once = probe.elapsed().as_nanos().max(1) as f64;
+    let batch = ((2_000_000.0 / once) as u64).clamp(1, 2_000_000);
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..batch {
+            op();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    samples[2]
+}
+
+fn e9_perf(full: bool, json_path: Option<&str>) {
+    use sba::field::{Domain, Poly};
+
+    println!("## E9 - computational primitives and SCC wall time\n");
+    println!("| op | t | ns/op |");
+    println!("|----|---|-------|");
+    let mut sink = JsonSink::new();
+    sink.put_str("schema", "sba-bench-v1");
+    sink.put_str("mode", if full { "full" } else { "quick" });
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let domain: Domain<Gf61> = Domain::new(32);
+    let mut report = |label: String, ns: f64| {
+        let (op, t) = label.rsplit_once("_t").expect("label ends in _t<deg>");
+        println!("| {op} | {t} | {ns:.0} |");
+        sink.put_num(&format!("microbench_ns.{label}"), ns);
+    };
+    for t in [1usize, 2, 5, 10, 20] {
+        let poly = Poly::random_with_constant(Gf61::from_u64(7), t, &mut rng);
+        let pts: Vec<(Gf61, Gf61)> = (1..=(t as u64 + 1))
+            .map(|i| (Gf61::from_u64(i), poly.eval_at_index(i)))
+            .collect();
+        let idx_pts: Vec<(u64, Gf61)> = (1..=(t as u64 + 1))
+            .map(|i| (i, poly.eval_at_index(i)))
+            .collect();
+        let verify_pts: Vec<(u64, Gf61)> = (1..=(2 * (t as u64 + 1)).min(32))
+            .map(|i| (i, poly.eval_at_index(i)))
+            .collect();
+        report(
+            format!("poly_interpolate_t{t}"),
+            time_ns(|| {
+                std::hint::black_box(Poly::interpolate(std::hint::black_box(&pts)).unwrap());
+            }),
+        );
+        report(
+            format!("domain_interpolate_t{t}"),
+            time_ns(|| {
+                std::hint::black_box(domain.interpolate(std::hint::black_box(&idx_pts)).unwrap());
+            }),
+        );
+        report(
+            format!("domain_interpolate_at_zero_t{t}"),
+            time_ns(|| {
+                std::hint::black_box(
+                    domain
+                        .interpolate_at_zero(std::hint::black_box(&idx_pts))
+                        .unwrap(),
+                );
+            }),
+        );
+        report(
+            format!("domain_batch_verify_t{t}"),
+            time_ns(|| {
+                std::hint::black_box(
+                    domain
+                        .interpolate_checked_at_zero(std::hint::black_box(&verify_pts), t)
+                        .unwrap(),
+                );
+            }),
+        );
+        report(
+            format!("poly_eval_t{t}"),
+            time_ns(|| {
+                std::hint::black_box(std::hint::black_box(&poly).eval(Gf61::from_u64(9)));
+            }),
+        );
+    }
+    println!();
+
+    if full {
+        // The scc_larger_system workload: n=7, t=2, split inputs, SCC coin.
+        use std::time::Instant;
+        println!("Timing the n=7 SCC agreement run (slow tier's heaviest test)...\n");
+        let config = ClusterConfig::new(7, 2).seed(13);
+        let mut cluster = Cluster::new(config, &split_inputs(7));
+        let start = Instant::now();
+        let report = cluster.run(60_000_000);
+        let wall = start.elapsed().as_secs_f64();
+        assert!(report.terminated, "n=7 SCC run must terminate");
+        assert!(report.agreement(), "n=7 SCC run must agree");
+        println!("| n | t | wall s | messages | rounds |");
+        println!("|---|---|--------|----------|--------|");
+        println!(
+            "| 7 | 2 | {wall:.1} | {} | {} |\n",
+            report.messages, report.max_round
+        );
+        sink.put_num("scc_larger_system.wall_seconds", wall);
+        sink.put_num("scc_larger_system.messages", report.messages as f64);
+        sink.put_num("scc_larger_system.rounds", f64::from(report.max_round));
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(path, sink.render()).expect("write json snapshot");
+        println!("(wrote {path})\n");
     }
 }
 

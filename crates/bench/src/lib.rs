@@ -84,6 +84,89 @@ pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
 }
 
+/// A minimal JSON writer for perf snapshots (`BENCH_<pr>.json`).
+///
+/// Keys may be dotted (`"a.b.c"`) to build nested objects. Only strings
+/// and finite numbers are supported — exactly what the perf trajectory
+/// needs, with no serialization dependency.
+#[derive(Clone, Debug, Default)]
+pub struct JsonSink {
+    entries: Vec<(String, String)>,
+}
+
+impl JsonSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a string value under a (dotted) key.
+    pub fn put_str(&mut self, key: &str, value: &str) {
+        // The snapshot's keys/values are identifiers and labels; escape the
+        // two characters that could break the encoding.
+        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+        self.entries
+            .push((key.to_string(), format!("\"{escaped}\"")));
+    }
+
+    /// Records a finite number under a (dotted) key.
+    pub fn put_num(&mut self, key: &str, value: f64) {
+        assert!(value.is_finite(), "JSON snapshot numbers must be finite");
+        // Trim to a stable, diff-friendly precision.
+        let rendered = if value.fract() == 0.0 && value.abs() < 1e15 {
+            format!("{value:.0}")
+        } else {
+            format!("{value:.3}")
+        };
+        self.entries.push((key.to_string(), rendered));
+    }
+
+    fn render_group(entries: &[(&[String], &String)], depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth + 1);
+        let mut i = 0;
+        while i < entries.len() {
+            let (path, value) = entries[i];
+            let head = &path[depth];
+            let group_end = entries[i..]
+                .iter()
+                .position(|(p, _)| &p[depth] != head)
+                .map_or(entries.len(), |k| i + k);
+            if path.len() == depth + 1 {
+                out.push_str(&format!("{indent}\"{head}\": {value}"));
+                i += 1;
+            } else {
+                out.push_str(&format!("{indent}\"{head}\": {{\n"));
+                Self::render_group(&entries[i..group_end], depth + 1, out);
+                out.push_str(&format!("{indent}}}"));
+                i = group_end;
+            }
+            out.push_str(if i < entries.len() { ",\n" } else { "\n" });
+        }
+    }
+
+    /// Renders the accumulated entries as a pretty-printed JSON object.
+    /// Insertion order is preserved; dotted keys become nested objects.
+    /// Entries sharing a key prefix must be inserted contiguously (they
+    /// are, everywhere this is used; a split group would render the
+    /// object key twice).
+    pub fn render(&self) -> String {
+        let paths: Vec<Vec<String>> = self
+            .entries
+            .iter()
+            .map(|(k, _)| k.split('.').map(str::to_string).collect())
+            .collect();
+        let entries: Vec<(&[String], &String)> = paths
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.entries.iter().map(|(_, v)| v))
+            .collect();
+        let mut out = String::from("{\n");
+        Self::render_group(&entries, 0, &mut out);
+        out.push_str("}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +197,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn slope_rejects_zero() {
         let _ = loglog_slope(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn json_sink_renders_nested_objects() {
+        let mut sink = JsonSink::new();
+        sink.put_str("schema", "v1");
+        sink.put_num("micro.a", 1.5);
+        sink.put_num("micro.b", 2.0);
+        sink.put_num("wall.seconds", 3.0);
+        let out = sink.render();
+        assert_eq!(
+            out,
+            "{\n  \"schema\": \"v1\",\n  \"micro\": {\n    \"a\": 1.500,\n    \"b\": 2\n  },\n  \"wall\": {\n    \"seconds\": 3\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn json_sink_escapes_strings() {
+        let mut sink = JsonSink::new();
+        sink.put_str("k", "a\"b\\c");
+        assert!(sink.render().contains("\"a\\\"b\\\\c\""));
     }
 }

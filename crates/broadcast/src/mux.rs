@@ -7,10 +7,9 @@
 //! instance, Bracha RB guarantees all nonfaulty processes accept the same
 //! value, so "the value p broadcast for slot s" is well defined everywhere.
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
-use sba_net::{CodecError, Kinded, Pid, Reader, Wire};
+use sba_net::{CodecError, FastMap, Kinded, Pid, Reader, Wire};
 
 use crate::{Params, Rb, RbMsg};
 
@@ -37,6 +36,9 @@ impl<T: Wire, P: Wire> Wire for MuxMsg<T, P> {
             origin: Pid::decode(r)?,
             inner: RbMsg::decode(r)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.tag.encoded_len() + 4 + self.inner.encoded_len()
     }
 }
 
@@ -76,7 +78,7 @@ pub struct RbDelivery<T, P> {
 pub struct RbMux<T, P> {
     me: Pid,
     params: Params,
-    instances: HashMap<(Pid, T), Rb<P>>,
+    instances: FastMap<(Pid, T), Rb<P>>,
 }
 
 impl<T, P> RbMux<T, P>
@@ -89,7 +91,7 @@ where
         RbMux {
             me,
             params,
-            instances: HashMap::new(),
+            instances: FastMap::default(),
         }
     }
 

@@ -1,9 +1,8 @@
 //! Bracha Reliable Broadcast on top of WRB (paper, Lemma 6).
 
-use std::collections::HashMap;
-
 use sba_net::{CodecError, Kinded, Pid, Reader, Wire};
 
+use crate::wrb::value_with_count;
 use crate::{Params, Wrb, WrbMsg};
 
 /// RB wire messages: the embedded WRB exchange plus type-3 `Ready`.
@@ -33,6 +32,12 @@ impl<P: Wire> Wire for RbMsg<P> {
             0 => Ok(RbMsg::Wrb(WrbMsg::decode(r)?)),
             3 => Ok(RbMsg::Ready(P::decode(r)?)),
             d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            RbMsg::Wrb(m) => 1 + m.encoded_len(),
+            RbMsg::Ready(p) => 1 + p.encoded_len(),
         }
     }
 }
@@ -65,7 +70,9 @@ pub struct Rb<P> {
     params: Params,
     wrb: Wrb<P>,
     sent_ready: bool,
-    readies: HashMap<Pid, P>,
+    /// First ready per sender, in arrival order (linear list: see
+    /// [`Wrb`]); dropped wholesale once the instance accepts.
+    readies: Vec<(Pid, P)>,
     accepted: Option<P>,
 }
 
@@ -77,7 +84,7 @@ impl<P: Clone + Eq> Rb<P> {
             params,
             wrb: Wrb::new(me, dealer, params),
             sent_ready: false,
-            readies: HashMap::new(),
+            readies: Vec::new(),
             accepted: None,
         }
     }
@@ -106,6 +113,13 @@ impl<P: Clone + Eq> Rb<P> {
         msg: RbMsg<P>,
         sends: &mut Vec<(Pid, RbMsg<P>)>,
     ) -> Option<P> {
+        if self.accepted.is_some() {
+            // Acceptance is sticky and implies this process already sent
+            // its ready (quorum ≥ amplification threshold), so remaining
+            // traffic for this instance cannot change anything here, and
+            // everyone else still terminates via ready amplification.
+            return None;
+        }
         match msg {
             RbMsg::Wrb(m) => {
                 let mut wrb_sends = Vec::new();
@@ -117,11 +131,13 @@ impl<P: Clone + Eq> Rb<P> {
                 self.try_accept()
             }
             RbMsg::Ready(v) => {
-                self.readies.entry(from).or_insert(v);
+                if !self.readies.iter().any(|&(q, _)| q == from) {
+                    self.readies.push((from, v));
+                }
                 // Amplification: t+1 readies for one value prove a nonfaulty
                 // process WRB-accepted it.
                 if !self.sent_ready {
-                    if let Some(v) = self.value_with_count(self.params.amplify()) {
+                    if let Some(v) = value_with_count(&self.readies, self.params.amplify()) {
                         self.send_ready(v, sends);
                     }
                 }
@@ -140,27 +156,19 @@ impl<P: Clone + Eq> Rb<P> {
         }
     }
 
-    fn value_with_count(&self, threshold: usize) -> Option<P> {
-        let mut counts: Vec<(&P, usize)> = Vec::new();
-        for v in self.readies.values() {
-            if let Some(e) = counts.iter_mut().find(|(u, _)| *u == v) {
-                e.1 += 1;
-            } else {
-                counts.push((v, 1));
-            }
-        }
-        counts
-            .iter()
-            .find(|&&(_, c)| c >= threshold)
-            .map(|&(v, _)| v.clone())
-    }
-
     fn try_accept(&mut self) -> Option<P> {
         if self.accepted.is_some() {
             return None;
         }
-        let v = self.value_with_count(self.params.quorum())?;
+        let v = value_with_count(&self.readies, self.params.quorum())?;
         self.accepted = Some(v.clone());
+        // Acceptance is final: the ready tally and the WRB sub-machine's
+        // echo tally are dead state from here on — free both. Keeping
+        // finished instances lean is what keeps the working set (hundreds
+        // of thousands of RB slots per run) inside the cache-friendly
+        // range.
+        self.readies = Vec::new();
+        self.wrb.shrink();
         Some(v)
     }
 }

@@ -1,10 +1,28 @@
 //! Weak Reliable Broadcast: Dolev's crusader agreement (paper, Lemma 5).
 
-use std::collections::HashMap;
-
 use sba_net::{CodecError, Kinded, Pid, Reader, Wire};
 
 use crate::Params;
+
+/// First value held by at least `threshold` distinct senders in a
+/// `(sender, value)` tally, counting each distinct value once at its
+/// first occurrence.
+///
+/// Allocation-free: tallies hold at most `n ≤ 64` entries and this runs
+/// on every echo/ready delivery — the hottest message kinds in a full
+/// run — so the `O(n²)` equality scan beats building a count table per
+/// message. Shared by [`Wrb`] and [`crate::Rb`].
+pub(crate) fn value_with_count<P: Clone + Eq>(entries: &[(Pid, P)], threshold: usize) -> Option<P> {
+    for (i, (_, v)) in entries.iter().enumerate() {
+        if entries[..i].iter().any(|(_, u)| u == v) {
+            continue;
+        }
+        if entries.iter().filter(|(_, u)| u == v).count() >= threshold {
+            return Some(v.clone());
+        }
+    }
+    None
+}
 
 /// WRB wire messages. Type-1 carries the dealer's value; type-2 is the
 /// echo each process sends the first time it hears the dealer.
@@ -34,6 +52,11 @@ impl<P: Wire> Wire for WrbMsg<P> {
             1 => Ok(WrbMsg::Init(P::decode(r)?)),
             2 => Ok(WrbMsg::Echo(P::decode(r)?)),
             d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            WrbMsg::Init(p) | WrbMsg::Echo(p) => 1 + p.encoded_len(),
         }
     }
 }
@@ -74,7 +97,10 @@ pub struct Wrb<P> {
     params: Params,
     sent_echo: bool,
     started: bool,
-    echoes: HashMap<Pid, P>,
+    /// First echo per sender, in arrival order. A linear list beats a
+    /// hash map at `n ≤ 64` senders, and is dropped wholesale once the
+    /// instance accepts (acceptance is sticky; the tally is dead state).
+    echoes: Vec<(Pid, P)>,
     accepted: Option<P>,
 }
 
@@ -87,7 +113,7 @@ impl<P: Clone + Eq> Wrb<P> {
             params,
             sent_echo: false,
             started: false,
-            echoes: HashMap::new(),
+            echoes: Vec::new(),
             accepted: None,
         }
     }
@@ -95,6 +121,12 @@ impl<P: Clone + Eq> Wrb<P> {
     /// The value accepted so far, if any.
     pub fn accepted(&self) -> Option<&P> {
         self.accepted.as_ref()
+    }
+
+    /// Drops the echo tally. Called by the enclosing RB once its own
+    /// acceptance makes this sub-machine's future output irrelevant.
+    pub(crate) fn shrink(&mut self) {
+        self.echoes = Vec::new();
     }
 
     /// Dealer entry point: broadcast `value` to all processes.
@@ -131,8 +163,13 @@ impl<P: Clone + Eq> Wrb<P> {
                 None
             }
             WrbMsg::Echo(v) => {
+                if self.accepted.is_some() {
+                    return None; // sticky; the tally is already dropped
+                }
                 // First echo per sender counts; equivocators change nothing.
-                self.echoes.entry(from).or_insert(v);
+                if !self.echoes.iter().any(|&(q, _)| q == from) {
+                    self.echoes.push((from, v));
+                }
                 self.try_accept()
             }
         }
@@ -142,21 +179,10 @@ impl<P: Clone + Eq> Wrb<P> {
         if self.accepted.is_some() {
             return None;
         }
-        // Count echoes per value; accept at quorum.
-        let quorum = self.params.quorum();
-        let mut counts: Vec<(&P, usize)> = Vec::new();
-        for v in self.echoes.values() {
-            if let Some(e) = counts.iter_mut().find(|(u, _)| *u == v) {
-                e.1 += 1;
-            } else {
-                counts.push((v, 1));
-            }
-        }
-        let winner = counts
-            .iter()
-            .find(|&&(_, c)| c >= quorum)
-            .map(|&(v, _)| v.clone())?;
+        let winner = value_with_count(&self.echoes, self.params.quorum())?;
         self.accepted = Some(winner.clone());
+        // The tally only existed to reach this decision; free it.
+        self.echoes = Vec::new();
         Some(winner)
     }
 }

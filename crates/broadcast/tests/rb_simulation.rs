@@ -107,7 +107,7 @@ fn every_process_delivers_every_broadcast_identically() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, max_shrink_iters: 0, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 12, max_shrink_iters: 0 })]
 
     /// RB agreement + totality under random schedules, loads, and system
     /// sizes.

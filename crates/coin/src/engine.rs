@@ -1,12 +1,13 @@
 //! The per-process SCC engine.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sba_broadcast::{Params, RbMux};
-use sba_field::Field;
-use sba_net::{Pid, ProcessSet, SvssId};
+use sba_field::{Domain, Field};
+use sba_net::{FastMap, Pid, ProcessSet, SvssId};
 use sba_svss::{Reconstructed, SvssEngine, SvssEvent};
 
 use crate::{coin_svss_id, decode_coin_svss_id, CoinMsg, CoinSlot};
@@ -38,7 +39,7 @@ struct CoinSession {
     my_dealers: Vec<Pid>,
     attach_broadcast: bool,
     /// Delivered attach sets `T_j`.
-    t_sets: HashMap<Pid, ProcessSet>,
+    t_sets: FastMap<Pid, ProcessSet>,
     /// Completed SVSS shares of this coin session (any dealer/target).
     completed_shares: BTreeSet<SvssId>,
     /// Accepted ("attached") processes.
@@ -53,7 +54,7 @@ struct CoinSession {
     recon_enabled: bool,
     recon_invoked: BTreeSet<SvssId>,
     /// Reconstructed secrets.
-    outputs: HashMap<SvssId, Reconstructed<Gf64Erased>>,
+    outputs: FastMap<SvssId, Reconstructed<Gf64Erased>>,
     output: Option<bool>,
 }
 
@@ -73,20 +74,22 @@ pub struct CoinEngine<F: Field> {
     rng: StdRng,
     svss: SvssEngine<F>,
     mux: RbMux<CoinSlot, ProcessSet>,
-    sessions: HashMap<u64, CoinSession>,
+    sessions: FastMap<u64, CoinSession>,
     events: Vec<CoinEvent>,
 }
 
 impl<F: Field> CoinEngine<F> {
-    /// Creates the coin engine for process `me`.
+    /// Creates the coin engine for process `me`. The evaluation domain is
+    /// built once here and shared with the whole SVSS stack underneath.
     pub fn new(me: Pid, params: Params, seed: u64) -> Self {
+        let domain: Arc<Domain<F>> = Arc::new(Domain::new(params.n()));
         CoinEngine {
             me,
             params,
             rng: StdRng::seed_from_u64(seed ^ 0xC014),
-            svss: SvssEngine::new(me, params, seed ^ 0x5C0_FFEE),
+            svss: SvssEngine::with_domain(me, params, seed ^ 0x5C0_FFEE, domain),
             mux: RbMux::new(me, params),
-            sessions: HashMap::new(),
+            sessions: FastMap::default(),
             events: Vec::new(),
         }
     }
@@ -169,6 +172,9 @@ impl<F: Field> CoinEngine<F> {
                 let delivery = self.mux.on_message(from, m, &mut rb_sends);
                 sends.extend(rb_sends.into_iter().map(|(to, m)| (to, CoinMsg::Rb(m))));
                 if let Some(d) = delivery {
+                    if d.origin.index() as usize > self.params.n() {
+                        return; // forged origin: no such process
+                    }
                     let tag = d.tag.coin_tag();
                     let session = self.sessions.entry(tag).or_default();
                     match d.tag {
@@ -277,7 +283,7 @@ impl<F: Field> CoinEngine<F> {
             let session = self.sessions.entry(tag).or_default();
             if !session.support_broadcast && session.accepted.len() >= quorum {
                 session.support_broadcast = true;
-                let snapshot = session.accepted.clone();
+                let snapshot = session.accepted;
                 let mut rb_sends = Vec::new();
                 self.mux
                     .broadcast(CoinSlot::Support(tag), snapshot, &mut rb_sends);
@@ -288,7 +294,7 @@ impl<F: Field> CoinEngine<F> {
         // Step 5: validate supports; fix B at n−t validated.
         {
             let session = self.sessions.entry(tag).or_default();
-            let accepted = session.accepted.clone();
+            let accepted = session.accepted;
             for (l, s_l) in &session.supports {
                 if !session.validated.contains(*l) && s_l.is_subset(&accepted) {
                     session.validated.insert(*l);
@@ -344,7 +350,7 @@ impl<F: Field> CoinEngine<F> {
         {
             let session = self.sessions.entry(tag).or_default();
             if session.output.is_none() && session.recon_enabled {
-                if let Some(b) = session.b_set.clone() {
+                if let Some(b) = session.b_set {
                     let mut zero_seen = false;
                     let mut all_known = true;
                     'members: for j in b.iter() {

@@ -64,6 +64,10 @@ impl Wire for CoinSlot {
             d => Err(CodecError::BadDiscriminant(d)),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        9
+    }
 }
 
 /// The coin layer's wire message: nested SVSS traffic plus the coin's own
@@ -94,6 +98,13 @@ impl<F: Field> Wire for CoinMsg<F> {
             0 => Ok(CoinMsg::Svss(SvssMsg::decode(r)?)),
             1 => Ok(CoinMsg::Rb(MuxMsg::decode(r)?)),
             d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            CoinMsg::Svss(m) => 1 + m.encoded_len(),
+            CoinMsg::Rb(m) => 1 + m.encoded_len(),
         }
     }
 }
@@ -133,6 +144,7 @@ mod tests {
     fn wire_round_trips() {
         let slot = CoinSlot::Attach(5);
         let bytes = slot.encoded();
+        assert_eq!(slot.encoded_len(), bytes.len());
         assert_eq!(CoinSlot::decode(&mut Reader::new(&bytes)).unwrap(), slot);
 
         let msg: CoinMsg<Gf61> = CoinMsg::Rb(MuxMsg {
@@ -141,6 +153,7 @@ mod tests {
             inner: RbMsg::Ready(Pid::all(3).collect()),
         });
         let bytes = msg.encoded();
+        assert_eq!(msg.encoded_len(), bytes.len());
         assert_eq!(CoinMsg::decode(&mut Reader::new(&bytes)).unwrap(), msg);
         assert_eq!(msg.kind(), "coin/support");
     }

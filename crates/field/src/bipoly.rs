@@ -95,10 +95,19 @@ impl<F: Field> BiPoly<F> {
 
     /// The row polynomial `g_j(y) = f(j, y)` for process index `j`.
     pub fn row(&self, j: u64) -> Poly<F> {
+        let mut out = Vec::with_capacity(self.degree + 1);
+        self.row_into(j, &mut out);
+        Poly::from_coeffs(out)
+    }
+
+    /// Writes the coefficients of `g_j(y) = f(j, y)` into `out` (cleared
+    /// first, lowest degree first, untrimmed). Allocation-free once `out`
+    /// has capacity `t + 1`.
+    pub fn row_into(&self, j: u64, out: &mut Vec<F>) {
         let x = F::from_u64(j);
         // Collapse the x dimension: coefficient of y^k is Σ_i a_{ik} x^i.
-        let t = self.degree;
-        let mut out = vec![F::ZERO; t + 1];
+        out.clear();
+        out.resize(self.degree + 1, F::ZERO);
         let mut xp = F::ONE;
         for row in &self.coeffs {
             for (k, &c) in row.iter().enumerate() {
@@ -106,14 +115,22 @@ impl<F: Field> BiPoly<F> {
             }
             xp = xp * x;
         }
-        Poly::from_coeffs(out)
     }
 
     /// The column polynomial `h_j(x) = f(x, j)` for process index `j`.
     pub fn col(&self, j: u64) -> Poly<F> {
+        let mut out = Vec::with_capacity(self.degree + 1);
+        self.col_into(j, &mut out);
+        Poly::from_coeffs(out)
+    }
+
+    /// Writes the coefficients of `h_j(x) = f(x, j)` into `out` (cleared
+    /// first, lowest degree first, untrimmed). Allocation-free once `out`
+    /// has capacity `t + 1`.
+    pub fn col_into(&self, j: u64, out: &mut Vec<F>) {
         let y = F::from_u64(j);
-        let t = self.degree;
-        let mut out = vec![F::ZERO; t + 1];
+        out.clear();
+        out.resize(self.degree + 1, F::ZERO);
         for (i, row) in self.coeffs.iter().enumerate() {
             let mut yp = F::ONE;
             for &c in row {
@@ -121,7 +138,6 @@ impl<F: Field> BiPoly<F> {
                 yp = yp * y;
             }
         }
-        Poly::from_coeffs(out)
     }
 
     /// The shared secret `f(0, 0)`.
@@ -153,16 +169,29 @@ impl<F: Field> BiPoly<F> {
             }
         }
         let xs: Vec<F> = rows.iter().map(|&(i, _)| F::from_u64(i)).collect();
+        // Barycentric weights over the row indices, with one batched
+        // inversion instead of one Fermat inversion per row.
+        let mut weights: Vec<F> = Vec::with_capacity(rows.len());
+        for (m, &xm) in xs.iter().enumerate() {
+            let mut d = F::ONE;
+            for (j, &xj) in xs.iter().enumerate() {
+                if j != m {
+                    d = d * (xm - xj);
+                }
+            }
+            weights.push(d);
+        }
+        crate::batch_invert(&mut weights);
         let mut coeffs = vec![vec![F::ZERO; t + 1]; t + 1];
+        let mut basis: Vec<F> = Vec::with_capacity(t + 1);
         for (m, (_, g)) in rows.iter().enumerate() {
-            // L_m(x) = prod_{j != m} (x - x_j) / (x_m - x_j) as coefficients.
-            let mut basis = vec![F::ONE];
-            let mut denom = F::ONE;
+            // L_m(x) = w_m · prod_{j != m} (x - x_j) as coefficients.
+            basis.clear();
+            basis.push(F::ONE);
             for (j, &xj) in xs.iter().enumerate() {
                 if j == m {
                     continue;
                 }
-                denom = denom * (xs[m] - xj);
                 basis.push(F::ZERO);
                 for k in (1..basis.len()).rev() {
                     let prev = basis[k - 1];
@@ -170,9 +199,8 @@ impl<F: Field> BiPoly<F> {
                 }
                 basis[0] = -xj * basis[0];
             }
-            let dinv = denom.inv();
             for (i, &bi) in basis.iter().enumerate() {
-                let w = bi * dinv;
+                let w = bi * weights[m];
                 for (k, ck) in coeffs[i].iter_mut().enumerate() {
                     let gk = g.coeffs().get(k).copied().unwrap_or(F::ZERO);
                     *ck = *ck + w * gk;

@@ -11,6 +11,9 @@
 //! - [`Gf101`], a tiny field used by exhaustive property tests,
 //! - [`Poly`], univariate degree-bounded polynomials with Lagrange
 //!   interpolation,
+//! - [`Domain`], a precomputed evaluation domain over the process indices
+//!   `1..=n` that makes interpolation and secret recovery inversion-free
+//!   (the protocols' hot path — build one per instance and share it),
 //! - [`BiPoly`], bivariate polynomials of degree `t` in each variable, with
 //!   the row/column extraction (`g_j(y) = f(j, y)`, `h_j(x) = f(x, j)`)
 //!   used by the SVSS share protocol.
@@ -36,13 +39,15 @@
 //! ```
 
 mod bipoly;
+mod domain;
 mod gf101;
 mod gf61;
 mod poly;
 mod traits;
 
 pub use bipoly::BiPoly;
+pub use domain::{Domain, MAX_DOMAIN};
 pub use gf101::Gf101;
 pub use gf61::Gf61;
-pub use poly::{InterpolateError, Poly};
+pub use poly::{batch_invert, InterpolateError, Poly};
 pub use traits::Field;

@@ -32,13 +32,16 @@ pub struct Poly<F: Field> {
     coeffs: Vec<F>,
 }
 
-/// Error returned by [`Poly::interpolate`] when input points are unusable.
+/// Error returned by [`Poly::interpolate`] (and the domain-cached variants
+/// in [`crate::Domain`]) when input points are unusable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum InterpolateError {
     /// Two points share the same x-coordinate.
     DuplicateX,
     /// The point list is empty.
     Empty,
+    /// A point index lies outside the precomputed domain `1..=n`.
+    OutOfDomain,
 }
 
 impl fmt::Display for InterpolateError {
@@ -46,7 +49,33 @@ impl fmt::Display for InterpolateError {
         match self {
             InterpolateError::DuplicateX => write!(f, "duplicate x-coordinate"),
             InterpolateError::Empty => write!(f, "no points to interpolate"),
+            InterpolateError::OutOfDomain => write!(f, "point index outside the domain"),
         }
+    }
+}
+
+/// Inverts every element of `xs` in place with Montgomery's batch trick:
+/// one field inversion plus `3(k − 1)` multiplications.
+///
+/// # Panics
+///
+/// Panics if any element is zero.
+pub fn batch_invert<F: Field>(xs: &mut [F]) {
+    if xs.is_empty() {
+        return;
+    }
+    // prefix[i] = x_0 · … · x_{i-1}; invert the total once, then peel.
+    let mut prefix = Vec::with_capacity(xs.len());
+    let mut acc = F::ONE;
+    for &x in xs.iter() {
+        prefix.push(acc);
+        acc = acc * x;
+    }
+    let mut inv = acc.inv();
+    for i in (0..xs.len()).rev() {
+        let orig = xs[i];
+        xs[i] = inv * prefix[i];
+        inv = inv * orig;
     }
 }
 
@@ -118,6 +147,19 @@ impl<F: Field> Poly<F> {
         self.eval(F::from_u64(i))
     }
 
+    /// The constant term `f(0)` (zero for the zero polynomial).
+    #[inline]
+    pub fn constant_term(&self) -> F {
+        self.coeffs.first().copied().unwrap_or(F::ZERO)
+    }
+
+    /// Evaluates at every point of `xs`, appending into `out` (which is
+    /// cleared first). Allocation-free once `out` has capacity `xs.len()`.
+    pub fn eval_many(&self, xs: &[F], out: &mut Vec<F>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.eval(x)));
+    }
+
     /// Interpolates the unique polynomial of degree `< points.len()` through
     /// the given `(x, y)` points.
     ///
@@ -126,6 +168,30 @@ impl<F: Field> Poly<F> {
     /// Returns [`InterpolateError::Empty`] for an empty slice and
     /// [`InterpolateError::DuplicateX`] if two x-coordinates coincide.
     pub fn interpolate(points: &[(F, F)]) -> Result<Self, InterpolateError> {
+        let mut coeffs = Vec::with_capacity(points.len());
+        Self::interpolate_into(points, &mut coeffs)?;
+        Ok(Self::from_coeffs(coeffs))
+    }
+
+    /// Interpolation into a caller-owned coefficient buffer (cleared and
+    /// resized to `points.len()`, coefficients lowest degree first,
+    /// untrimmed). Reusing the buffer makes repeated interpolation
+    /// allocation-free apart from internal `O(k)` scratch.
+    ///
+    /// Uses barycentric weights with one batched inversion and recovers
+    /// coefficients by synthetic division of the master polynomial
+    /// `M(x) = Π (x − x_i)` — `O(k²)` multiplications and a single field
+    /// inversion, against `O(k³)` plus `k` inversions for the textbook
+    /// per-basis expansion. For interpolation at the fixed process-index
+    /// points, [`crate::Domain`] removes the remaining inversion too.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Poly::interpolate`].
+    pub fn interpolate_into(
+        points: &[(F, F)],
+        coeffs: &mut Vec<F>,
+    ) -> Result<(), InterpolateError> {
         if points.is_empty() {
             return Err(InterpolateError::Empty);
         }
@@ -136,33 +202,47 @@ impl<F: Field> Poly<F> {
                 }
             }
         }
-        // Lagrange: sum over i of y_i * prod_{j != i} (x - x_j) / (x_i - x_j).
-        let mut result = vec![F::ZERO; points.len()];
-        let mut basis: Vec<F> = Vec::with_capacity(points.len());
-        for (i, &(xi, yi)) in points.iter().enumerate() {
-            // numerator polynomial prod_{j != i} (x - x_j), built incrementally
-            basis.clear();
-            basis.push(F::ONE);
-            let mut denom = F::ONE;
-            for (j, &(xj, _)) in points.iter().enumerate() {
-                if i == j {
-                    continue;
-                }
-                denom = denom * (xi - xj);
-                // multiply basis by (x - xj)
-                basis.push(F::ZERO);
-                for k in (1..basis.len()).rev() {
-                    let prev = basis[k - 1];
-                    basis[k] = prev - xj * basis[k];
-                }
-                basis[0] = -xj * basis[0];
-            }
-            let scale = yi * denom.inv();
-            for (k, &b) in basis.iter().enumerate() {
-                result[k] = result[k] + scale * b;
-            }
+        let k = points.len();
+        coeffs.clear();
+        coeffs.resize(k, F::ZERO);
+        if k == 1 {
+            coeffs[0] = points[0].1;
+            return Ok(());
         }
-        Ok(Self::from_coeffs(result))
+        // Barycentric weights w_i = Π_{j≠i} (x_i − x_j)^{-1}, one inversion.
+        let mut weights: Vec<F> = Vec::with_capacity(k);
+        for (i, &(xi, _)) in points.iter().enumerate() {
+            let mut d = F::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i != j {
+                    d = d * (xi - xj);
+                }
+            }
+            weights.push(d);
+        }
+        batch_invert(&mut weights);
+        // Master polynomial M(x) = Π (x − x_i), lowest degree first.
+        let mut master = vec![F::ZERO; k + 1];
+        master[0] = F::ONE;
+        for (deg, &(xi, _)) in points.iter().enumerate() {
+            master[deg + 1] = master[deg];
+            for c in (1..=deg).rev() {
+                master[c] = master[c - 1] - xi * master[c];
+            }
+            master[0] = -(xi * master[0]);
+        }
+        // Basis numerator M(x)/(x − x_i) by synthetic division, scaled by
+        // y_i · w_i and accumulated.
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            let scale = yi * weights[i];
+            let mut carry = master[k];
+            for c in (0..k).rev() {
+                coeffs[c] = coeffs[c] + scale * carry;
+                carry = master[c] + xi * carry;
+            }
+            debug_assert!(carry.is_zero(), "x_i must be a root of the master");
+        }
+        Ok(())
     }
 
     /// Checked interpolation for reconstruction: succeeds only if a

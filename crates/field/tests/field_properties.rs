@@ -73,7 +73,7 @@ fn bipoly_projections_consistent<F: Field>(seed: u64, t: usize) -> Result<(), St
 proptest! {
     // Every case runs O(t^2) interpolations; keep the counts bounded so
     // the whole file stays well under a minute in debug builds.
-    #![proptest_config(ProptestConfig { cases: 48, max_shrink_iters: 0, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48, max_shrink_iters: 0 })]
 
     /// Degree-d interpolation round-trip over the production field.
     #[test]
@@ -104,8 +104,8 @@ proptest! {
         let mut naive = Gf61::ZERO;
         let mut xp = Gf61::ONE;
         for &c in coeffs.iter() {
-            naive = naive + Gf61::from_u64(c) * xp;
-            xp = xp * x;
+            naive += Gf61::from_u64(c) * xp;
+            xp *= x;
         }
         prop_assert_eq!(p.eval(x), naive);
     }
@@ -142,7 +142,7 @@ proptest! {
             .map(|i| (Gf61::from_u64(i), p.eval_at_index(i)))
             .collect();
         let victim = victim % pts.len();
-        pts[victim].1 = pts[victim].1 + Gf61::from_u64(delta);
+        pts[victim].1 += Gf61::from_u64(delta);
         prop_assert!(
             Poly::interpolate_checked(&pts, degree).is_none(),
             "a corrupted share slipped through checked interpolation"

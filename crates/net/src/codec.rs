@@ -10,7 +10,6 @@
 //! be canonical representatives, lengths are bounded by the remaining
 //! input, booleans must be 0/1.
 
-use std::collections::BTreeSet;
 use std::fmt;
 
 use sba_field::Field;
@@ -97,11 +96,12 @@ pub trait Wire: Sized {
         buf
     }
 
-    /// The encoded length in bytes (used for wire metrics).
-    ///
-    /// Uses a thread-local scratch buffer: metrics charge every simulated
-    /// message, so this must not allocate per call.
-    fn wire_len(&self) -> usize {
+    /// Exact byte length of the canonical encoding, computed **without**
+    /// serializing. The simulator charges every sent message, so all wire
+    /// types override this arithmetically; the default falls back to
+    /// encoding into a thread-local scratch buffer and is only a safety
+    /// net for new types (laws tests pin overrides to `encoded().len()`).
+    fn encoded_len(&self) -> usize {
         thread_local! {
             static SCRATCH: std::cell::RefCell<Vec<u8>> =
                 std::cell::RefCell::new(Vec::with_capacity(1024));
@@ -113,11 +113,19 @@ pub trait Wire: Sized {
             buf.len()
         })
     }
+
+    /// The encoded length in bytes (used for wire metrics).
+    fn wire_len(&self) -> usize {
+        self.encoded_len()
+    }
 }
 
 impl Wire for u8 {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.push(*self);
+    }
+    fn encoded_len(&self) -> usize {
+        1
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         r.byte()
@@ -128,6 +136,9 @@ impl Wire for u32 {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.to_le_bytes());
     }
+    fn encoded_len(&self) -> usize {
+        4
+    }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(u32::from_le_bytes(r.take(4)?.try_into().unwrap()))
     }
@@ -137,6 +148,9 @@ impl Wire for u64 {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.to_le_bytes());
     }
+    fn encoded_len(&self) -> usize {
+        8
+    }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(u64::from_le_bytes(r.take(8)?.try_into().unwrap()))
     }
@@ -145,6 +159,9 @@ impl Wire for u64 {
 impl Wire for bool {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.push(u8::from(*self));
+    }
+    fn encoded_len(&self) -> usize {
+        1
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match r.byte()? {
@@ -158,6 +175,9 @@ impl Wire for bool {
 impl Wire for Pid {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.index().encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        4
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let idx = u32::decode(r)?;
@@ -174,6 +194,9 @@ impl<T: Wire> Wire for Vec<T> {
         for item in self {
             item.encode(buf);
         }
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(Wire::encoded_len).sum::<usize>()
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let len = u32::decode(r)? as usize;
@@ -206,12 +229,18 @@ impl<T: Wire> Wire for Option<T> {
             d => Err(CodecError::BadDiscriminant(d)),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::encoded_len)
+    }
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.0.encode(buf);
         self.1.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok((A::decode(r)?, B::decode(r)?))
@@ -220,16 +249,26 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
 
 impl Wire for crate::ProcessSet {
     fn encode(&self, buf: &mut Vec<u8>) {
-        let v: Vec<Pid> = self.iter().collect();
-        v.encode(buf);
+        (self.len() as u32).encode(buf);
+        for p in self.iter() {
+            p.encode(buf);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        4 + 4 * self.len()
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let v: Vec<Pid> = Vec::decode(r)?;
-        let set: BTreeSet<Pid> = v.iter().copied().collect();
-        if set.len() != v.len() {
-            return Err(CodecError::Invalid); // duplicates are non-canonical
+        let mut set = crate::ProcessSet::new();
+        for &p in &v {
+            if p.index() > crate::ProcessSet::MAX_INDEX {
+                return Err(CodecError::Invalid); // beyond the bitmask cap
+            }
+            if !set.insert(p) {
+                return Err(CodecError::Invalid); // duplicates are non-canonical
+            }
         }
-        Ok(v.into_iter().collect())
+        Ok(set)
     }
 }
 

@@ -77,6 +77,20 @@ impl<M> Outbox<M> {
         std::mem::take(&mut self.queue)
     }
 
+    /// Drains queued envelopes by iterator, **retaining** the queue's
+    /// capacity — the allocation-free variant of [`Outbox::drain`] for
+    /// runtimes that reuse one outbox across deliveries.
+    pub fn drain_iter(&mut self) -> std::vec::Drain<'_, Envelope<M>> {
+        self.queue.drain(..)
+    }
+
+    /// Re-arms the outbox for a new sender, clearing any leftover queue
+    /// but keeping its capacity.
+    pub fn reset(&mut self, me: Pid) {
+        self.me = me;
+        self.queue.clear();
+    }
+
     /// Number of queued envelopes.
     pub fn len(&self) -> usize {
         self.queue.len()

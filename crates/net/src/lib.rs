@@ -26,12 +26,14 @@
 
 mod codec;
 mod envelope;
+mod fasthash;
 mod kind;
 mod pid;
 mod session;
 
 pub use codec::{get_field, put_field, CodecError, Reader, Wire};
 pub use envelope::{Envelope, Outbox};
+pub use fasthash::{FastMap, FastSet, FxHasher};
 pub use kind::Kinded;
-pub use pid::{Pid, ProcessSet};
+pub use pid::{Pid, ProcessSet, ProcessSetIter};
 pub use session::{MwId, SvssId};

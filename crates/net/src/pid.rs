@@ -1,6 +1,5 @@
 //! Process identifiers and small process sets.
 
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// A process identifier.
@@ -62,85 +61,152 @@ impl fmt::Display for Pid {
     }
 }
 
-/// An ordered set of process ids.
+/// An ordered set of process ids, stored as a 64-bit bitmask.
 ///
 /// Used for the protocol sets the paper broadcasts (`L_j`, `M`, `G`,
-/// `G_j`, attach/support sets): deterministic iteration order matters for
-/// reproducible simulation, so this wraps a `BTreeSet`.
-#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ProcessSet(BTreeSet<Pid>);
+/// `G_j`, attach/support sets). These sets ride inside every reliable
+/// broadcast and are cloned per relay hop, and the SVSS state machines
+/// re-check membership and subset conditions on every monotone advance —
+/// so the representation is a `u64` bitmask: `Copy`-cheap clones, `O(1)`
+/// subset/membership tests, and deterministic ascending iteration for
+/// reproducible simulation.
+///
+/// Process indices are therefore capped at [`ProcessSet::MAX_INDEX`]
+/// processes — far above the protocol's practical message-complexity
+/// range, and aligned with `sba_field::MAX_DOMAIN`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessSet(u64);
+
+/// Iterator over a [`ProcessSet`] in ascending index order.
+#[derive(Clone, Debug)]
+pub struct ProcessSetIter(u64);
+
+impl Iterator for ProcessSetIter {
+    type Item = Pid;
+
+    #[inline]
+    fn next(&mut self) -> Option<Pid> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bit = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(Pid(bit + 1))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
 
 impl ProcessSet {
+    /// The largest representable process index.
+    pub const MAX_INDEX: u32 = 64;
+
+    #[inline]
+    fn bit(p: Pid) -> u64 {
+        assert!(
+            p.index() <= Self::MAX_INDEX,
+            "process index {} exceeds the ProcessSet cap of {}",
+            p.index(),
+            Self::MAX_INDEX
+        );
+        1u64 << (p.index() - 1)
+    }
+
     /// Creates an empty set.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Inserts a process; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index exceeds [`ProcessSet::MAX_INDEX`].
     pub fn insert(&mut self, p: Pid) -> bool {
-        self.0.insert(p)
+        let bit = Self::bit(p);
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
     }
 
     /// Whether `p` is a member.
+    #[inline]
     pub fn contains(&self, p: Pid) -> bool {
-        self.0.contains(&p)
+        p.index() <= Self::MAX_INDEX && self.0 & (1u64 << (p.index() - 1)) != 0
     }
 
     /// Number of members.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.0.count_ones() as usize
     }
 
     /// Whether the set is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.0 == 0
     }
 
     /// Iterates members in ascending index order.
-    pub fn iter(&self) -> impl Iterator<Item = Pid> + '_ {
-        self.0.iter().copied()
+    pub fn iter(&self) -> ProcessSetIter {
+        ProcessSetIter(self.0)
     }
 
     /// Whether `self ⊆ other`.
+    #[inline]
     pub fn is_subset(&self, other: &ProcessSet) -> bool {
-        self.0.is_subset(&other.0)
+        self.0 & !other.0 == 0
     }
 
     /// Removes a process; returns whether it was present.
     pub fn remove(&mut self, p: Pid) -> bool {
-        self.0.remove(&p)
+        if !self.contains(p) {
+            return false;
+        }
+        self.0 &= !(1u64 << (p.index() - 1));
+        true
     }
 
     /// Union with another set, in place.
+    #[inline]
     pub fn extend_from(&mut self, other: &ProcessSet) {
-        self.0.extend(other.0.iter().copied());
+        self.0 |= other.0;
     }
 }
 
 impl fmt::Debug for ProcessSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.0.iter()).finish()
+        f.debug_set().entries(self.iter()).finish()
     }
 }
 
 impl FromIterator<Pid> for ProcessSet {
     fn from_iter<T: IntoIterator<Item = Pid>>(iter: T) -> Self {
-        ProcessSet(iter.into_iter().collect())
+        let mut s = ProcessSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
     }
 }
 
 impl Extend<Pid> for ProcessSet {
     fn extend<T: IntoIterator<Item = Pid>>(&mut self, iter: T) {
-        self.0.extend(iter);
+        for p in iter {
+            self.insert(p);
+        }
     }
 }
 
-impl<'a> IntoIterator for &'a ProcessSet {
+impl IntoIterator for &ProcessSet {
     type Item = Pid;
-    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, Pid>>;
+    type IntoIter = ProcessSetIter;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter().copied()
+        self.iter()
     }
 }
 

@@ -51,6 +51,9 @@ impl Wire for SvssId {
         self.tag.encode(buf);
         self.dealer.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        12
+    }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(SvssId {
             tag: u64::decode(r)?,
@@ -146,6 +149,9 @@ impl Wire for MwId {
         self.moderator.encode(buf);
         self.row.encode(buf);
         self.col.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        28
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(MwId {

@@ -36,6 +36,102 @@ impl<M> Ord for Delivery<M> {
     }
 }
 
+/// Width of the calendar-queue window (a power of two). Delivery delays
+/// in this workspace are tiny (≤ ~1000 virtual ticks), so almost every
+/// event lands in the ring; anything farther out waits in the overflow
+/// heap until the window reaches it.
+const CALENDAR_WINDOW: u64 = 4096;
+
+/// The pending-delivery queue: a classic calendar queue.
+///
+/// Full protocol runs keep *hundreds of thousands* of envelopes in
+/// flight; a binary heap over that population costs a log-depth pointer
+/// chase through ~100 MB of cold memory on every push and pop, and at
+/// n = 7 that — not protocol arithmetic — dominated the simulator. Since
+/// deliveries are ordered by `(at, seq)` and `seq` is assigned in push
+/// order, a FIFO bucket per virtual tick reproduces the heap's order
+/// exactly: bucket scan order gives ascending `at`, and each bucket is
+/// pushed (hence popped) in ascending `seq`.
+struct EventQueue<M> {
+    /// `ring[at % CALENDAR_WINDOW]` holds deliveries for time `at`, for
+    /// `at ∈ [cursor, cursor + CALENDAR_WINDOW)`. Within a bucket,
+    /// entries are in push (= `seq`) order.
+    ring: Vec<VecDeque<Delivery<M>>>,
+    /// Entries beyond the window, ordered by `(at, seq)`; migrated into
+    /// the ring as the cursor advances.
+    overflow: BinaryHeap<Reverse<Delivery<M>>>,
+    /// Entries currently in the ring.
+    ring_len: usize,
+    /// Lower bound of the window; never decreases, and no entry with
+    /// `at < cursor` exists.
+    cursor: u64,
+    /// Total entries (ring + overflow).
+    len: usize,
+}
+
+impl<M> EventQueue<M> {
+    fn new() -> Self {
+        EventQueue {
+            ring: (0..CALENDAR_WINDOW).map(|_| VecDeque::new()).collect(),
+            overflow: BinaryHeap::new(),
+            ring_len: 0,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push(&mut self, d: Delivery<M>) {
+        debug_assert!(d.at >= self.cursor, "push into the past");
+        self.len += 1;
+        if d.at < self.cursor + CALENDAR_WINDOW {
+            self.ring[(d.at % CALENDAR_WINDOW) as usize].push_back(d);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Reverse(d));
+        }
+    }
+
+    /// Moves overflow entries that the advancing window now covers into
+    /// their ring buckets. Overflow pops ascend in `(at, seq)`, and any
+    /// in-window push to the same bucket has a later `seq`, so bucket
+    /// FIFO order is preserved.
+    fn migrate(&mut self) {
+        while let Some(Reverse(head)) = self.overflow.peek() {
+            if head.at >= self.cursor + CALENDAR_WINDOW {
+                break;
+            }
+            let Reverse(d) = self.overflow.pop().expect("peeked");
+            self.ring[(d.at % CALENDAR_WINDOW) as usize].push_back(d);
+            self.ring_len += 1;
+        }
+    }
+
+    fn pop(&mut self) -> Option<Delivery<M>> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.ring_len == 0 {
+            // Jump the window to the earliest overflow entry.
+            self.cursor = self.overflow.peek().expect("len > 0").0.at;
+            self.migrate();
+        }
+        loop {
+            let bucket = &mut self.ring[(self.cursor % CALENDAR_WINDOW) as usize];
+            if let Some(d) = bucket.pop_front() {
+                self.ring_len -= 1;
+                self.len -= 1;
+                return Some(d);
+            }
+            self.cursor += 1;
+            self.migrate();
+        }
+    }
+}
+
 /// How a run loop ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunOutcome {
@@ -71,7 +167,7 @@ pub struct TraceEntry {
 /// everything else is scheduled by the adversary.
 pub struct Simulation<M, P = Box<dyn Process<M>>> {
     procs: Vec<P>,
-    queue: BinaryHeap<Reverse<Delivery<M>>>,
+    queue: EventQueue<M>,
     scheduler: Box<dyn Scheduler<M>>,
     metrics: Metrics,
     rng: StdRng,
@@ -79,6 +175,10 @@ pub struct Simulation<M, P = Box<dyn Process<M>>> {
     seq: u64,
     started: bool,
     trace: Option<(usize, std::collections::VecDeque<TraceEntry>)>,
+    /// Reusable per-delivery outbox (capacity survives across events).
+    outbox: Outbox<M>,
+    /// Reusable self-delivery queue for [`Simulation::dispatch_outbox`].
+    local: VecDeque<Envelope<M>>,
 }
 
 impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
@@ -89,7 +189,7 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
         assert!(!procs.is_empty(), "simulation needs at least one process");
         Simulation {
             procs,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             scheduler,
             metrics: Metrics::new(),
             rng: StdRng::seed_from_u64(seed ^ 0x5ba0_5eed),
@@ -97,6 +197,8 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
             seq: 0,
             started: false,
             trace: None,
+            outbox: Outbox::new(Pid::new(1)),
+            local: VecDeque::new(),
         }
     }
 
@@ -153,9 +255,11 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
 
     fn dispatch_outbox(&mut self, out: &mut Outbox<M>) {
         // Self-sends are delivered synchronously (FIFO), modelling local
-        // computation; network sends go through the adversary.
-        let mut local: VecDeque<Envelope<M>> = VecDeque::new();
-        for env in out.drain() {
+        // computation; network sends go through the adversary. Both the
+        // local queue and the inner outbox are reused across events so the
+        // dispatch loop allocates nothing at steady state.
+        let mut local = std::mem::take(&mut self.local);
+        for env in out.drain_iter() {
             if env.to == env.from {
                 local.push_back(env);
             } else {
@@ -165,9 +269,9 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
         while let Some(env) = local.pop_front() {
             self.metrics.self_deliveries += 1;
             let idx = (env.to.index() - 1) as usize;
-            let mut out2 = Outbox::new(env.to);
-            self.procs[idx].on_message(env.from, env.msg, &mut out2);
-            for e2 in out2.drain() {
+            out.reset(env.to);
+            self.procs[idx].on_message(env.from, env.msg, out);
+            for e2 in out.drain_iter() {
                 if e2.to == e2.from {
                     local.push_back(e2);
                 } else {
@@ -175,6 +279,7 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
                 }
             }
         }
+        self.local = local;
     }
 
     fn schedule(&mut self, env: Envelope<M>) {
@@ -189,12 +294,12 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
             .delivery_time(&env, self.now, &mut self.rng)
             .max(self.now + 1);
         self.seq += 1;
-        self.queue.push(Reverse(Delivery {
+        self.queue.push(Delivery {
             at,
             seq: self.seq,
             sent: self.now,
             env,
-        }));
+        });
     }
 
     fn start_if_needed(&mut self) {
@@ -204,9 +309,11 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
         self.started = true;
         for k in 0..self.procs.len() {
             let pid = Pid::new(k as u32 + 1);
-            let mut out = Outbox::new(pid);
+            let mut out = std::mem::replace(&mut self.outbox, Outbox::new(pid));
+            out.reset(pid);
             self.procs[k].on_start(&mut out);
             self.dispatch_outbox(&mut out);
+            self.outbox = out;
         }
     }
 
@@ -214,7 +321,7 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
     /// queue is empty.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
-        let Some(Reverse(d)) = self.queue.pop() else {
+        let Some(d) = self.queue.pop() else {
             return false;
         };
         self.now = d.at;
@@ -235,9 +342,11 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
             });
         }
         let idx = (d.env.to.index() - 1) as usize;
-        let mut out = Outbox::new(d.env.to);
+        let mut out = std::mem::replace(&mut self.outbox, Outbox::new(d.env.to));
+        out.reset(d.env.to);
         self.procs[idx].on_message(d.env.from, d.env.msg, &mut out);
         self.dispatch_outbox(&mut out);
+        self.outbox = out;
         true
     }
 

@@ -17,10 +17,10 @@
 //! process acts on its detection without necessarily ever knowing the
 //! detected process is faulty.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use sba_field::Field;
-use sba_net::{MwId, Pid, SvssId};
+use sba_net::{FastMap, MwId, Pid, SvssId};
 
 /// What to do with an incoming message, per the DMM rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,24 +57,24 @@ pub struct Dmm<F> {
     /// `D_i`: known-faulty processes.
     d: BTreeSet<Pid>,
     /// `ACK_i` keyed by `(session, broadcaster, poly index)` → expected value.
-    ack: HashMap<(MwId, Pid, Pid), F>,
+    ack: FastMap<(MwId, Pid, Pid), F>,
     /// `DEAL_i` keyed by `(session, broadcaster)` → expected value of `f_me`.
-    deal: HashMap<(MwId, Pid), F>,
+    deal: FastMap<(MwId, Pid), F>,
     /// Logical clock for the `→_i` order.
     epoch: u64,
-    started: HashMap<SessionKey, u64>,
-    completed: HashMap<SessionKey, u64>,
+    started: FastMap<SessionKey, u64>,
+    completed: FastMap<SessionKey, u64>,
     /// All reconstruct broadcasts seen, keyed by `(session, origin, poly)`.
     /// Expectations registered *after* the broadcast arrived are checked
     /// against this log, making rule 2/3 order-independent.
-    recon_log: HashMap<(MwId, Pid, Pid), F>,
+    recon_log: FastMap<(MwId, Pid, Pid), F>,
     /// Outstanding-expectation counts per `(session, broadcaster)` — the
     /// index that makes the delay rule O(per-sender debt) per message
     /// instead of O(all tuples).
-    open: HashMap<(MwId, Pid), usize>,
+    open: FastMap<(MwId, Pid), usize>,
     /// For each broadcaster: sessions that *completed* with expectations
     /// still open (the only ones that can delay), with completion epoch.
-    debt: HashMap<Pid, HashMap<MwId, u64>>,
+    debt: FastMap<Pid, FastMap<MwId, u64>>,
     /// Bumped whenever a verdict could change (tuple resolved, `D_i`
     /// grown, session order extended); lets callers skip re-filtering
     /// buffered messages when nothing moved.
@@ -91,14 +91,14 @@ impl<F: Field> Dmm<F> {
             me,
             enabled: true,
             d: BTreeSet::new(),
-            ack: HashMap::new(),
-            deal: HashMap::new(),
+            ack: FastMap::default(),
+            deal: FastMap::default(),
             epoch: 0,
-            started: HashMap::new(),
-            completed: HashMap::new(),
-            recon_log: HashMap::new(),
-            open: HashMap::new(),
-            debt: HashMap::new(),
+            started: FastMap::default(),
+            completed: FastMap::default(),
+            recon_log: FastMap::default(),
+            open: FastMap::default(),
+            debt: FastMap::default(),
             version: 0,
             new_shuns: Vec::new(),
         }

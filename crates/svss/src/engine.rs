@@ -10,13 +10,14 @@
 //!                                   └─ before the delay/discard verdict
 //! ```
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sba_broadcast::{Params, RbMux};
-use sba_field::Field;
-use sba_net::{MwId, Pid, ProcessSet, SvssId};
+use sba_field::{Domain, Field};
+use sba_net::{FastMap, MwId, Pid, ProcessSet, SvssId};
 
 use crate::{
     Dmm, Mw, MwIn, MwOut, Reconstructed, SessionKey, Svss, SvssCtx, SvssMsg, SvssOut, SvssPriv,
@@ -76,12 +77,14 @@ pub struct SvssEngine<F: Field> {
     me: Pid,
     params: Params,
     rng: StdRng,
+    /// The instance-wide evaluation domain, shared with every machine.
+    domain: Arc<Domain<F>>,
     mux: RbMux<SvssSlot, SvssRbValue<F>>,
     dmm: Dmm<F>,
-    mw: HashMap<MwId, Mw<F>>,
-    svss: HashMap<SvssId, Svss<F>>,
+    mw: FastMap<MwId, Mw<F>>,
+    svss: FastMap<SvssId, Svss<F>>,
     mw_completed: BTreeSet<MwId>,
-    mw_outputs: HashMap<MwId, Reconstructed<F>>,
+    mw_outputs: FastMap<MwId, Reconstructed<F>>,
     pending: Vec<(Pid, Inner<F>)>,
     pending_version: u64,
     events: Vec<SvssEvent<F>>,
@@ -91,20 +94,39 @@ impl<F: Field> SvssEngine<F> {
     /// Creates the engine for process `me`. `seed` drives all of this
     /// process's polynomial sampling (determinism for replay).
     pub fn new(me: Pid, params: Params, seed: u64) -> Self {
+        let domain = Arc::new(Domain::new(params.n()));
+        Self::with_domain(me, params, seed, domain)
+    }
+
+    /// Creates the engine with a caller-provided evaluation domain, so an
+    /// enclosing layer (e.g. the common coin) can build the domain once
+    /// and share it across engines instead of re-deriving it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain does not cover `params.n()` points.
+    pub fn with_domain(me: Pid, params: Params, seed: u64, domain: Arc<Domain<F>>) -> Self {
+        assert!(domain.n() >= params.n(), "domain must cover all processes");
         SvssEngine {
             me,
             params,
             rng: StdRng::seed_from_u64(seed ^ 0x5755_5353),
+            domain,
             mux: RbMux::new(me, params),
             dmm: Dmm::new(me),
-            mw: HashMap::new(),
-            svss: HashMap::new(),
+            mw: FastMap::default(),
+            svss: FastMap::default(),
             mw_completed: BTreeSet::new(),
-            mw_outputs: HashMap::new(),
+            mw_outputs: FastMap::default(),
             pending: Vec::new(),
             pending_version: 0,
             events: Vec::new(),
         }
+    }
+
+    /// The instance-wide evaluation domain.
+    pub fn domain(&self) -> &Arc<Domain<F>> {
+        &self.domain
     }
 
     /// This process's id.
@@ -173,10 +195,11 @@ impl<F: Field> SvssEngine<F> {
         self.dmm.session_started(SessionKey::Svss(id));
         let n = self.params.n();
         let t = self.params.t();
+        let domain = Arc::clone(&self.domain);
         let machine = self
             .svss
             .entry(id)
-            .or_insert_with(|| Svss::new(id, self.me, n, t));
+            .or_insert_with(|| Svss::new(id, self.me, n, t, domain));
         let ctx = SvssCtx {
             mw_completed: &self.mw_completed,
             mw_outputs: &self.mw_outputs,
@@ -193,10 +216,11 @@ impl<F: Field> SvssEngine<F> {
         let n = self.params.n();
         let t = self.params.t();
         let me = self.me;
+        let domain = Arc::clone(&self.domain);
         let machine = self
             .svss
             .entry(id)
-            .or_insert_with(|| Svss::new(id, me, n, t));
+            .or_insert_with(|| Svss::new(id, me, n, t, domain));
         let ctx = SvssCtx {
             mw_completed: &self.mw_completed,
             mw_outputs: &self.mw_outputs,
@@ -216,7 +240,11 @@ impl<F: Field> SvssEngine<F> {
         self.dmm.session_started(SessionKey::Mw(id));
         let mut outs = Vec::new();
         let (n, t, me) = (self.params.n(), self.params.t(), self.me);
-        let machine = self.mw.entry(id).or_insert_with(|| Mw::new(id, me, n, t));
+        let domain = Arc::clone(&self.domain);
+        let machine = self
+            .mw
+            .entry(id)
+            .or_insert_with(|| Mw::new(id, me, n, t, domain));
         machine.start_share(secret, &mut self.rng, &mut outs);
         self.handle_mw_outs(id, outs, sends);
         self.finish(sends);
@@ -261,6 +289,9 @@ impl<F: Field> SvssEngine<F> {
                 let delivery = self.mux.on_message(from, m, &mut rb_sends);
                 sends.extend(rb_sends.into_iter().map(|(to, m)| (to, SvssMsg::Rb(m))));
                 if let Some(d) = delivery {
+                    if !self.valid_pid(d.origin) {
+                        return; // forged origin: no such process
+                    }
                     // DMM rules 2/3: detection fires on every reconstruct
                     // broadcast, before (and regardless of) the verdict.
                     if let (SvssSlot::MwRecon(mw, poly), SvssRbValue::Value(v)) = (d.tag, &d.value)
@@ -334,10 +365,11 @@ impl<F: Field> SvssEngine<F> {
                     let n = self.params.n();
                     let t = self.params.t();
                     let me = self.me;
+                    let domain = Arc::clone(&self.domain);
                     let machine = self
                         .svss
                         .entry(session)
-                        .or_insert_with(|| Svss::new(session, me, n, t));
+                        .or_insert_with(|| Svss::new(session, me, n, t, domain));
                     let ctx = SvssCtx {
                         mw_completed: &self.mw_completed,
                         mw_outputs: &self.mw_outputs,
@@ -378,10 +410,11 @@ impl<F: Field> SvssEngine<F> {
                     let n = self.params.n();
                     let t = self.params.t();
                     let me = self.me;
+                    let domain = Arc::clone(&self.domain);
                     let machine = self
                         .svss
                         .entry(session)
-                        .or_insert_with(|| Svss::new(session, me, n, t));
+                        .or_insert_with(|| Svss::new(session, me, n, t, domain));
                     let ctx = SvssCtx {
                         mw_completed: &self.mw_completed,
                         mw_outputs: &self.mw_outputs,
@@ -403,7 +436,10 @@ impl<F: Field> SvssEngine<F> {
         let n = self.params.n();
         let t = self.params.t();
         let me = self.me;
-        self.mw.entry(id).or_insert_with(|| Mw::new(id, me, n, t))
+        let domain = Arc::clone(&self.domain);
+        self.mw
+            .entry(id)
+            .or_insert_with(|| Mw::new(id, me, n, t, domain))
     }
 
     fn feed_mw(&mut self, id: MwId, input: MwIn<F>, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
@@ -506,7 +542,11 @@ impl<F: Field> SvssEngine<F> {
                 SvssOut::StartMwShare { mw, secret } => {
                     let mut outs2 = Vec::new();
                     let (n, t, me) = (self.params.n(), self.params.t(), self.me);
-                    let machine = self.mw.entry(mw).or_insert_with(|| Mw::new(mw, me, n, t));
+                    let domain = Arc::clone(&self.domain);
+                    let machine = self
+                        .mw
+                        .entry(mw)
+                        .or_insert_with(|| Mw::new(mw, me, n, t, domain));
                     machine.start_share(secret, &mut self.rng, &mut outs2);
                     self.handle_mw_outs(mw, outs2, sends);
                 }

@@ -99,6 +99,10 @@ fn put_field_vec<F: Field>(v: &[F], buf: &mut Vec<u8>) {
     }
 }
 
+fn field_vec_len<F>(v: &[F]) -> usize {
+    4 + 8 * v.len()
+}
+
 fn get_field_vec<F: Field>(r: &mut Reader<'_>) -> Result<Vec<F>, CodecError> {
     let len = u32::decode(r)? as usize;
     if len > r.remaining() {
@@ -183,6 +187,29 @@ impl<F: Field> Wire for SvssPriv<F> {
                 h: get_field_vec(r)?,
             }),
             d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            SvssPriv::MwDeal {
+                mw,
+                values,
+                monitor_poly,
+                moderator_poly,
+            } => {
+                1 + mw.encoded_len()
+                    + field_vec_len(values)
+                    + field_vec_len(monitor_poly)
+                    + 1
+                    + moderator_poly.as_ref().map_or(0, |p| field_vec_len(p))
+            }
+            SvssPriv::MwPoint { mw, .. } | SvssPriv::MwMonitorValue { mw, .. } => {
+                1 + mw.encoded_len() + 8
+            }
+            SvssPriv::Rows { session, g, h } => {
+                1 + session.encoded_len() + field_vec_len(g) + field_vec_len(h)
+            }
         }
     }
 }
@@ -272,6 +299,16 @@ impl Wire for SvssSlot {
             d => Err(CodecError::BadDiscriminant(d)),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            SvssSlot::MwAck(m) | SvssSlot::MwL(m) | SvssSlot::MwM(m) | SvssSlot::MwOk(m) => {
+                1 + m.encoded_len()
+            }
+            SvssSlot::MwRecon(m, l) => 1 + m.encoded_len() + l.encoded_len(),
+            SvssSlot::Gsets(sid) => 1 + sid.encoded_len(),
+        }
+    }
 }
 
 /// Payload values carried in RB slots.
@@ -324,6 +361,15 @@ impl<F: Field> Wire for SvssRbValue<F> {
             d => Err(CodecError::BadDiscriminant(d)),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            SvssRbValue::Unit => 1,
+            SvssRbValue::Set(s) => 1 + s.encoded_len(),
+            SvssRbValue::Value(_) => 1 + 8,
+            SvssRbValue::Gsets { g, members } => 1 + g.encoded_len() + members.encoded_len(),
+        }
+    }
 }
 
 /// The complete wire message type of the SVSS stack.
@@ -353,6 +399,13 @@ impl<F: Field> Wire for SvssMsg<F> {
             0 => Ok(SvssMsg::Rb(MuxMsg::decode(r)?)),
             1 => Ok(SvssMsg::Priv(SvssPriv::decode(r)?)),
             d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            SvssMsg::Rb(m) => 1 + m.encoded_len(),
+            SvssMsg::Priv(p) => 1 + p.encoded_len(),
         }
     }
 }

@@ -11,11 +11,11 @@
 //! every process is a potential *monitor* of its polynomial `f_j` and a
 //! *confirmer* for everyone else's; `d` additionally deals, `m` moderates.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::Rng;
-use sba_field::{Field, Poly};
-use sba_net::{MwId, Pid, ProcessSet};
+use sba_field::{Domain, Field, Poly};
+use sba_net::{FastMap, MwId, Pid, ProcessSet};
 
 use crate::{Reconstructed, SvssPriv, SvssRbValue, SvssSlot};
 
@@ -121,6 +121,8 @@ pub struct Mw<F: Field> {
     me: Pid,
     n: usize,
     t: usize,
+    /// Shared per-instance evaluation domain (points `1..=n`).
+    domain: Arc<Domain<F>>,
 
     // Dealer-only: the true polynomials f, f_1..f_n.
     dealer_polys: Option<(Poly<F>, Vec<Poly<F>>)>,
@@ -129,23 +131,28 @@ pub struct Mw<F: Field> {
     // Every process: what the dealer sent me (step 1).
     my_values: Option<Vec<F>>,
     my_poly: Option<Poly<F>>,
+    /// `my_poly` evaluated at every process index (computed once; step 3
+    /// re-checks these on every monotone advance).
+    my_evals: Vec<F>,
     acked: bool,
 
     // Step 3 state: first point per confirmer, my confirmer set L_me.
-    points: HashMap<Pid, F>,
+    points: FastMap<Pid, F>,
     l_mine: ProcessSet,
     l_frozen: bool,
 
     // Moderator-only.
     moderator_input: Option<F>,
     moderator_poly: Option<Poly<F>>,
-    monitor_values: HashMap<Pid, F>,
+    /// `moderator_poly` evaluated at every process index (computed once).
+    moderator_evals: Vec<F>,
+    monitor_values: FastMap<Pid, F>,
     m_mine: ProcessSet,
     m_frozen: bool,
 
     // RB-delivered public state.
     acks: ProcessSet,
-    l_hat: HashMap<Pid, ProcessSet>,
+    l_hat: FastMap<Pid, ProcessSet>,
     m_hat: Option<ProcessSet>,
     ok_delivered: bool,
 
@@ -157,45 +164,55 @@ pub struct Mw<F: Field> {
     recon_sent: bool,
     /// All reconstruct points in arrival order: (poly, origin, value).
     recon_points: Vec<(Pid, Pid, F)>,
-    recon_polys: HashMap<Pid, Poly<F>>,
+    /// Recovered constant terms `f̄_l(0)` (the full polynomials are never
+    /// needed — only their values at zero feed step 4 of `R′`).
+    recon_zeros: FastMap<Pid, F>,
+    /// Scratch for interpolation point lists (reused across advances).
+    pts_scratch: Vec<(u64, F)>,
     output: Option<Reconstructed<F>>,
     output_emitted: bool,
 }
 
 impl<F: Field> Mw<F> {
     /// Creates this process's view of invocation `id` in an `n`-process
-    /// system tolerating `t` faults.
+    /// system tolerating `t` faults. `domain` is the instance's shared
+    /// evaluation domain and must cover the points `1..=n`.
     ///
     /// # Panics
     ///
-    /// Panics unless `n > 3t` and all ids address processes in `1..=n`.
-    pub fn new(id: MwId, me: Pid, n: usize, t: usize) -> Self {
+    /// Panics unless `n > 3t`, all ids address processes in `1..=n`, and
+    /// the domain covers `n` points.
+    pub fn new(id: MwId, me: Pid, n: usize, t: usize, domain: Arc<Domain<F>>) -> Self {
         assert!(n > 3 * t, "MW-SVSS requires n > 3t");
         assert!(me.index() as usize <= n, "process id out of range");
         assert!(
             id.dealer().index() as usize <= n && id.moderator().index() as usize <= n,
             "dealer/moderator out of range"
         );
+        assert!(domain.n() >= n, "domain must cover all process indices");
         Mw {
             id,
             me,
             n,
             t,
+            domain,
             dealer_polys: None,
             ok_sent: false,
             my_values: None,
             my_poly: None,
+            my_evals: Vec::new(),
             acked: false,
-            points: HashMap::new(),
+            points: FastMap::default(),
             l_mine: ProcessSet::new(),
             l_frozen: false,
             moderator_input: None,
             moderator_poly: None,
-            monitor_values: HashMap::new(),
+            moderator_evals: Vec::new(),
+            monitor_values: FastMap::default(),
             m_mine: ProcessSet::new(),
             m_frozen: false,
             acks: ProcessSet::new(),
-            l_hat: HashMap::new(),
+            l_hat: FastMap::default(),
             m_hat: None,
             ok_delivered: false,
             share_completed: false,
@@ -203,7 +220,8 @@ impl<F: Field> Mw<F> {
             recon_requested: false,
             recon_sent: false,
             recon_points: Vec::new(),
-            recon_polys: HashMap::new(),
+            recon_zeros: FastMap::default(),
+            pts_scratch: Vec::new(),
             output: None,
             output_emitted: false,
         }
@@ -248,10 +266,11 @@ impl<F: Field> Mw<F> {
         assert!(self.dealer_polys.is_none(), "share started twice");
         let f = Poly::random_with_constant(secret, self.t, rng);
         let fls: Vec<Poly<F>> = (1..=self.n as u64)
-            .map(|l| Poly::random_with_constant(f.eval_at_index(l), self.t, rng))
+            .map(|l| Poly::random_with_constant(f.eval(self.domain.point(l)), self.t, rng))
             .collect();
         for j in Pid::all(self.n) {
-            let values: Vec<F> = fls.iter().map(|fl| fl.eval_at_index(j.as_u64())).collect();
+            let xj = self.domain.point(j.as_u64());
+            let values: Vec<F> = fls.iter().map(|fl| fl.eval(xj)).collect();
             let monitor_poly = fls[(j.index() - 1) as usize].coeffs().to_vec();
             let moderator_poly = if j == self.id.moderator() {
                 Some(f.coeffs().to_vec())
@@ -307,17 +326,24 @@ impl<F: Field> Mw<F> {
                     return; // malformed: treat as never sent
                 }
                 let poly = Poly::from_coeffs(monitor_poly);
+                poly.eval_many(&self.domain.points()[..self.n], &mut self.my_evals);
                 self.my_values = Some(values.clone());
                 self.my_poly = Some(poly);
                 if self.me == self.id.moderator() {
                     match moderator_poly {
                         Some(c) if c.len() <= self.t + 1 => {
-                            self.moderator_poly = Some(Poly::from_coeffs(c));
+                            let f_hat = Poly::from_coeffs(c);
+                            f_hat.eval_many(
+                                &self.domain.points()[..self.n],
+                                &mut self.moderator_evals,
+                            );
+                            self.moderator_poly = Some(f_hat);
                         }
                         _ => {
                             // Malformed moderator part: drop the whole deal.
                             self.my_values = None;
                             self.my_poly = None;
+                            self.my_evals.clear();
                             return;
                         }
                     }
@@ -350,10 +376,16 @@ impl<F: Field> Mw<F> {
                 self.acks.insert(origin);
             }
             MwIn::LDelivered { origin, set } => {
-                self.l_hat.entry(origin).or_insert(set);
+                // Sets naming unknown processes are malformed: ignore.
+                if set.iter().all(|p| p.index() as usize <= self.n) {
+                    self.l_hat.entry(origin).or_insert(set);
+                }
             }
             MwIn::MDelivered { origin, set } => {
-                if origin == self.id.moderator() && self.m_hat.is_none() {
+                if origin == self.id.moderator()
+                    && self.m_hat.is_none()
+                    && set.iter().all(|p| p.index() as usize <= self.n)
+                {
                     self.m_hat = Some(set);
                 }
             }
@@ -367,10 +399,11 @@ impl<F: Field> Mw<F> {
                 poly,
                 value,
             } => {
-                if !self
-                    .recon_points
-                    .iter()
-                    .any(|&(p, o, _)| p == poly && o == origin)
+                if origin.index() as usize <= self.n
+                    && !self
+                        .recon_points
+                        .iter()
+                        .any(|&(p, o, _)| p == poly && o == origin)
                 {
                     self.recon_points.push((poly, origin, value));
                 }
@@ -395,12 +428,9 @@ impl<F: Field> Mw<F> {
     /// Step 3: on matching point + ack + my polynomial, register the DEAL
     /// expectation and grow `L_me` (until frozen at broadcast time).
     fn step3_confirm(&mut self, out: &mut Vec<MwOut<F>>) {
-        if self.l_frozen {
+        if self.l_frozen || self.my_poly.is_none() {
             return;
         }
-        let Some(my_poly) = &self.my_poly else {
-            return;
-        };
         for l in Pid::all(self.n) {
             if self.l_mine.contains(l) || !self.acks.contains(l) {
                 continue;
@@ -408,7 +438,7 @@ impl<F: Field> Mw<F> {
             let Some(&point) = self.points.get(&l) else {
                 continue;
             };
-            let expected = my_poly.eval_at_index(l.as_u64());
+            let expected = self.my_evals[(l.index() - 1) as usize];
             if point == expected {
                 self.l_mine.insert(l);
                 out.push(MwOut::RegisterDeal {
@@ -427,13 +457,13 @@ impl<F: Field> Mw<F> {
         self.l_frozen = true;
         out.push(MwOut::Broadcast(
             SvssSlot::MwL(self.id),
-            SvssRbValue::Set(self.l_mine.clone()),
+            SvssRbValue::Set(self.l_mine),
         ));
         let f0 = self
             .my_poly
             .as_ref()
             .expect("L_me nonempty implies my_poly present")
-            .eval(F::ZERO);
+            .constant_term();
         out.push(MwOut::Send(
             self.id.moderator(),
             SvssPriv::MwMonitorValue {
@@ -452,7 +482,7 @@ impl<F: Field> Mw<F> {
             return;
         };
         // Step 5 global precondition: the dealer's f must match s′.
-        if f_hat.eval(F::ZERO) != s_prime {
+        if f_hat.constant_term() != s_prime {
             return;
         }
         for j in Pid::all(self.n) {
@@ -465,8 +495,8 @@ impl<F: Field> Mw<F> {
             let Some(lj) = self.l_hat.get(&j) else {
                 continue;
             };
-            let all_acked = lj.iter().all(|l| self.acks.contains(l));
-            if all_acked && mv == f_hat.eval_at_index(j.as_u64()) {
+            let all_acked = lj.is_subset(&self.acks);
+            if all_acked && mv == self.moderator_evals[(j.index() - 1) as usize] {
                 self.m_mine.insert(j);
             }
         }
@@ -474,7 +504,7 @@ impl<F: Field> Mw<F> {
             self.m_frozen = true;
             out.push(MwOut::Broadcast(
                 SvssSlot::MwM(self.id),
-                SvssRbValue::Set(self.m_mine.clone()),
+                SvssRbValue::Set(self.m_mine),
             ));
         }
     }
@@ -495,7 +525,7 @@ impl<F: Field> Mw<F> {
             let Some(lj) = self.l_hat.get(&j) else {
                 return;
             };
-            if !lj.iter().all(|l| self.acks.contains(l)) {
+            if !lj.is_subset(&self.acks) {
                 return;
             }
         }
@@ -541,7 +571,7 @@ impl<F: Field> Mw<F> {
             let Some(ll) = self.l_hat.get(&l) else {
                 return;
             };
-            if !ll.iter().all(|k| self.acks.contains(k)) {
+            if !ll.is_subset(&self.acks) {
                 return;
             }
         }
@@ -573,49 +603,58 @@ impl<F: Field> Mw<F> {
         }
     }
 
-    /// `R′` steps 2–4: interpolate each `f̄_l` from the first `t+1` valid
+    /// `R′` steps 2–4: recover each `f̄_l(0)` from the first `t+1` valid
     /// points, then fit the degree-`t` polynomial through `{(l, f̄_l(0))}`.
+    ///
+    /// Only the constant terms are ever needed, so both stages use the
+    /// shared [`Domain`]'s barycentric secret recovery: no coefficient
+    /// vectors, no field inversions, and the point list reuses one
+    /// scratch buffer across advances.
     fn recon_interpolate(&mut self, out: &mut Vec<MwOut<F>>) {
         if self.output_emitted || !self.recon_sent {
             return;
         }
-        let Some(m_hat) = self.m_hat.clone() else {
+        let Some(m_hat) = self.m_hat else {
             return;
         };
+        let mut pts = std::mem::take(&mut self.pts_scratch);
         for l in m_hat.iter() {
-            if self.recon_polys.contains_key(&l) {
+            if self.recon_zeros.contains_key(&l) {
                 continue;
             }
             let Some(ll) = self.l_hat.get(&l) else {
                 continue;
             };
             // K_{me,l}: points from confirmers in L̂_l, in arrival order.
-            let pts: Vec<(F, F)> = self
-                .recon_points
-                .iter()
-                .filter(|&&(p, o, _)| p == l && ll.contains(o))
-                .take(self.t + 1)
-                .map(|&(_, o, v)| (F::from_u64(o.as_u64()), v))
-                .collect();
+            pts.clear();
+            for &(p, o, v) in &self.recon_points {
+                if p == l && ll.contains(o) {
+                    pts.push((o.as_u64(), v));
+                    if pts.len() == self.t + 1 {
+                        break;
+                    }
+                }
+            }
             if pts.len() == self.t + 1 {
-                let poly =
-                    Poly::interpolate(&pts).expect("confirmer indices are distinct field points");
-                self.recon_polys.insert(l, poly);
+                let zero = self
+                    .domain
+                    .interpolate_at_zero(&pts)
+                    .expect("confirmer indices are distinct domain points");
+                self.recon_zeros.insert(l, zero);
             }
         }
-        if m_hat.iter().all(|l| self.recon_polys.contains_key(&l)) {
-            let pts: Vec<(F, F)> = m_hat
-                .iter()
-                .map(|l| (F::from_u64(l.as_u64()), self.recon_polys[&l].eval(F::ZERO)))
-                .collect();
-            let result = match Poly::interpolate_checked(&pts, self.t) {
-                Some(fbar) => Reconstructed::Value(fbar.eval(F::ZERO)),
+        if m_hat.iter().all(|l| self.recon_zeros.contains_key(&l)) {
+            pts.clear();
+            pts.extend(m_hat.iter().map(|l| (l.as_u64(), self.recon_zeros[&l])));
+            let result = match self.domain.interpolate_checked_at_zero(&pts, self.t) {
+                Some(secret) => Reconstructed::Value(secret),
                 None => Reconstructed::Bottom,
             };
             self.output = Some(result);
             self.output_emitted = true;
             out.push(MwOut::Output(result));
         }
+        self.pts_scratch = pts;
     }
 }
 
@@ -637,7 +676,7 @@ mod tests {
     }
 
     fn machine(me: u32) -> Mw<Gf61> {
-        Mw::new(mw_id(), Pid::new(me), N, T)
+        Mw::new(mw_id(), Pid::new(me), N, T, Arc::new(Domain::new(N)))
     }
 
     /// The dealer's start emits one deal per process (with the master
@@ -827,7 +866,7 @@ mod tests {
         m.on_input(
             MwIn::MDelivered {
                 origin: Pid::new(4), // not the moderator
-                set: all.clone(),
+                set: all,
             },
             &mut out,
         );

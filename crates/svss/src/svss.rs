@@ -13,10 +13,11 @@
 //! [`SvssCtx`] (completion set and outputs), which makes the conditions
 //! here monotone re-evaluations, immune to event ordering.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use sba_field::{BiPoly, Field, Poly};
-use sba_net::{MwId, Pid, ProcessSet, SvssId};
+use sba_field::{BiPoly, Domain, Field, Poly};
+use sba_net::{FastMap, MwId, Pid, ProcessSet, SvssId};
 
 use crate::{Reconstructed, SvssPriv, SvssRbValue, SvssSlot};
 
@@ -37,7 +38,7 @@ pub struct SvssCtx<'a, F> {
     /// MW sessions whose share protocol completed at this process.
     pub mw_completed: &'a BTreeSet<MwId>,
     /// MW reconstruct outputs at this process.
-    pub mw_outputs: &'a HashMap<MwId, Reconstructed<F>>,
+    pub mw_outputs: &'a FastMap<MwId, Reconstructed<F>>,
 }
 
 /// Outputs of the SVSS state machine.
@@ -79,6 +80,8 @@ pub struct Svss<F: Field> {
     me: Pid,
     n: usize,
     t: usize,
+    /// Shared per-instance evaluation domain (points `1..=n`).
+    domain: Arc<Domain<F>>,
 
     // Dealer-only.
     started_deal: bool,
@@ -99,18 +102,21 @@ pub struct Svss<F: Field> {
 }
 
 impl<F: Field> Svss<F> {
-    /// Creates this process's view of SVSS session `id`.
+    /// Creates this process's view of SVSS session `id`. `domain` is the
+    /// instance's shared evaluation domain covering the points `1..=n`.
     ///
     /// # Panics
     ///
-    /// Panics unless `n > 3t`.
-    pub fn new(id: SvssId, me: Pid, n: usize, t: usize) -> Self {
+    /// Panics unless `n > 3t` and the domain covers `n` points.
+    pub fn new(id: SvssId, me: Pid, n: usize, t: usize, domain: Arc<Domain<F>>) -> Self {
         assert!(n > 3 * t, "SVSS requires n > 3t");
+        assert!(domain.n() >= n, "domain must cover all process indices");
         Svss {
             id,
             me,
             n,
             t,
+            domain,
             started_deal: false,
             g_sets: BTreeMap::new(),
             g_broadcast: false,
@@ -330,8 +336,7 @@ impl<F: Field> Svss<F> {
             .collect();
         if g.len() >= quorum {
             self.g_broadcast = true;
-            let members: Vec<(Pid, ProcessSet)> =
-                g.iter().map(|j| (j, self.g_sets[&j].clone())).collect();
+            let members: Vec<(Pid, ProcessSet)> = g.iter().map(|j| (j, self.g_sets[&j])).collect();
             out.push(SvssOut::Broadcast(
                 SvssSlot::Gsets(self.id),
                 SvssRbValue::Gsets { g, members },
@@ -396,10 +401,12 @@ impl<F: Field> Svss<F> {
         let (g, members) = self.g_hat.as_ref().expect("recon implies Ĝ");
         // Step 2: build the ignore set I.
         let mut survivors: Vec<(Pid, Poly<F>, Poly<F>)> = Vec::new();
+        let mut row_pts: Vec<(u64, F)> = Vec::new();
+        let mut col_pts: Vec<(u64, F)> = Vec::new();
         'candidates: for k in g.iter() {
             let gk = &members[&k];
-            let mut row_pts = Vec::with_capacity(gk.len());
-            let mut col_pts = Vec::with_capacity(gk.len());
+            row_pts.clear();
+            col_pts.clear();
             for l in gk.iter().filter(|&l| l != k) {
                 // r_{k,k,l}: dealer k, entry f(k, l); r_{k,l,k}: dealer k,
                 // entry f(l, k). Moderator is l in both.
@@ -408,13 +415,13 @@ impl<F: Field> Svss<F> {
                 let (Reconstructed::Value(vg), Reconstructed::Value(vh)) = (r_kkl, r_klk) else {
                     continue 'candidates; // k ∈ I: a ⊥ among its entries
                 };
-                row_pts.push((F::from_u64(l.as_u64()), vg));
-                col_pts.push((F::from_u64(l.as_u64()), vh));
+                row_pts.push((l.as_u64(), vg));
+                col_pts.push((l.as_u64(), vh));
             }
-            let Some(g_k) = Poly::interpolate_checked(&row_pts, self.t) else {
+            let Some(g_k) = self.domain.interpolate_checked(&row_pts, self.t) else {
                 continue; // k ∈ I: row points not degree-t consistent
             };
-            let Some(h_k) = Poly::interpolate_checked(&col_pts, self.t) else {
+            let Some(h_k) = self.domain.interpolate_checked(&col_pts, self.t) else {
                 continue; // k ∈ I: column points not degree-t consistent
             };
             survivors.push((k, g_k, h_k));
@@ -461,6 +468,10 @@ impl<F: Field> Svss<F> {
 mod tests {
     use super::*;
     use sba_field::Gf61;
+
+    fn dom() -> Arc<Domain<Gf61>> {
+        Arc::new(Domain::new(4))
+    }
 
     fn p(i: u32) -> Pid {
         Pid::new(i)
@@ -514,7 +525,7 @@ mod tests {
 
     #[test]
     fn gsets_validation_rules() {
-        let m: Svss<Gf61> = Svss::new(sid(), p(2), 4, 1);
+        let m: Svss<Gf61> = Svss::new(sid(), p(2), 4, 1, dom());
         // Canonical sets (with self-inclusion) validate.
         let (g, members) = gsets_with(true);
         assert!(m.validate_gsets(&g, &members));
@@ -538,7 +549,7 @@ mod tests {
 
     #[test]
     fn required_ids_skip_self_entries() {
-        let mut m: Svss<Gf61> = Svss::new(sid(), p(2), 4, 1);
+        let mut m: Svss<Gf61> = Svss::new(sid(), p(2), 4, 1, dom());
         let (g, members) = gsets_with(true);
         m.g_hat = Some((g, members.into_iter().collect()));
         let ids = m.required_mw_ids().unwrap();

@@ -205,6 +205,12 @@ fn shunned_process_is_ignored_in_later_sessions() {
     assert!(net.engine(dealer).dmm().is_detected(liar));
 
     // A later session: the dealer must discard the liar's private traffic.
+    // The liar goes fail-silent for this session (its honest-path traffic
+    // would otherwise make completion depend on whether the dealer's
+    // discarded acks keep it out of the confirmer sets — a schedule
+    // accident, not the property under test); the injected forgery below
+    // is the only thing it "sends".
+    net.silence(liar);
     let id2 = standalone(2, 2, 3);
     net.mw_share(id2, f(2));
     net.mw_set_moderator_input(id2, f(2));

@@ -103,10 +103,13 @@ fn svss_msg() -> impl Strategy<Value = SvssMsg<Gf61>> {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
 
-    /// Canonical encode/decode is the identity and consumes all bytes.
+    /// Canonical encode/decode is the identity and consumes all bytes,
+    /// and the arithmetic `encoded_len` matches the real encoding (the
+    /// simulator charges metrics through it without serializing).
     #[test]
     fn svss_messages_round_trip(msg in svss_msg()) {
         let bytes = msg.encoded();
+        prop_assert_eq!(msg.encoded_len(), bytes.len());
         let mut r = Reader::new(&bytes);
         let back = SvssMsg::<Gf61>::decode(&mut r).expect("well-formed");
         prop_assert_eq!(back, msg);

@@ -60,7 +60,7 @@ fn main() {
 
     println!("Bracha reliable broadcast, n=4, skewed link delays.");
     println!("One line per network delivery: time, link, protocol step.\n");
-    println!("{:>5}  {:>5}  {:<10} {}", "sent", "recv", "link", "step");
+    println!("{:>5}  {:>5}  {:<10} step", "sent", "recv", "link");
     for e in sim.trace() {
         println!(
             "{:>5}  {:>5}  {:<10} {}",

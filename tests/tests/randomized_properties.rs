@@ -12,7 +12,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 8,
         max_shrink_iters: 0,
-        .. ProptestConfig::default()
     })]
 
     /// Agreement + termination for arbitrary seeds/inputs/delays at n=4.

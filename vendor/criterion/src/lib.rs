@@ -217,8 +217,9 @@ mod tests {
 
     #[test]
     fn bench_function_runs_the_closure() {
-        let mut c = Criterion::default();
-        c.budget = Duration::from_millis(5);
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
         let mut ran = false;
         c.bench_function("smoke", |b| {
             ran = true;
@@ -229,8 +230,9 @@ mod tests {
 
     #[test]
     fn groups_run_and_finish() {
-        let mut c = Criterion::default();
-        c.budget = Duration::from_millis(5);
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
         let mut group = c.benchmark_group("g");
         group.sample_size(10);
         let mut count = 0u32;
