@@ -143,12 +143,18 @@ impl Wire for VoteValue {
 }
 
 /// The full agreement-layer wire message.
+///
+/// The coin variant is boxed: vote traffic is a handful of bytes, while
+/// the coin/SVSS enum tree is ~10× wider — boxing keeps every queued
+/// envelope at the small size (see `tests/wire_sizes.rs` for the pinned
+/// numbers), which is what keeps the simulator's ~10⁵-envelope in-flight
+/// population inside a few megabytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AbaMsg<F> {
     /// Vote-layer RB traffic.
     Vote(MuxMsg<VoteSlot, VoteValue>),
     /// Coin-layer traffic (SCC mode only).
-    Coin(CoinMsg<F>),
+    Coin(Box<CoinMsg<F>>),
 }
 
 impl<F: Field> Wire for AbaMsg<F> {
@@ -167,7 +173,7 @@ impl<F: Field> Wire for AbaMsg<F> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match r.byte()? {
             0 => Ok(AbaMsg::Vote(MuxMsg::decode(r)?)),
-            1 => Ok(AbaMsg::Coin(CoinMsg::decode(r)?)),
+            1 => Ok(AbaMsg::Coin(Box::new(CoinMsg::decode(r)?))),
             d => Err(CodecError::BadDiscriminant(d)),
         }
     }

@@ -120,6 +120,9 @@ pub struct AbaNode<F: Field> {
     mux: RbMux<VoteSlot, VoteValue>,
     instances: HashMap<u32, Instance>,
     events: Vec<AbaEvent>,
+    /// Reusable buffer for the coin engine's sends (the dominant message
+    /// class; drained into the caller's send list on every delivery).
+    coin_scratch: Vec<(Pid, sba_coin::CoinMsg<F>)>,
 }
 
 fn coin_tag(instance: u32, round: u32) -> u64 {
@@ -146,6 +149,7 @@ impl<F: Field> AbaNode<F> {
             mux: RbMux::new(me, config.params),
             instances: HashMap::new(),
             events: Vec::new(),
+            coin_scratch: Vec::new(),
         }
     }
 
@@ -185,6 +189,25 @@ impl<F: Field> AbaNode<F> {
     /// Read access to the coin engine (SCC mode; for experiments).
     pub fn coin(&self) -> Option<&CoinEngine<F>> {
         self.coin.as_ref()
+    }
+
+    /// `(live, peak, retired)` RB instance counts across every mux this
+    /// node owns (vote layer + coin + SVSS). The memory-accounting hook:
+    /// retirement keeps `live` (and the peak working set) bounded while
+    /// `retired` grows with the run.
+    pub fn rb_instance_stats(&self) -> (usize, usize, usize) {
+        let (mut live, mut peak, mut retired) = (
+            self.mux.instance_count(),
+            self.mux.live_peak(),
+            self.mux.retired_count(),
+        );
+        if let Some(coin) = &self.coin {
+            let (l, p, r) = coin.rb_instance_stats();
+            live += l;
+            peak += p;
+            retired += r;
+        }
+        (live, peak, retired)
     }
 
     /// Proposes `value` for `instance` and starts round 1.
@@ -231,7 +254,11 @@ impl<F: Field> AbaNode<F> {
                 state.coin_started = true;
                 let mut coin_sends = Vec::new();
                 coin.start(coin_tag(instance, round), &mut coin_sends);
-                sends.extend(coin_sends.into_iter().map(|(to, m)| (to, AbaMsg::Coin(m))));
+                sends.extend(
+                    coin_sends
+                        .into_iter()
+                        .map(|(to, m)| (to, AbaMsg::Coin(Box::new(m)))),
+                );
             }
         }
     }
@@ -242,18 +269,14 @@ impl<F: Field> AbaNode<F> {
         value: VoteValue,
         sends: &mut Vec<(Pid, AbaMsg<F>)>,
     ) {
-        let mut rb_sends = Vec::new();
-        self.mux.broadcast(slot, value, &mut rb_sends);
-        sends.extend(rb_sends.into_iter().map(|(to, m)| (to, AbaMsg::Vote(m))));
+        self.mux.broadcast_with(slot, value, sends, AbaMsg::Vote);
     }
 
     /// Feeds one delivered message.
     pub fn on_message(&mut self, from: Pid, msg: AbaMsg<F>, sends: &mut Vec<(Pid, AbaMsg<F>)>) {
         match msg {
             AbaMsg::Vote(m) => {
-                let mut rb_sends = Vec::new();
-                let delivery = self.mux.on_message(from, m, &mut rb_sends);
-                sends.extend(rb_sends.into_iter().map(|(to, m)| (to, AbaMsg::Vote(m))));
+                let delivery = self.mux.on_message_with(from, m, sends, AbaMsg::Vote);
                 if let Some(d) = delivery {
                     let instance = d.tag.instance();
                     let inst = self.instances.entry(instance).or_insert_with(Instance::new);
@@ -277,9 +300,12 @@ impl<F: Field> AbaNode<F> {
             }
             AbaMsg::Coin(m) => {
                 if let Some(coin) = self.coin.as_mut() {
-                    let mut coin_sends = Vec::new();
-                    coin.on_message(from, m, &mut coin_sends);
-                    sends.extend(coin_sends.into_iter().map(|(to, m)| (to, AbaMsg::Coin(m))));
+                    coin.on_message(from, *m, &mut self.coin_scratch);
+                    sends.extend(
+                        self.coin_scratch
+                            .drain(..)
+                            .map(|(to, m)| (to, AbaMsg::Coin(Box::new(m)))),
+                    );
                     let flips = self.absorb_coin_events();
                     for instance in flips {
                         self.advance(instance, sends);
@@ -431,7 +457,11 @@ impl<F: Field> AbaNode<F> {
             if let Some(coin) = self.coin.as_mut() {
                 let mut coin_sends = Vec::new();
                 coin.enable_reconstruct(coin_tag(instance, round), &mut coin_sends);
-                sends.extend(coin_sends.into_iter().map(|(to, m)| (to, AbaMsg::Coin(m))));
+                sends.extend(
+                    coin_sends
+                        .into_iter()
+                        .map(|(to, m)| (to, AbaMsg::Coin(Box::new(m)))),
+                );
                 let flips = self.absorb_coin_events();
                 for other in flips {
                     if other != instance {
@@ -536,6 +566,9 @@ pub struct AbaProcess<F: Field> {
     node: AbaNode<F>,
     proposals: Vec<(u32, bool)>,
     decided_events: Vec<AbaEvent>,
+    /// Reusable send buffer for the node→outbox adapter (per-delivery
+    /// allocation-free).
+    send_scratch: Vec<(Pid, AbaMsg<F>)>,
     /// Cached `done()` answer. The run loop polls doneness after every
     /// delivery for every process; halting is monotone, so once true it
     /// stays true, and only a fresh `Halted` event can flip it.
@@ -551,6 +584,7 @@ impl<F: Field> AbaProcess<F> {
             node,
             proposals,
             decided_events: Vec::new(),
+            send_scratch: Vec::new(),
             done: proposals_all_halted,
         }
     }
@@ -582,11 +616,12 @@ where
     }
 
     fn on_message(&mut self, from: Pid, msg: AbaMsg<F>, out: &mut sba_net::Outbox<AbaMsg<F>>) {
-        let mut sends = Vec::new();
+        let mut sends = std::mem::take(&mut self.send_scratch);
         self.node.on_message(from, msg, &mut sends);
-        for (to, m) in sends {
+        for (to, m) in sends.drain(..) {
             out.send(to, m);
         }
+        self.send_scratch = sends;
         self.absorb_events();
     }
 

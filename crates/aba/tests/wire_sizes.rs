@@ -1,0 +1,61 @@
+//! Compile-time pins on the in-memory size of the hot wire enums.
+//!
+//! A full SCC run keeps ~10⁵ envelopes in flight, so every byte of the
+//! message enum is ~100 KB of queue population; PR 3 boxed the rare large
+//! variants (`AbaMsg::Coin`, the SVSS share payloads) and packed `MwId`
+//! to get the common Vote/Echo/Ready envelope from 112 B down to 32 B.
+//! These `const` asserts fail the *build* if a refactor regresses that —
+//! the `static_assert` of Rust. If one fires, re-box the variant that
+//! grew (or consciously raise the pin and re-measure `BENCH_<pr>.json`).
+
+use sba_aba::{AbaMsg, VoteSlot, VoteValue};
+use sba_broadcast::{MuxMsg, RbMsg};
+use sba_coin::CoinMsg;
+use sba_field::Gf61;
+use sba_net::{Envelope, MwId, SvssId};
+use sba_svss::{SvssMsg, SvssPriv, SvssRbValue, SvssSlot};
+use std::mem::size_of;
+
+// The acceptance bar from the PR-3 issue: the top-level agreement message
+// must stay within 40 bytes (measured: 24).
+const _: () = assert!(size_of::<AbaMsg<Gf61>>() <= 40);
+
+// What actually sits in the simulator's calendar queue per in-flight
+// message (measured: 32).
+const _: () = assert!(size_of::<Envelope<AbaMsg<Gf61>>>() <= 48);
+
+// The boxed coin/SVSS tree nodes — one heap node per coin-layer message,
+// so these matter almost as much as the envelope itself.
+const _: () = assert!(size_of::<CoinMsg<Gf61>>() <= 64);
+const _: () = assert!(size_of::<SvssMsg<Gf61>>() <= 64);
+const _: () = assert!(size_of::<SvssPriv<Gf61>>() <= 40);
+const _: () = assert!(size_of::<SvssRbValue<Gf61>>() <= 16);
+
+// Slot tags key the mux interning maps; MwId is packed to 16 bytes.
+const _: () = assert!(size_of::<MwId>() == 16);
+const _: () = assert!(size_of::<SvssId>() == 16);
+const _: () = assert!(size_of::<SvssSlot>() <= 24);
+
+// The vote-layer fast path: a whole vote RB step in under 24 bytes.
+const _: () = assert!(size_of::<MuxMsg<VoteSlot, VoteValue>>() <= 24);
+const _: () = assert!(size_of::<RbMsg<VoteValue>>() <= 8);
+
+/// The asserts above are compile-time; this test exists so the pins show
+/// up (and can print the live numbers) in the test run.
+#[test]
+fn wire_sizes_pinned() {
+    for (name, size) in [
+        ("AbaMsg<Gf61>", size_of::<AbaMsg<Gf61>>()),
+        (
+            "Envelope<AbaMsg<Gf61>>",
+            size_of::<Envelope<AbaMsg<Gf61>>>(),
+        ),
+        ("CoinMsg<Gf61>", size_of::<CoinMsg<Gf61>>()),
+        ("SvssMsg<Gf61>", size_of::<SvssMsg<Gf61>>()),
+        ("SvssPriv<Gf61>", size_of::<SvssPriv<Gf61>>()),
+        ("SvssSlot", size_of::<SvssSlot>()),
+        ("MwId", size_of::<MwId>()),
+    ] {
+        println!("{name} = {size} bytes");
+    }
+}

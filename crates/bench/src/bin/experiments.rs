@@ -4,7 +4,8 @@
 //! cargo run --release -p sba-bench --bin experiments -- all          # quick
 //! cargo run --release -p sba-bench --bin experiments -- all --full  # long
 //! cargo run --release -p sba-bench --bin experiments -- e3          # one table
-//! cargo run --release -p sba-bench --bin experiments -- e9 --json BENCH_2.json
+//! cargo run --release -p sba-bench --bin experiments -- e9 --full --json BENCH_3.json
+//! cargo run --release -p sba-bench --bin experiments -- compare BENCH_2.json BENCH_3.json
 //! ```
 //!
 //! The paper (PODC 2008 theory paper) has no empirical tables or figures;
@@ -15,6 +16,10 @@
 //! snapshot — the repo's perf trajectory file (`BENCH_<pr>.json`). In
 //! `--full` mode E9 additionally times the heavyweight n=7 SCC agreement
 //! run (the `scc_larger_system` slow-tier test's workload).
+//!
+//! `compare OLD NEW [--key K] [--max-ratio R]` diffs two snapshots and
+//! exits nonzero when `K` (default `scc_larger_system.wall_seconds`)
+//! regressed by more than `R` (default 1.25 = +25 %) — the CI perf gate.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -29,6 +34,10 @@ use sba_bench::{loglog_slope, split_inputs, JsonSink, Stats};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        compare_snapshots(&args[1..]);
+        return;
+    }
     let full = args.iter().any(|a| a == "--full");
     let json_path = args
         .iter()
@@ -75,6 +84,62 @@ fn main() {
     }
     if run_all || which == "e10" {
         e10_threaded(full);
+    }
+}
+
+// ---------------------------------------------------------------------
+// compare - the CI perf-regression gate over two BENCH_<pr>.json files
+// ---------------------------------------------------------------------
+
+fn compare_snapshots(args: &[String]) {
+    use sba_bench::{check_regression, parse_snapshot};
+
+    let mut paths = Vec::new();
+    let mut key = "scc_larger_system.wall_seconds".to_string();
+    let mut max_ratio = 1.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--key" => key = it.next().expect("--key needs a value").clone(),
+            "--max-ratio" => {
+                max_ratio = it
+                    .next()
+                    .expect("--max-ratio needs a value")
+                    .parse()
+                    .expect("--max-ratio must be a number");
+            }
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: experiments compare OLD.json NEW.json [--key K] [--max-ratio R]");
+        std::process::exit(2);
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read snapshot {p}: {e}"))
+    };
+    let old = parse_snapshot(&read(old_path)).expect("old snapshot parses");
+    let new = parse_snapshot(&read(new_path)).expect("new snapshot parses");
+    match check_regression(&old, &new, &key, max_ratio) {
+        Ok(r) => {
+            println!(
+                "{}: {} -> {} ({:+.1}% vs limit +{:.0}%)",
+                r.key,
+                r.old,
+                r.new,
+                (r.ratio - 1.0) * 100.0,
+                (max_ratio - 1.0) * 100.0
+            );
+            if !r.ok {
+                eprintln!("PERF REGRESSION: {old_path} -> {new_path} exceeds the limit");
+                std::process::exit(1);
+            }
+            println!("perf gate OK");
+        }
+        Err(e) => {
+            eprintln!("perf gate cannot run: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -616,8 +681,8 @@ fn e7_hiding(full: bool) {
             // the secret at share time derives from it).
             net.set_tamper(Pid::new(1), move |to, msg| {
                 if to == Pid::new(4) {
-                    if let SvssMsg::Priv(SvssPriv::Rows { g, .. }) = msg {
-                        *cap.borrow_mut() = Some(g.first().map_or(0, |v| v.as_u64()));
+                    if let SvssMsg::Priv(SvssPriv::Rows { rows, .. }) = msg {
+                        *cap.borrow_mut() = Some(rows.g.first().map_or(0, |v| v.as_u64()));
                     }
                 }
                 Tamper::Keep

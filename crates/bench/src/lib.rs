@@ -167,6 +167,163 @@ impl JsonSink {
     }
 }
 
+/// Parses a `BENCH_<pr>.json` perf snapshot (the exact subset
+/// [`JsonSink`] emits: nested objects of strings and finite numbers)
+/// into a flat list of `(dotted key, numeric value)` pairs. String
+/// values are skipped — the perf trajectory only compares numbers.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error. This is *not* a
+/// general JSON parser; it exists so CI can diff snapshots without a
+/// serialization dependency.
+pub fn parse_snapshot(text: &str) -> Result<Vec<(String, f64)>, String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl<'a> P<'a> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            self.ws();
+            if self.i < self.b.len() && self.b[self.i] == c {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", c as char, self.i))
+            }
+        }
+        fn peek(&mut self) -> Option<u8> {
+            self.ws();
+            self.b.get(self.i).copied()
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let start = self.i;
+            while self.i < self.b.len() && self.b[self.i] != b'"' {
+                // JsonSink escapes only backslash and quote. A trailing
+                // backslash must not step past the end of the input.
+                if self.b[self.i] == b'\\' && self.i + 1 < self.b.len() {
+                    self.i += 1;
+                }
+                self.i += 1;
+            }
+            let raw = std::str::from_utf8(&self.b[start..self.i])
+                .map_err(|_| "non-UTF-8 string".to_string())?
+                .replace("\\\"", "\"")
+                .replace("\\\\", "\\");
+            self.eat(b'"')?;
+            Ok(raw)
+        }
+        fn number(&mut self) -> Result<f64, String> {
+            self.ws();
+            let start = self.i;
+            while self.b.get(self.i).is_some_and(|c| {
+                c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                self.i += 1;
+            }
+            std::str::from_utf8(&self.b[start..self.i])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        fn object(&mut self, prefix: &str, out: &mut Vec<(String, f64)>) -> Result<(), String> {
+            self.eat(b'{')?;
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                let key = self.string()?;
+                let key = if prefix.is_empty() {
+                    key
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                self.eat(b':')?;
+                match self.peek() {
+                    Some(b'{') => self.object(&key, out)?,
+                    Some(b'"') => {
+                        self.string()?; // labels are not compared
+                    }
+                    _ => out.push((key, self.number()?)),
+                }
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+                }
+            }
+        }
+    }
+    let mut p = P {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let mut out = Vec::new();
+    p.object("", &mut out)?;
+    Ok(out)
+}
+
+/// Outcome of diffing one metric between two snapshots.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegressionCheck {
+    /// The dotted metric key.
+    pub key: String,
+    /// Value in the older snapshot.
+    pub old: f64,
+    /// Value in the newer snapshot.
+    pub new: f64,
+    /// `new / old`.
+    pub ratio: f64,
+    /// Whether the ratio is within the allowed limit.
+    pub ok: bool,
+}
+
+/// Compares `key` between two parsed snapshots; `max_ratio` is the
+/// largest acceptable `new / old` (e.g. `1.25` = fail beyond a 25 %
+/// regression).
+///
+/// # Errors
+///
+/// Errors when the key is missing from either snapshot or the old value
+/// is not positive — a broken trajectory must fail loudly, not pass
+/// vacuously.
+pub fn check_regression(
+    old: &[(String, f64)],
+    new: &[(String, f64)],
+    key: &str,
+    max_ratio: f64,
+) -> Result<RegressionCheck, String> {
+    let find = |snap: &[(String, f64)], which: &str| {
+        snap.iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("key '{key}' missing from the {which} snapshot"))
+    };
+    let old_v = find(old, "old")?;
+    let new_v = find(new, "new")?;
+    if old_v <= 0.0 {
+        return Err(format!("old value for '{key}' is not positive ({old_v})"));
+    }
+    let ratio = new_v / old_v;
+    Ok(RegressionCheck {
+        key: key.to_string(),
+        old: old_v,
+        new: new_v,
+        ratio,
+        ok: ratio <= max_ratio,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +375,48 @@ mod tests {
         let mut sink = JsonSink::new();
         sink.put_str("k", "a\"b\\c");
         assert!(sink.render().contains("\"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_parser() {
+        let mut sink = JsonSink::new();
+        sink.put_str("schema", "sba-bench-v1");
+        sink.put_num("microbench_ns.poly_eval_t1", 4.304);
+        sink.put_num("scc_larger_system.wall_seconds", 26.5);
+        sink.put_num("scc_larger_system.messages", 16486281.0);
+        let parsed = parse_snapshot(&sink.render()).expect("parse");
+        assert_eq!(
+            parsed,
+            vec![
+                ("microbench_ns.poly_eval_t1".to_string(), 4.304),
+                ("scc_larger_system.wall_seconds".to_string(), 26.5),
+                ("scc_larger_system.messages".to_string(), 16486281.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_snapshot("").is_err());
+        assert!(parse_snapshot("{\"a\": }").is_err());
+        assert!(parse_snapshot("{\"a\" 1}").is_err());
+        assert!(parse_snapshot("{}").map(|v| v.is_empty()).unwrap_or(false));
+        // Truncated input ending in a backslash mid-string must Err, not
+        // step past the end of the buffer.
+        assert!(parse_snapshot("{\"a\\").is_err());
+        assert!(parse_snapshot("{\"a\\\"").is_err());
+    }
+
+    #[test]
+    fn regression_check_flags_slowdowns() {
+        let old = vec![("scc_larger_system.wall_seconds".to_string(), 20.0)];
+        let fast = vec![("scc_larger_system.wall_seconds".to_string(), 18.0)];
+        let slow = vec![("scc_larger_system.wall_seconds".to_string(), 26.0)];
+        let key = "scc_larger_system.wall_seconds";
+        assert!(check_regression(&old, &fast, key, 1.25).unwrap().ok);
+        let r = check_regression(&old, &slow, key, 1.25).unwrap();
+        assert!(!r.ok);
+        assert!((r.ratio - 1.3).abs() < 1e-9);
+        assert!(check_regression(&old, &fast, "missing.key", 1.25).is_err());
     }
 }

@@ -42,37 +42,42 @@ pub use wrb::{Wrb, WrbMsg};
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Params {
-    n: usize,
-    t: usize,
+    // u32 internally: a copy of Params rides in every live RB instance,
+    // and the slab of live instances is the hot working set.
+    n: u32,
+    t: u32,
 }
 
 impl Params {
     /// Creates parameters, or `None` unless `n > 3t` and `n ≥ 1`.
     pub fn new(n: usize, t: usize) -> Option<Self> {
-        if n == 0 || n <= 3 * t {
+        if n == 0 || n <= 3 * t || n > u32::MAX as usize {
             return None;
         }
-        Some(Params { n, t })
+        Some(Params {
+            n: n as u32,
+            t: t as u32,
+        })
     }
 
     /// Total number of processes.
     pub fn n(self) -> usize {
-        self.n
+        self.n as usize
     }
 
     /// Fault tolerance bound.
     pub fn t(self) -> usize {
-        self.t
+        self.t as usize
     }
 
     /// The `n − t` quorum size.
     pub fn quorum(self) -> usize {
-        self.n - self.t
+        (self.n - self.t) as usize
     }
 
     /// The `t + 1` amplification threshold (at least one nonfaulty).
     pub fn amplify(self) -> usize {
-        self.t + 1
+        (self.t + 1) as usize
     }
 }
 

@@ -6,10 +6,38 @@
 //! instance per slot makes slot-level equivocation impossible: within an
 //! instance, Bracha RB guarantees all nonfaulty processes accept the same
 //! value, so "the value p broadcast for slot s" is well defined everywhere.
+//!
+//! # Slab indexing and retirement
+//!
+//! A full protocol run drives *hundreds of thousands* of RB slots per
+//! process, and every delivered message routes through this mux — so the
+//! instance store is the hottest data structure in the stack. Three
+//! design rules keep it cache-friendly:
+//!
+//! - **Slab indexing.** Live instances sit in a recycled slab whose size
+//!   tracks the *peak concurrently-live* count, not the total a run
+//!   creates — the state machines the hot path mutates stay
+//!   cache-resident.
+//! - **Retirement.** Bracha RB fixes the accepted value at acceptance:
+//!   once this process accepts, its `Ready` is already in flight to every
+//!   peer (the accept quorum `n−t` exceeds the amplification threshold
+//!   `t+1`), so the live state machine can never produce another send or
+//!   a different value. At accept the whole [`Rb`] machine is dropped for
+//!   a compact accepted-value record and its slab slot is recycled.
+//!   **Late-joiner story:** peers that have not accepted yet still
+//!   terminate through ready amplification of the messages we already
+//!   sent — late `Echo`/`Ready` traffic addressed to a retired slot needs
+//!   no answer and is dropped, while local [`RbMux::accepted`] queries
+//!   are answered from the record. A retired slot can never be
+//!   resurrected: its interned id stays forever and points at the record.
+//! - **One-line interning.** The `(origin, tag) → slot` index stores one
+//!   `u64` per bucket (hash fingerprint + packed slot id) and is written
+//!   once at interning and once at retirement — never per message; see
+//!   [`SlotIndex`].
 
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
-use sba_net::{CodecError, FastMap, Kinded, Pid, Reader, Wire};
+use sba_net::{CodecError, FxHasher, Kinded, Pid, Reader, Wire};
 
 use crate::{Params, Rb, RbMsg};
 
@@ -60,6 +88,45 @@ pub struct RbDelivery<T, P> {
     pub value: P,
 }
 
+/// Tag bit distinguishing live-slab indices from retired-store indices
+/// in the interning index's packed `u32` value.
+const RETIRED_BIT: u32 = 1 << 31;
+
+/// Packed-slot value reserved as the empty-bucket sentinel.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// The `(origin, tag) → slot` interning index: insert-only open
+/// addressing with one `u64` per bucket — a 32-bit hash fingerprint and
+/// the packed slot id. Full keys live next to the instance state in the
+/// mux's live/retired stores and are compared only on fingerprint match,
+/// so the common probe touches exactly **one** index cache line (a
+/// general-purpose swiss table costs two: control bytes + the fat
+/// key/value entry). At ~2 × 10⁵ interned slots per process this is the
+/// single hottest table in the stack.
+#[derive(Debug)]
+struct SlotIndex {
+    /// `(fp << 32) | packed_slot`; low word [`EMPTY_SLOT`] marks empty.
+    buckets: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+impl SlotIndex {
+    fn new() -> Self {
+        SlotIndex {
+            buckets: vec![u64::MAX; 16],
+            mask: 15,
+            len: 0,
+        }
+    }
+}
+
+fn fx_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
 /// Manages all RB instances for one process.
 ///
 /// # Examples
@@ -78,12 +145,27 @@ pub struct RbDelivery<T, P> {
 pub struct RbMux<T, P> {
     me: Pid,
     params: Params,
-    instances: FastMap<(Pid, T), Rb<P>>,
+    /// `(origin, tag) →` packed slot: an index into `live` (running
+    /// instance) or, with [`RETIRED_BIT`] set, into `retired` (accepted
+    /// record). Written once at interning and once at retirement.
+    index: SlotIndex,
+    /// Live instances (with their interning keys), stored inline in a
+    /// slab whose freed entries are recycled — its size tracks the *peak
+    /// concurrently-live* count, not the 10⁵ instances a run creates, so
+    /// the state machines the hot path touches stay cache-resident.
+    live: Vec<((Pid, T), Rb<P>)>,
+    /// Recycled `live` indices.
+    free: Vec<u32>,
+    /// Keys and accepted values of retired instances, append-only.
+    retired: Vec<((Pid, T), P)>,
+    /// Reusable buffer for the inner state machine's sends, so routing a
+    /// message allocates nothing at steady state.
+    scratch: Vec<(Pid, RbMsg<P>)>,
 }
 
 impl<T, P> RbMux<T, P>
 where
-    T: Clone + Eq + Hash,
+    T: Copy + Eq + Hash,
     P: Clone + Eq,
 {
     /// Creates the mux for process `me`.
@@ -91,7 +173,11 @@ where
         RbMux {
             me,
             params,
-            instances: FastMap::default(),
+            index: SlotIndex::new(),
+            live: Vec::new(),
+            free: Vec::new(),
+            retired: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -105,12 +191,133 @@ where
         self.params
     }
 
-    fn instance(&mut self, origin: Pid, tag: T) -> &mut Rb<P> {
+    /// The interning key stored alongside slot `packed`'s state.
+    fn key_of(&self, packed: u32) -> &(Pid, T) {
+        if packed & RETIRED_BIT != 0 {
+            &self.retired[(packed & !RETIRED_BIT) as usize].0
+        } else {
+            &self.live[packed as usize].0
+        }
+    }
+
+    /// Probes the index for `key` under hash `h`. Returns the packed slot
+    /// on a hit, or the bucket position of the first empty slot on a miss.
+    fn probe(&self, h: u64, key: &(Pid, T)) -> Result<u32, usize> {
+        let fp = (h >> 32) as u32;
+        let mut at = h as usize & self.index.mask;
+        loop {
+            let bucket = self.index.buckets[at];
+            let slot = bucket as u32;
+            if slot == EMPTY_SLOT {
+                return Err(at);
+            }
+            if (bucket >> 32) as u32 == fp && self.key_of(slot) == key {
+                return Ok(slot);
+            }
+            at = (at + 1) & self.index.mask;
+        }
+    }
+
+    /// Doubles the index and reinserts every bucket (keys are re-hashed
+    /// from the slab stores).
+    fn grow_index(&mut self) {
+        let old = std::mem::replace(
+            &mut self.index.buckets,
+            vec![u64::MAX; (self.index.mask + 1) * 2],
+        );
+        self.index.mask = self.index.buckets.len() - 1;
+        for bucket in old {
+            if bucket as u32 == EMPTY_SLOT {
+                continue;
+            }
+            let h = fx_hash(self.key_of(bucket as u32));
+            let mut at = h as usize & self.index.mask;
+            while self.index.buckets[at] as u32 != EMPTY_SLOT {
+                at = (at + 1) & self.index.mask;
+            }
+            self.index.buckets[at] = (h >> 32) << 32 | u64::from(bucket as u32);
+        }
+    }
+
+    /// Interns `(origin, tag)`, creating a fresh live instance (in a
+    /// recycled slab slot when one is free) on first sight. Returns the
+    /// packed slot id.
+    fn slot(&mut self, origin: Pid, tag: T) -> u32 {
+        let key = (origin, tag);
+        let h = fx_hash(&key);
+        match self.probe(h, &key) {
+            Ok(slot) => slot,
+            Err(at) => {
+                let rb = Rb::new(self.me, origin, self.params);
+                let idx = if let Some(idx) = self.free.pop() {
+                    self.live[idx as usize] = (key, rb);
+                    idx
+                } else {
+                    assert!(self.live.len() < RETIRED_BIT as usize, "mux slab overflow");
+                    self.live.push((key, rb));
+                    (self.live.len() - 1) as u32
+                };
+                self.index.buckets[at] = (h >> 32) << 32 | u64::from(idx);
+                self.index.len += 1;
+                // Grow at 3/4 load; probing reads only one line per
+                // bucket, so clustering is cheap, but keep chains short.
+                if self.index.len * 4 > (self.index.mask + 1) * 3 {
+                    self.grow_index();
+                }
+                idx
+            }
+        }
+    }
+
+    /// Repoints `key`'s bucket from `old` to `new` (used at retirement;
+    /// packed slot ids are unique, so no key comparison is needed).
+    fn repoint(&mut self, h: u64, old: u32, new: u32) {
+        let mut at = h as usize & self.index.mask;
+        loop {
+            if self.index.buckets[at] as u32 == old {
+                self.index.buckets[at] = (h >> 32) << 32 | u64::from(new);
+                return;
+            }
+            at = (at + 1) & self.index.mask;
+        }
+    }
+
+    /// Reliably broadcasts `value` in slot `tag` (this process is origin),
+    /// wrapping each outgoing mux message through `wrap` — the
+    /// allocation-free path for layers that nest `MuxMsg` in a larger
+    /// wire enum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this process already broadcast in slot `tag` — slots are
+    /// single-use by construction.
+    pub fn broadcast_with<M>(
+        &mut self,
+        tag: T,
+        value: P,
+        sends: &mut Vec<(Pid, M)>,
+        mut wrap: impl FnMut(MuxMsg<T, P>) -> M,
+    ) {
         let me = self.me;
-        let params = self.params;
-        self.instances
-            .entry((origin, tag))
-            .or_insert_with(|| Rb::new(me, origin, params))
+        let idx = self.slot(me, tag);
+        // A retired slot was accepted, which requires a prior start.
+        assert!(
+            idx & RETIRED_BIT == 0,
+            "RB slot started twice (slot already retired)"
+        );
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.live[idx as usize].1.start(value, &mut scratch);
+        sends.extend(scratch.drain(..).map(|(to, inner)| {
+            (
+                to,
+                wrap(MuxMsg {
+                    tag,
+                    origin: me,
+                    inner,
+                }),
+            )
+        }));
+        self.scratch = scratch;
     }
 
     /// Reliably broadcasts `value` in slot `tag` (this process is origin).
@@ -120,20 +327,51 @@ where
     /// Panics if this process already broadcast in slot `tag` — slots are
     /// single-use by construction.
     pub fn broadcast(&mut self, tag: T, value: P, sends: &mut Vec<(Pid, MuxMsg<T, P>)>) {
-        let me = self.me;
-        let mut inner_sends = Vec::new();
-        self.instance(me, tag.clone())
-            .start(value, &mut inner_sends);
-        sends.extend(inner_sends.into_iter().map(|(to, m)| {
-            (
-                to,
-                MuxMsg {
-                    tag: tag.clone(),
-                    origin: me,
-                    inner: m,
-                },
-            )
-        }));
+        self.broadcast_with(tag, value, sends, |m| m);
+    }
+
+    /// Routes one delivered mux message, wrapping outgoing messages
+    /// through `wrap`; returns an RB delivery if the underlying instance
+    /// just accepted. Traffic for a retired slot is dropped (see the
+    /// module docs for why that is safe).
+    pub fn on_message_with<M>(
+        &mut self,
+        from: Pid,
+        msg: MuxMsg<T, P>,
+        sends: &mut Vec<(Pid, M)>,
+        mut wrap: impl FnMut(MuxMsg<T, P>) -> M,
+    ) -> Option<RbDelivery<T, P>> {
+        let MuxMsg { tag, origin, inner } = msg;
+        let idx = self.slot(origin, tag);
+        if idx & RETIRED_BIT != 0 {
+            return None; // retired: late traffic needs no answer
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let accepted = self.live[idx as usize]
+            .1
+            .on_message(from, inner, &mut scratch);
+        sends.extend(
+            scratch
+                .drain(..)
+                .map(|(to, inner)| (to, wrap(MuxMsg { tag, origin, inner }))),
+        );
+        self.scratch = scratch;
+        let value = accepted?;
+        // Retire: acceptance is final, our ready is already in flight to
+        // everyone — drop the whole state machine, keep only the value,
+        // and recycle the live slot. The index entry is rewritten exactly
+        // once per instance (here), never per message.
+        assert!(
+            (self.retired.len() as u32) < !RETIRED_BIT,
+            "mux retired-store overflow"
+        );
+        let record = RETIRED_BIT | self.retired.len() as u32;
+        self.retired.push(((origin, tag), value.clone()));
+        // The accepted machine already shrank its tallies (see `Rb`); the
+        // husk stays in the slot until `slot()` recycles it.
+        self.free.push(idx);
+        self.repoint(fx_hash(&(origin, tag)), idx, record);
+        Some(RbDelivery { origin, tag, value })
     }
 
     /// Routes one delivered mux message; returns an RB delivery if the
@@ -144,35 +382,39 @@ where
         msg: MuxMsg<T, P>,
         sends: &mut Vec<(Pid, MuxMsg<T, P>)>,
     ) -> Option<RbDelivery<T, P>> {
-        let MuxMsg { tag, origin, inner } = msg;
-        let mut inner_sends = Vec::new();
-        let accepted = self
-            .instance(origin, tag.clone())
-            .on_message(from, inner, &mut inner_sends);
-        sends.extend(inner_sends.into_iter().map(|(to, m)| {
-            (
-                to,
-                MuxMsg {
-                    tag: tag.clone(),
-                    origin,
-                    inner: m,
-                },
-            )
-        }));
-        accepted.map(|value| RbDelivery { origin, tag, value })
+        self.on_message_with(from, msg, sends, |m| m)
     }
 
     /// The accepted value for slot `(origin, tag)`, if that instance
-    /// accepted already.
+    /// accepted already (answered from the retirement record once the
+    /// instance is retired).
     pub fn accepted(&self, origin: Pid, tag: &T) -> Option<&P> {
-        self.instances
-            .get(&(origin, tag.clone()))
-            .and_then(|rb| rb.accepted())
+        let key = (origin, *tag);
+        let idx = self.probe(fx_hash(&key), &key).ok()?;
+        if idx & RETIRED_BIT != 0 {
+            Some(&self.retired[(idx & !RETIRED_BIT) as usize].1)
+        } else {
+            // Live instances never hold an accepted value: acceptance
+            // retires the slot in the same call.
+            None
+        }
     }
 
-    /// Number of live RB instances (for memory accounting tests).
+    /// Number of live (not yet accepted) RB instances — the working-set
+    /// metric for memory accounting tests.
     pub fn instance_count(&self) -> usize {
-        self.instances.len()
+        self.live.len() - self.free.len()
+    }
+
+    /// High-water mark of concurrently live instances (slab capacity is
+    /// never shrunk, so this is exactly the peak working set).
+    pub fn live_peak(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of retired (accepted and reclaimed) instances.
+    pub fn retired_count(&self) -> usize {
+        self.retired.len()
     }
 }
 
@@ -257,6 +499,24 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "started twice")]
+    fn slot_reuse_after_retirement_panics() {
+        let params = Params::new(4, 1).unwrap();
+        let mut muxes: Vec<RbMux<u32, u64>> = (1..=4u32)
+            .map(|i| RbMux::new(Pid::new(i), params))
+            .collect();
+        let mut sends = Vec::new();
+        muxes[0].broadcast(1, 1, &mut sends);
+        let inflight: Vec<(Pid, Pid, Msg)> = sends
+            .drain(..)
+            .map(|(to, m)| (Pid::new(1), to, m))
+            .collect();
+        pump(&mut muxes, inflight);
+        assert_eq!(muxes[0].retired_count(), 1);
+        muxes[0].broadcast(1, 2, &mut sends);
+    }
+
+    #[test]
     fn accepted_lookup() {
         let params = Params::new(4, 1).unwrap();
         let mut muxes: Vec<RbMux<u32, u64>> = (1..=4u32)
@@ -273,6 +533,72 @@ mod tests {
             assert_eq!(m.accepted(Pid::new(1), &3), Some(&33));
             assert_eq!(m.accepted(Pid::new(2), &3), None);
         }
+    }
+
+    /// After a slot completes everywhere, every process has retired it:
+    /// the live instance count drops back while the record remains.
+    #[test]
+    fn accepted_instances_retire() {
+        let params = Params::new(4, 1).unwrap();
+        let mut muxes: Vec<RbMux<u32, u64>> = (1..=4u32)
+            .map(|i| RbMux::new(Pid::new(i), params))
+            .collect();
+        let mut inflight = Vec::new();
+        for slot in 0..10u32 {
+            let mut sends = Vec::new();
+            muxes[0].broadcast(slot, u64::from(slot), &mut sends);
+            inflight.extend(sends.into_iter().map(|(to, m)| (Pid::new(1), to, m)));
+        }
+        pump(&mut muxes, inflight);
+        for m in &muxes {
+            assert_eq!(m.retired_count(), 10, "all slots accepted");
+            assert_eq!(m.instance_count(), 0, "no live state survives");
+            for slot in 0..10u32 {
+                assert_eq!(m.accepted(Pid::new(1), &slot), Some(&u64::from(slot)));
+            }
+        }
+    }
+
+    /// Late traffic for a retired slot is dropped without output and
+    /// without resurrecting the instance.
+    #[test]
+    fn late_traffic_to_retired_slot_is_inert() {
+        let params = Params::new(4, 1).unwrap();
+        let mut muxes: Vec<RbMux<u32, u64>> = (1..=4u32)
+            .map(|i| RbMux::new(Pid::new(i), params))
+            .collect();
+        let mut sends = Vec::new();
+        muxes[0].broadcast(3, 33, &mut sends);
+        let inflight: Vec<(Pid, Pid, Msg)> = sends
+            .drain(..)
+            .map(|(to, m)| (Pid::new(1), to, m))
+            .collect();
+        pump(&mut muxes, inflight);
+        let (live, retired) = (muxes[1].instance_count(), muxes[1].retired_count());
+        // Replay every message class at p2 — duplicates, conflicting
+        // values, the lot.
+        for inner in [
+            RbMsg::Wrb(crate::WrbMsg::Init(33)),
+            RbMsg::Wrb(crate::WrbMsg::Echo(44)),
+            RbMsg::Ready(33),
+            RbMsg::Ready(55),
+        ] {
+            let mut out = Vec::new();
+            let d = muxes[1].on_message(
+                Pid::new(4),
+                MuxMsg {
+                    tag: 3,
+                    origin: Pid::new(1),
+                    inner,
+                },
+                &mut out,
+            );
+            assert!(d.is_none(), "retired slot must not deliver again");
+            assert!(out.is_empty(), "retired slot must not send");
+        }
+        assert_eq!(muxes[1].instance_count(), live, "no resurrection");
+        assert_eq!(muxes[1].retired_count(), retired);
+        assert_eq!(muxes[1].accepted(Pid::new(1), &3), Some(&33));
     }
 
     #[test]

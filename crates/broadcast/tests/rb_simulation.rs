@@ -136,6 +136,127 @@ proptest! {
     }
 }
 
+/// Late, duplicated, and tampered RB traffic arriving *after* a slot has
+/// retired must change nothing: same deliveries, no extra sends, no
+/// panics, and no resurrection of the retired slot (PR 3's retirement
+/// contract — see `RbMux`'s module docs for the late-joiner story).
+#[test]
+fn late_and_tampered_traffic_after_retirement_is_inert() {
+    use sba_broadcast::{RbMsg, WrbMsg};
+    use sba_sim::{Tamper, TamperProcess};
+
+    let params = Params::new(4, 1).unwrap();
+    let slots: Vec<(u32, u64)> = (0..8u32).map(|k| (k, u64::from(k) * 11)).collect();
+
+    #[allow(clippy::large_enum_variant)] // test scaffolding
+    enum P {
+        Honest(Broadcaster),
+        Byz(TamperProcess<Broadcaster, Msg>),
+    }
+    impl Process<Msg> for P {
+        fn on_start(&mut self, out: &mut Outbox<Msg>) {
+            match self {
+                P::Honest(x) => x.on_start(out),
+                P::Byz(x) => x.on_start(out),
+            }
+        }
+        fn on_message(&mut self, from: Pid, msg: Msg, out: &mut Outbox<Msg>) {
+            match self {
+                P::Honest(x) => x.on_message(from, msg, out),
+                P::Byz(x) => x.on_message(from, msg, out),
+            }
+        }
+        fn done(&self) -> bool {
+            match self {
+                P::Honest(x) => x.done(),
+                P::Byz(_) => true,
+            }
+        }
+    }
+
+    for seed in 0..8u64 {
+        let expected = slots.len();
+        let procs: Vec<P> = (1..=4u32)
+            .map(|i| {
+                let b = Broadcaster::new(
+                    Pid::new(i),
+                    params,
+                    if i == 1 { slots.clone() } else { vec![] },
+                    expected,
+                );
+                if i == 4 {
+                    // p4 runs the honest machine but duplicates every
+                    // outgoing message and appends a forged Ready for the
+                    // same slot — guaranteed-late garbage for slots that
+                    // retire at the recipient.
+                    P::Byz(TamperProcess::new(b, |_to, msg: &Msg| {
+                        let forged = MuxMsg {
+                            tag: msg.tag,
+                            origin: msg.origin,
+                            inner: RbMsg::Ready(9_999_999),
+                        };
+                        Tamper::Replace(vec![msg.clone(), msg.clone(), forged])
+                    }))
+                } else {
+                    P::Honest(b)
+                }
+            })
+            .collect();
+        let mut sim = Simulation::new(procs, schedulers::uniform(40), seed);
+        sim.run_to_quiescence(5_000_000);
+
+        // Same deliveries: every honest process delivered each slot
+        // exactly once, with the broadcast value.
+        for i in 1..=3u32 {
+            let P::Honest(b) = sim.process(Pid::new(i)) else {
+                unreachable!("p1..p3 are honest");
+            };
+            let mut got: Vec<(u32, u64)> = b.delivered.iter().map(|d| (d.tag, d.value)).collect();
+            got.sort_unstable();
+            assert_eq!(got, slots, "seed {seed}: p{i} deliveries diverged");
+            assert_eq!(
+                b.mux.retired_count(),
+                slots.len(),
+                "seed {seed}: p{i} retired-count"
+            );
+            assert_eq!(
+                b.mux.instance_count(),
+                0,
+                "seed {seed}: p{i} kept live instances past quiescence"
+            );
+        }
+
+        // No resurrection: replay stale traffic of every kind straight
+        // into a retired slot; counters must not move and nothing is sent.
+        let P::Honest(b) = sim.process_mut(Pid::new(2)) else {
+            unreachable!("p2 is honest");
+        };
+        let (live, retired) = (b.mux.instance_count(), b.mux.retired_count());
+        for inner in [
+            RbMsg::Wrb(WrbMsg::Init(0u64)),
+            RbMsg::Wrb(WrbMsg::Echo(12345)),
+            RbMsg::Ready(0),
+            RbMsg::Ready(9_999_999),
+        ] {
+            let mut out = Vec::new();
+            let d = b.mux.on_message(
+                Pid::new(4),
+                MuxMsg {
+                    tag: slots[0].0,
+                    origin: Pid::new(1),
+                    inner,
+                },
+                &mut out,
+            );
+            assert!(d.is_none(), "seed {seed}: retired slot delivered again");
+            assert!(out.is_empty(), "seed {seed}: retired slot produced sends");
+        }
+        assert_eq!(b.mux.instance_count(), live, "seed {seed}: resurrection");
+        assert_eq!(b.mux.retired_count(), retired);
+        assert_eq!(b.mux.accepted(Pid::new(1), &slots[0].0), Some(&slots[0].1));
+    }
+}
+
 /// An equivocating origin (different Init per recipient, injected raw)
 /// can stall its slot but can never get two honest processes to accept
 /// different values.
@@ -165,6 +286,7 @@ fn equivocation_cannot_split_slot() {
         }
     }
 
+    #[allow(clippy::large_enum_variant)] // test scaffolding
     enum P {
         Byz(Equivocator),
         Honest(Broadcaster),

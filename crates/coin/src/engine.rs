@@ -76,6 +76,9 @@ pub struct CoinEngine<F: Field> {
     mux: RbMux<CoinSlot, ProcessSet>,
     sessions: FastMap<u64, CoinSession>,
     events: Vec<CoinEvent>,
+    /// Reusable buffer for the nested SVSS engine's sends (drained into
+    /// the caller's send list on every use; allocation-free steady state).
+    svss_scratch: Vec<(Pid, sba_svss::SvssMsg<F>)>,
 }
 
 impl<F: Field> CoinEngine<F> {
@@ -91,6 +94,7 @@ impl<F: Field> CoinEngine<F> {
             mux: RbMux::new(me, params),
             sessions: FastMap::default(),
             events: Vec::new(),
+            svss_scratch: Vec::new(),
         }
     }
 
@@ -119,6 +123,16 @@ impl<F: Field> CoinEngine<F> {
         &self.svss
     }
 
+    /// `(live, peak, retired)` RB instance counts summed over this
+    /// engine's own mux and the nested SVSS engine's (memory accounting).
+    pub fn rb_instance_stats(&self) -> (usize, usize, usize) {
+        (
+            self.mux.instance_count() + self.svss.rb_live_instances(),
+            self.mux.live_peak() + self.svss.rb_live_peak(),
+            self.mux.retired_count() + self.svss.rb_retired_instances(),
+        )
+    }
+
     /// Disables shunning detection (experiment E8 ablation).
     pub fn disable_detection(&mut self) {
         self.svss.disable_detection();
@@ -134,13 +148,19 @@ impl<F: Field> CoinEngine<F> {
             return;
         }
         session.started = true;
-        let mut svss_sends = Vec::new();
         for target in Pid::all(self.params.n()) {
             let secret = F::random(&mut self.rng);
-            self.svss
-                .share(coin_svss_id(tag, self.me, target), secret, &mut svss_sends);
+            self.svss.share(
+                coin_svss_id(tag, self.me, target),
+                secret,
+                &mut self.svss_scratch,
+            );
         }
-        sends.extend(svss_sends.into_iter().map(|(to, m)| (to, CoinMsg::Svss(m))));
+        sends.extend(
+            self.svss_scratch
+                .drain(..)
+                .map(|(to, m)| (to, CoinMsg::Svss(m))),
+        );
         self.pump(tag, sends);
     }
 
@@ -159,18 +179,19 @@ impl<F: Field> CoinEngine<F> {
     pub fn on_message(&mut self, from: Pid, msg: CoinMsg<F>, sends: &mut Vec<(Pid, CoinMsg<F>)>) {
         match msg {
             CoinMsg::Svss(m) => {
-                let mut svss_sends = Vec::new();
-                self.svss.on_message(from, m, &mut svss_sends);
-                sends.extend(svss_sends.into_iter().map(|(to, m)| (to, CoinMsg::Svss(m))));
+                self.svss.on_message(from, m, &mut self.svss_scratch);
+                sends.extend(
+                    self.svss_scratch
+                        .drain(..)
+                        .map(|(to, m)| (to, CoinMsg::Svss(m))),
+                );
                 let tags = self.absorb_svss_events();
                 for tag in tags {
                     self.pump(tag, sends);
                 }
             }
             CoinMsg::Rb(m) => {
-                let mut rb_sends = Vec::new();
-                let delivery = self.mux.on_message(from, m, &mut rb_sends);
-                sends.extend(rb_sends.into_iter().map(|(to, m)| (to, CoinMsg::Rb(m))));
+                let delivery = self.mux.on_message_with(from, m, sends, CoinMsg::Rb);
                 if let Some(d) = delivery {
                     if d.origin.index() as usize > self.params.n() {
                         return; // forged origin: no such process
@@ -251,10 +272,8 @@ impl<F: Field> CoinEngine<F> {
             if !session.attach_broadcast && session.my_dealers.len() > t {
                 session.attach_broadcast = true;
                 let t_set: ProcessSet = session.my_dealers.iter().take(t + 1).copied().collect();
-                let mut rb_sends = Vec::new();
                 self.mux
-                    .broadcast(CoinSlot::Attach(tag), t_set, &mut rb_sends);
-                sends.extend(rb_sends.into_iter().map(|(to, m)| (to, CoinMsg::Rb(m))));
+                    .broadcast_with(CoinSlot::Attach(tag), t_set, sends, CoinMsg::Rb);
             }
         }
 
@@ -284,10 +303,8 @@ impl<F: Field> CoinEngine<F> {
             if !session.support_broadcast && session.accepted.len() >= quorum {
                 session.support_broadcast = true;
                 let snapshot = session.accepted;
-                let mut rb_sends = Vec::new();
                 self.mux
-                    .broadcast(CoinSlot::Support(tag), snapshot, &mut rb_sends);
-                sends.extend(rb_sends.into_iter().map(|(to, m)| (to, CoinMsg::Rb(m))));
+                    .broadcast_with(CoinSlot::Support(tag), snapshot, sends, CoinMsg::Rb);
             }
         }
 
@@ -332,11 +349,14 @@ impl<F: Field> CoinEngine<F> {
                     }
                 }
             }
-            let mut svss_sends = Vec::new();
             for sid in to_recon {
-                self.svss.reconstruct(sid, &mut svss_sends);
+                self.svss.reconstruct(sid, &mut self.svss_scratch);
             }
-            sends.extend(svss_sends.into_iter().map(|(to, m)| (to, CoinMsg::Svss(m))));
+            sends.extend(
+                self.svss_scratch
+                    .drain(..)
+                    .map(|(to, m)| (to, CoinMsg::Svss(m))),
+            );
             // Reconstruction may complete synchronously via self-routing.
             let extra_tags = self.absorb_svss_events();
             for extra in extra_tags {

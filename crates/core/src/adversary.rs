@@ -35,7 +35,10 @@ pub enum Fault {
 /// by `delta`.
 pub fn lying_share_tamper(delta: u64) -> impl FnMut(Pid, &Msg) -> Tamper<Msg> + Send + 'static {
     move |_to, msg| {
-        let AbaMsg::Coin(CoinMsg::Svss(SvssMsg::Rb(m))) = msg else {
+        let AbaMsg::Coin(coin) = msg else {
+            return Tamper::Keep;
+        };
+        let CoinMsg::Svss(SvssMsg::Rb(m)) = &**coin else {
             return Tamper::Keep;
         };
         let (SvssSlot::MwRecon(..), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(v)))) =
@@ -48,7 +51,9 @@ pub fn lying_share_tamper(delta: u64) -> impl FnMut(Pid, &Msg) -> Tamper<Msg> + 
             origin: m.origin,
             inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(*v + Gf61::from_u64(delta)))),
         };
-        Tamper::Replace(vec![AbaMsg::Coin(CoinMsg::Svss(SvssMsg::Rb(forged)))])
+        Tamper::Replace(vec![AbaMsg::Coin(Box::new(CoinMsg::Svss(SvssMsg::Rb(
+            forged,
+        ))))])
     }
 }
 

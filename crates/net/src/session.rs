@@ -79,25 +79,54 @@ impl Wire for SvssId {
 /// `(row, col)` names the bivariate entry the instance is supposed to
 /// carry, which is how SVSS reconstruction (step 1 of `R`) locates the
 /// value `r^j_{x,k,l}`.
+///
+/// # Representation
+///
+/// `MwId` rides in every MW-level RB slot tag and keys the hottest maps
+/// in the SVSS engine, so it is packed to 16 bytes: the four process
+/// indices and the parent dealer are stored as single bytes. Process
+/// indices are therefore capped at [`MwId::MAX_INDEX`] — comfortably
+/// above the `ProcessSet`/`Domain` cap of 64 that already bounds every
+/// runnable system. The wire encoding is unchanged (full `u32` pids).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MwId {
-    parent: SvssId,
-    dealer: Pid,
-    moderator: Pid,
-    row: Pid,
-    col: Pid,
+    parent_tag: u64,
+    parent_dealer: u8,
+    dealer: u8,
+    moderator: u8,
+    row: u8,
+    col: u8,
+}
+
+/// Narrows a pid index to the packed byte, panicking past the cap.
+fn pack_pid(p: Pid) -> u8 {
+    assert!(
+        p.index() <= MwId::MAX_INDEX,
+        "process index {} exceeds the MwId cap of {}",
+        p.index(),
+        MwId::MAX_INDEX
+    );
+    p.index() as u8
 }
 
 impl MwId {
+    /// The largest process index representable in a packed `MwId`.
+    pub const MAX_INDEX: u32 = 255;
+
     /// Creates the id of an MW-SVSS invocation nested in SVSS session
     /// `parent`, with the given dealer/moderator and target entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any process index exceeds [`MwId::MAX_INDEX`].
     pub fn nested(parent: SvssId, dealer: Pid, moderator: Pid, row: Pid, col: Pid) -> Self {
         MwId {
-            parent,
-            dealer,
-            moderator,
-            row,
-            col,
+            parent_tag: parent.tag(),
+            parent_dealer: pack_pid(parent.dealer()),
+            dealer: pack_pid(dealer),
+            moderator: pack_pid(moderator),
+            row: pack_pid(row),
+            col: pack_pid(col),
         }
     }
 
@@ -105,62 +134,69 @@ impl MwId {
     ///
     /// The entry coordinates are set to the dealer/moderator; they carry no
     /// meaning outside SVSS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any process index exceeds [`MwId::MAX_INDEX`].
     pub fn standalone(tag: u64, dealer: Pid, moderator: Pid) -> Self {
-        let parent = SvssId::new(tag, dealer);
-        MwId {
-            parent,
+        Self::nested(
+            SvssId::new(tag, dealer),
             dealer,
             moderator,
-            row: dealer,
-            col: moderator,
-        }
+            dealer,
+            moderator,
+        )
     }
 
     /// The enclosing SVSS session (for standalone sessions, a synthetic id).
     pub fn parent(self) -> SvssId {
-        self.parent
+        SvssId::new(self.parent_tag, Pid::new(u32::from(self.parent_dealer)))
     }
 
     /// The MW-SVSS dealer.
     pub fn dealer(self) -> Pid {
-        self.dealer
+        Pid::new(u32::from(self.dealer))
     }
 
     /// The MW-SVSS moderator.
     pub fn moderator(self) -> Pid {
-        self.moderator
+        Pid::new(u32::from(self.moderator))
     }
 
     /// Row index of the bivariate entry this instance carries.
     pub fn row(self) -> Pid {
-        self.row
+        Pid::new(u32::from(self.row))
     }
 
     /// Column index of the bivariate entry this instance carries.
     pub fn col(self) -> Pid {
-        self.col
+        Pid::new(u32::from(self.col))
     }
 }
 
 impl Wire for MwId {
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.parent.encode(buf);
-        self.dealer.encode(buf);
-        self.moderator.encode(buf);
-        self.row.encode(buf);
-        self.col.encode(buf);
+        self.parent().encode(buf);
+        self.dealer().encode(buf);
+        self.moderator().encode(buf);
+        self.row().encode(buf);
+        self.col().encode(buf);
     }
     fn encoded_len(&self) -> usize {
         28
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(MwId {
-            parent: SvssId::decode(r)?,
-            dealer: Pid::decode(r)?,
-            moderator: Pid::decode(r)?,
-            row: Pid::decode(r)?,
-            col: Pid::decode(r)?,
-        })
+        let parent = SvssId::decode(r)?;
+        let dealer = Pid::decode(r)?;
+        let moderator = Pid::decode(r)?;
+        let row = Pid::decode(r)?;
+        let col = Pid::decode(r)?;
+        for p in [parent.dealer(), dealer, moderator, row, col] {
+            if p.index() > Self::MAX_INDEX {
+                return Err(CodecError::Invalid); // beyond the packed cap
+            }
+        }
+        Ok(MwId::nested(parent, dealer, moderator, row, col))
     }
 }
 

@@ -1,11 +1,14 @@
 //! Run metrics: message, byte, and event accounting.
 
-use std::collections::BTreeMap;
+use sba_net::FastMap;
 
 /// Counters accumulated over a simulation run.
 ///
 /// `per_kind` is keyed by [`Kinded::kind`] labels, giving the per-protocol
-/// communication breakdown that experiment E4 reports.
+/// communication breakdown that experiment E4 reports. It is a hash map
+/// (updated on **every** send, so the lookup must not walk a string
+/// B-tree); use [`Metrics::per_kind_sorted`] for deterministic reporting
+/// order.
 ///
 /// [`Kinded::kind`]: sba_net::Kinded::kind
 #[derive(Clone, Debug, Default)]
@@ -19,7 +22,7 @@ pub struct Metrics {
     /// Self-addressed envelopes (delivered immediately, not scheduled).
     pub self_deliveries: u64,
     /// Per message-kind `(messages, bytes)` sent.
-    pub per_kind: BTreeMap<&'static str, (u64, u64)>,
+    pub per_kind: FastMap<&'static str, (u64, u64)>,
     /// Virtual time of the last processed event.
     pub virtual_time: u64,
     /// Total events processed by the run loop.
@@ -64,6 +67,13 @@ impl Metrics {
             .iter()
             .filter(|(k, _)| k.starts_with(prefix))
             .fold((0, 0), |(m, b), (_, &(dm, db))| (m + dm, b + db))
+    }
+
+    /// The per-kind breakdown in deterministic (label) order, for reports.
+    pub fn per_kind_sorted(&self) -> Vec<(&'static str, (u64, u64))> {
+        let mut v: Vec<_> = self.per_kind.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
     }
 }
 

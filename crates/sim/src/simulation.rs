@@ -42,7 +42,24 @@ impl<M> Ord for Delivery<M> {
 /// heap until the window reaches it.
 const CALENDAR_WINDOW: u64 = 4096;
 
-/// The pending-delivery queue: a classic calendar queue.
+/// Sentinel "null" arena index.
+const NIL: u32 = u32::MAX;
+
+/// One arena slot: a scheduled delivery plus the intrusive `next` link
+/// that threads it into its bucket's FIFO (when occupied) or into the
+/// free list (when vacant).
+struct Entry<M> {
+    at: u64,
+    seq: u64,
+    sent: u64,
+    /// `Some` while the slot is queued; taken at pop, leaving the slot
+    /// on the free list for reuse.
+    env: Option<Envelope<M>>,
+    next: u32,
+}
+
+/// The pending-delivery queue: a classic calendar queue over a slab
+/// arena.
 ///
 /// Full protocol runs keep *hundreds of thousands* of envelopes in
 /// flight; a binary heap over that population costs a log-depth pointer
@@ -52,11 +69,24 @@ const CALENDAR_WINDOW: u64 = 4096;
 /// order, a FIFO bucket per virtual tick reproduces the heap's order
 /// exactly: bucket scan order gives ascending `at`, and each bucket is
 /// pushed (hence popped) in ascending `seq`.
+///
+/// Queued deliveries live in one reusable **arena** (`entries` + a free
+/// list) instead of a separately-growing buffer per bucket: a bucket is
+/// just a `(head, tail)` pair of `u32` indices and entries thread
+/// through intrusive `next` links. The queue's memory is therefore one
+/// dense allocation sized by the *peak total* population (slots are
+/// recycled through the free list), instead of 4096 deques each holding
+/// its own high-water-mark capacity — and push/pop touch no allocator
+/// at steady state.
 struct EventQueue<M> {
-    /// `ring[at % CALENDAR_WINDOW]` holds deliveries for time `at`, for
-    /// `at ∈ [cursor, cursor + CALENDAR_WINDOW)`. Within a bucket,
-    /// entries are in push (= `seq`) order.
-    ring: Vec<VecDeque<Delivery<M>>>,
+    /// `ring[at % CALENDAR_WINDOW]` is the `(head, tail)` of the FIFO
+    /// for time `at`, for `at ∈ [cursor, cursor + CALENDAR_WINDOW)`.
+    /// Within a bucket, entries are in push (= `seq`) order.
+    ring: Vec<(u32, u32)>,
+    /// The slab arena holding every in-window delivery.
+    entries: Vec<Entry<M>>,
+    /// Head of the vacant-slot free list (threaded through `next`).
+    free: u32,
     /// Entries beyond the window, ordered by `(at, seq)`; migrated into
     /// the ring as the cursor advances.
     overflow: BinaryHeap<Reverse<Delivery<M>>>,
@@ -72,7 +102,9 @@ struct EventQueue<M> {
 impl<M> EventQueue<M> {
     fn new() -> Self {
         EventQueue {
-            ring: (0..CALENDAR_WINDOW).map(|_| VecDeque::new()).collect(),
+            ring: vec![(NIL, NIL); CALENDAR_WINDOW as usize],
+            entries: Vec::new(),
+            free: NIL,
             overflow: BinaryHeap::new(),
             ring_len: 0,
             cursor: 0,
@@ -84,12 +116,49 @@ impl<M> EventQueue<M> {
         self.len == 0
     }
 
+    /// Appends a delivery to its bucket's FIFO, reusing a free arena slot
+    /// when one exists.
+    fn push_bucket(&mut self, d: Delivery<M>) {
+        let Delivery { at, seq, sent, env } = d;
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            let e = &mut self.entries[idx as usize];
+            self.free = e.next;
+            *e = Entry {
+                at,
+                seq,
+                sent,
+                env: Some(env),
+                next: NIL,
+            };
+            idx
+        } else {
+            assert!(self.entries.len() < NIL as usize, "event arena overflow");
+            self.entries.push(Entry {
+                at,
+                seq,
+                sent,
+                env: Some(env),
+                next: NIL,
+            });
+            (self.entries.len() - 1) as u32
+        };
+        let bucket = &mut self.ring[(at % CALENDAR_WINDOW) as usize];
+        if bucket.0 == NIL {
+            *bucket = (idx, idx);
+        } else {
+            let tail = bucket.1;
+            self.entries[tail as usize].next = idx;
+            bucket.1 = idx;
+        }
+        self.ring_len += 1;
+    }
+
     fn push(&mut self, d: Delivery<M>) {
         debug_assert!(d.at >= self.cursor, "push into the past");
         self.len += 1;
         if d.at < self.cursor + CALENDAR_WINDOW {
-            self.ring[(d.at % CALENDAR_WINDOW) as usize].push_back(d);
-            self.ring_len += 1;
+            self.push_bucket(d);
         } else {
             self.overflow.push(Reverse(d));
         }
@@ -105,9 +174,37 @@ impl<M> EventQueue<M> {
                 break;
             }
             let Reverse(d) = self.overflow.pop().expect("peeked");
-            self.ring[(d.at % CALENDAR_WINDOW) as usize].push_back(d);
-            self.ring_len += 1;
+            self.push_bucket(d);
         }
+    }
+
+    /// Detaches and returns the head of the current cursor's bucket,
+    /// recycling its arena slot.
+    fn pop_bucket(&mut self) -> Option<Delivery<M>> {
+        let bucket = &mut self.ring[(self.cursor % CALENDAR_WINDOW) as usize];
+        let head = bucket.0;
+        if head == NIL {
+            return None;
+        }
+        let e = &mut self.entries[head as usize];
+        let env = e.env.take().expect("queued slots hold an envelope");
+        let d = Delivery {
+            at: e.at,
+            seq: e.seq,
+            sent: e.sent,
+            env,
+        };
+        let next = e.next;
+        e.next = self.free;
+        self.free = head;
+        let bucket = &mut self.ring[(self.cursor % CALENDAR_WINDOW) as usize];
+        if next == NIL {
+            *bucket = (NIL, NIL);
+        } else {
+            bucket.0 = next;
+        }
+        self.ring_len -= 1;
+        Some(d)
     }
 
     fn pop(&mut self) -> Option<Delivery<M>> {
@@ -120,9 +217,7 @@ impl<M> EventQueue<M> {
             self.migrate();
         }
         loop {
-            let bucket = &mut self.ring[(self.cursor % CALENDAR_WINDOW) as usize];
-            if let Some(d) = bucket.pop_front() {
-                self.ring_len -= 1;
+            if let Some(d) = self.pop_bucket() {
                 self.len -= 1;
                 return Some(d);
             }

@@ -81,7 +81,10 @@ pub struct SvssEngine<F: Field> {
     domain: Arc<Domain<F>>,
     mux: RbMux<SvssSlot, SvssRbValue<F>>,
     dmm: Dmm<F>,
-    mw: FastMap<MwId, Mw<F>>,
+    /// MW machines, boxed: [`Mw`] is ~400 B, and an inline-value table
+    /// with thousands of live machines would drag a cache line per probe
+    /// step through the hottest delivery path.
+    mw: FastMap<MwId, Box<Mw<F>>>,
     svss: FastMap<SvssId, Svss<F>>,
     mw_completed: BTreeSet<MwId>,
     mw_outputs: FastMap<MwId, Reconstructed<F>>,
@@ -175,6 +178,21 @@ impl<F: Field> SvssEngine<F> {
         self.mw.len()
     }
 
+    /// Live (not yet accepted) RB instances in this engine's mux.
+    pub fn rb_live_instances(&self) -> usize {
+        self.mux.instance_count()
+    }
+
+    /// Peak concurrently-live RB instances (the mux working set).
+    pub fn rb_live_peak(&self) -> usize {
+        self.mux.live_peak()
+    }
+
+    /// Retired (accepted and reclaimed) RB instances.
+    pub fn rb_retired_instances(&self) -> usize {
+        self.mux.retired_count()
+    }
+
     /// Number of DMM-delayed messages currently buffered. In honest runs
     /// this must drain to zero at quiescence (no message left behind).
     pub fn pending_len(&self) -> usize {
@@ -244,7 +262,7 @@ impl<F: Field> SvssEngine<F> {
         let machine = self
             .mw
             .entry(id)
-            .or_insert_with(|| Mw::new(id, me, n, t, domain));
+            .or_insert_with(|| Box::new(Mw::new(id, me, n, t, domain)));
         machine.start_share(secret, &mut self.rng, &mut outs);
         self.handle_mw_outs(id, outs, sends);
         self.finish(sends);
@@ -285,9 +303,7 @@ impl<F: Field> SvssEngine<F> {
     pub fn on_message(&mut self, from: Pid, msg: SvssMsg<F>, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
         match msg {
             SvssMsg::Rb(m) => {
-                let mut rb_sends = Vec::new();
-                let delivery = self.mux.on_message(from, m, &mut rb_sends);
-                sends.extend(rb_sends.into_iter().map(|(to, m)| (to, SvssMsg::Rb(m))));
+                let delivery = self.mux.on_message_with(from, m, sends, SvssMsg::Rb);
                 if let Some(d) = delivery {
                     if !self.valid_pid(d.origin) {
                         return; // forged origin: no such process
@@ -329,21 +345,23 @@ impl<F: Field> SvssEngine<F> {
     fn process_inner(&mut self, sender: Pid, inner: Inner<F>, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
         match inner {
             Inner::Priv(p) => match p {
-                SvssPriv::MwDeal {
-                    mw,
-                    values,
-                    monitor_poly,
-                    moderator_poly,
-                } => self.feed_mw(
-                    mw,
-                    MwIn::Deal {
-                        from: sender,
+                SvssPriv::MwDeal { mw, deal } => {
+                    let crate::MwDealBody {
                         values,
                         monitor_poly,
                         moderator_poly,
-                    },
-                    sends,
-                ),
+                    } = *deal;
+                    self.feed_mw(
+                        mw,
+                        MwIn::Deal {
+                            from: sender,
+                            values,
+                            monitor_poly,
+                            moderator_poly,
+                        },
+                        sends,
+                    )
+                }
                 SvssPriv::MwPoint { mw, value } => self.feed_mw(
                     mw,
                     MwIn::Point {
@@ -360,7 +378,7 @@ impl<F: Field> SvssEngine<F> {
                     },
                     sends,
                 ),
-                SvssPriv::Rows { session, g, h } => {
+                SvssPriv::Rows { session, rows } => {
                     self.dmm.session_started(SessionKey::Svss(session));
                     let n = self.params.n();
                     let t = self.params.t();
@@ -375,6 +393,7 @@ impl<F: Field> SvssEngine<F> {
                         mw_outputs: &self.mw_outputs,
                     };
                     let mut outs = Vec::new();
+                    let crate::RowsBody { g, h } = *rows;
                     machine.on_rows(sender, g, h, &ctx, &mut outs);
                     self.handle_svss_outs(session, outs, sends);
                 }
@@ -405,7 +424,7 @@ impl<F: Field> SvssEngine<F> {
                     },
                     sends,
                 ),
-                (SvssSlot::Gsets(session), SvssRbValue::Gsets { g, members }) => {
+                (SvssSlot::Gsets(session), SvssRbValue::Gsets(body)) => {
                     self.dmm.session_started(SessionKey::Svss(session));
                     let n = self.params.n();
                     let t = self.params.t();
@@ -420,6 +439,7 @@ impl<F: Field> SvssEngine<F> {
                         mw_outputs: &self.mw_outputs,
                     };
                     let mut outs = Vec::new();
+                    let crate::GsetsBody { g, members } = *body;
                     machine.on_gsets(origin, g, members, &ctx, &mut outs);
                     self.handle_svss_outs(session, outs, sends);
                 }
@@ -439,7 +459,7 @@ impl<F: Field> SvssEngine<F> {
         let domain = Arc::clone(&self.domain);
         self.mw
             .entry(id)
-            .or_insert_with(|| Mw::new(id, me, n, t, domain))
+            .or_insert_with(|| Box::new(Mw::new(id, me, n, t, domain)))
     }
 
     fn feed_mw(&mut self, id: MwId, input: MwIn<F>, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
@@ -469,9 +489,7 @@ impl<F: Field> SvssEngine<F> {
             match o {
                 MwOut::Send(to, p) => sends.push((to, SvssMsg::Priv(p))),
                 MwOut::Broadcast(slot, value) => {
-                    let mut rb_sends = Vec::new();
-                    self.mux.broadcast(slot, value, &mut rb_sends);
-                    sends.extend(rb_sends.into_iter().map(|(to, m)| (to, SvssMsg::Rb(m))));
+                    self.mux.broadcast_with(slot, value, sends, SvssMsg::Rb);
                 }
                 MwOut::RegisterAck {
                     broadcaster,
@@ -535,9 +553,7 @@ impl<F: Field> SvssEngine<F> {
             match o {
                 SvssOut::Send(to, p) => sends.push((to, SvssMsg::Priv(p))),
                 SvssOut::Broadcast(slot, value) => {
-                    let mut rb_sends = Vec::new();
-                    self.mux.broadcast(slot, value, &mut rb_sends);
-                    sends.extend(rb_sends.into_iter().map(|(to, m)| (to, SvssMsg::Rb(m))));
+                    self.mux.broadcast_with(slot, value, sends, SvssMsg::Rb);
                 }
                 SvssOut::StartMwShare { mw, secret } => {
                     let mut outs2 = Vec::new();
@@ -546,7 +562,7 @@ impl<F: Field> SvssEngine<F> {
                     let machine = self
                         .mw
                         .entry(mw)
-                        .or_insert_with(|| Mw::new(mw, me, n, t, domain));
+                        .or_insert_with(|| Box::new(Mw::new(mw, me, n, t, domain)));
                     machine.start_share(secret, &mut self.rng, &mut outs2);
                     self.handle_mw_outs(mw, outs2, sends);
                 }

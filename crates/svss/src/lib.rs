@@ -57,6 +57,8 @@ mod svss;
 
 pub use dmm::{Dmm, SessionKey, Verdict};
 pub use engine::{SvssEngine, SvssEvent};
-pub use messages::{Reconstructed, SvssMsg, SvssPriv, SvssRbValue, SvssSlot};
+pub use messages::{
+    GsetsBody, MwDealBody, Reconstructed, RowsBody, SvssMsg, SvssPriv, SvssRbValue, SvssSlot,
+};
 pub use mw::{Mw, MwIn, MwOut};
 pub use svss::{pair_mw_ids, Svss, SvssCtx, SvssOut};

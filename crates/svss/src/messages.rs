@@ -38,6 +38,30 @@ impl<F: Field> Reconstructed<F> {
     }
 }
 
+/// Body of [`SvssPriv::MwDeal`] — the only share message with more than
+/// one polynomial, boxed so the *enum* stays pointer-sized for the far
+/// more common point/ack traffic (the wire enums ride in every queued
+/// envelope; see the size pins in `crates/aba/tests/wire_sizes.rs`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MwDealBody<F> {
+    /// `f_l(j)` for `l = 1..=n` (recipient is `j`).
+    pub values: Vec<F>,
+    /// Coefficients of `f_j`, degree ≤ t.
+    pub monitor_poly: Vec<F>,
+    /// Coefficients of `f`, present iff the recipient is the moderator.
+    pub moderator_poly: Option<Vec<F>>,
+}
+
+/// Body of [`SvssPriv::Rows`] (boxed for the same reason as
+/// [`MwDealBody`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowsBody<F> {
+    /// Coefficients of `g_j`, degree ≤ t.
+    pub g: Vec<F>,
+    /// Coefficients of `h_j`, degree ≤ t.
+    pub h: Vec<F>,
+}
+
 /// Private point-to-point messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SvssPriv<F> {
@@ -47,12 +71,8 @@ pub enum SvssPriv<F> {
     MwDeal {
         /// The MW session.
         mw: MwId,
-        /// `f_l(j)` for `l = 1..=n` (recipient is `j`).
-        values: Vec<F>,
-        /// Coefficients of `f_j`, degree ≤ t.
-        monitor_poly: Vec<F>,
-        /// Coefficients of `f`, present iff the recipient is the moderator.
-        moderator_poly: Option<Vec<F>>,
+        /// The polynomial payload.
+        deal: Box<MwDealBody<F>>,
     },
     /// MW-SVSS share step 2, `j → l`: the value `f̂^j_l` (confirmation).
     MwPoint {
@@ -73,10 +93,8 @@ pub enum SvssPriv<F> {
     Rows {
         /// The SVSS session.
         session: SvssId,
-        /// Coefficients of `g_j`, degree ≤ t.
-        g: Vec<F>,
-        /// Coefficients of `h_j`, degree ≤ t.
-        h: Vec<F>,
+        /// The row/column payload.
+        rows: Box<RowsBody<F>>,
     },
 }
 
@@ -118,17 +136,12 @@ fn get_field_vec<F: Field>(r: &mut Reader<'_>) -> Result<Vec<F>, CodecError> {
 impl<F: Field> Wire for SvssPriv<F> {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            SvssPriv::MwDeal {
-                mw,
-                values,
-                monitor_poly,
-                moderator_poly,
-            } => {
+            SvssPriv::MwDeal { mw, deal } => {
                 buf.push(0);
                 mw.encode(buf);
-                put_field_vec(values, buf);
-                put_field_vec(monitor_poly, buf);
-                match moderator_poly {
+                put_field_vec(&deal.values, buf);
+                put_field_vec(&deal.monitor_poly, buf);
+                match &deal.moderator_poly {
                     None => buf.push(0),
                     Some(p) => {
                         buf.push(1);
@@ -146,11 +159,11 @@ impl<F: Field> Wire for SvssPriv<F> {
                 mw.encode(buf);
                 put_field(*value, buf);
             }
-            SvssPriv::Rows { session, g, h } => {
+            SvssPriv::Rows { session, rows } => {
                 buf.push(3);
                 session.encode(buf);
-                put_field_vec(g, buf);
-                put_field_vec(h, buf);
+                put_field_vec(&rows.g, buf);
+                put_field_vec(&rows.h, buf);
             }
         }
     }
@@ -168,9 +181,11 @@ impl<F: Field> Wire for SvssPriv<F> {
                 };
                 Ok(SvssPriv::MwDeal {
                     mw,
-                    values,
-                    monitor_poly,
-                    moderator_poly,
+                    deal: Box::new(MwDealBody {
+                        values,
+                        monitor_poly,
+                        moderator_poly,
+                    }),
                 })
             }
             1 => Ok(SvssPriv::MwPoint {
@@ -183,8 +198,10 @@ impl<F: Field> Wire for SvssPriv<F> {
             }),
             3 => Ok(SvssPriv::Rows {
                 session: SvssId::decode(r)?,
-                g: get_field_vec(r)?,
-                h: get_field_vec(r)?,
+                rows: Box::new(RowsBody {
+                    g: get_field_vec(r)?,
+                    h: get_field_vec(r)?,
+                }),
             }),
             d => Err(CodecError::BadDiscriminant(d)),
         }
@@ -192,23 +209,18 @@ impl<F: Field> Wire for SvssPriv<F> {
 
     fn encoded_len(&self) -> usize {
         match self {
-            SvssPriv::MwDeal {
-                mw,
-                values,
-                monitor_poly,
-                moderator_poly,
-            } => {
+            SvssPriv::MwDeal { mw, deal } => {
                 1 + mw.encoded_len()
-                    + field_vec_len(values)
-                    + field_vec_len(monitor_poly)
+                    + field_vec_len(&deal.values)
+                    + field_vec_len(&deal.monitor_poly)
                     + 1
-                    + moderator_poly.as_ref().map_or(0, |p| field_vec_len(p))
+                    + deal.moderator_poly.as_ref().map_or(0, |p| field_vec_len(p))
             }
             SvssPriv::MwPoint { mw, .. } | SvssPriv::MwMonitorValue { mw, .. } => {
                 1 + mw.encoded_len() + 8
             }
-            SvssPriv::Rows { session, g, h } => {
-                1 + session.encoded_len() + field_vec_len(g) + field_vec_len(h)
+            SvssPriv::Rows { session, rows } => {
+                1 + session.encoded_len() + field_vec_len(&rows.g) + field_vec_len(&rows.h)
             }
         }
     }
@@ -311,6 +323,16 @@ impl Wire for SvssSlot {
     }
 }
 
+/// Body of [`SvssRbValue::Gsets`], boxed to keep the RB payload enum —
+/// which rides in every SVSS-layer echo/ready — two words wide.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GsetsBody {
+    /// The accepted set `G`.
+    pub g: ProcessSet,
+    /// `G_j` for each `j ∈ G`, keyed in ascending order.
+    pub members: Vec<(Pid, ProcessSet)>,
+}
+
 /// Payload values carried in RB slots.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SvssRbValue<F> {
@@ -321,12 +343,7 @@ pub enum SvssRbValue<F> {
     /// A field element (reconstruct points).
     Value(F),
     /// The SVSS dealer's `G` and `{G_j : j ∈ G}` sets.
-    Gsets {
-        /// The accepted set `G`.
-        g: ProcessSet,
-        /// `G_j` for each `j ∈ G`, keyed in ascending order.
-        members: Vec<(Pid, ProcessSet)>,
-    },
+    Gsets(Box<GsetsBody>),
 }
 
 impl<F: Field> Wire for SvssRbValue<F> {
@@ -341,10 +358,10 @@ impl<F: Field> Wire for SvssRbValue<F> {
                 buf.push(2);
                 put_field(*v, buf);
             }
-            SvssRbValue::Gsets { g, members } => {
+            SvssRbValue::Gsets(b) => {
                 buf.push(3);
-                g.encode(buf);
-                members.encode(buf);
+                b.g.encode(buf);
+                b.members.encode(buf);
             }
         }
     }
@@ -354,10 +371,10 @@ impl<F: Field> Wire for SvssRbValue<F> {
             0 => Ok(SvssRbValue::Unit),
             1 => Ok(SvssRbValue::Set(ProcessSet::decode(r)?)),
             2 => Ok(SvssRbValue::Value(get_field(r)?)),
-            3 => Ok(SvssRbValue::Gsets {
+            3 => Ok(SvssRbValue::Gsets(Box::new(GsetsBody {
                 g: ProcessSet::decode(r)?,
                 members: Vec::decode(r)?,
-            }),
+            }))),
             d => Err(CodecError::BadDiscriminant(d)),
         }
     }
@@ -367,7 +384,7 @@ impl<F: Field> Wire for SvssRbValue<F> {
             SvssRbValue::Unit => 1,
             SvssRbValue::Set(s) => 1 + s.encoded_len(),
             SvssRbValue::Value(_) => 1 + 8,
-            SvssRbValue::Gsets { g, members } => 1 + g.encoded_len() + members.encoded_len(),
+            SvssRbValue::Gsets(b) => 1 + b.g.encoded_len() + b.members.encoded_len(),
         }
     }
 }
@@ -446,15 +463,19 @@ mod tests {
         let f = |v: u64| Gf61::from_u64(v);
         round_trip(SvssPriv::MwDeal {
             mw: mw_id(),
-            values: vec![f(1), f(2), f(3), f(4)],
-            monitor_poly: vec![f(5), f(6)],
-            moderator_poly: Some(vec![f(7)]),
+            deal: Box::new(MwDealBody {
+                values: vec![f(1), f(2), f(3), f(4)],
+                monitor_poly: vec![f(5), f(6)],
+                moderator_poly: Some(vec![f(7)]),
+            }),
         });
         round_trip(SvssPriv::<Gf61>::MwDeal {
             mw: mw_id(),
-            values: vec![],
-            monitor_poly: vec![],
-            moderator_poly: None,
+            deal: Box::new(MwDealBody {
+                values: vec![],
+                monitor_poly: vec![],
+                moderator_poly: None,
+            }),
         });
         round_trip(SvssPriv::MwPoint {
             mw: mw_id(),
@@ -466,8 +487,10 @@ mod tests {
         });
         round_trip(SvssPriv::<Gf61>::Rows {
             session: SvssId::new(4, Pid::new(2)),
-            g: vec![f(1)],
-            h: vec![f(2), f(3)],
+            rows: Box::new(RowsBody {
+                g: vec![f(1)],
+                h: vec![f(2), f(3)],
+            }),
         });
     }
 
@@ -486,10 +509,10 @@ mod tests {
         round_trip(SvssRbValue::<Gf61>::Unit);
         round_trip(SvssRbValue::<Gf61>::Set(Pid::all(3).collect()));
         round_trip(SvssRbValue::Value(Gf61::from_u64(77)));
-        round_trip(SvssRbValue::<Gf61>::Gsets {
+        round_trip(SvssRbValue::<Gf61>::Gsets(Box::new(GsetsBody {
             g: Pid::all(4).collect(),
             members: vec![(Pid::new(1), Pid::all(2).collect())],
-        });
+        })));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use rand::Rng;
 use sba_field::{Domain, Field, Poly};
-use sba_net::{FastMap, MwId, Pid, ProcessSet};
+use sba_net::{MwId, Pid, ProcessSet};
 
 use crate::{Reconstructed, SvssPriv, SvssRbValue, SvssSlot};
 
@@ -137,7 +137,10 @@ pub struct Mw<F: Field> {
     acked: bool,
 
     // Step 3 state: first point per confirmer, my confirmer set L_me.
-    points: FastMap<Pid, F>,
+    /// First point per confirmer, indexed by `pid - 1` (per-pid state in
+    /// this machine is direct-indexed: `advance` re-probes it on every
+    /// input, and at `n ≤ 64` a dense vector beats any hash map).
+    points: Vec<Option<F>>,
     l_mine: ProcessSet,
     l_frozen: bool,
 
@@ -146,13 +149,13 @@ pub struct Mw<F: Field> {
     moderator_poly: Option<Poly<F>>,
     /// `moderator_poly` evaluated at every process index (computed once).
     moderator_evals: Vec<F>,
-    monitor_values: FastMap<Pid, F>,
+    monitor_values: Vec<Option<F>>,
     m_mine: ProcessSet,
     m_frozen: bool,
 
     // RB-delivered public state.
     acks: ProcessSet,
-    l_hat: FastMap<Pid, ProcessSet>,
+    l_hat: Vec<Option<ProcessSet>>,
     m_hat: Option<ProcessSet>,
     ok_delivered: bool,
 
@@ -166,7 +169,7 @@ pub struct Mw<F: Field> {
     recon_points: Vec<(Pid, Pid, F)>,
     /// Recovered constant terms `f̄_l(0)` (the full polynomials are never
     /// needed — only their values at zero feed step 4 of `R′`).
-    recon_zeros: FastMap<Pid, F>,
+    recon_zeros: Vec<Option<F>>,
     /// Scratch for interpolation point lists (reused across advances).
     pts_scratch: Vec<(u64, F)>,
     output: Option<Reconstructed<F>>,
@@ -202,17 +205,17 @@ impl<F: Field> Mw<F> {
             my_poly: None,
             my_evals: Vec::new(),
             acked: false,
-            points: FastMap::default(),
+            points: vec![None; n],
             l_mine: ProcessSet::new(),
             l_frozen: false,
             moderator_input: None,
             moderator_poly: None,
             moderator_evals: Vec::new(),
-            monitor_values: FastMap::default(),
+            monitor_values: vec![None; n],
             m_mine: ProcessSet::new(),
             m_frozen: false,
             acks: ProcessSet::new(),
-            l_hat: FastMap::default(),
+            l_hat: vec![None; n],
             m_hat: None,
             ok_delivered: false,
             share_completed: false,
@@ -220,7 +223,7 @@ impl<F: Field> Mw<F> {
             recon_requested: false,
             recon_sent: false,
             recon_points: Vec::new(),
-            recon_zeros: FastMap::default(),
+            recon_zeros: vec![None; n],
             pts_scratch: Vec::new(),
             output: None,
             output_emitted: false,
@@ -248,6 +251,12 @@ impl<F: Field> Mw<F> {
 
     fn quorum(&self) -> usize {
         self.n - self.t
+    }
+
+    /// Dense per-pid slot index, `None` for ids outside `1..=n`.
+    fn idx(&self, p: Pid) -> Option<usize> {
+        let i = p.index() as usize;
+        (i <= self.n).then(|| i - 1)
     }
 
     /// Dealer command (share step 1): pick the polynomials and send the
@@ -281,9 +290,11 @@ impl<F: Field> Mw<F> {
                 j,
                 SvssPriv::MwDeal {
                     mw: self.id,
-                    values,
-                    monitor_poly,
-                    moderator_poly,
+                    deal: Box::new(crate::MwDealBody {
+                        values,
+                        monitor_poly,
+                        moderator_poly,
+                    }),
                 },
             ));
         }
@@ -365,11 +376,15 @@ impl<F: Field> Mw<F> {
                 ));
             }
             MwIn::Point { from, value } => {
-                self.points.entry(from).or_insert(value);
+                if let Some(i) = self.idx(from) {
+                    self.points[i].get_or_insert(value);
+                }
             }
             MwIn::MonitorValue { from, value } => {
                 if self.me == self.id.moderator() {
-                    self.monitor_values.entry(from).or_insert(value);
+                    if let Some(i) = self.idx(from) {
+                        self.monitor_values[i].get_or_insert(value);
+                    }
                 }
             }
             MwIn::AckDelivered { origin } => {
@@ -378,7 +393,9 @@ impl<F: Field> Mw<F> {
             MwIn::LDelivered { origin, set } => {
                 // Sets naming unknown processes are malformed: ignore.
                 if set.iter().all(|p| p.index() as usize <= self.n) {
-                    self.l_hat.entry(origin).or_insert(set);
+                    if let Some(i) = self.idx(origin) {
+                        self.l_hat[i].get_or_insert(set);
+                    }
                 }
             }
             MwIn::MDelivered { origin, set } => {
@@ -435,7 +452,7 @@ impl<F: Field> Mw<F> {
             if self.l_mine.contains(l) || !self.acks.contains(l) {
                 continue;
             }
-            let Some(&point) = self.points.get(&l) else {
+            let Some(point) = self.points[(l.index() - 1) as usize] else {
                 continue;
             };
             let expected = self.my_evals[(l.index() - 1) as usize];
@@ -489,10 +506,10 @@ impl<F: Field> Mw<F> {
             if self.m_mine.contains(j) {
                 continue;
             }
-            let Some(&mv) = self.monitor_values.get(&j) else {
+            let Some(mv) = self.monitor_values[(j.index() - 1) as usize] else {
                 continue;
             };
-            let Some(lj) = self.l_hat.get(&j) else {
+            let Some(lj) = &self.l_hat[(j.index() - 1) as usize] else {
                 continue;
             };
             let all_acked = lj.is_subset(&self.acks);
@@ -522,7 +539,7 @@ impl<F: Field> Mw<F> {
             return;
         };
         for j in m_hat.iter() {
-            let Some(lj) = self.l_hat.get(&j) else {
+            let Some(lj) = &self.l_hat[(j.index() - 1) as usize] else {
                 return;
             };
             if !lj.is_subset(&self.acks) {
@@ -532,7 +549,8 @@ impl<F: Field> Mw<F> {
         // All conditions met: register expectations for every (j, l).
         for j in m_hat.iter() {
             let fj = &fls[(j.index() - 1) as usize];
-            for l in self.l_hat[&j].iter() {
+            let lj = self.l_hat[(j.index() - 1) as usize].expect("checked above");
+            for l in lj.iter() {
                 out.push(MwOut::RegisterAck {
                     broadcaster: l,
                     poly: j,
@@ -568,7 +586,7 @@ impl<F: Field> Mw<F> {
             return;
         };
         for l in m_hat.iter() {
-            let Some(ll) = self.l_hat.get(&l) else {
+            let Some(ll) = &self.l_hat[(l.index() - 1) as usize] else {
                 return;
             };
             if !ll.is_subset(&self.acks) {
@@ -593,7 +611,7 @@ impl<F: Field> Mw<F> {
             return; // dealer never dealt to me; I am in no L̂_l
         };
         for l in m_hat.iter() {
-            let in_ll = self.l_hat.get(&l).is_some_and(|s| s.contains(self.me));
+            let in_ll = self.l_hat[(l.index() - 1) as usize].is_some_and(|s| s.contains(self.me));
             if in_ll {
                 out.push(MwOut::Broadcast(
                     SvssSlot::MwRecon(self.id, l),
@@ -619,10 +637,10 @@ impl<F: Field> Mw<F> {
         };
         let mut pts = std::mem::take(&mut self.pts_scratch);
         for l in m_hat.iter() {
-            if self.recon_zeros.contains_key(&l) {
+            if self.recon_zeros[(l.index() - 1) as usize].is_some() {
                 continue;
             }
-            let Some(ll) = self.l_hat.get(&l) else {
+            let Some(ll) = &self.l_hat[(l.index() - 1) as usize] else {
                 continue;
             };
             // K_{me,l}: points from confirmers in L̂_l, in arrival order.
@@ -640,12 +658,18 @@ impl<F: Field> Mw<F> {
                     .domain
                     .interpolate_at_zero(&pts)
                     .expect("confirmer indices are distinct domain points");
-                self.recon_zeros.insert(l, zero);
+                self.recon_zeros[(l.index() - 1) as usize] = Some(zero);
             }
         }
-        if m_hat.iter().all(|l| self.recon_zeros.contains_key(&l)) {
+        if m_hat
+            .iter()
+            .all(|l| self.recon_zeros[(l.index() - 1) as usize].is_some())
+        {
             pts.clear();
-            pts.extend(m_hat.iter().map(|l| (l.as_u64(), self.recon_zeros[&l])));
+            pts.extend(m_hat.iter().map(|l| {
+                let zero = self.recon_zeros[(l.index() - 1) as usize].expect("checked above");
+                (l.as_u64(), zero)
+            }));
             let result = match self.domain.interpolate_checked_at_zero(&pts, self.t) {
                 Some(secret) => Reconstructed::Value(secret),
                 None => Reconstructed::Bottom,
@@ -694,17 +718,9 @@ mod tests {
         assert_eq!(deals.len(), N);
         let mut moderator_polys = 0;
         for o in &out {
-            if let MwOut::Send(
-                to,
-                SvssPriv::MwDeal {
-                    moderator_poly,
-                    values,
-                    ..
-                },
-            ) = o
-            {
-                assert_eq!(values.len(), N);
-                if moderator_poly.is_some() {
+            if let MwOut::Send(to, SvssPriv::MwDeal { deal, .. }) = o {
+                assert_eq!(deal.values.len(), N);
+                if deal.moderator_poly.is_some() {
                     assert_eq!(*to, Pid::new(2), "only the moderator gets f");
                     moderator_polys += 1;
                 }

@@ -177,8 +177,10 @@ impl<F: Field> Svss<F> {
                 j,
                 SvssPriv::Rows {
                     session: self.id,
-                    g: f.row(j.as_u64()).coeffs().to_vec(),
-                    h: f.col(j.as_u64()).coeffs().to_vec(),
+                    rows: Box::new(crate::RowsBody {
+                        g: f.row(j.as_u64()).coeffs().to_vec(),
+                        h: f.col(j.as_u64()).coeffs().to_vec(),
+                    }),
                 },
             ));
         }
@@ -339,7 +341,7 @@ impl<F: Field> Svss<F> {
             let members: Vec<(Pid, ProcessSet)> = g.iter().map(|j| (j, self.g_sets[&j])).collect();
             out.push(SvssOut::Broadcast(
                 SvssSlot::Gsets(self.id),
-                SvssRbValue::Gsets { g, members },
+                SvssRbValue::Gsets(Box::new(crate::GsetsBody { g, members })),
             ));
         }
     }

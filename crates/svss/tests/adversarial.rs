@@ -6,7 +6,10 @@ use sba_broadcast::{MuxMsg, Params, RbMsg, WrbMsg};
 use sba_field::{Field, Gf61};
 use sba_net::{MwId, Pid, ProcessSet, SvssId};
 use sba_svss::harness::{SvssNet, Tamper};
-use sba_svss::{Reconstructed, SvssEvent, SvssMsg, SvssPriv, SvssRbValue, SvssSlot};
+use sba_svss::{
+    GsetsBody, MwDealBody, Reconstructed, RowsBody, SvssEvent, SvssMsg, SvssPriv, SvssRbValue,
+    SvssSlot,
+};
 
 fn f(v: u64) -> Gf61 {
     Gf61::from_u64(v)
@@ -79,7 +82,10 @@ fn invalid_gsets_are_ignored() {
                 return Tamper::Replace(vec![SvssMsg::Rb(MuxMsg {
                     tag: m.tag,
                     origin: m.origin,
-                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Gsets { g, members })),
+                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Gsets(Box::new(GsetsBody {
+                        g,
+                        members,
+                    })))),
                 })]);
             }
         }
@@ -111,9 +117,11 @@ fn malformed_messages_are_inert() {
             to,
             SvssMsg::Priv(SvssPriv::MwDeal {
                 mw: bogus_mw,
-                values: vec![f(1); 2], // wrong length
-                monitor_poly: vec![f(1); 9],
-                moderator_poly: None,
+                deal: Box::new(MwDealBody {
+                    values: vec![f(1); 2], // wrong length
+                    monitor_poly: vec![f(1); 9],
+                    moderator_poly: None,
+                }),
             }),
         );
         net.push_raw(
@@ -121,8 +129,10 @@ fn malformed_messages_are_inert() {
             to,
             SvssMsg::Priv(SvssPriv::Rows {
                 session: sid,
-                g: vec![f(1); 9], // degree too high AND from non-dealer
-                h: vec![],
+                rows: Box::new(RowsBody {
+                    g: vec![f(1); 9], // degree too high AND from non-dealer
+                    h: vec![],
+                }),
             }),
         );
     }

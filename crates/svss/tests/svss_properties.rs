@@ -6,7 +6,7 @@ use sba_broadcast::Params;
 use sba_field::{Field, Gf101, Gf61};
 use sba_net::{Pid, SvssId};
 use sba_svss::harness::{SvssNet, Tamper};
-use sba_svss::{Reconstructed, SvssMsg, SvssPriv};
+use sba_svss::{Reconstructed, RowsBody, SvssMsg, SvssPriv};
 
 fn f(v: u64) -> Gf61 {
     Gf61::from_u64(v)
@@ -84,7 +84,7 @@ fn inconsistent_rows_dealer_binding() {
                 return Tamper::Keep;
             }
             match msg {
-                SvssMsg::Priv(SvssPriv::Rows { session, g, h }) => {
+                SvssMsg::Priv(SvssPriv::Rows { session, rows }) => {
                     let bump = |v: &[Gf61]| -> Vec<Gf61> {
                         let mut v = v.to_vec();
                         if let Some(c) = v.first_mut() {
@@ -94,8 +94,10 @@ fn inconsistent_rows_dealer_binding() {
                     };
                     Tamper::Replace(vec![SvssMsg::Priv(SvssPriv::Rows {
                         session: *session,
-                        g: bump(g),
-                        h: bump(h),
+                        rows: Box::new(RowsBody {
+                            g: bump(&rows.g),
+                            h: bump(&rows.h),
+                        }),
                     })])
                 }
                 _ => Tamper::Keep,
@@ -136,7 +138,7 @@ fn moderation_excludes_conflicting_pairs() {
             return Tamper::Keep;
         }
         match msg {
-            SvssMsg::Priv(SvssPriv::Rows { session, g, h }) => {
+            SvssMsg::Priv(SvssPriv::Rows { session, rows }) => {
                 let bump = |v: &[Gf61]| -> Vec<Gf61> {
                     let mut v = v.to_vec();
                     if let Some(c) = v.first_mut() {
@@ -146,8 +148,10 @@ fn moderation_excludes_conflicting_pairs() {
                 };
                 Tamper::Replace(vec![SvssMsg::Priv(SvssPriv::Rows {
                     session: *session,
-                    g: bump(g),
-                    h: bump(h),
+                    rows: Box::new(RowsBody {
+                        g: bump(&rows.g),
+                        h: bump(&rows.h),
+                    }),
                 })])
             }
             _ => Tamper::Keep,

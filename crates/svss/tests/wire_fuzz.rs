@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use sba_broadcast::{MuxMsg, RbMsg, WrbMsg};
 use sba_field::{Field, Gf61};
 use sba_net::{MwId, Pid, ProcessSet, Reader, SvssId, Wire};
-use sba_svss::{SvssMsg, SvssPriv, SvssRbValue, SvssSlot};
+use sba_svss::{GsetsBody, MwDealBody, RowsBody, SvssMsg, SvssPriv, SvssRbValue, SvssSlot};
 
 fn pid() -> impl Strategy<Value = Pid> {
     (1u32..200).prop_map(Pid::new)
@@ -40,9 +40,11 @@ fn svss_priv() -> impl Strategy<Value = SvssPriv<Gf61>> {
             .prop_map(|(mw, values, monitor_poly, moderator_poly)| {
                 SvssPriv::MwDeal {
                     mw,
-                    values,
-                    monitor_poly,
-                    moderator_poly,
+                    deal: Box::new(MwDealBody {
+                        values,
+                        monitor_poly,
+                        moderator_poly,
+                    }),
                 }
             }),
         (mw_id(), field_el()).prop_map(|(mw, value)| SvssPriv::MwPoint { mw, value }),
@@ -52,7 +54,10 @@ fn svss_priv() -> impl Strategy<Value = SvssPriv<Gf61>> {
             proptest::collection::vec(field_el(), 0..4),
             proptest::collection::vec(field_el(), 0..4),
         )
-            .prop_map(|(session, g, h)| SvssPriv::Rows { session, g, h }),
+            .prop_map(|(session, g, h)| SvssPriv::Rows {
+                session,
+                rows: Box::new(RowsBody { g, h }),
+            }),
     ]
 }
 
@@ -76,7 +81,7 @@ fn rb_value() -> impl Strategy<Value = SvssRbValue<Gf61>> {
             pid_set(),
             proptest::collection::vec((pid(), pid_set()), 0..4)
         )
-            .prop_map(|(g, members)| SvssRbValue::Gsets { g, members }),
+            .prop_map(|(g, members)| SvssRbValue::Gsets(Box::new(GsetsBody { g, members }))),
     ]
 }
 

@@ -25,7 +25,7 @@ fn main() {
     println!("virtual time   : {}", report.metrics.virtual_time);
     println!();
     println!("message breakdown by protocol step:");
-    for (kind, (count, bytes)) in &report.metrics.per_kind {
+    for (kind, (count, bytes)) in report.metrics.per_kind_sorted() {
         println!("  {kind:<16} {count:>8} msgs {bytes:>10} bytes");
     }
 }

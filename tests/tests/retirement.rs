@@ -1,0 +1,44 @@
+//! Memory accounting across a full SCC agreement run: accepted RB
+//! instances must retire, keeping the live working set bounded instead of
+//! growing with the total instance count (PR 3's slab/retirement design).
+
+use sba::{Cluster, ClusterConfig};
+
+#[test]
+fn rb_instances_retire_during_full_scc_run() {
+    let config = ClusterConfig::new(4, 1).seed(11);
+    let inputs: Vec<Option<bool>> = (0..4).map(|i| Some(i % 2 == 0)).collect();
+    let mut cluster = Cluster::new(config, &inputs);
+    let report = cluster.run(50_000_000);
+    assert!(report.terminated, "n=4 SCC run must terminate");
+    assert!(report.agreement(), "n=4 SCC run must agree");
+
+    for &pid in cluster.honest() {
+        let node = cluster
+            .sim()
+            .process(pid)
+            .node()
+            .expect("honest processes have nodes");
+        let (live, peak, retired) = node.rb_instance_stats();
+        println!("{pid}: live={live} peak={peak} retired={retired}");
+        // The run creates tens of thousands of RB instances; retirement
+        // must reclaim the overwhelming majority. Without it, `live`
+        // equals `live + retired` (everything stays resident forever).
+        assert!(
+            retired > 5_000,
+            "{pid}: expected a full run to retire >5k instances, got {retired}"
+        );
+        assert!(
+            live < retired / 2,
+            "{pid}: live instances ({live}) not bounded vs retired ({retired})"
+        );
+        // The slab recycles freed slots, so the peak working set is the
+        // real memory bound — it must stay a small fraction of the total
+        // instance population too (without retirement the ratio is 1).
+        assert!(
+            peak < (live + retired) / 2,
+            "{pid}: peak live set ({peak}) grew with total instances ({})",
+            live + retired
+        );
+    }
+}
