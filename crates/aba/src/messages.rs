@@ -144,44 +144,53 @@ impl Wire for VoteValue {
 
 /// The full agreement-layer wire message.
 ///
-/// The coin variant is boxed: vote traffic is a handful of bytes, while
-/// the coin/SVSS enum tree is ~10× wider — boxing keeps every queued
-/// envelope at the small size (see `tests/wire_sizes.rs` for the pinned
-/// numbers), which is what keeps the simulator's ~10⁵-envelope in-flight
-/// population inside a few megabytes.
+/// The coin variant is **inline** since PR 4: the flat packed
+/// [`CoinMsg`] is 32 bytes, so the enum fits the wire-size pins without
+/// a heap node — which matters because coin traffic dominates a run
+/// (~95 % of the 1.6 × 10⁷ messages of the n=7 benchmark) and the old
+/// `Box` cost one allocation per clone on every broadcast fan-out hop.
+///
+/// On the wire, coin messages are encoded bare (their flat `WireKind`
+/// byte is < [`sba_net::WIRE_KIND_COUNT`]); vote messages are framed by
+/// the reserved discriminant byte [`VOTE_FRAME`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AbaMsg<F> {
     /// Vote-layer RB traffic.
     Vote(MuxMsg<VoteSlot, VoteValue>),
     /// Coin-layer traffic (SCC mode only).
-    Coin(Box<CoinMsg<F>>),
+    Coin(CoinMsg<F>),
 }
+
+/// The frame byte that distinguishes vote-layer messages from the flat
+/// coin/SVSS kinds (which occupy the low discriminant range).
+pub const VOTE_FRAME: u8 = 0xff;
 
 impl<F: Field> Wire for AbaMsg<F> {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             AbaMsg::Vote(m) => {
-                buf.push(0);
+                buf.push(VOTE_FRAME);
                 m.encode(buf);
             }
-            AbaMsg::Coin(m) => {
-                buf.push(1);
-                m.encode(buf);
-            }
+            AbaMsg::Coin(m) => m.encode(buf),
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        match r.byte()? {
-            0 => Ok(AbaMsg::Vote(MuxMsg::decode(r)?)),
-            1 => Ok(AbaMsg::Coin(Box::new(CoinMsg::decode(r)?))),
-            d => Err(CodecError::BadDiscriminant(d)),
+        // Peek the leading byte: the reserved vote frame, or a flat
+        // coin-layer kind (whose decoder re-reads and validates it).
+        let mut probe = *r;
+        if probe.byte()? == VOTE_FRAME {
+            let _ = r.byte();
+            Ok(AbaMsg::Vote(MuxMsg::decode(r)?))
+        } else {
+            Ok(AbaMsg::Coin(CoinMsg::decode(r)?))
         }
     }
 
     fn encoded_len(&self) -> usize {
         match self {
             AbaMsg::Vote(m) => 1 + m.encoded_len(),
-            AbaMsg::Coin(m) => 1 + m.encoded_len(),
+            AbaMsg::Coin(m) => m.encoded_len(),
         }
     }
 }

@@ -123,6 +123,12 @@ pub struct AbaNode<F: Field> {
     /// Reusable buffer for the coin engine's sends (the dominant message
     /// class; drained into the caller's send list on every delivery).
     coin_scratch: Vec<(Pid, sba_coin::CoinMsg<F>)>,
+    /// Reusable batch-routing buffers for [`AbaNode::on_batch`]
+    /// (capacity survives across deliveries).
+    vote_run: Vec<sba_broadcast::MuxMsg<VoteSlot, VoteValue>>,
+    vote_deliveries: Vec<sba_broadcast::RbDelivery<VoteSlot, VoteValue>>,
+    coin_batch: Vec<sba_coin::CoinMsg<F>>,
+    touched: Vec<u32>,
 }
 
 fn coin_tag(instance: u32, round: u32) -> u64 {
@@ -150,6 +156,10 @@ impl<F: Field> AbaNode<F> {
             instances: HashMap::new(),
             events: Vec::new(),
             coin_scratch: Vec::new(),
+            vote_run: Vec::new(),
+            vote_deliveries: Vec::new(),
+            coin_batch: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
@@ -254,11 +264,7 @@ impl<F: Field> AbaNode<F> {
                 state.coin_started = true;
                 let mut coin_sends = Vec::new();
                 coin.start(coin_tag(instance, round), &mut coin_sends);
-                sends.extend(
-                    coin_sends
-                        .into_iter()
-                        .map(|(to, m)| (to, AbaMsg::Coin(Box::new(m)))),
-                );
+                sends.extend(coin_sends.into_iter().map(|(to, m)| (to, AbaMsg::Coin(m))));
             }
         }
     }
@@ -272,39 +278,98 @@ impl<F: Field> AbaNode<F> {
         self.mux.broadcast_with(slot, value, sends, AbaMsg::Vote);
     }
 
+    /// Records one accepted vote-layer broadcast into its instance's
+    /// round state; returns the touched instance.
+    fn record_vote_delivery(&mut self, d: sba_broadcast::RbDelivery<VoteSlot, VoteValue>) -> u32 {
+        let instance = d.tag.instance();
+        let inst = self.instances.entry(instance).or_insert_with(Instance::new);
+        match (d.tag, d.value) {
+            (VoteSlot::Report { round, .. }, VoteValue::Bit(v)) => {
+                inst.rounds.entry(round).or_default().deliver_a(d.origin, v);
+            }
+            (VoteSlot::Candidate { round, .. }, VoteValue::Bit(v)) => {
+                inst.rounds.entry(round).or_default().deliver_b(d.origin, v);
+            }
+            (VoteSlot::Vote { round, .. }, VoteValue::MaybeBit(v)) => {
+                inst.rounds.entry(round).or_default().deliver_c(d.origin, v);
+            }
+            (VoteSlot::Decide { .. }, VoteValue::Bit(v)) => {
+                inst.decides.entry(d.origin).or_insert(v);
+            }
+            _ => {} // slot/payload mismatch: ignore
+        }
+        instance
+    }
+
+    /// Feeds a whole same-sender delivery batch (drained from `msgs`):
+    /// vote members route through the mux's batch path, coin members
+    /// through the coin engine's, and the per-instance `advance` fixpoint
+    /// runs **once per touched instance** instead of once per message.
+    pub fn on_batch(
+        &mut self,
+        from: Pid,
+        msgs: &mut Vec<AbaMsg<F>>,
+        sends: &mut Vec<(Pid, AbaMsg<F>)>,
+    ) {
+        let mut votes = std::mem::take(&mut self.vote_run);
+        let mut coins = std::mem::take(&mut self.coin_batch);
+        for msg in msgs.drain(..) {
+            match msg {
+                AbaMsg::Vote(m) => votes.push(m),
+                AbaMsg::Coin(m) => coins.push(m),
+            }
+        }
+        let mut deliveries = std::mem::take(&mut self.vote_deliveries);
+        self.mux
+            .on_batch_with(from, votes.drain(..), sends, AbaMsg::Vote, &mut deliveries);
+        let mut touched = std::mem::take(&mut self.touched);
+        for d in deliveries.drain(..) {
+            touched.push(self.record_vote_delivery(d));
+        }
+        if !coins.is_empty() {
+            if let Some(coin) = self.coin.as_mut() {
+                coin.on_batch(from, &mut coins, &mut self.coin_scratch);
+                sends.extend(
+                    self.coin_scratch
+                        .drain(..)
+                        .map(|(to, m)| (to, AbaMsg::Coin(m))),
+                );
+            } else {
+                coins.clear(); // no coin engine in this mode: inert
+            }
+            touched.extend(self.absorb_coin_events());
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        self.vote_run = votes;
+        self.coin_batch = coins;
+        self.vote_deliveries = deliveries;
+        // `touched` is a local here (detached from self), so `advance` —
+        // which can recurse into other instances — borrows freely.
+        for &instance in &touched {
+            self.advance(instance, sends);
+        }
+        touched.clear();
+        self.touched = touched;
+    }
+
     /// Feeds one delivered message.
     pub fn on_message(&mut self, from: Pid, msg: AbaMsg<F>, sends: &mut Vec<(Pid, AbaMsg<F>)>) {
         match msg {
             AbaMsg::Vote(m) => {
                 let delivery = self.mux.on_message_with(from, m, sends, AbaMsg::Vote);
                 if let Some(d) = delivery {
-                    let instance = d.tag.instance();
-                    let inst = self.instances.entry(instance).or_insert_with(Instance::new);
-                    match (d.tag, d.value) {
-                        (VoteSlot::Report { round, .. }, VoteValue::Bit(v)) => {
-                            inst.rounds.entry(round).or_default().deliver_a(d.origin, v);
-                        }
-                        (VoteSlot::Candidate { round, .. }, VoteValue::Bit(v)) => {
-                            inst.rounds.entry(round).or_default().deliver_b(d.origin, v);
-                        }
-                        (VoteSlot::Vote { round, .. }, VoteValue::MaybeBit(v)) => {
-                            inst.rounds.entry(round).or_default().deliver_c(d.origin, v);
-                        }
-                        (VoteSlot::Decide { .. }, VoteValue::Bit(v)) => {
-                            inst.decides.entry(d.origin).or_insert(v);
-                        }
-                        _ => {} // slot/payload mismatch: ignore
-                    }
+                    let instance = self.record_vote_delivery(d);
                     self.advance(instance, sends);
                 }
             }
             AbaMsg::Coin(m) => {
                 if let Some(coin) = self.coin.as_mut() {
-                    coin.on_message(from, *m, &mut self.coin_scratch);
+                    coin.on_message(from, m, &mut self.coin_scratch);
                     sends.extend(
                         self.coin_scratch
                             .drain(..)
-                            .map(|(to, m)| (to, AbaMsg::Coin(Box::new(m)))),
+                            .map(|(to, m)| (to, AbaMsg::Coin(m))),
                     );
                     let flips = self.absorb_coin_events();
                     for instance in flips {
@@ -457,11 +522,7 @@ impl<F: Field> AbaNode<F> {
             if let Some(coin) = self.coin.as_mut() {
                 let mut coin_sends = Vec::new();
                 coin.enable_reconstruct(coin_tag(instance, round), &mut coin_sends);
-                sends.extend(
-                    coin_sends
-                        .into_iter()
-                        .map(|(to, m)| (to, AbaMsg::Coin(Box::new(m)))),
-                );
+                sends.extend(coin_sends.into_iter().map(|(to, m)| (to, AbaMsg::Coin(m))));
                 let flips = self.absorb_coin_events();
                 for other in flips {
                     if other != instance {
@@ -618,6 +679,21 @@ where
     fn on_message(&mut self, from: Pid, msg: AbaMsg<F>, out: &mut sba_net::Outbox<AbaMsg<F>>) {
         let mut sends = std::mem::take(&mut self.send_scratch);
         self.node.on_message(from, msg, &mut sends);
+        for (to, m) in sends.drain(..) {
+            out.send(to, m);
+        }
+        self.send_scratch = sends;
+        self.absorb_events();
+    }
+
+    fn on_batch(
+        &mut self,
+        from: Pid,
+        msgs: &mut Vec<AbaMsg<F>>,
+        out: &mut sba_net::Outbox<AbaMsg<F>>,
+    ) {
+        let mut sends = std::mem::take(&mut self.send_scratch);
+        self.node.on_batch(from, msgs, &mut sends);
         for (to, m) in sends.drain(..) {
             out.send(to, m);
         }

@@ -1,44 +1,64 @@
 //! Compile-time pins on the in-memory size of the hot wire enums.
 //!
-//! A full SCC run keeps ~10⁵ envelopes in flight, so every byte of the
-//! message enum is ~100 KB of queue population; PR 3 boxed the rare large
-//! variants (`AbaMsg::Coin`, the SVSS share payloads) and packed `MwId`
-//! to get the common Vote/Echo/Ready envelope from 112 B down to 32 B.
+//! A full SCC run keeps ~10⁶ messages in flight, so every byte of the
+//! message type is ~1 MB of queue population. PR 3 boxed the rare large
+//! variants; PR 4 flattened the nested coin/SVSS enum tree into the
+//! packed `WireMsg` (`{16-byte key, 16-byte body}`), which shrank
+//! `CoinMsg` 56 → 32 B and let `AbaMsg` carry it **inline** (the vote
+//! variant niches into the flat `WireKind` byte, so the whole agreement
+//! message is 32 B with no heap node behind it — the old `Box` cost an
+//! allocation per broadcast-fan-out clone).
+//!
 //! These `const` asserts fail the *build* if a refactor regresses that —
-//! the `static_assert` of Rust. If one fires, re-box the variant that
-//! grew (or consciously raise the pin and re-measure `BENCH_<pr>.json`).
+//! the `static_assert` of Rust. If one fires, re-box or re-pack the
+//! variant that grew (or consciously raise the pin and re-measure
+//! `BENCH_<pr>.json`).
 
 use sba_aba::{AbaMsg, VoteSlot, VoteValue};
 use sba_broadcast::{MuxMsg, RbMsg};
 use sba_coin::CoinMsg;
 use sba_field::Gf61;
-use sba_net::{Envelope, MwId, SvssId};
-use sba_svss::{SvssMsg, SvssPriv, SvssRbValue, SvssSlot};
+use sba_net::{Envelope, MwId, SvssId, SvssSlot};
+use sba_svss::{SvssMsg, SvssPriv, SvssRbValue};
 use std::mem::size_of;
 
-// The acceptance bar from the PR-3 issue: the top-level agreement message
-// must stay within 40 bytes (measured: 24).
-const _: () = assert!(size_of::<AbaMsg<Gf61>>() <= 40);
+// The flat coin/SVSS wire message: 16-byte packed key + 16-byte body.
+const _: () = assert!(size_of::<CoinMsg<Gf61>>() == 32);
+const _: () = assert!(size_of::<SvssMsg<Gf61>>() == 32);
 
-// What actually sits in the simulator's calendar queue per in-flight
-// message (measured: 32).
-const _: () = assert!(size_of::<Envelope<AbaMsg<Gf61>>>() <= 48);
+// The top-level agreement message carries the coin message inline and
+// still fits the same 32 bytes (Vote niches into the WireKind byte).
+const _: () = assert!(size_of::<AbaMsg<Gf61>>() <= 32);
 
-// The boxed coin/SVSS tree nodes — one heap node per coin-layer message,
-// so these matter almost as much as the envelope itself.
-const _: () = assert!(size_of::<CoinMsg<Gf61>>() <= 64);
-const _: () = assert!(size_of::<SvssMsg<Gf61>>() <= 64);
-const _: () = assert!(size_of::<SvssPriv<Gf61>>() <= 40);
+// What rides in the simulator's payload arena per in-flight message
+// (measured: 40 — the message plus the batch's intrusive link).
+const _: () = assert!(size_of::<Envelope<AbaMsg<Gf61>>>() <= 40);
+
+// The structured decomposition forms stay lean too (they live on the
+// stack during routing, and `SvssPriv` rides in the DMM delay buffer).
+const _: () = assert!(size_of::<SvssPriv<Gf61>>() <= 32);
 const _: () = assert!(size_of::<SvssRbValue<Gf61>>() <= 16);
 
-// Slot tags key the mux interning maps; MwId is packed to 16 bytes.
+// Slot tags key the mux interning stores; both ids are packed to 16 B,
+// and since PR 4 `SvssSlot` is too (it was a 24-byte enum).
 const _: () = assert!(size_of::<MwId>() == 16);
 const _: () = assert!(size_of::<SvssId>() == 16);
-const _: () = assert!(size_of::<SvssSlot>() <= 24);
+const _: () = assert!(size_of::<SvssSlot>() == 16);
 
 // The vote-layer fast path: a whole vote RB step in under 24 bytes.
 const _: () = assert!(size_of::<MuxMsg<VoteSlot, VoteValue>>() <= 24);
 const _: () = assert!(size_of::<RbMsg<VoteValue>>() <= 8);
+
+/// The queue arenas' per-slot footprint: one batch entry per
+/// `(tick, from, to)` group, one payload slot per in-flight message.
+/// Runtime (not const) because the sizes come through a function, but it
+/// fails the same build that would regress them.
+#[test]
+fn queue_slot_sizes_pinned() {
+    let (entry, pay) = sba_sim::queue_slot_sizes::<AbaMsg<Gf61>>();
+    assert!(entry <= 56, "batch entry grew to {entry} bytes");
+    assert!(pay <= 40, "payload slot grew to {pay} bytes");
+}
 
 /// The asserts above are compile-time; this test exists so the pins show
 /// up (and can print the live numbers) in the test run.
@@ -58,4 +78,7 @@ fn wire_sizes_pinned() {
     ] {
         println!("{name} = {size} bytes");
     }
+    let (entry, pay) = sba_sim::queue_slot_sizes::<AbaMsg<Gf61>>();
+    println!("queue batch entry = {entry} bytes");
+    println!("queue payload slot = {pay} bytes");
 }

@@ -20,6 +20,11 @@
 //! `compare OLD NEW [--key K] [--max-ratio R]` diffs two snapshots and
 //! exits nonzero when `K` (default `scc_larger_system.wall_seconds`)
 //! regressed by more than `R` (default 1.25 = +25 %) — the CI perf gate.
+//! It additionally drift-checks `scc_larger_system.messages` and
+//! `scc_larger_system.peak_inflight_bytes` (±10 % in either direction,
+//! when both snapshots carry the key): the message count is seed-pinned
+//! and the peak queue footprint is the memory contract, so silent drift
+//! in either is a bug even when wall time looks fine.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -120,6 +125,7 @@ fn compare_snapshots(args: &[String]) {
     };
     let old = parse_snapshot(&read(old_path)).expect("old snapshot parses");
     let new = parse_snapshot(&read(new_path)).expect("new snapshot parses");
+    let mut failed = false;
     match check_regression(&old, &new, &key, max_ratio) {
         Ok(r) => {
             println!(
@@ -132,15 +138,61 @@ fn compare_snapshots(args: &[String]) {
             );
             if !r.ok {
                 eprintln!("PERF REGRESSION: {old_path} -> {new_path} exceeds the limit");
-                std::process::exit(1);
+                failed = true;
             }
-            println!("perf gate OK");
         }
         Err(e) => {
             eprintln!("perf gate cannot run: {e}");
             std::process::exit(1);
         }
     }
+    // Two-sided ±10 % drift gates on the deterministic keys. A key absent
+    // from the *old* snapshot is skipped with a note (older snapshots
+    // predate the gauge); absent from the *new* one, it fails — gauges
+    // must not silently disappear.
+    const DRIFT: f64 = 1.10;
+    for drift_key in [
+        "scc_larger_system.messages",
+        "scc_larger_system.peak_inflight_bytes",
+    ] {
+        if drift_key == key {
+            // The caller picked this key as the primary gate with an
+            // explicit ratio; don't second-guess it with the hard ±10 %.
+            println!("{drift_key}: drift check skipped (primary gate above)");
+            continue;
+        }
+        let find =
+            |snap: &[(String, f64)]| snap.iter().find(|(k, _)| k == drift_key).map(|&(_, v)| v);
+        match (find(&old), find(&new)) {
+            (None, _) => println!("{drift_key}: skipped (old snapshot predates this gauge)"),
+            (Some(_), None) => {
+                eprintln!("DRIFT GATE: {drift_key} disappeared from the new snapshot");
+                failed = true;
+            }
+            (Some(o), Some(n)) if o > 0.0 => {
+                let ratio = n / o;
+                let ok = (1.0 / DRIFT..=DRIFT).contains(&ratio);
+                println!(
+                    "{drift_key}: {o} -> {n} ({:+.1}% vs ±{:.0}% drift limit){}",
+                    (ratio - 1.0) * 100.0,
+                    (DRIFT - 1.0) * 100.0,
+                    if ok { "" } else { "  <-- DRIFT" }
+                );
+                if !ok {
+                    failed = true;
+                }
+            }
+            (Some(o), Some(_)) => {
+                eprintln!("DRIFT GATE: old value for {drift_key} is not positive ({o})");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("PERF GATE FAILED: {old_path} -> {new_path}");
+        std::process::exit(1);
+    }
+    println!("perf gate OK");
 }
 
 // ---------------------------------------------------------------------
@@ -248,15 +300,35 @@ fn e9_perf(full: bool, json_path: Option<&str>) {
         let wall = start.elapsed().as_secs_f64();
         assert!(report.terminated, "n=7 SCC run must terminate");
         assert!(report.agreement(), "n=7 SCC run must agree");
-        println!("| n | t | wall s | messages | rounds |");
-        println!("|---|---|--------|----------|--------|");
+        let m = &report.metrics;
+        println!("| n | t | wall s | messages | batches | rounds |");
+        println!("|---|---|--------|----------|---------|--------|");
         println!(
-            "| 7 | 2 | {wall:.1} | {} | {} |\n",
-            report.messages, report.max_round
+            "| 7 | 2 | {wall:.1} | {} | {} | {} |\n",
+            report.messages, m.batches_sent, report.max_round
+        );
+        println!(
+            "peak in flight: {} messages in {} batches ≈ {:.1} MB queue\n",
+            m.inflight_peak_msgs,
+            m.inflight_peak_batches,
+            m.inflight_peak_bytes as f64 / 1e6
         );
         sink.put_num("scc_larger_system.wall_seconds", wall);
         sink.put_num("scc_larger_system.messages", report.messages as f64);
+        sink.put_num("scc_larger_system.batches", m.batches_sent as f64);
         sink.put_num("scc_larger_system.rounds", f64::from(report.max_round));
+        sink.put_num(
+            "scc_larger_system.peak_inflight_msgs",
+            m.inflight_peak_msgs as f64,
+        );
+        sink.put_num(
+            "scc_larger_system.peak_inflight_batches",
+            m.inflight_peak_batches as f64,
+        );
+        sink.put_num(
+            "scc_larger_system.peak_inflight_bytes",
+            m.inflight_peak_bytes as f64,
+        );
     }
 
     if let Some(path) = json_path {
@@ -657,7 +729,7 @@ fn e6_example1() {
 // ---------------------------------------------------------------------
 fn e7_hiding(full: bool) {
     use sba::svss::harness::{SvssNet, Tamper};
-    use sba::svss::{SvssMsg, SvssPriv};
+    use sba::svss::SvssPriv;
     use sba::SvssId;
 
     println!("## E7 - hiding: t-view distribution is independent of the secret\n");
@@ -680,8 +752,10 @@ fn e7_hiding(full: bool) {
             // Capture the dealer's Rows message to p4 (its whole view of
             // the secret at share time derives from it).
             net.set_tamper(Pid::new(1), move |to, msg| {
-                if to == Pid::new(4) {
-                    if let SvssMsg::Priv(SvssPriv::Rows { rows, .. }) = msg {
+                if to == Pid::new(4) && msg.wire_kind() == sba::net::WireKind::Rows {
+                    if let sba::net::Unpacked::Priv(SvssPriv::Rows { rows, .. }) =
+                        msg.clone().unpack()
+                    {
                         *cap.borrow_mut() = Some(rows.g.first().map_or(0, |v| v.as_u64()));
                     }
                 }

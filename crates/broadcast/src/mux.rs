@@ -339,10 +339,56 @@ where
         from: Pid,
         msg: MuxMsg<T, P>,
         sends: &mut Vec<(Pid, M)>,
+        wrap: impl FnMut(MuxMsg<T, P>) -> M,
+    ) -> Option<RbDelivery<T, P>> {
+        let mut memo = None;
+        self.route_one(from, msg, sends, wrap, &mut memo)
+    }
+
+    /// Routes a whole delivered batch from one sender, appending any
+    /// acceptances to `deliveries`. Semantically identical to routing the
+    /// members one by one through [`RbMux::on_message_with`]; the win is
+    /// the probe memo — same-tick batches routinely carry several steps
+    /// of the *same* slot (an echo quorum completing and the ready that
+    /// follows it), and the memo turns the repeat index probes into one
+    /// key comparison.
+    pub fn on_batch_with<M>(
+        &mut self,
+        from: Pid,
+        msgs: impl IntoIterator<Item = MuxMsg<T, P>>,
+        sends: &mut Vec<(Pid, M)>,
         mut wrap: impl FnMut(MuxMsg<T, P>) -> M,
+        deliveries: &mut Vec<RbDelivery<T, P>>,
+    ) {
+        let mut memo = None;
+        for msg in msgs {
+            if let Some(d) = self.route_one(from, msg, sends, &mut wrap, &mut memo) {
+                deliveries.push(d);
+            }
+        }
+    }
+
+    /// The routing core shared by the single-message and batch paths.
+    /// `memo` caches the last probed `(origin, tag) → live slot`; it is
+    /// cleared when that slot retires (the packed id then points at the
+    /// retirement record, and the live index is recycled).
+    fn route_one<M>(
+        &mut self,
+        from: Pid,
+        msg: MuxMsg<T, P>,
+        sends: &mut Vec<(Pid, M)>,
+        mut wrap: impl FnMut(MuxMsg<T, P>) -> M,
+        memo: &mut Option<((Pid, T), u32)>,
     ) -> Option<RbDelivery<T, P>> {
         let MuxMsg { tag, origin, inner } = msg;
-        let idx = self.slot(origin, tag);
+        let idx = match memo {
+            Some((key, idx)) if *key == (origin, tag) => *idx,
+            _ => {
+                let idx = self.slot(origin, tag);
+                *memo = Some(((origin, tag), idx));
+                idx
+            }
+        };
         if idx & RETIRED_BIT != 0 {
             return None; // retired: late traffic needs no answer
         }
@@ -371,6 +417,7 @@ where
         // husk stays in the slot until `slot()` recycles it.
         self.free.push(idx);
         self.repoint(fx_hash(&(origin, tag)), idx, record);
+        *memo = None; // the cached live index just became a record
         Some(RbDelivery { origin, tag, value })
     }
 
@@ -599,6 +646,60 @@ mod tests {
         assert_eq!(muxes[1].instance_count(), live, "no resurrection");
         assert_eq!(muxes[1].retired_count(), retired);
         assert_eq!(muxes[1].accepted(Pid::new(1), &3), Some(&33));
+    }
+
+    /// Batch routing is observationally identical to routing the same
+    /// messages one at a time: same sends (order included), same
+    /// deliveries, same live/retired accounting.
+    #[test]
+    fn batch_routing_matches_sequential() {
+        let params = Params::new(4, 1).unwrap();
+        // A same-sender burst that exercises the probe memo: echoes and
+        // the ready for one slot, interleaved with a second slot.
+        let burst: Vec<Msg> = vec![
+            MuxMsg {
+                tag: 7,
+                origin: Pid::new(1),
+                inner: RbMsg::Wrb(crate::WrbMsg::Init(42)),
+            },
+            MuxMsg {
+                tag: 7,
+                origin: Pid::new(1),
+                inner: RbMsg::Wrb(crate::WrbMsg::Echo(42)),
+            },
+            MuxMsg {
+                tag: 9,
+                origin: Pid::new(3),
+                inner: RbMsg::Ready(5),
+            },
+            MuxMsg {
+                tag: 7,
+                origin: Pid::new(1),
+                inner: RbMsg::Ready(42),
+            },
+        ];
+        let mut seq: RbMux<u32, u64> = RbMux::new(Pid::new(2), params);
+        let mut seq_sends = Vec::new();
+        let mut seq_deliveries = Vec::new();
+        for msg in burst.clone() {
+            if let Some(d) = seq.on_message(Pid::new(4), msg, &mut seq_sends) {
+                seq_deliveries.push(d);
+            }
+        }
+        let mut bat: RbMux<u32, u64> = RbMux::new(Pid::new(2), params);
+        let mut bat_sends = Vec::new();
+        let mut bat_deliveries = Vec::new();
+        bat.on_batch_with(
+            Pid::new(4),
+            burst,
+            &mut bat_sends,
+            |m| m,
+            &mut bat_deliveries,
+        );
+        assert_eq!(seq_sends, bat_sends);
+        assert_eq!(seq_deliveries, bat_deliveries);
+        assert_eq!(seq.instance_count(), bat.instance_count());
+        assert_eq!(seq.retired_count(), bat.retired_count());
     }
 
     #[test]

@@ -5,11 +5,12 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sba_broadcast::{Params, RbMux};
+use sba_broadcast::{MuxMsg, Params, RbDelivery, RbMux};
 use sba_field::{Domain, Field};
-use sba_net::{FastMap, Pid, ProcessSet, SvssId};
-use sba_svss::{Reconstructed, SvssEngine, SvssEvent};
+use sba_net::{FastMap, Pid, ProcessSet, SvssId, Unpacked};
+use sba_svss::{Reconstructed, SvssEngine, SvssEvent, SvssMsg};
 
+use crate::messages::{coin_mux_of_parts, wire_of_coin_mux};
 use crate::{coin_svss_id, decode_coin_svss_id, CoinMsg, CoinSlot};
 
 /// Events reported by the coin engine.
@@ -76,9 +77,14 @@ pub struct CoinEngine<F: Field> {
     mux: RbMux<CoinSlot, ProcessSet>,
     sessions: FastMap<u64, CoinSession>,
     events: Vec<CoinEvent>,
-    /// Reusable buffer for the nested SVSS engine's sends (drained into
-    /// the caller's send list on every use; allocation-free steady state).
-    svss_scratch: Vec<(Pid, sba_svss::SvssMsg<F>)>,
+    /// Reusable batch-routing buffers for [`CoinEngine::on_batch`]
+    /// (capacity survives across deliveries; allocation-free steady
+    /// state). Note the nested SVSS engine shares the flat wire type, so
+    /// its sends go straight into the caller's list — no rewrap buffer.
+    rb_run: Vec<MuxMsg<CoinSlot, ProcessSet>>,
+    rb_deliveries: Vec<RbDelivery<CoinSlot, ProcessSet>>,
+    svss_batch: Vec<SvssMsg<F>>,
+    touched_tags: Vec<u64>,
 }
 
 impl<F: Field> CoinEngine<F> {
@@ -94,7 +100,10 @@ impl<F: Field> CoinEngine<F> {
             mux: RbMux::new(me, params),
             sessions: FastMap::default(),
             events: Vec::new(),
-            svss_scratch: Vec::new(),
+            rb_run: Vec::new(),
+            rb_deliveries: Vec::new(),
+            svss_batch: Vec::new(),
+            touched_tags: Vec::new(),
         }
     }
 
@@ -150,17 +159,11 @@ impl<F: Field> CoinEngine<F> {
         session.started = true;
         for target in Pid::all(self.params.n()) {
             let secret = F::random(&mut self.rng);
-            self.svss.share(
-                coin_svss_id(tag, self.me, target),
-                secret,
-                &mut self.svss_scratch,
-            );
+            // The SVSS engine emits the shared flat wire type: its sends
+            // go straight into the coin layer's send list.
+            self.svss
+                .share(coin_svss_id(tag, self.me, target), secret, sends);
         }
-        sends.extend(
-            self.svss_scratch
-                .drain(..)
-                .map(|(to, m)| (to, CoinMsg::Svss(m))),
-        );
         self.pump(tag, sends);
     }
 
@@ -177,43 +180,116 @@ impl<F: Field> CoinEngine<F> {
 
     /// Feeds one delivered message.
     pub fn on_message(&mut self, from: Pid, msg: CoinMsg<F>, sends: &mut Vec<(Pid, CoinMsg<F>)>) {
-        match msg {
-            CoinMsg::Svss(m) => {
-                self.svss.on_message(from, m, &mut self.svss_scratch);
-                sends.extend(
-                    self.svss_scratch
-                        .drain(..)
-                        .map(|(to, m)| (to, CoinMsg::Svss(m))),
-                );
-                let tags = self.absorb_svss_events();
-                for tag in tags {
+        if msg.wire_kind().is_coin_rb() {
+            let Unpacked::CoinRb {
+                slot,
+                origin,
+                step,
+                set,
+            } = msg.unpack()
+            else {
+                unreachable!("coin RB kinds unpack as CoinRb");
+            };
+            let m = coin_mux_of_parts(slot, origin, step, set);
+            let delivery = self.mux.on_message_with(from, m, sends, wire_of_coin_mux);
+            if let Some(d) = delivery {
+                if let Some(tag) = self.absorb_coin_delivery(d) {
                     self.pump(tag, sends);
                 }
             }
-            CoinMsg::Rb(m) => {
-                let delivery = self.mux.on_message_with(from, m, sends, CoinMsg::Rb);
-                if let Some(d) = delivery {
-                    if d.origin.index() as usize > self.params.n() {
-                        return; // forged origin: no such process
-                    }
-                    let tag = d.tag.coin_tag();
-                    let session = self.sessions.entry(tag).or_default();
-                    match d.tag {
-                        CoinSlot::Attach(_) => {
-                            // |T_j| must be exactly t+1; malformed sets are
-                            // ignored (their sender is never accepted).
-                            if d.value.len() == self.params.t() + 1 {
-                                session.t_sets.entry(d.origin).or_insert(d.value);
-                            }
-                        }
-                        CoinSlot::Support(_) => {
-                            session.supports.push((d.origin, d.value));
-                        }
-                    }
-                    self.pump(tag, sends);
-                }
+        } else {
+            // SVSS traffic shares the flat wire type: feed it through and
+            // let the nested engine push its sends directly into ours.
+            self.svss.on_message(from, msg, sends);
+            let tags = self.absorb_svss_events();
+            for tag in tags {
+                self.pump(tag, sends);
             }
         }
+    }
+
+    /// Feeds a whole same-sender delivery batch (drained from `msgs`):
+    /// SVSS members go through the nested engine's batch path, coin RB
+    /// members through the mux's batch path, and the per-session `pump`
+    /// fixpoint runs **once per touched session** instead of once per
+    /// message — the dominant post-delivery cost in a full run.
+    pub fn on_batch(
+        &mut self,
+        from: Pid,
+        msgs: &mut Vec<CoinMsg<F>>,
+        sends: &mut Vec<(Pid, CoinMsg<F>)>,
+    ) {
+        let mut svss_batch = std::mem::take(&mut self.svss_batch);
+        let mut rb_run = std::mem::take(&mut self.rb_run);
+        let mut deliveries = std::mem::take(&mut self.rb_deliveries);
+        let mut tags = std::mem::take(&mut self.touched_tags);
+        for msg in msgs.drain(..) {
+            if msg.wire_kind().is_coin_rb() {
+                let Unpacked::CoinRb {
+                    slot,
+                    origin,
+                    step,
+                    set,
+                } = msg.unpack()
+                else {
+                    unreachable!("coin RB kinds unpack as CoinRb");
+                };
+                rb_run.push(coin_mux_of_parts(slot, origin, step, set));
+            } else {
+                svss_batch.push(msg);
+            }
+        }
+        if !svss_batch.is_empty() {
+            self.svss.on_batch(from, &mut svss_batch, sends);
+        }
+        self.mux.on_batch_with(
+            from,
+            rb_run.drain(..),
+            sends,
+            wire_of_coin_mux,
+            &mut deliveries,
+        );
+        for d in deliveries.drain(..) {
+            if let Some(tag) = self.absorb_coin_delivery(d) {
+                tags.push(tag);
+            }
+        }
+        tags.extend(self.absorb_svss_events());
+        tags.sort_unstable();
+        tags.dedup();
+        // `pump` recurses into sessions its own outputs touch, so the
+        // scratch must be released before pumping.
+        self.svss_batch = svss_batch;
+        self.rb_run = rb_run;
+        self.rb_deliveries = deliveries;
+        for tag in &tags {
+            self.pump(*tag, sends);
+        }
+        tags.clear();
+        self.touched_tags = tags;
+    }
+
+    /// Records one accepted coin-slot broadcast into its session; returns
+    /// the touched session tag (or `None` for forged origins).
+    fn absorb_coin_delivery(&mut self, d: RbDelivery<CoinSlot, ProcessSet>) -> Option<u64> {
+        if d.origin.index() as usize > self.params.n() {
+            return None; // forged origin: no such process
+        }
+        let tag = d.tag.coin_tag();
+        let session = self.sessions.entry(tag).or_default();
+        match d.tag {
+            CoinSlot::Attach(_) => {
+                // |T_j| must be exactly t+1; malformed sets are
+                // ignored (their sender is never accepted).
+                if d.value.len() == self.params.t() + 1 {
+                    session.t_sets.entry(d.origin).or_insert(d.value);
+                }
+            }
+            CoinSlot::Support(_) => {
+                session.supports.push((d.origin, d.value));
+            }
+        }
+        Some(tag)
     }
 
     /// Pulls SVSS events into coin-session state; returns affected tags.
@@ -273,7 +349,7 @@ impl<F: Field> CoinEngine<F> {
                 session.attach_broadcast = true;
                 let t_set: ProcessSet = session.my_dealers.iter().take(t + 1).copied().collect();
                 self.mux
-                    .broadcast_with(CoinSlot::Attach(tag), t_set, sends, CoinMsg::Rb);
+                    .broadcast_with(CoinSlot::Attach(tag), t_set, sends, wire_of_coin_mux);
             }
         }
 
@@ -304,7 +380,7 @@ impl<F: Field> CoinEngine<F> {
                 session.support_broadcast = true;
                 let snapshot = session.accepted;
                 self.mux
-                    .broadcast_with(CoinSlot::Support(tag), snapshot, sends, CoinMsg::Rb);
+                    .broadcast_with(CoinSlot::Support(tag), snapshot, sends, wire_of_coin_mux);
             }
         }
 
@@ -350,13 +426,8 @@ impl<F: Field> CoinEngine<F> {
                 }
             }
             for sid in to_recon {
-                self.svss.reconstruct(sid, &mut self.svss_scratch);
+                self.svss.reconstruct(sid, sends);
             }
-            sends.extend(
-                self.svss_scratch
-                    .drain(..)
-                    .map(|(to, m)| (to, CoinMsg::Svss(m))),
-            );
             // Reconstruction may complete synchronously via self-routing.
             let extra_tags = self.absorb_svss_events();
             for extra in extra_tags {

@@ -1,9 +1,22 @@
 //! Wire messages and session-id conventions for the common coin.
+//!
+//! Since PR 4 the coin layer shares the **flat packed wire format** with
+//! the SVSS stack ([`sba_net::WireMsg`]): a coin-layer message is either
+//! nested SVSS traffic or a coin-slot reliable broadcast, and both live
+//! in the same 32-byte `{key, body}` struct under one flat
+//! [`sba_net::WireKind`] discriminant — no `CoinMsg::Svss(SvssMsg::…)`
+//! wrapper nesting, no per-layer heap node, and wrapping SVSS traffic
+//! into the coin layer is the identity function.
 
-use sba_broadcast::MuxMsg;
+use sba_broadcast::{MuxMsg, RbMsg, WrbMsg};
 use sba_field::Field;
-use sba_net::{CodecError, Kinded, Pid, ProcessSet, Reader, SvssId, Wire};
-use sba_svss::SvssMsg;
+use sba_net::{Pid, ProcessSet, RbStep, SvssId};
+
+pub use sba_net::CoinSlot;
+
+/// The coin layer's wire message: the shared flat format (nested SVSS
+/// traffic plus the coin's own attach/support reliable broadcasts).
+pub type CoinMsg<F> = sba_svss::SvssMsg<F>;
 
 /// Builds the SVSS session id of "dealer `dealer`'s secret attached to
 /// `target` in coin session `coin_tag`".
@@ -24,108 +37,42 @@ pub fn decode_coin_svss_id(id: SvssId) -> (u64, Pid, Pid) {
     (id.tag() >> 8, id.dealer(), Pid::new(target.max(1)))
 }
 
-/// RB slots of the coin layer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum CoinSlot {
-    /// "Attach these `t+1` dealers' secrets to me" (origin: the attached
-    /// process).
-    Attach(u64),
-    /// "I have accepted this set of attached processes" (origin: the
-    /// supporter).
-    Support(u64),
+/// Flattens a routed coin-mux message into the packed wire form (the RB
+/// mux's `wrap` hook for the coin layer).
+pub fn wire_of_coin_mux<F: Field>(m: MuxMsg<CoinSlot, ProcessSet>) -> CoinMsg<F> {
+    let (step, set) = match m.inner {
+        RbMsg::Wrb(WrbMsg::Init(s)) => (RbStep::Init, s),
+        RbMsg::Wrb(WrbMsg::Echo(s)) => (RbStep::Echo, s),
+        RbMsg::Ready(s) => (RbStep::Ready, s),
+    };
+    CoinMsg::coin_rb(m.tag, m.origin, step, set)
 }
 
-impl CoinSlot {
-    /// The coin session this slot belongs to.
-    pub fn coin_tag(self) -> u64 {
-        match self {
-            CoinSlot::Attach(t) | CoinSlot::Support(t) => t,
-        }
-    }
-}
-
-impl Wire for CoinSlot {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        match self {
-            CoinSlot::Attach(t) => {
-                buf.push(0);
-                t.encode(buf);
-            }
-            CoinSlot::Support(t) => {
-                buf.push(1);
-                t.encode(buf);
-            }
-        }
-    }
-    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        match r.byte()? {
-            0 => Ok(CoinSlot::Attach(u64::decode(r)?)),
-            1 => Ok(CoinSlot::Support(u64::decode(r)?)),
-            d => Err(CodecError::BadDiscriminant(d)),
-        }
-    }
-
-    fn encoded_len(&self) -> usize {
-        9
-    }
-}
-
-/// The coin layer's wire message: nested SVSS traffic plus the coin's own
-/// reliable broadcasts.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum CoinMsg<F> {
-    /// SVSS-stack traffic (shares, reconstructions, their broadcasts).
-    Svss(SvssMsg<F>),
-    /// Coin-level RB traffic (attach/support sets).
-    Rb(MuxMsg<CoinSlot, ProcessSet>),
-}
-
-impl<F: Field> Wire for CoinMsg<F> {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        match self {
-            CoinMsg::Svss(m) => {
-                buf.push(0);
-                m.encode(buf);
-            }
-            CoinMsg::Rb(m) => {
-                buf.push(1);
-                m.encode(buf);
-            }
-        }
-    }
-    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        match r.byte()? {
-            0 => Ok(CoinMsg::Svss(SvssMsg::decode(r)?)),
-            1 => Ok(CoinMsg::Rb(MuxMsg::decode(r)?)),
-            d => Err(CodecError::BadDiscriminant(d)),
-        }
-    }
-
-    fn encoded_len(&self) -> usize {
-        match self {
-            CoinMsg::Svss(m) => 1 + m.encoded_len(),
-            CoinMsg::Rb(m) => 1 + m.encoded_len(),
-        }
-    }
-}
-
-impl<F> Kinded for CoinMsg<F> {
-    fn kind(&self) -> &'static str {
-        match self {
-            CoinMsg::Svss(m) => m.kind(),
-            CoinMsg::Rb(m) => match m.tag {
-                CoinSlot::Attach(_) => "coin/attach",
-                CoinSlot::Support(_) => "coin/support",
-            },
-        }
+/// Rebuilds the routed coin-mux message from unpacked RB parts (the
+/// inverse of [`wire_of_coin_mux`], used on the delivery path).
+pub fn coin_mux_of_parts(
+    slot: CoinSlot,
+    origin: Pid,
+    step: RbStep,
+    set: ProcessSet,
+) -> MuxMsg<CoinSlot, ProcessSet> {
+    let inner = match step {
+        RbStep::Init => RbMsg::Wrb(WrbMsg::Init(set)),
+        RbStep::Echo => RbMsg::Wrb(WrbMsg::Echo(set)),
+        RbStep::Ready => RbMsg::Ready(set),
+    };
+    MuxMsg {
+        tag: slot,
+        origin,
+        inner,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sba_broadcast::RbMsg;
     use sba_field::Gf61;
+    use sba_net::{Kinded, Reader, Unpacked, Wire};
 
     #[test]
     fn svss_id_round_trip() {
@@ -142,12 +89,7 @@ mod tests {
 
     #[test]
     fn wire_round_trips() {
-        let slot = CoinSlot::Attach(5);
-        let bytes = slot.encoded();
-        assert_eq!(slot.encoded_len(), bytes.len());
-        assert_eq!(CoinSlot::decode(&mut Reader::new(&bytes)).unwrap(), slot);
-
-        let msg: CoinMsg<Gf61> = CoinMsg::Rb(MuxMsg {
+        let msg: CoinMsg<Gf61> = wire_of_coin_mux(MuxMsg {
             tag: CoinSlot::Support(9),
             origin: Pid::new(2),
             inner: RbMsg::Ready(Pid::all(3).collect()),
@@ -156,5 +98,28 @@ mod tests {
         assert_eq!(msg.encoded_len(), bytes.len());
         assert_eq!(CoinMsg::decode(&mut Reader::new(&bytes)).unwrap(), msg);
         assert_eq!(msg.kind(), "coin/support");
+        let Unpacked::CoinRb {
+            slot,
+            origin,
+            step,
+            set,
+        } = msg.unpack()
+        else {
+            panic!("coin RB unpacks as CoinRb");
+        };
+        assert_eq!(
+            coin_mux_of_parts(slot, origin, step, set),
+            MuxMsg {
+                tag: CoinSlot::Support(9),
+                origin: Pid::new(2),
+                inner: RbMsg::Ready(Pid::all(3).collect()),
+            }
+        );
+    }
+
+    #[test]
+    fn coin_slot_accessors() {
+        assert_eq!(CoinSlot::Attach(5).coin_tag(), 5);
+        assert_eq!(CoinSlot::Support(7).coin_tag(), 7);
     }
 }

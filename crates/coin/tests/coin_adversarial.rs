@@ -4,11 +4,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sba_broadcast::{MuxMsg, Params, RbMsg, WrbMsg};
-use sba_coin::{CoinEngine, CoinMsg, CoinSlot};
+use sba_broadcast::Params;
+use sba_coin::{CoinEngine, CoinMsg};
 use sba_field::{Field, Gf61};
-use sba_net::{Pid, ProcessSet};
-use sba_svss::{SvssMsg, SvssRbValue, SvssSlot};
+use sba_net::{Pid, ProcessSet, RbStep, SvssRbValue, Unpacked, WireKind};
 
 type Msg = CoinMsg<Gf61>;
 
@@ -95,18 +94,24 @@ fn forger_is_shunned_or_coin_is_common() {
     let mut net = Net::new(params, 23);
     let liar = Pid::new(4);
     net.tampers[3] = Some(Box::new(|_to, msg| {
-        if let CoinMsg::Svss(SvssMsg::Rb(m)) = msg {
-            if let (SvssSlot::MwRecon(..), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(v)))) =
-                (m.tag, &m.inner)
-            {
-                return Tamper::Replace(vec![CoinMsg::Svss(SvssMsg::Rb(MuxMsg {
-                    tag: m.tag,
-                    origin: m.origin,
-                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(*v + Gf61::from_u64(5)))),
-                }))]);
-            }
+        if msg.wire_kind() != WireKind::MwReconInit {
+            return Tamper::Keep;
         }
-        Tamper::Keep
+        let Unpacked::Rb {
+            slot,
+            origin,
+            value: SvssRbValue::Value(v),
+            ..
+        } = msg.clone().unpack()
+        else {
+            return Tamper::Keep;
+        };
+        Tamper::Replace(vec![CoinMsg::rb(
+            slot,
+            origin,
+            RbStep::Init,
+            SvssRbValue::Value(v + Gf61::from_u64(5)),
+        )])
     }));
     for tag in 1..=3u64 {
         net.flip_all(tag);
@@ -141,18 +146,15 @@ fn malformed_attach_sets_ignored() {
     let params = Params::new(4, 1).unwrap();
     let mut net = Net::new(params, 31);
     net.tampers[3] = Some(Box::new(|_to, msg| {
-        if let CoinMsg::Rb(m) = msg {
-            if let (CoinSlot::Attach(tag), RbMsg::Wrb(WrbMsg::Init(_))) = (m.tag, &m.inner) {
-                // Oversized T set (|T| must be exactly t+1 = 2).
-                let bogus: ProcessSet = Pid::all(4).collect();
-                return Tamper::Replace(vec![CoinMsg::Rb(MuxMsg {
-                    tag: CoinSlot::Attach(tag),
-                    origin: m.origin,
-                    inner: RbMsg::Wrb(WrbMsg::Init(bogus)),
-                })]);
-            }
+        if msg.wire_kind() != WireKind::AttachInit {
+            return Tamper::Keep;
         }
-        Tamper::Keep
+        let Unpacked::CoinRb { slot, origin, .. } = msg.clone().unpack() else {
+            return Tamper::Keep;
+        };
+        // Oversized T set (|T| must be exactly t+1 = 2).
+        let bogus: ProcessSet = Pid::all(4).collect();
+        Tamper::Replace(vec![CoinMsg::coin_rb(slot, origin, RbStep::Init, bogus)])
     }));
     net.flip_all(1);
     for p in [1u32, 2, 3] {

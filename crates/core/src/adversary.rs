@@ -5,9 +5,8 @@ use sba_aba::{AbaMsg, VoteSlot, VoteValue};
 use sba_broadcast::{MuxMsg, RbMsg, WrbMsg};
 use sba_coin::CoinMsg;
 use sba_field::{Field, Gf61};
-use sba_net::{Envelope, Pid};
+use sba_net::{Envelope, Pid, RbStep, SvssRbValue, Unpacked, WireKind};
 use sba_sim::{FnScheduler, Scheduler, Tamper};
-use sba_svss::{SvssMsg, SvssRbValue, SvssSlot};
 
 use crate::cluster::Msg;
 
@@ -38,22 +37,24 @@ pub fn lying_share_tamper(delta: u64) -> impl FnMut(Pid, &Msg) -> Tamper<Msg> + 
         let AbaMsg::Coin(coin) = msg else {
             return Tamper::Keep;
         };
-        let CoinMsg::Svss(SvssMsg::Rb(m)) = &**coin else {
+        if coin.wire_kind() != WireKind::MwReconInit {
             return Tamper::Keep;
-        };
-        let (SvssSlot::MwRecon(..), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(v)))) =
-            (m.tag, &m.inner)
+        }
+        let Unpacked::Rb {
+            slot,
+            origin,
+            value: SvssRbValue::Value(v),
+            ..
+        } = coin.clone().unpack()
         else {
             return Tamper::Keep;
         };
-        let forged = MuxMsg {
-            tag: m.tag,
-            origin: m.origin,
-            inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(*v + Gf61::from_u64(delta)))),
-        };
-        Tamper::Replace(vec![AbaMsg::Coin(Box::new(CoinMsg::Svss(SvssMsg::Rb(
-            forged,
-        ))))])
+        Tamper::Replace(vec![AbaMsg::Coin(CoinMsg::rb(
+            slot,
+            origin,
+            RbStep::Init,
+            SvssRbValue::Value(v + Gf61::from_u64(delta)),
+        ))])
     }
 }
 

@@ -140,6 +140,14 @@ impl Process<Msg> for ClusterProcess {
             ClusterProcess::Byzantine(p) => p.on_message(from, msg, out),
         }
     }
+    fn on_batch(&mut self, from: Pid, msgs: &mut Vec<Msg>, out: &mut Outbox<Msg>) {
+        match self {
+            ClusterProcess::Honest(p) => p.on_batch(from, msgs, out),
+            ClusterProcess::Silent(p) => Process::<Msg>::on_batch(p, from, msgs, out),
+            ClusterProcess::Crash(p) => p.on_batch(from, msgs, out),
+            ClusterProcess::Byzantine(p) => p.on_batch(from, msgs, out),
+        }
+    }
     fn done(&self) -> bool {
         match self {
             ClusterProcess::Honest(p) => p.done(),

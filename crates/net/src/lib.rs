@@ -30,10 +30,15 @@ mod fasthash;
 mod kind;
 mod pid;
 mod session;
+mod wire;
 
 pub use codec::{get_field, put_field, CodecError, Reader, Wire};
 pub use envelope::{Envelope, Outbox};
 pub use fasthash::{FastMap, FastSet, FxHasher};
 pub use kind::Kinded;
 pub use pid::{Pid, ProcessSet, ProcessSetIter};
-pub use session::{MwId, SvssId};
+pub use session::{MwId, SessionKey, SvssId};
+pub use wire::{
+    CoinSlot, GsetsBody, MwDealBody, RbStep, RowsBody, SlotKind, SlotView, SvssPriv, SvssRbValue,
+    SvssSlot, Unpacked, WireKind, WireMsg, WIRE_KIND_COUNT,
+};

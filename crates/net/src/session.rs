@@ -200,6 +200,18 @@ impl Wire for MwId {
     }
 }
 
+/// A VSS session at the granularity the DMM orders sessions by: either a
+/// whole SVSS session or a single MW-SVSS invocation. (Every MW
+/// invocation is a VSS session of its own for the paper's `→_i`
+/// relation.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SessionKey {
+    /// An MW-SVSS invocation.
+    Mw(MwId),
+    /// An SVSS session.
+    Svss(SvssId),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

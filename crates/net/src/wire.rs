@@ -1,0 +1,1256 @@
+//! The flat wire format of the SVSS/coin stack.
+//!
+//! PR 3 left the coin-layer message as a *triple-nested* enum tree
+//! (`CoinMsg::Svss(SvssMsg::Rb(MuxMsg { .. RbMsg::Wrb(WrbMsg::Init(..)) }))`),
+//! which cost three discriminant words of padding in memory (56 B per
+//! queued coin message) and a discriminant byte per layer on the wire.
+//! With ~10⁶ envelopes in flight in a full n=7 run, that nesting was the
+//! single largest block of cold memory in the process.
+//!
+//! This module flattens the whole SVSS/coin message surface into one
+//! **[`WireKind`] discriminant** and a fixed 16-byte routing header
+//! ([`WireKey`]): a [`WireMsg`] is `{ key, body }` — 32 bytes total for
+//! `F = Gf61`, pinned by `crates/aba/tests/wire_sizes.rs`. The RB step
+//! (init/echo/ready), the protocol slot, and the session identifiers are
+//! all packed into the key; the body holds only the payload (boxed when
+//! large and rare).
+//!
+//! Layering note: the *protocol* crates still reason in their own terms —
+//! `sba-broadcast`'s mux routes `MuxMsg { tag, origin, inner }`, the SVSS
+//! engine matches on [`SvssSlot`]/[`SvssRbValue`] pairs — but those forms
+//! now exist only transiently on the stack. [`WireMsg::unpack`] and the
+//! constructors convert between the dense wire form and the structured
+//! form by moving fields (no allocation).
+//!
+//! A safe-Rust subtlety: the body enum carries its own (redundant)
+//! discriminant, but that byte lives inside the body's 16-byte slot, so
+//! the struct still lands on 32 bytes. The kind/body agreement is a
+//! construction invariant (constructors assert it, `decode` enforces it),
+//! which is what makes [`WireMsg::unpack`] total.
+
+use sba_field::Field;
+
+use crate::{
+    get_field, put_field, CodecError, Kinded, MwId, Pid, ProcessSet, Reader, SessionKey, SvssId,
+    Wire,
+};
+
+/// The reliable-broadcast protocol step a message carries.
+///
+/// The paper's RB (Appendix A) has exactly three message types: the
+/// dealer's type-1 `Init`, the type-2 `Echo`, and the type-3 `Ready`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum RbStep {
+    /// `(s, 1)` — the dealer's value.
+    Init = 0,
+    /// `(r, 2)` — the WRB echo.
+    Echo = 1,
+    /// `(r, 3)` — the RB ready.
+    Ready = 2,
+}
+
+impl RbStep {
+    fn from_offset(o: u8) -> RbStep {
+        match o {
+            0 => RbStep::Init,
+            1 => RbStep::Echo,
+            _ => RbStep::Ready,
+        }
+    }
+}
+
+/// Which RB slot family a [`SvssSlot`] names (the SVSS stack's six
+/// broadcast classes, paper §3–§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SlotKind {
+    /// MW share step 2: `ack`.
+    MwAck = 0,
+    /// MW share step 4: `L_j`.
+    MwL = 1,
+    /// MW share step 6: `M`.
+    MwM = 2,
+    /// MW share step 7: `OK`.
+    MwOk = 3,
+    /// MW reconstruct step 1: a point of some polynomial `f_l`.
+    MwRecon = 4,
+    /// SVSS share step 5: the `G` sets.
+    Gsets = 5,
+}
+
+/// The single flat discriminant of the SVSS/coin wire surface: every
+/// private message class and every `(slot family, RB step)` pair has its
+/// own kind. One byte on the wire, one byte in [`WireKey`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+#[allow(missing_docs)] // the pattern is uniform; see the module docs
+pub enum WireKind {
+    MwDeal = 0,
+    MwPoint = 1,
+    MwMval = 2,
+    Rows = 3,
+    MwAckInit = 4,
+    MwAckEcho = 5,
+    MwAckReady = 6,
+    MwLInit = 7,
+    MwLEcho = 8,
+    MwLReady = 9,
+    MwMInit = 10,
+    MwMEcho = 11,
+    MwMReady = 12,
+    MwOkInit = 13,
+    MwOkEcho = 14,
+    MwOkReady = 15,
+    MwReconInit = 16,
+    MwReconEcho = 17,
+    MwReconReady = 18,
+    GsetsInit = 19,
+    GsetsEcho = 20,
+    GsetsReady = 21,
+    AttachInit = 22,
+    AttachEcho = 23,
+    AttachReady = 24,
+    SupportInit = 25,
+    SupportEcho = 26,
+    SupportReady = 27,
+}
+
+/// Number of [`WireKind`] values (discriminants are `0..COUNT`).
+pub const WIRE_KIND_COUNT: u8 = 28;
+
+impl WireKind {
+    /// Decodes a discriminant byte.
+    pub fn from_byte(b: u8) -> Option<WireKind> {
+        if b < WIRE_KIND_COUNT {
+            // SAFETY-free dispatch: a match keeps this in safe Rust and
+            // compiles to the same jump table.
+            Some(match b {
+                0 => WireKind::MwDeal,
+                1 => WireKind::MwPoint,
+                2 => WireKind::MwMval,
+                3 => WireKind::Rows,
+                4 => WireKind::MwAckInit,
+                5 => WireKind::MwAckEcho,
+                6 => WireKind::MwAckReady,
+                7 => WireKind::MwLInit,
+                8 => WireKind::MwLEcho,
+                9 => WireKind::MwLReady,
+                10 => WireKind::MwMInit,
+                11 => WireKind::MwMEcho,
+                12 => WireKind::MwMReady,
+                13 => WireKind::MwOkInit,
+                14 => WireKind::MwOkEcho,
+                15 => WireKind::MwOkReady,
+                16 => WireKind::MwReconInit,
+                17 => WireKind::MwReconEcho,
+                18 => WireKind::MwReconReady,
+                19 => WireKind::GsetsInit,
+                20 => WireKind::GsetsEcho,
+                21 => WireKind::GsetsReady,
+                22 => WireKind::AttachInit,
+                23 => WireKind::AttachEcho,
+                24 => WireKind::AttachReady,
+                25 => WireKind::SupportInit,
+                26 => WireKind::SupportEcho,
+                _ => WireKind::SupportReady,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Enumerates every kind (for exhaustive wire tests).
+    pub fn all() -> impl Iterator<Item = WireKind> {
+        (0..WIRE_KIND_COUNT).map(|b| WireKind::from_byte(b).expect("in range"))
+    }
+
+    /// The RB step, for RB-carried kinds.
+    pub fn rb_step(self) -> Option<RbStep> {
+        let b = self as u8;
+        if b >= 4 {
+            Some(RbStep::from_offset((b - 4) % 3))
+        } else {
+            None
+        }
+    }
+
+    /// The SVSS slot family, for SVSS-RB kinds.
+    pub fn slot_kind(self) -> Option<SlotKind> {
+        let b = self as u8;
+        if (4..22).contains(&b) {
+            Some(match (b - 4) / 3 {
+                0 => SlotKind::MwAck,
+                1 => SlotKind::MwL,
+                2 => SlotKind::MwM,
+                3 => SlotKind::MwOk,
+                4 => SlotKind::MwRecon,
+                _ => SlotKind::Gsets,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Whether this is coin-layer RB traffic (attach/support slots).
+    pub fn is_coin_rb(self) -> bool {
+        self as u8 >= 22
+    }
+
+    /// Whether this is a private point-to-point message.
+    pub fn is_priv(self) -> bool {
+        (self as u8) < 4
+    }
+
+    fn rb(slot: SlotKind, step: RbStep) -> WireKind {
+        WireKind::from_byte(4 + (slot as u8) * 3 + step as u8).expect("in range")
+    }
+}
+
+/// Narrows a pid index to a packed byte, panicking past the cap (255 —
+/// same cap as [`MwId`], far above the `ProcessSet` cap of 64 that
+/// already bounds every runnable system).
+fn pack_pid(p: Pid) -> u8 {
+    assert!(
+        p.index() <= 255,
+        "process index {} exceeds the packed-wire cap of 255",
+        p.index()
+    );
+    p.index() as u8
+}
+
+fn unpack_pid(b: u8) -> Result<Pid, CodecError> {
+    if b == 0 {
+        return Err(CodecError::Invalid);
+    }
+    Ok(Pid::new(u32::from(b)))
+}
+
+/// An RB slot of the SVSS stack, packed the way [`MwId`] is packed: one
+/// `u64` session tag plus single-byte process indices, a slot-family
+/// byte, and one auxiliary byte (the `MwRecon` polynomial index) — 16
+/// bytes total.
+///
+/// This type keys the hottest interning table in the stack (the RB mux's
+/// `(origin, tag) → slot` index) and is stored once per live and once per
+/// retired RB instance, so its size is paid ~2 × 10⁵ times per process.
+/// Construct with the factory methods, match via [`SvssSlot::view`]:
+///
+/// ```
+/// use sba_net::{MwId, Pid, SlotView, SvssId, SvssSlot};
+///
+/// let mw = MwId::standalone(7, Pid::new(1), Pid::new(2));
+/// let slot = SvssSlot::mw_recon(mw, Pid::new(3));
+/// match slot.view() {
+///     SlotView::MwRecon(id, poly) => {
+///         assert_eq!(id, mw);
+///         assert_eq!(poly, Pid::new(3));
+///     }
+///     _ => unreachable!(),
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SvssSlot {
+    tag: u64,
+    /// `[parent_dealer, dealer, moderator, row, col]` for MW slots;
+    /// `[dealer, 0, 0, 0, 0]` for SVSS-session slots.
+    p: [u8; 5],
+    /// The `MwRecon` polynomial index; 0 otherwise.
+    aux: u8,
+    kind: SlotKind,
+}
+
+/// The unpacked, pattern-matchable form of a [`SvssSlot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotView {
+    /// MW share step 2: `ack` (origin: the acknowledging process).
+    MwAck(MwId),
+    /// MW share step 4: `L_j` (origin: monitor `j`).
+    MwL(MwId),
+    /// MW share step 6: `M` (origin: the moderator).
+    MwM(MwId),
+    /// MW share step 7: `OK` (origin: the dealer).
+    MwOk(MwId),
+    /// MW reconstruct step 1: the point of polynomial `f_l` held by the
+    /// origin (second field is `l`).
+    MwRecon(MwId, Pid),
+    /// SVSS share step 5: the `G` sets (origin: the SVSS dealer).
+    Gsets(SvssId),
+}
+
+fn pack_mw(mw: MwId) -> (u64, [u8; 5]) {
+    (
+        mw.parent().tag(),
+        [
+            pack_pid(mw.parent().dealer()),
+            pack_pid(mw.dealer()),
+            pack_pid(mw.moderator()),
+            pack_pid(mw.row()),
+            pack_pid(mw.col()),
+        ],
+    )
+}
+
+fn unpack_mw(tag: u64, p: [u8; 5]) -> MwId {
+    MwId::nested(
+        SvssId::new(tag, Pid::new(u32::from(p[0]))),
+        Pid::new(u32::from(p[1])),
+        Pid::new(u32::from(p[2])),
+        Pid::new(u32::from(p[3])),
+        Pid::new(u32::from(p[4])),
+    )
+}
+
+impl SvssSlot {
+    fn mw(kind: SlotKind, mw: MwId, aux: u8) -> Self {
+        let (tag, p) = pack_mw(mw);
+        SvssSlot { tag, p, aux, kind }
+    }
+
+    /// The `ack` slot of an MW session.
+    pub fn mw_ack(mw: MwId) -> Self {
+        Self::mw(SlotKind::MwAck, mw, 0)
+    }
+
+    /// The `L_j` slot of an MW session.
+    pub fn mw_l(mw: MwId) -> Self {
+        Self::mw(SlotKind::MwL, mw, 0)
+    }
+
+    /// The `M` slot of an MW session.
+    pub fn mw_m(mw: MwId) -> Self {
+        Self::mw(SlotKind::MwM, mw, 0)
+    }
+
+    /// The `OK` slot of an MW session.
+    pub fn mw_ok(mw: MwId) -> Self {
+        Self::mw(SlotKind::MwOk, mw, 0)
+    }
+
+    /// The reconstruct-point slot for polynomial `poly` of an MW session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly`'s index exceeds the packed cap of 255.
+    pub fn mw_recon(mw: MwId, poly: Pid) -> Self {
+        Self::mw(SlotKind::MwRecon, mw, pack_pid(poly))
+    }
+
+    /// The `G`-sets slot of an SVSS session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dealer's index exceeds the packed cap of 255.
+    pub fn gsets(sid: SvssId) -> Self {
+        SvssSlot {
+            tag: sid.tag(),
+            p: [pack_pid(sid.dealer()), 0, 0, 0, 0],
+            aux: 0,
+            kind: SlotKind::Gsets,
+        }
+    }
+
+    /// The slot family.
+    pub fn kind(self) -> SlotKind {
+        self.kind
+    }
+
+    /// The unpacked form, for pattern matching.
+    pub fn view(self) -> SlotView {
+        match self.kind {
+            SlotKind::MwAck => SlotView::MwAck(unpack_mw(self.tag, self.p)),
+            SlotKind::MwL => SlotView::MwL(unpack_mw(self.tag, self.p)),
+            SlotKind::MwM => SlotView::MwM(unpack_mw(self.tag, self.p)),
+            SlotKind::MwOk => SlotView::MwOk(unpack_mw(self.tag, self.p)),
+            SlotKind::MwRecon => {
+                SlotView::MwRecon(unpack_mw(self.tag, self.p), Pid::new(u32::from(self.aux)))
+            }
+            SlotKind::Gsets => {
+                SlotView::Gsets(SvssId::new(self.tag, Pid::new(u32::from(self.p[0]))))
+            }
+        }
+    }
+
+    /// The session this slot belongs to, at DMM-ordering granularity.
+    pub fn session_key(self) -> SessionKey {
+        match self.view() {
+            SlotView::MwAck(m)
+            | SlotView::MwL(m)
+            | SlotView::MwM(m)
+            | SlotView::MwOk(m)
+            | SlotView::MwRecon(m, _) => SessionKey::Mw(m),
+            SlotView::Gsets(s) => SessionKey::Svss(s),
+        }
+    }
+}
+
+/// RB slots of the coin layer (paper §5 steps 2 and 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoinSlot {
+    /// "Attach these `t+1` dealers' secrets to me" (origin: the attached
+    /// process).
+    Attach(u64),
+    /// "I have accepted this set of attached processes" (origin: the
+    /// supporter).
+    Support(u64),
+}
+
+impl CoinSlot {
+    /// The coin session this slot belongs to.
+    pub fn coin_tag(self) -> u64 {
+        match self {
+            CoinSlot::Attach(t) | CoinSlot::Support(t) => t,
+        }
+    }
+}
+
+/// Body of a `MwDeal` — the only share message with more than one
+/// polynomial, boxed so [`WireMsg`] stays at its pinned 32 bytes for the
+/// far more common point/ack traffic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MwDealBody<F> {
+    /// `f_l(j)` for `l = 1..=n` (recipient is `j`).
+    pub values: Vec<F>,
+    /// Coefficients of `f_j`, degree ≤ t.
+    pub monitor_poly: Vec<F>,
+    /// Coefficients of `f`, present iff the recipient is the moderator.
+    pub moderator_poly: Option<Vec<F>>,
+}
+
+/// Body of a `Rows` message (boxed for the same reason as
+/// [`MwDealBody`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowsBody<F> {
+    /// Coefficients of `g_j`, degree ≤ t.
+    pub g: Vec<F>,
+    /// Coefficients of `h_j`, degree ≤ t.
+    pub h: Vec<F>,
+}
+
+/// Body of a `Gsets` broadcast, boxed to keep the RB payload enum two
+/// words wide.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GsetsBody {
+    /// The accepted set `G`.
+    pub g: ProcessSet,
+    /// `G_j` for each `j ∈ G`, keyed in ascending order.
+    pub members: Vec<(Pid, ProcessSet)>,
+}
+
+/// Private point-to-point messages (share values and polynomials that
+/// must stay secret). The structured construction/decomposition form of
+/// the four private [`WireKind`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SvssPriv<F> {
+    /// MW-SVSS share step 1, dealer → each process `j`: the values
+    /// `f_1(j), …, f_n(j)`, the monitor polynomial `f_j` (coefficients),
+    /// and — for the moderator only — the master polynomial `f`.
+    MwDeal {
+        /// The MW session.
+        mw: MwId,
+        /// The polynomial payload.
+        deal: Box<MwDealBody<F>>,
+    },
+    /// MW-SVSS share step 2, `j → l`: the value `f̂^j_l` (confirmation).
+    MwPoint {
+        /// The MW session.
+        mw: MwId,
+        /// `f̂^j_l` — what the sender received as `f_l(j)`.
+        value: F,
+    },
+    /// MW-SVSS share step 4, monitor `j` → moderator: `f̂_j(0)`.
+    MwMonitorValue {
+        /// The MW session.
+        mw: MwId,
+        /// `f̂_j(0)`.
+        value: F,
+    },
+    /// SVSS share step 1, dealer → each `j`: row and column polynomials
+    /// `g_j(y) = f(j, y)` and `h_j(x) = f(x, j)` (coefficients).
+    Rows {
+        /// The SVSS session.
+        session: SvssId,
+        /// The row/column payload.
+        rows: Box<RowsBody<F>>,
+    },
+}
+
+impl<F> SvssPriv<F> {
+    /// The session this message belongs to, at DMM-ordering granularity.
+    pub fn session_key(&self) -> SessionKey {
+        match self {
+            SvssPriv::MwDeal { mw, .. }
+            | SvssPriv::MwPoint { mw, .. }
+            | SvssPriv::MwMonitorValue { mw, .. } => SessionKey::Mw(*mw),
+            SvssPriv::Rows { session, .. } => SessionKey::Svss(*session),
+        }
+    }
+}
+
+/// Payload values carried in SVSS RB slots. Which variant a slot carries
+/// is fixed by its [`SlotKind`] (the flat format enforces it on the
+/// wire): `ack`/`OK` are [`SvssRbValue::Unit`], `L_j`/`M` are sets,
+/// reconstruct points are field values, `G` sets are [`GsetsBody`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SvssRbValue<F> {
+    /// No content (`ack`, `OK`).
+    Unit,
+    /// A process set (`L_j`, `M`).
+    Set(ProcessSet),
+    /// A field element (reconstruct points).
+    Value(F),
+    /// The SVSS dealer's `G` and `{G_j : j ∈ G}` sets.
+    Gsets(Box<GsetsBody>),
+}
+
+/// The 16-byte packed routing header of a [`WireMsg`]: the flat
+/// [`WireKind`], the session tag, the packed process indices, and (for
+/// RB kinds) the broadcast origin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct WireKey {
+    tag: u64,
+    p: [u8; 5],
+    aux: u8,
+    kind: WireKind,
+    origin: u8,
+}
+
+/// The payload slot of a [`WireMsg`]: exactly one variant is legal per
+/// [`WireKind`] (a construction invariant, enforced on decode).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Body<F> {
+    Unit,
+    Set(ProcessSet),
+    Value(F),
+    Gsets(Box<GsetsBody>),
+    Deal(Box<MwDealBody<F>>),
+    Rows(Box<RowsBody<F>>),
+}
+
+/// One SVSS/coin-stack wire message in flat packed form: a 16-byte
+/// [`WireKey`] plus a 16-byte payload slot — 32 bytes for `F = Gf61`,
+/// pinned in `crates/aba/tests/wire_sizes.rs`.
+///
+/// Construct with [`WireMsg::private`], [`WireMsg::rb`], or
+/// [`WireMsg::coin_rb`]; decompose with [`WireMsg::unpack`] (total — the
+/// kind/body agreement is a construction invariant). [`WireMsg::wire_kind`]
+/// is the allocation-free peek for filters and tamper functions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireMsg<F> {
+    key: WireKey,
+    body: Body<F>,
+}
+
+/// The structured, pattern-matchable form of a [`WireMsg`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Unpacked<F> {
+    /// A private point-to-point message.
+    Priv(SvssPriv<F>),
+    /// An SVSS-stack reliable-broadcast message.
+    Rb {
+        /// The RB slot.
+        slot: SvssSlot,
+        /// The broadcasting process (RB dealer).
+        origin: Pid,
+        /// The RB protocol step.
+        step: RbStep,
+        /// The carried value.
+        value: SvssRbValue<F>,
+    },
+    /// A coin-layer reliable-broadcast message.
+    CoinRb {
+        /// The RB slot.
+        slot: CoinSlot,
+        /// The broadcasting process (RB dealer).
+        origin: Pid,
+        /// The RB protocol step.
+        step: RbStep,
+        /// The carried attach/support set.
+        set: ProcessSet,
+    },
+}
+
+impl<F: Field> WireMsg<F> {
+    /// Wraps a private message.
+    pub fn private(p: SvssPriv<F>) -> Self {
+        match p {
+            SvssPriv::MwDeal { mw, deal } => {
+                let (tag, pb) = pack_mw(mw);
+                WireMsg {
+                    key: WireKey {
+                        tag,
+                        p: pb,
+                        aux: 0,
+                        kind: WireKind::MwDeal,
+                        origin: 0,
+                    },
+                    body: Body::Deal(deal),
+                }
+            }
+            SvssPriv::MwPoint { mw, value } => {
+                let (tag, pb) = pack_mw(mw);
+                WireMsg {
+                    key: WireKey {
+                        tag,
+                        p: pb,
+                        aux: 0,
+                        kind: WireKind::MwPoint,
+                        origin: 0,
+                    },
+                    body: Body::Value(value),
+                }
+            }
+            SvssPriv::MwMonitorValue { mw, value } => {
+                let (tag, pb) = pack_mw(mw);
+                WireMsg {
+                    key: WireKey {
+                        tag,
+                        p: pb,
+                        aux: 0,
+                        kind: WireKind::MwMval,
+                        origin: 0,
+                    },
+                    body: Body::Value(value),
+                }
+            }
+            SvssPriv::Rows { session, rows } => WireMsg {
+                key: WireKey {
+                    tag: session.tag(),
+                    p: [pack_pid(session.dealer()), 0, 0, 0, 0],
+                    aux: 0,
+                    kind: WireKind::Rows,
+                    origin: 0,
+                },
+                body: Body::Rows(rows),
+            },
+        }
+    }
+
+    /// Wraps an SVSS-stack RB message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value`'s variant does not match the slot family's fixed
+    /// payload shape (the flat wire format cannot represent a mismatch),
+    /// or if `origin` exceeds the packed pid cap of 255.
+    pub fn rb(slot: SvssSlot, origin: Pid, step: RbStep, value: SvssRbValue<F>) -> Self {
+        let body = match (slot.kind, value) {
+            (SlotKind::MwAck | SlotKind::MwOk, SvssRbValue::Unit) => Body::Unit,
+            (SlotKind::MwL | SlotKind::MwM, SvssRbValue::Set(s)) => Body::Set(s),
+            (SlotKind::MwRecon, SvssRbValue::Value(v)) => Body::Value(v),
+            (SlotKind::Gsets, SvssRbValue::Gsets(b)) => Body::Gsets(b),
+            (k, v) => panic!("slot family {k:?} cannot carry payload {v:?}"),
+        };
+        WireMsg {
+            key: WireKey {
+                tag: slot.tag,
+                p: slot.p,
+                aux: slot.aux,
+                kind: WireKind::rb(slot.kind, step),
+                origin: pack_pid(origin),
+            },
+            body,
+        }
+    }
+
+    /// Wraps a coin-layer RB message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` exceeds the packed pid cap of 255.
+    pub fn coin_rb(slot: CoinSlot, origin: Pid, step: RbStep, set: ProcessSet) -> Self {
+        let (tag, base) = match slot {
+            CoinSlot::Attach(t) => (t, 22),
+            CoinSlot::Support(t) => (t, 25),
+        };
+        WireMsg {
+            key: WireKey {
+                tag,
+                p: [0; 5],
+                aux: 0,
+                kind: WireKind::from_byte(base + step as u8).expect("in range"),
+                origin: pack_pid(origin),
+            },
+            body: Body::Set(set),
+        }
+    }
+
+    /// The flat discriminant — the allocation-free peek for filters,
+    /// schedulers, and tamper functions.
+    #[inline]
+    pub fn wire_kind(&self) -> WireKind {
+        self.key.kind
+    }
+
+    /// The RB origin (broadcasting process) for RB kinds, without
+    /// cloning or unpacking; `None` for private kinds.
+    #[inline]
+    pub fn origin(&self) -> Option<Pid> {
+        if self.key.kind.is_priv() {
+            None
+        } else {
+            Some(Pid::new(u32::from(self.key.origin)))
+        }
+    }
+
+    /// Decomposes into the structured form (total: the kind/body
+    /// agreement is a construction invariant).
+    pub fn unpack(self) -> Unpacked<F> {
+        let WireMsg { key, body } = self;
+        let kind = key.kind;
+        if kind.is_priv() {
+            let p = match (kind, body) {
+                (WireKind::MwDeal, Body::Deal(deal)) => SvssPriv::MwDeal {
+                    mw: unpack_mw(key.tag, key.p),
+                    deal,
+                },
+                (WireKind::MwPoint, Body::Value(value)) => SvssPriv::MwPoint {
+                    mw: unpack_mw(key.tag, key.p),
+                    value,
+                },
+                (WireKind::MwMval, Body::Value(value)) => SvssPriv::MwMonitorValue {
+                    mw: unpack_mw(key.tag, key.p),
+                    value,
+                },
+                (WireKind::Rows, Body::Rows(rows)) => SvssPriv::Rows {
+                    session: SvssId::new(key.tag, Pid::new(u32::from(key.p[0]))),
+                    rows,
+                },
+                _ => unreachable!("kind/body agreement is a construction invariant"),
+            };
+            return Unpacked::Priv(p);
+        }
+        let step = kind.rb_step().expect("non-priv kinds are RB kinds");
+        let origin = Pid::new(u32::from(key.origin));
+        if kind.is_coin_rb() {
+            let slot = if (kind as u8) < 25 {
+                CoinSlot::Attach(key.tag)
+            } else {
+                CoinSlot::Support(key.tag)
+            };
+            let Body::Set(set) = body else {
+                unreachable!("coin RB bodies are sets by construction")
+            };
+            return Unpacked::CoinRb {
+                slot,
+                origin,
+                step,
+                set,
+            };
+        }
+        let slot = SvssSlot {
+            tag: key.tag,
+            p: key.p,
+            aux: key.aux,
+            kind: kind.slot_kind().expect("SVSS RB kind"),
+        };
+        let value = match body {
+            Body::Unit => SvssRbValue::Unit,
+            Body::Set(s) => SvssRbValue::Set(s),
+            Body::Value(v) => SvssRbValue::Value(v),
+            Body::Gsets(b) => SvssRbValue::Gsets(b),
+            Body::Deal(_) | Body::Rows(_) => {
+                unreachable!("private bodies never ride RB kinds")
+            }
+        };
+        Unpacked::Rb {
+            slot,
+            origin,
+            step,
+            value,
+        }
+    }
+}
+
+fn put_field_vec<F: Field>(v: &[F], buf: &mut Vec<u8>) {
+    (v.len() as u32).encode(buf);
+    for &x in v {
+        put_field(x, buf);
+    }
+}
+
+fn field_vec_len<F>(v: &[F]) -> usize {
+    4 + 8 * v.len()
+}
+
+fn get_field_vec<F: Field>(r: &mut Reader<'_>) -> Result<Vec<F>, CodecError> {
+    let len = u32::decode(r)? as usize;
+    if len > r.remaining() {
+        return Err(CodecError::Invalid);
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(get_field(r)?);
+    }
+    Ok(out)
+}
+
+fn put_mw(tag: u64, p: &[u8; 5], buf: &mut Vec<u8>) {
+    tag.encode(buf);
+    buf.extend_from_slice(p);
+}
+
+fn get_mw(r: &mut Reader<'_>) -> Result<(u64, [u8; 5]), CodecError> {
+    let tag = u64::decode(r)?;
+    let bytes = r.take(5)?;
+    let mut p = [0u8; 5];
+    p.copy_from_slice(bytes);
+    for &b in &p {
+        if b == 0 {
+            return Err(CodecError::Invalid); // pids are 1-based
+        }
+    }
+    Ok((tag, p))
+}
+
+impl<F: Field> Wire for WireMsg<F> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let key = &self.key;
+        buf.push(key.kind as u8);
+        match key.kind {
+            WireKind::MwDeal => {
+                put_mw(key.tag, &key.p, buf);
+                let Body::Deal(d) = &self.body else {
+                    unreachable!()
+                };
+                put_field_vec(&d.values, buf);
+                put_field_vec(&d.monitor_poly, buf);
+                match &d.moderator_poly {
+                    None => buf.push(0),
+                    Some(p) => {
+                        buf.push(1);
+                        put_field_vec(p, buf);
+                    }
+                }
+            }
+            WireKind::MwPoint | WireKind::MwMval => {
+                put_mw(key.tag, &key.p, buf);
+                let Body::Value(v) = &self.body else {
+                    unreachable!()
+                };
+                put_field(*v, buf);
+            }
+            WireKind::Rows => {
+                key.tag.encode(buf);
+                buf.push(key.p[0]);
+                let Body::Rows(rows) = &self.body else {
+                    unreachable!()
+                };
+                put_field_vec(&rows.g, buf);
+                put_field_vec(&rows.h, buf);
+            }
+            WireKind::MwAckInit
+            | WireKind::MwAckEcho
+            | WireKind::MwAckReady
+            | WireKind::MwOkInit
+            | WireKind::MwOkEcho
+            | WireKind::MwOkReady => {
+                put_mw(key.tag, &key.p, buf);
+                buf.push(key.origin);
+            }
+            WireKind::MwLInit
+            | WireKind::MwLEcho
+            | WireKind::MwLReady
+            | WireKind::MwMInit
+            | WireKind::MwMEcho
+            | WireKind::MwMReady => {
+                put_mw(key.tag, &key.p, buf);
+                buf.push(key.origin);
+                let Body::Set(s) = &self.body else {
+                    unreachable!()
+                };
+                s.encode(buf);
+            }
+            WireKind::MwReconInit | WireKind::MwReconEcho | WireKind::MwReconReady => {
+                put_mw(key.tag, &key.p, buf);
+                buf.push(key.aux);
+                buf.push(key.origin);
+                let Body::Value(v) = &self.body else {
+                    unreachable!()
+                };
+                put_field(*v, buf);
+            }
+            WireKind::GsetsInit | WireKind::GsetsEcho | WireKind::GsetsReady => {
+                key.tag.encode(buf);
+                buf.push(key.p[0]);
+                buf.push(key.origin);
+                let Body::Gsets(b) = &self.body else {
+                    unreachable!()
+                };
+                b.g.encode(buf);
+                b.members.encode(buf);
+            }
+            WireKind::AttachInit
+            | WireKind::AttachEcho
+            | WireKind::AttachReady
+            | WireKind::SupportInit
+            | WireKind::SupportEcho
+            | WireKind::SupportReady => {
+                key.tag.encode(buf);
+                buf.push(key.origin);
+                let Body::Set(s) = &self.body else {
+                    unreachable!()
+                };
+                s.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let kb = r.byte()?;
+        let kind = WireKind::from_byte(kb).ok_or(CodecError::BadDiscriminant(kb))?;
+        let mut key = WireKey {
+            tag: 0,
+            p: [0; 5],
+            aux: 0,
+            kind,
+            origin: 0,
+        };
+        let body = match kind {
+            WireKind::MwDeal => {
+                (key.tag, key.p) = get_mw(r)?;
+                let values = get_field_vec(r)?;
+                let monitor_poly = get_field_vec(r)?;
+                let moderator_poly = match r.byte()? {
+                    0 => None,
+                    1 => Some(get_field_vec(r)?),
+                    d => return Err(CodecError::BadDiscriminant(d)),
+                };
+                Body::Deal(Box::new(MwDealBody {
+                    values,
+                    monitor_poly,
+                    moderator_poly,
+                }))
+            }
+            WireKind::MwPoint | WireKind::MwMval => {
+                (key.tag, key.p) = get_mw(r)?;
+                Body::Value(get_field(r)?)
+            }
+            WireKind::Rows => {
+                key.tag = u64::decode(r)?;
+                key.p[0] = unpack_pid(r.byte()?)?.index() as u8;
+                let g = get_field_vec(r)?;
+                let h = get_field_vec(r)?;
+                Body::Rows(Box::new(RowsBody { g, h }))
+            }
+            WireKind::MwAckInit
+            | WireKind::MwAckEcho
+            | WireKind::MwAckReady
+            | WireKind::MwOkInit
+            | WireKind::MwOkEcho
+            | WireKind::MwOkReady => {
+                (key.tag, key.p) = get_mw(r)?;
+                key.origin = unpack_pid(r.byte()?)?.index() as u8;
+                Body::Unit
+            }
+            WireKind::MwLInit
+            | WireKind::MwLEcho
+            | WireKind::MwLReady
+            | WireKind::MwMInit
+            | WireKind::MwMEcho
+            | WireKind::MwMReady => {
+                (key.tag, key.p) = get_mw(r)?;
+                key.origin = unpack_pid(r.byte()?)?.index() as u8;
+                Body::Set(ProcessSet::decode(r)?)
+            }
+            WireKind::MwReconInit | WireKind::MwReconEcho | WireKind::MwReconReady => {
+                (key.tag, key.p) = get_mw(r)?;
+                key.aux = unpack_pid(r.byte()?)?.index() as u8;
+                key.origin = unpack_pid(r.byte()?)?.index() as u8;
+                Body::Value(get_field(r)?)
+            }
+            WireKind::GsetsInit | WireKind::GsetsEcho | WireKind::GsetsReady => {
+                key.tag = u64::decode(r)?;
+                key.p[0] = unpack_pid(r.byte()?)?.index() as u8;
+                key.origin = unpack_pid(r.byte()?)?.index() as u8;
+                Body::Gsets(Box::new(GsetsBody {
+                    g: ProcessSet::decode(r)?,
+                    members: Vec::decode(r)?,
+                }))
+            }
+            WireKind::AttachInit
+            | WireKind::AttachEcho
+            | WireKind::AttachReady
+            | WireKind::SupportInit
+            | WireKind::SupportEcho
+            | WireKind::SupportReady => {
+                key.tag = u64::decode(r)?;
+                key.origin = unpack_pid(r.byte()?)?.index() as u8;
+                Body::Set(ProcessSet::decode(r)?)
+            }
+        };
+        Ok(WireMsg { key, body })
+    }
+
+    fn encoded_len(&self) -> usize {
+        let body = match &self.body {
+            Body::Unit => 0,
+            Body::Set(s) => s.encoded_len(),
+            Body::Value(_) => 8,
+            Body::Gsets(b) => b.g.encoded_len() + b.members.encoded_len(),
+            Body::Deal(d) => {
+                field_vec_len(&d.values)
+                    + field_vec_len(&d.monitor_poly)
+                    + 1
+                    + d.moderator_poly.as_ref().map_or(0, |p| field_vec_len(p))
+            }
+            Body::Rows(rows) => field_vec_len(&rows.g) + field_vec_len(&rows.h),
+        };
+        let header = match self.key.kind {
+            WireKind::MwDeal | WireKind::MwPoint | WireKind::MwMval => 1 + 13,
+            WireKind::Rows => 1 + 9,
+            WireKind::MwReconInit | WireKind::MwReconEcho | WireKind::MwReconReady => 1 + 13 + 2,
+            WireKind::GsetsInit | WireKind::GsetsEcho | WireKind::GsetsReady => 1 + 9 + 1,
+            WireKind::AttachInit
+            | WireKind::AttachEcho
+            | WireKind::AttachReady
+            | WireKind::SupportInit
+            | WireKind::SupportEcho
+            | WireKind::SupportReady => 1 + 8 + 1,
+            _ => 1 + 13 + 1, // the remaining MW RB kinds
+        };
+        header + body
+    }
+}
+
+impl<F> Kinded for WireMsg<F> {
+    fn kind(&self) -> &'static str {
+        match self.key.kind {
+            WireKind::MwDeal => "mw/deal",
+            WireKind::MwPoint => "mw/point",
+            WireKind::MwMval => "mw/mval",
+            WireKind::Rows => "svss/rows",
+            WireKind::AttachInit | WireKind::AttachEcho | WireKind::AttachReady => "coin/attach",
+            WireKind::SupportInit | WireKind::SupportEcho | WireKind::SupportReady => {
+                "coin/support"
+            }
+            k => match k.rb_step().expect("RB kind") {
+                RbStep::Init => "rb/init",
+                RbStep::Echo => "rb/echo",
+                RbStep::Ready => "rb/ready",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sba_field::Gf61;
+
+    fn mw_id() -> MwId {
+        MwId::nested(
+            SvssId::new(9, Pid::new(1)),
+            Pid::new(2),
+            Pid::new(3),
+            Pid::new(3),
+            Pid::new(2),
+        )
+    }
+
+    #[test]
+    fn kind_table_is_consistent() {
+        for kind in WireKind::all() {
+            assert_eq!(WireKind::from_byte(kind as u8), Some(kind));
+            assert_eq!(kind.is_priv(), kind.rb_step().is_none());
+            if let Some(slot) = kind.slot_kind() {
+                let step = kind.rb_step().expect("slot kinds are RB kinds");
+                assert_eq!(WireKind::rb(slot, step), kind);
+            }
+        }
+        assert_eq!(WireKind::from_byte(WIRE_KIND_COUNT), None);
+    }
+
+    #[test]
+    fn slot_views_round_trip() {
+        let mw = mw_id();
+        assert_eq!(SvssSlot::mw_ack(mw).view(), SlotView::MwAck(mw));
+        assert_eq!(SvssSlot::mw_l(mw).view(), SlotView::MwL(mw));
+        assert_eq!(SvssSlot::mw_m(mw).view(), SlotView::MwM(mw));
+        assert_eq!(SvssSlot::mw_ok(mw).view(), SlotView::MwOk(mw));
+        assert_eq!(
+            SvssSlot::mw_recon(mw, Pid::new(4)).view(),
+            SlotView::MwRecon(mw, Pid::new(4))
+        );
+        let sid = SvssId::new(2, Pid::new(1));
+        assert_eq!(SvssSlot::gsets(sid).view(), SlotView::Gsets(sid));
+        assert_eq!(SvssSlot::mw_ack(mw).session_key(), SessionKey::Mw(mw),);
+        assert_eq!(SvssSlot::gsets(sid).session_key(), SessionKey::Svss(sid),);
+    }
+
+    #[test]
+    fn four_slots_per_mw_session_are_distinct() {
+        let mw = mw_id();
+        let slots = [
+            SvssSlot::mw_ack(mw),
+            SvssSlot::mw_l(mw),
+            SvssSlot::mw_m(mw),
+            SvssSlot::mw_ok(mw),
+        ];
+        for (i, a) in slots.iter().enumerate() {
+            for b in &slots[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_is_identity() {
+        let f = |v: u64| Gf61::from_u64(v);
+        let cases: Vec<WireMsg<Gf61>> = vec![
+            WireMsg::private(SvssPriv::MwPoint {
+                mw: mw_id(),
+                value: f(9),
+            }),
+            WireMsg::rb(
+                SvssSlot::mw_recon(mw_id(), Pid::new(4)),
+                Pid::new(2),
+                RbStep::Echo,
+                SvssRbValue::Value(f(7)),
+            ),
+            WireMsg::coin_rb(
+                CoinSlot::Support(3),
+                Pid::new(1),
+                RbStep::Ready,
+                Pid::all(3).collect(),
+            ),
+        ];
+        for msg in cases {
+            let back = match msg.clone().unpack() {
+                Unpacked::Priv(p) => WireMsg::private(p),
+                Unpacked::Rb {
+                    slot,
+                    origin,
+                    step,
+                    value,
+                } => WireMsg::rb(slot, origin, step, value),
+                Unpacked::CoinRb {
+                    slot,
+                    origin,
+                    step,
+                    set,
+                } => WireMsg::coin_rb(slot, origin, step, set),
+            };
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot carry payload")]
+    fn mismatched_rb_payload_rejected() {
+        let _ = WireMsg::<Gf61>::rb(
+            SvssSlot::mw_ack(mw_id()),
+            Pid::new(1),
+            RbStep::Init,
+            SvssRbValue::Value(Gf61::from_u64(1)),
+        );
+    }
+
+    #[test]
+    fn flat_sizes() {
+        assert_eq!(std::mem::size_of::<WireKey>(), 16);
+        assert_eq!(std::mem::size_of::<SvssSlot>(), 16);
+        assert_eq!(std::mem::size_of::<WireMsg<Gf61>>(), 32);
+    }
+
+    #[test]
+    fn encoded_matches_arithmetic_len() {
+        let f = |v: u64| Gf61::from_u64(v);
+        let msgs: Vec<WireMsg<Gf61>> = vec![
+            WireMsg::private(SvssPriv::MwDeal {
+                mw: mw_id(),
+                deal: Box::new(MwDealBody {
+                    values: vec![f(1), f(2)],
+                    monitor_poly: vec![f(3)],
+                    moderator_poly: Some(vec![f(4)]),
+                }),
+            }),
+            WireMsg::private(SvssPriv::Rows {
+                session: SvssId::new(4, Pid::new(2)),
+                rows: Box::new(RowsBody {
+                    g: vec![f(1)],
+                    h: vec![f(2), f(3)],
+                }),
+            }),
+            WireMsg::rb(
+                SvssSlot::mw_l(mw_id()),
+                Pid::new(3),
+                RbStep::Init,
+                SvssRbValue::Set(Pid::all(4).collect()),
+            ),
+            WireMsg::rb(
+                SvssSlot::gsets(SvssId::new(1, Pid::new(1))),
+                Pid::new(1),
+                RbStep::Ready,
+                SvssRbValue::Gsets(Box::new(GsetsBody {
+                    g: Pid::all(2).collect(),
+                    members: vec![(Pid::new(1), Pid::all(2).collect())],
+                })),
+            ),
+            WireMsg::coin_rb(
+                CoinSlot::Attach(77),
+                Pid::new(2),
+                RbStep::Init,
+                Pid::all(2).collect(),
+            ),
+        ];
+        for msg in msgs {
+            let bytes = msg.encoded();
+            assert_eq!(msg.encoded_len(), bytes.len(), "{msg:?}");
+            let mut r = Reader::new(&bytes);
+            assert_eq!(WireMsg::<Gf61>::decode(&mut r).unwrap(), msg);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn kind_labels_match_the_metrics_contract() {
+        let msg: WireMsg<Gf61> = WireMsg::rb(
+            SvssSlot::mw_ack(mw_id()),
+            Pid::new(1),
+            RbStep::Echo,
+            SvssRbValue::Unit,
+        );
+        assert_eq!(msg.kind(), "rb/echo");
+        let msg: WireMsg<Gf61> = WireMsg::coin_rb(
+            CoinSlot::Attach(1),
+            Pid::new(1),
+            RbStep::Ready,
+            ProcessSet::new(),
+        );
+        assert_eq!(msg.kind(), "coin/attach");
+        let msg: WireMsg<Gf61> = WireMsg::private(SvssPriv::MwPoint {
+            mw: mw_id(),
+            value: Gf61::from_u64(0),
+        });
+        assert_eq!(msg.kind(), "mw/point");
+    }
+
+    #[test]
+    fn foreign_discriminants_rejected() {
+        for b in WIRE_KIND_COUNT..=255 {
+            let bytes = [b];
+            let mut r = Reader::new(&bytes);
+            assert_eq!(
+                WireMsg::<Gf61>::decode(&mut r).unwrap_err(),
+                CodecError::BadDiscriminant(b)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_pid_bytes_rejected() {
+        // MwPoint with a zeroed dealer byte.
+        let msg: WireMsg<Gf61> = WireMsg::private(SvssPriv::MwPoint {
+            mw: mw_id(),
+            value: Gf61::from_u64(5),
+        });
+        let mut bytes = msg.encoded();
+        bytes[9] = 0; // kind(1) + tag(8), first pid byte
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            WireMsg::<Gf61>::decode(&mut r).unwrap_err(),
+            CodecError::Invalid
+        );
+    }
+}

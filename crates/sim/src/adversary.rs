@@ -287,6 +287,18 @@ impl<M, P: Process<M>> Process<M> for CrashProcess<P> {
             // the process is dead.
         }
     }
+    fn on_batch(&mut self, from: Pid, msgs: &mut Vec<M>, out: &mut Outbox<M>) {
+        // The crash budget is counted in *messages*, so a batch that
+        // straddles the crash point is truncated mid-batch: the process
+        // dies exactly after its configured number of deliveries.
+        for msg in msgs.drain(..) {
+            if self.deliveries_left == 0 {
+                return;
+            }
+            self.deliveries_left -= 1;
+            self.inner.on_message(from, msg, out);
+        }
+    }
     fn done(&self) -> bool {
         self.crashed() || self.inner.done()
     }

@@ -61,5 +61,5 @@ pub mod threaded;
 pub use adversary::{schedulers, CrashProcess, FnScheduler, Scheduler, SilentProcess};
 pub use metrics::Metrics;
 pub use process::{Process, SimMsg};
-pub use simulation::{RunOutcome, Simulation, TraceEntry};
+pub use simulation::{queue_slot_sizes, RunOutcome, Simulation, TraceEntry};
 pub use tamper::{Tamper, TamperProcess};

@@ -25,12 +25,24 @@ pub struct Metrics {
     pub per_kind: FastMap<&'static str, (u64, u64)>,
     /// Virtual time of the last processed event.
     pub virtual_time: u64,
-    /// Total events processed by the run loop.
+    /// Total events (batch deliveries) processed by the run loop.
     pub events: u64,
     /// Sum of per-message delivery delays (virtual ticks).
     pub latency_sum: u64,
     /// Maximum observed delivery delay.
     pub latency_max: u64,
+    /// Per-recipient same-tick batches handed to the scheduler (each
+    /// batch is one queue entry carrying ≥ 1 messages).
+    pub batches_sent: u64,
+    /// Peak number of messages simultaneously in flight.
+    pub inflight_peak_msgs: u64,
+    /// Peak number of batches (queue entries) simultaneously in flight.
+    pub inflight_peak_batches: u64,
+    /// Approximate peak in-flight queue footprint in bytes: live batch
+    /// entries plus live payload slots at their arena slot sizes (the
+    /// arenas' high-water capacity matches this at steady state; heap
+    /// payloads boxed inside messages are not counted).
+    pub inflight_peak_bytes: u64,
 }
 
 impl Metrics {
@@ -39,8 +51,8 @@ impl Metrics {
         Self::default()
     }
 
-    pub(crate) fn record_latency(&mut self, delay: u64) {
-        self.latency_sum += delay;
+    pub(crate) fn record_latency(&mut self, delay: u64, count: u64) {
+        self.latency_sum += delay * count;
         self.latency_max = self.latency_max.max(delay);
     }
 

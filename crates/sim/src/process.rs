@@ -29,6 +29,24 @@ pub trait Process<M>: Send {
     /// Handles one delivered message.
     fn on_message(&mut self, from: Pid, msg: M, out: &mut Outbox<M>);
 
+    /// Handles one delivered same-tick batch from `from`: every message
+    /// the batch carries, in send order. Implementations **must drain**
+    /// `msgs` completely; whatever they leave behind is discarded.
+    ///
+    /// The default forwards member-by-member to [`Process::on_message`],
+    /// which is always correct. Protocol engines override this to
+    /// amortize per-delivery work (routing-table probes, monotone
+    /// advance/pump fixpoints, event absorption) across the batch; such
+    /// overrides must produce the same final state and the same *set* of
+    /// sends as the member-by-member default — only the ordering of sends
+    /// within the batch may differ (any ordering is a legal asynchronous
+    /// schedule).
+    fn on_batch(&mut self, from: Pid, msgs: &mut Vec<M>, out: &mut Outbox<M>) {
+        for msg in msgs.drain(..) {
+            self.on_message(from, msg, out);
+        }
+    }
+
     /// Whether this process has produced its final output. Used by
     /// [`Simulation::run_until_all_done`] and the threaded runtime to stop
     /// early; defaults to `false` (run to quiescence).
@@ -45,6 +63,9 @@ impl<M> Process<M> for Box<dyn Process<M>> {
     }
     fn on_message(&mut self, from: Pid, msg: M, out: &mut Outbox<M>) {
         (**self).on_message(from, msg, out);
+    }
+    fn on_batch(&mut self, from: Pid, msgs: &mut Vec<M>, out: &mut Outbox<M>) {
+        (**self).on_batch(from, msgs, out);
     }
     fn done(&self) -> bool {
         (**self).done()

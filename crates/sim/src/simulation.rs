@@ -1,7 +1,37 @@
 //! The deterministic discrete-event simulation core.
+//!
+//! # Batched same-tick delivery
+//!
+//! A full n=7 SCC run moves ~1.6 × 10⁷ messages and holds ~10⁶ in flight
+//! at peak. Scheduling, queueing, and delivering those one by one was ~a
+//! quarter of the whole run (PR 3 profile), and the per-message queue
+//! entries were the largest block of cold memory in the process. Since
+//! PR 4 the unit of scheduling is the **per-recipient batch**: all
+//! messages one delivery event sends to the same recipient share a single
+//! delay draw, a single queue entry, and a single delivery callback
+//! ([`Process::on_batch`]). Message-level metrics (counts, bytes, kinds,
+//! latency, trace) are still recorded per member.
+//!
+//! This is a (mildly) *weaker* adversary than per-message scheduling —
+//! the scheduler picks one delivery time per `(event, recipient)` group,
+//! so it can no longer interleave two same-event messages to the same
+//! recipient with third-party traffic. Any batched schedule is still a
+//! legal asynchronous schedule, so protocol correctness properties are
+//! unaffected; tests that need the old granularity can turn batching off
+//! with [`Simulation::set_batching`].
+//!
+//! **Order equivalence.** With batching off, the simulator makes the
+//! *same scheduling decisions* (one delay draw and one `seq` per group)
+//! but stores each member as its own queue entry and reassembles the
+//! group at pop time. The two modes therefore produce **bit-identical
+//! runs** — same RNG stream, same delivery events, same decisions — and
+//! differ only in queue memory layout, which is exactly the machinery
+//! the batch rework replaced (`tests/tests/batching.rs` pins full-stack
+//! runs across both layouts).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -9,30 +39,35 @@ use sba_net::{Envelope, Outbox, Pid};
 
 use crate::{Metrics, Process, Scheduler, SimMsg};
 
-/// One scheduled delivery. Ordered by `(time, seq)`: `seq` is a global
-/// send counter, so equal-time deliveries happen in send order — fully
-/// deterministic.
-struct Delivery<M> {
+/// A batch spilled past the calendar window, ordered by `(at, seq)`.
+/// Overflow is rare (delays in this workspace are far below the window),
+/// so these hold their payloads in a plain `Vec`.
+struct OverflowBatch<M> {
     at: u64,
     seq: u64,
+    /// Member index within the batch's group (0 in batched mode):
+    /// breaks heap ties so reference-mode members migrate in order.
+    sub: u32,
     sent: u64,
-    env: Envelope<M>,
+    from: Pid,
+    to: Pid,
+    msgs: Vec<M>,
 }
 
-impl<M> PartialEq for Delivery<M> {
+impl<M> PartialEq for OverflowBatch<M> {
     fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
+        (self.at, self.seq, self.sub) == (other.at, other.seq, other.sub)
     }
 }
-impl<M> Eq for Delivery<M> {}
-impl<M> PartialOrd for Delivery<M> {
+impl<M> Eq for OverflowBatch<M> {}
+impl<M> PartialOrd for OverflowBatch<M> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Delivery<M> {
+impl<M> Ord for OverflowBatch<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.seq, self.sub).cmp(&(other.at, other.seq, other.sub))
     }
 }
 
@@ -45,57 +80,81 @@ const CALENDAR_WINDOW: u64 = 4096;
 /// Sentinel "null" arena index.
 const NIL: u32 = u32::MAX;
 
-/// One arena slot: a scheduled delivery plus the intrusive `next` link
-/// that threads it into its bucket's FIFO (when occupied) or into the
-/// free list (when vacant).
-struct Entry<M> {
+/// One queued batch: the shared `(at, seq, sent, from, to)` header plus
+/// an intrusive FIFO of payload slots, threaded into its bucket's entry
+/// chain (when queued) or the entry free list (when vacant).
+struct Entry {
     at: u64,
     seq: u64,
     sent: u64,
-    /// `Some` while the slot is queued; taken at pop, leaving the slot
-    /// on the free list for reuse.
-    env: Option<Envelope<M>>,
+    from: Pid,
+    to: Pid,
+    /// Head of the payload chain in the payload arena.
+    head: u32,
+    /// Member count.
+    len: u32,
+    /// Bucket chain (queued) or free list (vacant).
     next: u32,
 }
 
-/// The pending-delivery queue: a classic calendar queue over a slab
-/// arena.
+/// One payload slot: a message plus the intrusive link to the next
+/// member of its batch (or the next free slot).
+struct PaySlot<M> {
+    /// `Some` while queued; taken at pop, leaving the slot on the free
+    /// list for reuse.
+    msg: Option<M>,
+    next: u32,
+}
+
+/// A popped batch header (payloads are drained into the caller's scratch).
+struct PoppedBatch {
+    at: u64,
+    seq: u64,
+    sent: u64,
+    from: Pid,
+    to: Pid,
+    /// Member (message) count.
+    len: u32,
+    /// Queue entries merged into this event (> 1 only in the
+    /// per-message reference layout).
+    entries: u32,
+}
+
+/// The pending-delivery queue: a calendar queue over two slab arenas —
+/// one for batch entries, one for message payloads.
 ///
-/// Full protocol runs keep *hundreds of thousands* of envelopes in
-/// flight; a binary heap over that population costs a log-depth pointer
-/// chase through ~100 MB of cold memory on every push and pop, and at
-/// n = 7 that — not protocol arithmetic — dominated the simulator. Since
-/// deliveries are ordered by `(at, seq)` and `seq` is assigned in push
-/// order, a FIFO bucket per virtual tick reproduces the heap's order
-/// exactly: bucket scan order gives ascending `at`, and each bucket is
-/// pushed (hence popped) in ascending `seq`.
-///
-/// Queued deliveries live in one reusable **arena** (`entries` + a free
-/// list) instead of a separately-growing buffer per bucket: a bucket is
-/// just a `(head, tail)` pair of `u32` indices and entries thread
-/// through intrusive `next` links. The queue's memory is therefore one
-/// dense allocation sized by the *peak total* population (slots are
-/// recycled through the free list), instead of 4096 deques each holding
-/// its own high-water-mark capacity — and push/pop touch no allocator
+/// Full protocol runs keep *hundreds of thousands* of messages in
+/// flight. Storing them as individually-queued envelopes cost one fat
+/// queue entry per message; batching shares one [`Entry`] per
+/// `(tick, from, to)` group, and the payloads pack densely into a
+/// recycled [`PaySlot`] arena — the queue's memory is two dense
+/// allocations sized by the *peak* population, with no allocator traffic
 /// at steady state.
+///
+/// Order: deliveries are ordered by `(at, seq)` where `seq` is assigned
+/// in push order, so a FIFO bucket per virtual tick reproduces a heap's
+/// order exactly (bucket scan order gives ascending `at`; each bucket is
+/// pushed, hence popped, in ascending `seq`).
 struct EventQueue<M> {
-    /// `ring[at % CALENDAR_WINDOW]` is the `(head, tail)` of the FIFO
-    /// for time `at`, for `at ∈ [cursor, cursor + CALENDAR_WINDOW)`.
-    /// Within a bucket, entries are in push (= `seq`) order.
+    /// `ring[at % CALENDAR_WINDOW]` is the `(head, tail)` of the entry
+    /// FIFO for time `at`, for `at ∈ [cursor, cursor + CALENDAR_WINDOW)`.
     ring: Vec<(u32, u32)>,
-    /// The slab arena holding every in-window delivery.
-    entries: Vec<Entry<M>>,
-    /// Head of the vacant-slot free list (threaded through `next`).
-    free: u32,
-    /// Entries beyond the window, ordered by `(at, seq)`; migrated into
-    /// the ring as the cursor advances.
-    overflow: BinaryHeap<Reverse<Delivery<M>>>,
-    /// Entries currently in the ring.
+    /// The batch-entry arena.
+    entries: Vec<Entry>,
+    /// Head of the vacant-entry free list.
+    free_entry: u32,
+    /// The payload arena.
+    pay: Vec<PaySlot<M>>,
+    /// Head of the vacant-payload free list.
+    free_pay: u32,
+    /// Batches beyond the window; migrated into the ring as the cursor
+    /// advances.
+    overflow: BinaryHeap<Reverse<OverflowBatch<M>>>,
+    /// Batches currently in the ring.
     ring_len: usize,
-    /// Lower bound of the window; never decreases, and no entry with
-    /// `at < cursor` exists.
+    /// Lower bound of the window; never decreases.
     cursor: u64,
-    /// Total entries (ring + overflow).
+    /// Total batches (ring + overflow).
     len: usize,
 }
 
@@ -104,7 +163,9 @@ impl<M> EventQueue<M> {
         EventQueue {
             ring: vec![(NIL, NIL); CALENDAR_WINDOW as usize],
             entries: Vec::new(),
-            free: NIL,
+            free_entry: NIL,
+            pay: Vec::new(),
+            free_pay: NIL,
             overflow: BinaryHeap::new(),
             ring_len: 0,
             cursor: 0,
@@ -116,55 +177,108 @@ impl<M> EventQueue<M> {
         self.len == 0
     }
 
-    /// Appends a delivery to its bucket's FIFO, reusing a free arena slot
-    /// when one exists.
-    fn push_bucket(&mut self, d: Delivery<M>) {
-        let Delivery { at, seq, sent, env } = d;
-        let idx = if self.free != NIL {
-            let idx = self.free;
-            let e = &mut self.entries[idx as usize];
-            self.free = e.next;
-            *e = Entry {
-                at,
-                seq,
-                sent,
-                env: Some(env),
+    fn alloc_pay(&mut self, msg: M) -> u32 {
+        if self.free_pay != NIL {
+            let idx = self.free_pay;
+            let slot = &mut self.pay[idx as usize];
+            self.free_pay = slot.next;
+            slot.msg = Some(msg);
+            slot.next = NIL;
+            idx
+        } else {
+            assert!(self.pay.len() < NIL as usize, "payload arena overflow");
+            self.pay.push(PaySlot {
+                msg: Some(msg),
                 next: NIL,
-            };
+            });
+            (self.pay.len() - 1) as u32
+        }
+    }
+
+    /// Appends a batch to its bucket's FIFO, moving its payloads into the
+    /// payload arena.
+    fn push_bucket(
+        &mut self,
+        at: u64,
+        seq: u64,
+        sent: u64,
+        from: Pid,
+        to: Pid,
+        msgs: impl Iterator<Item = M>,
+    ) {
+        let (mut head, mut tail, mut count) = (NIL, NIL, 0u32);
+        for msg in msgs {
+            let idx = self.alloc_pay(msg);
+            if head == NIL {
+                head = idx;
+            } else {
+                self.pay[tail as usize].next = idx;
+            }
+            tail = idx;
+            count += 1;
+        }
+        debug_assert!(count > 0, "empty batches are never scheduled");
+        let _ = tail; // the chain is walked from `head`; tail is build-local
+        let entry = Entry {
+            at,
+            seq,
+            sent,
+            from,
+            to,
+            head,
+            len: count,
+            next: NIL,
+        };
+        let idx = if self.free_entry != NIL {
+            let idx = self.free_entry;
+            self.free_entry = self.entries[idx as usize].next;
+            self.entries[idx as usize] = entry;
             idx
         } else {
             assert!(self.entries.len() < NIL as usize, "event arena overflow");
-            self.entries.push(Entry {
-                at,
-                seq,
-                sent,
-                env: Some(env),
-                next: NIL,
-            });
+            self.entries.push(entry);
             (self.entries.len() - 1) as u32
         };
         let bucket = &mut self.ring[(at % CALENDAR_WINDOW) as usize];
         if bucket.0 == NIL {
             *bucket = (idx, idx);
         } else {
-            let tail = bucket.1;
-            self.entries[tail as usize].next = idx;
+            let t = bucket.1;
+            self.entries[t as usize].next = idx;
             bucket.1 = idx;
         }
         self.ring_len += 1;
     }
 
-    fn push(&mut self, d: Delivery<M>) {
-        debug_assert!(d.at >= self.cursor, "push into the past");
+    #[allow(clippy::too_many_arguments)] // a batch header is just wide
+    fn push(
+        &mut self,
+        at: u64,
+        seq: u64,
+        sub: u32,
+        sent: u64,
+        from: Pid,
+        to: Pid,
+        msgs: impl Iterator<Item = M>,
+    ) {
+        debug_assert!(at >= self.cursor, "push into the past");
         self.len += 1;
-        if d.at < self.cursor + CALENDAR_WINDOW {
-            self.push_bucket(d);
+        if at < self.cursor + CALENDAR_WINDOW {
+            self.push_bucket(at, seq, sent, from, to, msgs);
         } else {
-            self.overflow.push(Reverse(d));
+            self.overflow.push(Reverse(OverflowBatch {
+                at,
+                seq,
+                sub,
+                sent,
+                from,
+                to,
+                msgs: msgs.collect(),
+            }));
         }
     }
 
-    /// Moves overflow entries that the advancing window now covers into
+    /// Moves overflow batches that the advancing window now covers into
     /// their ring buckets. Overflow pops ascend in `(at, seq)`, and any
     /// in-window push to the same bucket has a later `seq`, so bucket
     /// FIFO order is preserved.
@@ -173,41 +287,54 @@ impl<M> EventQueue<M> {
             if head.at >= self.cursor + CALENDAR_WINDOW {
                 break;
             }
-            let Reverse(d) = self.overflow.pop().expect("peeked");
-            self.push_bucket(d);
+            let Reverse(b) = self.overflow.pop().expect("peeked");
+            self.push_bucket(b.at, b.seq, b.sent, b.from, b.to, b.msgs.into_iter());
         }
     }
 
-    /// Detaches and returns the head of the current cursor's bucket,
-    /// recycling its arena slot.
-    fn pop_bucket(&mut self) -> Option<Delivery<M>> {
+    /// Detaches the head batch of the current cursor's bucket, draining
+    /// its payloads (in order) into `scratch` and recycling both arenas'
+    /// slots.
+    fn pop_bucket(&mut self, scratch: &mut Vec<M>) -> Option<PoppedBatch> {
         let bucket = &mut self.ring[(self.cursor % CALENDAR_WINDOW) as usize];
         let head = bucket.0;
         if head == NIL {
             return None;
         }
-        let e = &mut self.entries[head as usize];
-        let env = e.env.take().expect("queued slots hold an envelope");
-        let d = Delivery {
+        let e = &self.entries[head as usize];
+        let popped = PoppedBatch {
             at: e.at,
             seq: e.seq,
             sent: e.sent,
-            env,
+            from: e.from,
+            to: e.to,
+            len: e.len,
+            entries: 1,
         };
-        let next = e.next;
-        e.next = self.free;
-        self.free = head;
+        let mut p = e.head;
+        let next_entry = e.next;
+        while p != NIL {
+            let slot = &mut self.pay[p as usize];
+            scratch.push(slot.msg.take().expect("queued slots hold a message"));
+            let next = slot.next;
+            slot.next = self.free_pay;
+            self.free_pay = p;
+            p = next;
+        }
+        let e = &mut self.entries[head as usize];
+        e.next = self.free_entry;
+        self.free_entry = head;
         let bucket = &mut self.ring[(self.cursor % CALENDAR_WINDOW) as usize];
-        if next == NIL {
+        if next_entry == NIL {
             *bucket = (NIL, NIL);
         } else {
-            bucket.0 = next;
+            bucket.0 = next_entry;
         }
         self.ring_len -= 1;
-        Some(d)
+        Some(popped)
     }
 
-    fn pop(&mut self) -> Option<Delivery<M>> {
+    fn pop(&mut self, scratch: &mut Vec<M>) -> Option<PoppedBatch> {
         if self.len == 0 {
             return None;
         }
@@ -217,14 +344,51 @@ impl<M> EventQueue<M> {
             self.migrate();
         }
         loop {
-            if let Some(d) = self.pop_bucket() {
+            if let Some(mut b) = self.pop_bucket(scratch) {
                 self.len -= 1;
-                return Some(d);
+                // Reference (unbatched-layout) mode stores one entry per
+                // member, all stamped with their group's seq; reassemble
+                // them here so both layouts produce identical delivery
+                // events. Batched entries never share a seq, so this
+                // loop is a no-op for them.
+                loop {
+                    let head = self.ring[(self.cursor % CALENDAR_WINDOW) as usize].0;
+                    if head == NIL {
+                        break;
+                    }
+                    let e = &self.entries[head as usize];
+                    if (e.at, e.seq, e.from, e.to) != (b.at, b.seq, b.from, b.to) {
+                        break;
+                    }
+                    let tail = self.pop_bucket(scratch).expect("head checked");
+                    self.len -= 1;
+                    b.len += tail.len;
+                    b.entries += tail.entries;
+                }
+                return Some(b);
             }
             self.cursor += 1;
             self.migrate();
         }
     }
+
+    /// `(batch entry, payload slot)` footprint in bytes — the basis of
+    /// the approximate in-flight byte gauge.
+    fn slot_sizes() -> (usize, usize) {
+        (
+            std::mem::size_of::<Entry>(),
+            std::mem::size_of::<PaySlot<M>>(),
+        )
+    }
+}
+
+/// `(batch entry, payload slot)` sizes in bytes of the in-flight queue
+/// arenas for message type `M` — the unit costs behind
+/// [`Metrics::inflight_peak_bytes`], exposed so the wire-size tests can
+/// pin them (every byte here is multiplied by the ~10⁶-message peak
+/// in-flight population of a full run).
+pub fn queue_slot_sizes<M>() -> (usize, usize) {
+    EventQueue::<M>::slot_sizes()
 }
 
 /// How a run loop ended.
@@ -239,7 +403,8 @@ pub struct RunOutcome {
     pub events: u64,
 }
 
-/// One recorded delivery (when tracing is enabled).
+/// One recorded delivery (when tracing is enabled). Batched deliveries
+/// record one entry per member.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Virtual delivery time.
@@ -254,12 +419,20 @@ pub struct TraceEntry {
     pub kind: &'static str,
 }
 
+/// An open per-recipient group while one outbox drain is being scheduled.
+struct OpenGroup<M> {
+    to: Pid,
+    at: u64,
+    msgs: Vec<M>,
+}
+
 /// A deterministic simulation of `n` processes exchanging messages under
 /// an adversarial scheduler.
 ///
 /// Process at vector index `k` is `Pid k+1`. Self-addressed envelopes are
 /// delivered immediately (a process never waits on its own messages);
-/// everything else is scheduled by the adversary.
+/// everything else is scheduled by the adversary — one delay draw per
+/// `(event, recipient)` group (see the module docs).
 pub struct Simulation<M, P = Box<dyn Process<M>>> {
     procs: Vec<P>,
     queue: EventQueue<M>,
@@ -269,11 +442,22 @@ pub struct Simulation<M, P = Box<dyn Process<M>>> {
     now: u64,
     seq: u64,
     started: bool,
+    batching: bool,
     trace: Option<(usize, std::collections::VecDeque<TraceEntry>)>,
     /// Reusable per-delivery outbox (capacity survives across events).
     outbox: Outbox<M>,
     /// Reusable self-delivery queue for [`Simulation::dispatch_outbox`].
     local: VecDeque<Envelope<M>>,
+    /// Reusable open-group table for one outbox drain (≤ n entries).
+    open: Vec<OpenGroup<M>>,
+    /// Pool of payload buffers recycled through `open`.
+    group_bufs: Vec<Vec<M>>,
+    /// Reusable batch-payload scratch for [`Simulation::step`].
+    batch_scratch: Vec<M>,
+    /// Messages currently in flight (excludes self-deliveries).
+    inflight_msgs: u64,
+    /// Batches currently in flight.
+    inflight_batches: u64,
 }
 
 impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
@@ -291,10 +475,30 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
             now: 0,
             seq: 0,
             started: false,
+            batching: true,
             trace: None,
             outbox: Outbox::new(Pid::new(1)),
             local: VecDeque::new(),
+            open: Vec::new(),
+            group_bufs: Vec::new(),
+            batch_scratch: Vec::new(),
+            inflight_msgs: 0,
+            inflight_batches: 0,
         }
+    }
+
+    /// Enables or disables per-recipient delivery batching (on by
+    /// default). With batching off, every group member becomes its own
+    /// queue entry — same scheduler draws, same delivery order, one
+    /// [`Process::on_batch`] call per message. This is the reference
+    /// mode the order-equivalence test compares against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn set_batching(&mut self, enabled: bool) {
+        assert!(!self.started, "set_batching must precede the first event");
+        self.batching = enabled;
     }
 
     /// Enables delivery tracing with a bounded ring buffer of `capacity`
@@ -348,53 +552,102 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
         self.procs.iter().all(|p| p.done())
     }
 
-    fn dispatch_outbox(&mut self, out: &mut Outbox<M>) {
-        // Self-sends are delivered synchronously (FIFO), modelling local
-        // computation; network sends go through the adversary. Both the
-        // local queue and the inner outbox are reused across events so the
-        // dispatch loop allocates nothing at steady state.
-        let mut local = std::mem::take(&mut self.local);
+    /// Updates the peak-resident gauges after a push.
+    fn note_inflight(&mut self) {
+        let (entry_b, pay_b) = EventQueue::<M>::slot_sizes();
+        self.metrics.inflight_peak_msgs = self.metrics.inflight_peak_msgs.max(self.inflight_msgs);
+        self.metrics.inflight_peak_batches = self
+            .metrics
+            .inflight_peak_batches
+            .max(self.inflight_batches);
+        let bytes = self.inflight_batches * entry_b as u64 + self.inflight_msgs * pay_b as u64;
+        self.metrics.inflight_peak_bytes = self.metrics.inflight_peak_bytes.max(bytes);
+    }
+
+    /// Schedules one drained outbox pass: groups network sends per
+    /// recipient (one scheduler draw per group, on the group's first
+    /// envelope), queues self-sends onto `local`.
+    fn schedule_pass(&mut self, out: &mut Outbox<M>, local: &mut VecDeque<Envelope<M>>) {
+        let mut open = std::mem::take(&mut self.open);
         for env in out.drain_iter() {
             if env.to == env.from {
                 local.push_back(env);
-            } else {
-                self.schedule(env);
+                continue;
+            }
+            let to = env.to.index() as usize;
+            assert!(
+                to >= 1 && to <= self.procs.len(),
+                "message addressed to unknown process {to}"
+            );
+            self.metrics.record_send(env.msg.kind(), env.msg.wire_len());
+            match open.iter_mut().find(|g| g.to == env.to) {
+                Some(g) => g.msgs.push(env.msg),
+                None => {
+                    let at = self
+                        .scheduler
+                        .delivery_time(&env, self.now, &mut self.rng)
+                        .max(self.now + 1);
+                    let mut msgs = self.group_bufs.pop().unwrap_or_default();
+                    let to = env.to;
+                    msgs.push(env.msg);
+                    open.push(OpenGroup { to, at, msgs });
+                }
             }
         }
+        for g in open.iter_mut() {
+            let from = out.me();
+            self.seq += 1;
+            if self.batching {
+                let k = g.msgs.len() as u64;
+                self.queue
+                    .push(g.at, self.seq, 0, self.now, from, g.to, g.msgs.drain(..));
+                self.metrics.batches_sent += 1;
+                self.inflight_msgs += k;
+                self.inflight_batches += 1;
+            } else {
+                // Reference (unbatched-layout) mode: same delay draw,
+                // same group seq, but one singleton entry per member —
+                // the pop path reassembles them, so the delivered
+                // schedule is identical and only the queue layout
+                // differs.
+                for (sub, msg) in g.msgs.drain(..).enumerate() {
+                    self.queue.push(
+                        g.at,
+                        self.seq,
+                        sub as u32,
+                        self.now,
+                        from,
+                        g.to,
+                        std::iter::once(msg),
+                    );
+                    self.metrics.batches_sent += 1;
+                    self.inflight_msgs += 1;
+                    self.inflight_batches += 1;
+                }
+            }
+        }
+        self.note_inflight();
+        for g in open.drain(..) {
+            self.group_bufs.push(g.msgs);
+        }
+        self.open = open;
+    }
+
+    fn dispatch_outbox(&mut self, out: &mut Outbox<M>) {
+        // Self-sends are delivered synchronously (FIFO), modelling local
+        // computation; network sends go through the adversary, grouped
+        // per recipient per pass. All buffers are reused across events so
+        // the dispatch loop allocates nothing at steady state.
+        let mut local = std::mem::take(&mut self.local);
+        self.schedule_pass(out, &mut local);
         while let Some(env) = local.pop_front() {
             self.metrics.self_deliveries += 1;
             let idx = (env.to.index() - 1) as usize;
             out.reset(env.to);
             self.procs[idx].on_message(env.from, env.msg, out);
-            for e2 in out.drain_iter() {
-                if e2.to == e2.from {
-                    local.push_back(e2);
-                } else {
-                    self.schedule(e2);
-                }
-            }
+            self.schedule_pass(out, &mut local);
         }
         self.local = local;
-    }
-
-    fn schedule(&mut self, env: Envelope<M>) {
-        let to = env.to.index() as usize;
-        assert!(
-            to >= 1 && to <= self.procs.len(),
-            "message addressed to unknown process {to}"
-        );
-        self.metrics.record_send(env.msg.kind(), env.msg.wire_len());
-        let at = self
-            .scheduler
-            .delivery_time(&env, self.now, &mut self.rng)
-            .max(self.now + 1);
-        self.seq += 1;
-        self.queue.push(Delivery {
-            at,
-            seq: self.seq,
-            sent: self.now,
-            env,
-        });
     }
 
     fn start_if_needed(&mut self) {
@@ -412,41 +665,54 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
         }
     }
 
-    /// Delivers exactly one scheduled event. Returns `false` when the
+    /// Delivers exactly one scheduled batch. Returns `false` when the
     /// queue is empty.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
-        let Some(d) = self.queue.pop() else {
+        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        scratch.clear();
+        let Some(b) = self.queue.pop(&mut scratch) else {
+            // Quiescent: the in-flight gauges must balance exactly (this
+            // is what keeps the peak gauges trustworthy).
+            debug_assert_eq!(self.inflight_msgs, 0, "in-flight message gauge leaked");
+            debug_assert_eq!(self.inflight_batches, 0, "in-flight batch gauge leaked");
+            self.batch_scratch = scratch;
             return false;
         };
-        self.now = d.at;
+        self.inflight_msgs -= u64::from(b.len);
+        self.inflight_batches -= u64::from(b.entries);
+        self.now = b.at;
         self.metrics.virtual_time = self.now;
         self.metrics.events += 1;
-        self.metrics.messages_delivered += 1;
-        self.metrics.record_latency(d.at - d.sent);
+        self.metrics.messages_delivered += u64::from(b.len);
+        self.metrics.record_latency(b.at - b.sent, u64::from(b.len));
         if let Some((cap, q)) = &mut self.trace {
-            if q.len() == *cap {
-                q.pop_front();
+            for msg in &scratch {
+                if q.len() == *cap {
+                    q.pop_front();
+                }
+                q.push_back(TraceEntry {
+                    at: b.at,
+                    sent: b.sent,
+                    from: b.from,
+                    to: b.to,
+                    kind: msg.kind(),
+                });
             }
-            q.push_back(TraceEntry {
-                at: d.at,
-                sent: d.sent,
-                from: d.env.from,
-                to: d.env.to,
-                kind: d.env.msg.kind(),
-            });
         }
-        let idx = (d.env.to.index() - 1) as usize;
-        let mut out = std::mem::replace(&mut self.outbox, Outbox::new(d.env.to));
-        out.reset(d.env.to);
-        self.procs[idx].on_message(d.env.from, d.env.msg, &mut out);
+        let idx = (b.to.index() - 1) as usize;
+        let mut out = std::mem::replace(&mut self.outbox, Outbox::new(b.to));
+        out.reset(b.to);
+        self.procs[idx].on_batch(b.from, &mut scratch, &mut out);
+        scratch.clear(); // the contract says drained; be defensive
+        self.batch_scratch = scratch;
         self.dispatch_outbox(&mut out);
         self.outbox = out;
         true
     }
 
-    /// Runs until no messages are in flight or `max_events` deliveries
-    /// happened.
+    /// Runs until no messages are in flight or `max_events` batch
+    /// deliveries happened.
     pub fn run_to_quiescence(&mut self, max_events: u64) -> RunOutcome {
         let start_events = self.metrics.events;
         self.start_if_needed();
@@ -620,6 +886,43 @@ mod tests {
         let outcome = sim.run_to_quiescence(7);
         assert!(!outcome.quiescent);
         assert_eq!(outcome.events, 7);
+    }
+
+    /// Same-event sends to one recipient share one queue entry; the
+    /// gauges see the difference while per-message metrics do not.
+    #[test]
+    fn batches_coalesce_same_event_same_recipient_sends() {
+        let mut sim = Simulation::new(pingers(2, 10), schedulers::fifo(), 3);
+        sim.run_to_quiescence(100);
+        let m = sim.metrics();
+        assert_eq!(m.messages_sent, 20);
+        assert_eq!(m.messages_delivered, 20);
+        // Each pinger's 10 sends to the other form exactly one batch.
+        assert_eq!(m.batches_sent, 2);
+        assert_eq!(m.events, 2);
+        assert_eq!(m.inflight_peak_msgs, 20);
+        assert_eq!(m.inflight_peak_batches, 2);
+        assert!(m.inflight_peak_bytes > 0);
+    }
+
+    /// The reference layout queues singleton entries (20 of them) but
+    /// reassembles groups at pop time, so the delivered *events* match
+    /// the batched mode exactly (pinned in full by
+    /// `tests/tests/batching.rs`; this is the unit-level smoke check).
+    #[test]
+    fn unbatched_layout_delivers_identical_events() {
+        let mut sim = Simulation::new(pingers(2, 10), schedulers::fifo(), 3);
+        sim.set_batching(false);
+        sim.run_to_quiescence(100);
+        let m = sim.metrics();
+        assert_eq!(m.messages_delivered, 20);
+        assert_eq!(m.batches_sent, 20, "one queue entry per message");
+        assert_eq!(m.events, 2, "but the same two delivery events");
+        assert_eq!(m.inflight_peak_msgs, 20);
+        assert_eq!(
+            m.inflight_peak_batches, 20,
+            "reference layout counts every singleton entry"
+        );
     }
 
     #[test]

@@ -28,6 +28,9 @@ type TamperFn<M> = Box<dyn FnMut(Pid, &M) -> Tamper<M> + Send>;
 pub struct TamperProcess<P, M> {
     inner: P,
     tamper: TamperFn<M>,
+    /// Reusable scratch outbox for the inner process's raw sends
+    /// (allocation-free per delivery event).
+    raw: Outbox<M>,
 }
 
 impl<P, M> TamperProcess<P, M> {
@@ -37,6 +40,7 @@ impl<P, M> TamperProcess<P, M> {
         TamperProcess {
             inner,
             tamper: Box::new(tamper),
+            raw: Outbox::new(Pid::new(1)),
         }
     }
 
@@ -46,11 +50,11 @@ impl<P, M> TamperProcess<P, M> {
     }
 }
 
-impl<P: Process<M>, M: Clone> Process<M> for TamperProcess<P, M> {
-    fn on_start(&mut self, out: &mut Outbox<M>) {
-        let mut raw = Outbox::new(out.me());
-        self.inner.on_start(&mut raw);
-        for env in raw.drain() {
+impl<P, M> TamperProcess<P, M> {
+    /// Applies the tamper function to every message in `raw`, forwarding
+    /// the survivors (and replacements) into `out`.
+    fn forward(&mut self, raw: &mut Outbox<M>, out: &mut Outbox<M>) {
+        for env in raw.drain_iter() {
             match (self.tamper)(env.to, &env.msg) {
                 Tamper::Keep => out.send(env.to, env.msg),
                 Tamper::Drop => {}
@@ -62,21 +66,33 @@ impl<P: Process<M>, M: Clone> Process<M> for TamperProcess<P, M> {
             }
         }
     }
+}
+
+impl<P: Process<M>, M: Clone + Send> Process<M> for TamperProcess<P, M> {
+    fn on_start(&mut self, out: &mut Outbox<M>) {
+        let mut raw = std::mem::replace(&mut self.raw, Outbox::new(out.me()));
+        raw.reset(out.me());
+        self.inner.on_start(&mut raw);
+        self.forward(&mut raw, out);
+        self.raw = raw;
+    }
 
     fn on_message(&mut self, from: Pid, msg: M, out: &mut Outbox<M>) {
-        let mut raw = Outbox::new(out.me());
+        let mut raw = std::mem::replace(&mut self.raw, Outbox::new(out.me()));
+        raw.reset(out.me());
         self.inner.on_message(from, msg, &mut raw);
-        for env in raw.drain() {
-            match (self.tamper)(env.to, &env.msg) {
-                Tamper::Keep => out.send(env.to, env.msg),
-                Tamper::Drop => {}
-                Tamper::Replace(list) => {
-                    for m in list {
-                        out.send(env.to, m);
-                    }
-                }
-            }
-        }
+        self.forward(&mut raw, out);
+        self.raw = raw;
+    }
+
+    fn on_batch(&mut self, from: Pid, msgs: &mut Vec<M>, out: &mut Outbox<M>) {
+        // Forward the batch intact (the inner engine keeps its batch
+        // amortization); tamper each resulting send as usual.
+        let mut raw = std::mem::replace(&mut self.raw, Outbox::new(out.me()));
+        raw.reset(out.me());
+        self.inner.on_batch(from, msgs, &mut raw);
+        self.forward(&mut raw, out);
+        self.raw = raw;
     }
 
     fn done(&self) -> bool {

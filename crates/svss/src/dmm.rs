@@ -22,6 +22,8 @@ use std::collections::BTreeSet;
 use sba_field::Field;
 use sba_net::{FastMap, MwId, Pid, SvssId};
 
+pub use sba_net::SessionKey;
+
 /// What to do with an incoming message, per the DMM rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Verdict {
@@ -34,18 +36,10 @@ pub enum Verdict {
     Act,
 }
 
-/// A VSS session for the purposes of the `→_i` order: either one MW-SVSS
-/// invocation (the granularity at which ACK/DEAL expectations live — a
-/// never-reconstructed MW invocation must never block later sessions,
-/// since its expectations legitimately stay open), or one enclosing SVSS
-/// session (for its own `Rows`/`G`-set messages).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum SessionKey {
-    /// An MW-SVSS invocation.
-    Mw(MwId),
-    /// An SVSS session.
-    Svss(SvssId),
-}
+// `SessionKey` (a VSS session for the purposes of the `→_i` order —
+// either one MW-SVSS invocation or one enclosing SVSS session) moved to
+// `sba-net` with the flat wire format; re-exported above for source
+// compatibility.
 
 /// The per-process DMM state.
 #[derive(Clone, Debug)]

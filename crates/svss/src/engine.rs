@@ -15,10 +15,11 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sba_broadcast::{Params, RbMux};
+use sba_broadcast::{MuxMsg, Params, RbDelivery, RbMux};
 use sba_field::{Domain, Field};
-use sba_net::{FastMap, MwId, Pid, ProcessSet, SvssId};
+use sba_net::{FastMap, MwId, Pid, ProcessSet, SlotView, SvssId, Unpacked};
 
+use crate::messages::{mux_of_parts, wire_of_mux};
 use crate::{
     Dmm, Mw, MwIn, MwOut, Reconstructed, SessionKey, Svss, SvssCtx, SvssMsg, SvssOut, SvssPriv,
     SvssRbValue, SvssSlot, Verdict,
@@ -91,6 +92,11 @@ pub struct SvssEngine<F: Field> {
     pending: Vec<(Pid, Inner<F>)>,
     pending_version: u64,
     events: Vec<SvssEvent<F>>,
+    /// Reusable batch-routing buffers for [`SvssEngine::on_batch`]
+    /// (capacity survives across deliveries; allocation-free steady
+    /// state).
+    rb_run: Vec<MuxMsg<SvssSlot, SvssRbValue<F>>>,
+    rb_deliveries: Vec<RbDelivery<SvssSlot, SvssRbValue<F>>>,
 }
 
 impl<F: Field> SvssEngine<F> {
@@ -124,6 +130,8 @@ impl<F: Field> SvssEngine<F> {
             pending: Vec::new(),
             pending_version: 0,
             events: Vec::new(),
+            rb_run: Vec::new(),
+            rb_deliveries: Vec::new(),
         }
     }
 
@@ -301,34 +309,113 @@ impl<F: Field> SvssEngine<F> {
 
     /// Feeds one delivered network message.
     pub fn on_message(&mut self, from: Pid, msg: SvssMsg<F>, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
-        match msg {
-            SvssMsg::Rb(m) => {
-                let delivery = self.mux.on_message_with(from, m, sends, SvssMsg::Rb);
+        self.ingest(from, msg, sends);
+        self.finish(sends);
+    }
+
+    /// Feeds a whole same-sender delivery batch (drained from `msgs`),
+    /// then runs the delayed-message rescan **once** instead of once per
+    /// member. RB members are routed through the mux's batch path, which
+    /// amortizes the slot-index probe across consecutive same-slot steps.
+    ///
+    /// Observationally this produces the same machine state and the same
+    /// *set* of sends as feeding the members one at a time; only the
+    /// ordering of sends within the batch may differ (RB relays of later
+    /// members can precede the machine advances of earlier ones), which is
+    /// just another legal asynchronous schedule.
+    pub fn on_batch(
+        &mut self,
+        from: Pid,
+        msgs: &mut Vec<SvssMsg<F>>,
+        sends: &mut Vec<(Pid, SvssMsg<F>)>,
+    ) {
+        let mut run: Vec<MuxMsg<SvssSlot, SvssRbValue<F>>> = std::mem::take(&mut self.rb_run);
+        let mut deliveries: Vec<RbDelivery<SvssSlot, SvssRbValue<F>>> =
+            std::mem::take(&mut self.rb_deliveries);
+        for msg in msgs.drain(..) {
+            match msg.unpack() {
+                Unpacked::Rb {
+                    slot,
+                    origin,
+                    step,
+                    value,
+                } => run.push(mux_of_parts(slot, origin, step, value)),
+                Unpacked::Priv(p) => {
+                    self.flush_rb_run(from, &mut run, &mut deliveries, sends);
+                    self.route(from, Inner::Priv(p), sends);
+                }
+                // Coin-layer RB traffic is routed by the coin engine; a
+                // copy reaching a bare SVSS engine is foreign and inert.
+                Unpacked::CoinRb { .. } => {}
+            }
+        }
+        self.flush_rb_run(from, &mut run, &mut deliveries, sends);
+        self.rb_run = run;
+        self.rb_deliveries = deliveries;
+        self.finish(sends);
+    }
+
+    /// Routes the buffered RB members through the mux (batch path), then
+    /// handles the resulting acceptances in order.
+    fn flush_rb_run(
+        &mut self,
+        from: Pid,
+        run: &mut Vec<MuxMsg<SvssSlot, SvssRbValue<F>>>,
+        deliveries: &mut Vec<RbDelivery<SvssSlot, SvssRbValue<F>>>,
+        sends: &mut Vec<(Pid, SvssMsg<F>)>,
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        self.mux
+            .on_batch_with(from, run.drain(..), sends, wire_of_mux, deliveries);
+        for d in deliveries.drain(..) {
+            self.handle_rb_delivery(d, sends);
+        }
+    }
+
+    fn ingest(&mut self, from: Pid, msg: SvssMsg<F>, sends: &mut Vec<(Pid, SvssMsg<F>)>) {
+        match msg.unpack() {
+            Unpacked::Rb {
+                slot,
+                origin,
+                step,
+                value,
+            } => {
+                let m = mux_of_parts(slot, origin, step, value);
+                let delivery = self.mux.on_message_with(from, m, sends, wire_of_mux);
                 if let Some(d) = delivery {
-                    if !self.valid_pid(d.origin) {
-                        return; // forged origin: no such process
-                    }
-                    // DMM rules 2/3: detection fires on every reconstruct
-                    // broadcast, before (and regardless of) the verdict.
-                    if let (SvssSlot::MwRecon(mw, poly), SvssRbValue::Value(v)) = (d.tag, &d.value)
-                    {
-                        let log = !self.mw_outputs.contains_key(&mw);
-                        self.dmm.observe_recon(mw, d.origin, poly, *v, log);
-                    }
-                    self.route(
-                        d.origin,
-                        Inner::Deliv {
-                            slot: d.tag,
-                            origin: d.origin,
-                            value: d.value,
-                        },
-                        sends,
-                    );
+                    self.handle_rb_delivery(d, sends);
                 }
             }
-            SvssMsg::Priv(p) => self.route(from, Inner::Priv(p), sends),
+            Unpacked::Priv(p) => self.route(from, Inner::Priv(p), sends),
+            Unpacked::CoinRb { .. } => {} // foreign layer: inert (see on_batch)
         }
-        self.finish(sends);
+    }
+
+    fn handle_rb_delivery(
+        &mut self,
+        d: RbDelivery<SvssSlot, SvssRbValue<F>>,
+        sends: &mut Vec<(Pid, SvssMsg<F>)>,
+    ) {
+        if !self.valid_pid(d.origin) {
+            return; // forged origin: no such process
+        }
+        // DMM rules 2/3: detection fires on every reconstruct
+        // broadcast, before (and regardless of) the verdict.
+        if let (SlotView::MwRecon(mw, poly), SvssRbValue::Value(v)) = (d.tag.view(), &d.value) {
+            let log = !self.mw_outputs.contains_key(&mw);
+            self.dmm.observe_recon(mw, d.origin, poly, *v, log);
+        }
+        self.route(
+            d.origin,
+            Inner::Deliv {
+                slot: d.tag,
+                origin: d.origin,
+                value: d.value,
+            },
+            sends,
+        );
     }
 
     /// DMM rules 4/5: discard, buffer, or act.
@@ -402,20 +489,20 @@ impl<F: Field> SvssEngine<F> {
                 slot,
                 origin,
                 value,
-            } => match (slot, value) {
-                (SvssSlot::MwAck(m), SvssRbValue::Unit) => {
+            } => match (slot.view(), value) {
+                (SlotView::MwAck(m), SvssRbValue::Unit) => {
                     self.feed_mw(m, MwIn::AckDelivered { origin }, sends)
                 }
-                (SvssSlot::MwL(m), SvssRbValue::Set(set)) => {
+                (SlotView::MwL(m), SvssRbValue::Set(set)) => {
                     self.feed_mw(m, MwIn::LDelivered { origin, set }, sends)
                 }
-                (SvssSlot::MwM(m), SvssRbValue::Set(set)) => {
+                (SlotView::MwM(m), SvssRbValue::Set(set)) => {
                     self.feed_mw(m, MwIn::MDelivered { origin, set }, sends)
                 }
-                (SvssSlot::MwOk(m), SvssRbValue::Unit) => {
+                (SlotView::MwOk(m), SvssRbValue::Unit) => {
                     self.feed_mw(m, MwIn::OkDelivered { origin }, sends)
                 }
-                (SvssSlot::MwRecon(m, poly), SvssRbValue::Value(value)) => self.feed_mw(
+                (SlotView::MwRecon(m, poly), SvssRbValue::Value(value)) => self.feed_mw(
                     m,
                     MwIn::ReconDelivered {
                         origin,
@@ -424,7 +511,7 @@ impl<F: Field> SvssEngine<F> {
                     },
                     sends,
                 ),
-                (SvssSlot::Gsets(session), SvssRbValue::Gsets(body)) => {
+                (SlotView::Gsets(session), SvssRbValue::Gsets(body)) => {
                     self.dmm.session_started(SessionKey::Svss(session));
                     let n = self.params.n();
                     let t = self.params.t();
@@ -487,9 +574,9 @@ impl<F: Field> SvssEngine<F> {
     ) {
         for o in outs {
             match o {
-                MwOut::Send(to, p) => sends.push((to, SvssMsg::Priv(p))),
+                MwOut::Send(to, p) => sends.push((to, SvssMsg::private(p))),
                 MwOut::Broadcast(slot, value) => {
-                    self.mux.broadcast_with(slot, value, sends, SvssMsg::Rb);
+                    self.mux.broadcast_with(slot, value, sends, wire_of_mux);
                 }
                 MwOut::RegisterAck {
                     broadcaster,
@@ -551,9 +638,9 @@ impl<F: Field> SvssEngine<F> {
     ) {
         for o in outs {
             match o {
-                SvssOut::Send(to, p) => sends.push((to, SvssMsg::Priv(p))),
+                SvssOut::Send(to, p) => sends.push((to, SvssMsg::private(p))),
                 SvssOut::Broadcast(slot, value) => {
-                    self.mux.broadcast_with(slot, value, sends, SvssMsg::Rb);
+                    self.mux.broadcast_with(slot, value, sends, wire_of_mux);
                 }
                 SvssOut::StartMwShare { mw, secret } => {
                     let mut outs2 = Vec::new();

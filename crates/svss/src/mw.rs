@@ -371,7 +371,7 @@ impl<F: Field> Mw<F> {
                 }
                 self.acked = true;
                 out.push(MwOut::Broadcast(
-                    SvssSlot::MwAck(self.id),
+                    SvssSlot::mw_ack(self.id),
                     SvssRbValue::Unit,
                 ));
             }
@@ -473,7 +473,7 @@ impl<F: Field> Mw<F> {
         }
         self.l_frozen = true;
         out.push(MwOut::Broadcast(
-            SvssSlot::MwL(self.id),
+            SvssSlot::mw_l(self.id),
             SvssRbValue::Set(self.l_mine),
         ));
         let f0 = self
@@ -520,7 +520,7 @@ impl<F: Field> Mw<F> {
         if self.m_mine.len() >= self.quorum() {
             self.m_frozen = true;
             out.push(MwOut::Broadcast(
-                SvssSlot::MwM(self.id),
+                SvssSlot::mw_m(self.id),
                 SvssRbValue::Set(self.m_mine),
             ));
         }
@@ -559,7 +559,10 @@ impl<F: Field> Mw<F> {
             }
         }
         self.ok_sent = true;
-        out.push(MwOut::Broadcast(SvssSlot::MwOk(self.id), SvssRbValue::Unit));
+        out.push(MwOut::Broadcast(
+            SvssSlot::mw_ok(self.id),
+            SvssRbValue::Unit,
+        ));
     }
 
     /// Step 8: if `M̂` excludes me, nobody will reconstruct my polynomial —
@@ -614,7 +617,7 @@ impl<F: Field> Mw<F> {
             let in_ll = self.l_hat[(l.index() - 1) as usize].is_some_and(|s| s.contains(self.me));
             if in_ll {
                 out.push(MwOut::Broadcast(
-                    SvssSlot::MwRecon(self.id, l),
+                    SvssSlot::mw_recon(self.id, l),
                     SvssRbValue::Value(values[(l.index() - 1) as usize]),
                 ));
             }
@@ -770,7 +773,7 @@ mod tests {
         assert_eq!(points, N);
         assert!(out
             .iter()
-            .any(|o| matches!(o, MwOut::Broadcast(SvssSlot::MwAck(_), _))));
+            .any(|o| matches!(o, MwOut::Broadcast(s, _) if s.kind() == sba_net::SlotKind::MwAck)));
     }
 
     /// Deals from anyone but the dealer, malformed deals, and repeat deals

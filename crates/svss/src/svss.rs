@@ -340,7 +340,7 @@ impl<F: Field> Svss<F> {
             self.g_broadcast = true;
             let members: Vec<(Pid, ProcessSet)> = g.iter().map(|j| (j, self.g_sets[&j])).collect();
             out.push(SvssOut::Broadcast(
-                SvssSlot::Gsets(self.id),
+                SvssSlot::gsets(self.id),
                 SvssRbValue::Gsets(Box::new(crate::GsetsBody { g, members })),
             ));
         }

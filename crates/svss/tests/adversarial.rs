@@ -2,13 +2,12 @@
 //! moderators, forged `G`-set broadcasts, malformed messages, and the
 //! DMM's expectation-liveness guarantees (Lemma 1).
 
-use sba_broadcast::{MuxMsg, Params, RbMsg, WrbMsg};
+use sba_broadcast::Params;
 use sba_field::{Field, Gf61};
-use sba_net::{MwId, Pid, ProcessSet, SvssId};
+use sba_net::{MwId, Pid, ProcessSet, RbStep, SlotKind, SvssId, Unpacked, WireKind};
 use sba_svss::harness::{SvssNet, Tamper};
 use sba_svss::{
     GsetsBody, MwDealBody, Reconstructed, RowsBody, SvssEvent, SvssMsg, SvssPriv, SvssRbValue,
-    SvssSlot,
 };
 
 fn f(v: u64) -> Gf61 {
@@ -25,19 +24,19 @@ fn forged_m_set_blocks_completion_only() {
     let id = MwId::standalone(1, Pid::new(1), Pid::new(2));
     // Moderator p2 replaces its M broadcast with a singleton set.
     net.set_tamper(Pid::new(2), |_to, msg| {
-        if let SvssMsg::Rb(m) = msg {
-            if let (SvssSlot::MwM(_), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Set(_)))) =
-                (m.tag, &m.inner)
-            {
-                let forged: ProcessSet = [Pid::new(3)].into_iter().collect();
-                return Tamper::Replace(vec![SvssMsg::Rb(MuxMsg {
-                    tag: m.tag,
-                    origin: m.origin,
-                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Set(forged))),
-                })]);
-            }
+        if msg.wire_kind() != WireKind::MwMInit {
+            return Tamper::Keep;
         }
-        Tamper::Keep
+        let Unpacked::Rb { slot, origin, .. } = msg.clone().unpack() else {
+            return Tamper::Keep;
+        };
+        let forged: ProcessSet = [Pid::new(3)].into_iter().collect();
+        Tamper::Replace(vec![SvssMsg::rb(
+            slot,
+            origin,
+            RbStep::Init,
+            SvssRbValue::Set(forged),
+        )])
     });
     net.mw_share(id, f(5));
     net.mw_set_moderator_input(id, f(5));
@@ -67,29 +66,26 @@ fn invalid_gsets_are_ignored() {
     let mut net = SvssNet::<Gf61>::new(params, 5);
     let sid = SvssId::new(1, Pid::new(1));
     net.set_tamper(Pid::new(1), |_to, msg| {
-        if let SvssMsg::Rb(m) = msg {
-            if let (SvssSlot::Gsets(_), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Gsets { .. }))) =
-                (m.tag, &m.inner)
-            {
-                // Broadcast G sets without self-inclusion.
-                let g: ProcessSet = Pid::all(3).collect();
-                let members: Vec<(Pid, ProcessSet)> = Pid::all(3)
-                    .map(|j| {
-                        let others: ProcessSet = Pid::all(4).filter(|&l| l != j).collect();
-                        (j, others)
-                    })
-                    .collect();
-                return Tamper::Replace(vec![SvssMsg::Rb(MuxMsg {
-                    tag: m.tag,
-                    origin: m.origin,
-                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Gsets(Box::new(GsetsBody {
-                        g,
-                        members,
-                    })))),
-                })]);
-            }
+        if msg.wire_kind() != WireKind::GsetsInit {
+            return Tamper::Keep;
         }
-        Tamper::Keep
+        let Unpacked::Rb { slot, origin, .. } = msg.clone().unpack() else {
+            return Tamper::Keep;
+        };
+        // Broadcast G sets without self-inclusion.
+        let g: ProcessSet = Pid::all(3).collect();
+        let members: Vec<(Pid, ProcessSet)> = Pid::all(3)
+            .map(|j| {
+                let others: ProcessSet = Pid::all(4).filter(|&l| l != j).collect();
+                (j, others)
+            })
+            .collect();
+        Tamper::Replace(vec![SvssMsg::rb(
+            slot,
+            origin,
+            RbStep::Init,
+            SvssRbValue::Gsets(Box::new(GsetsBody { g, members })),
+        )])
     });
     net.share(sid, f(9));
     net.run();
@@ -115,7 +111,7 @@ fn malformed_messages_are_inert() {
         net.push_raw(
             Pid::new(4),
             to,
-            SvssMsg::Priv(SvssPriv::MwDeal {
+            SvssMsg::private(SvssPriv::MwDeal {
                 mw: bogus_mw,
                 deal: Box::new(MwDealBody {
                     values: vec![f(1); 2], // wrong length
@@ -127,7 +123,7 @@ fn malformed_messages_are_inert() {
         net.push_raw(
             Pid::new(4),
             to,
-            SvssMsg::Priv(SvssPriv::Rows {
+            SvssMsg::private(SvssPriv::Rows {
                 session: sid,
                 rows: Box::new(RowsBody {
                     g: vec![f(1); 9], // degree too high AND from non-dealer
@@ -178,18 +174,25 @@ fn repeated_attacks_saturate_shun_pairs() {
     let mut net = SvssNet::<Gf61>::new(params, 13);
     let liar = Pid::new(4);
     net.set_tamper(liar, |_to, msg| {
-        if let SvssMsg::Rb(m) = msg {
-            if let (SvssSlot::MwRecon(..), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(v)))) =
-                (m.tag, &m.inner)
-            {
-                return Tamper::Replace(vec![SvssMsg::Rb(MuxMsg {
-                    tag: m.tag,
-                    origin: m.origin,
-                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(*v + Gf61::from_u64(2)))),
-                })]);
-            }
+        if msg.wire_kind() != WireKind::MwReconInit {
+            return Tamper::Keep;
         }
-        Tamper::Keep
+        let Unpacked::Rb {
+            slot,
+            origin,
+            value: SvssRbValue::Value(v),
+            ..
+        } = msg.clone().unpack()
+        else {
+            return Tamper::Keep;
+        };
+        debug_assert_eq!(slot.kind(), SlotKind::MwRecon);
+        Tamper::Replace(vec![SvssMsg::rb(
+            slot,
+            origin,
+            RbStep::Init,
+            SvssRbValue::Value(v + Gf61::from_u64(2)),
+        )])
     });
     for session in 1..=5u64 {
         let id = MwId::standalone(session, Pid::new(1), Pid::new(2));

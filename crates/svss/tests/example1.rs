@@ -17,11 +17,11 @@
 //! - when `p2`'s forged `f_1` point finally reaches `p1`, it contradicts
 //!   `p1`'s DEAL expectation and `p1` shuns `p2` — after both completed.
 
-use sba_broadcast::{MuxMsg, Params, RbMsg, WrbMsg};
+use sba_broadcast::Params;
 use sba_field::{Field, Gf61};
-use sba_net::{MwId, Pid};
+use sba_net::{MwId, Pid, RbStep, SlotView, SvssRbValue, Unpacked, WireKind};
 use sba_svss::harness::{SvssNet, Tamper};
-use sba_svss::{Reconstructed, SvssMsg, SvssRbValue, SvssSlot};
+use sba_svss::{Reconstructed, SvssMsg};
 
 fn f(v: u64) -> Gf61 {
     Gf61::from_u64(v)
@@ -29,14 +29,7 @@ fn f(v: u64) -> Gf61 {
 
 /// Is this a Ready message of a reconstruct slot originated by `origin`?
 fn is_recon_ready_from(msg: &SvssMsg<Gf61>, origin: Pid) -> bool {
-    matches!(
-        msg,
-        SvssMsg::Rb(MuxMsg {
-            tag: SvssSlot::MwRecon(..),
-            origin: o,
-            inner: RbMsg::Ready(_),
-        }) if *o == origin
-    )
+    msg.wire_kind() == WireKind::MwReconReady && msg.origin() == Some(origin)
 }
 
 #[test]
@@ -50,25 +43,33 @@ fn example_1_divergent_outputs_then_shunning() {
 
     // p2: honest share; forged reconstruct points for f_1 (+2δ) and
     // f_2 (+δ); honest point for f_3.
-    net.set_tamper(p2, move |_to, msg| match msg {
-        SvssMsg::Rb(m) => {
-            if let (SvssSlot::MwRecon(_, poly), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(v)))) =
-                (m.tag, &m.inner)
-            {
-                let shift = match poly.index() {
-                    1 => 2 * delta,
-                    2 => delta,
-                    _ => return Tamper::Keep,
-                };
-                return Tamper::Replace(vec![SvssMsg::Rb(MuxMsg {
-                    tag: m.tag,
-                    origin: m.origin,
-                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(*v + Gf61::from_u64(shift)))),
-                })]);
-            }
-            Tamper::Keep
+    net.set_tamper(p2, move |_to, msg| {
+        if msg.wire_kind() != WireKind::MwReconInit {
+            return Tamper::Keep;
         }
-        _ => Tamper::Keep,
+        let Unpacked::Rb {
+            slot,
+            origin,
+            value: SvssRbValue::Value(v),
+            ..
+        } = msg.clone().unpack()
+        else {
+            return Tamper::Keep;
+        };
+        let SlotView::MwRecon(_, poly) = slot.view() else {
+            return Tamper::Keep;
+        };
+        let shift = match poly.index() {
+            1 => 2 * delta,
+            2 => delta,
+            _ => return Tamper::Keep,
+        };
+        Tamper::Replace(vec![SvssMsg::rb(
+            slot,
+            origin,
+            RbStep::Init,
+            SvssRbValue::Value(v + Gf61::from_u64(shift)),
+        )])
     });
 
     net.mw_share(id, secret);

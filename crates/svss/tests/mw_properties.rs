@@ -88,23 +88,26 @@ fn mismatched_moderator_blocks_completion() {
 
 /// Installs the "+delta on every reconstruct point" tamper on `liar`.
 fn tamper_recon_points(net: &mut SvssNet<Gf61>, liar: Pid, delta: u64) {
-    net.set_tamper(liar, move |_to, msg| match msg {
-        SvssMsg::Rb(m) => {
-            use sba_broadcast::{MuxMsg, RbMsg, WrbMsg};
-            use sba_svss::{SvssRbValue, SvssSlot};
-            if let (SvssSlot::MwRecon(..), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(v)))) =
-                (m.tag, &m.inner)
-            {
-                let forged = MuxMsg {
-                    tag: m.tag,
-                    origin: m.origin,
-                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(*v + Gf61::from_u64(delta)))),
-                };
-                return Tamper::Replace(vec![SvssMsg::Rb(forged)]);
-            }
-            Tamper::Keep
+    net.set_tamper(liar, move |_to, msg| {
+        use sba_net::{RbStep, SvssRbValue, Unpacked, WireKind};
+        if msg.wire_kind() != WireKind::MwReconInit {
+            return Tamper::Keep;
         }
-        _ => Tamper::Keep,
+        let Unpacked::Rb {
+            slot,
+            origin,
+            value: SvssRbValue::Value(v),
+            ..
+        } = msg.clone().unpack()
+        else {
+            return Tamper::Keep;
+        };
+        Tamper::Replace(vec![SvssMsg::rb(
+            slot,
+            origin,
+            RbStep::Init,
+            SvssRbValue::Value(v + Gf61::from_u64(delta)),
+        )])
     });
 }
 
@@ -112,8 +115,9 @@ fn tamper_recon_points(net: &mut SvssNet<Gf61>, liar: Pid, delta: u64) {
 /// frozen `L_j` contains `target` (L freezes at the first n−t confirmers).
 fn prioritize_share_traffic_of(net: &mut SvssNet<Gf61>, target: Pid) {
     net.deliver_matching(|from, _to, msg| {
-        let deal = matches!(msg, SvssMsg::Priv(SvssPriv::MwDeal { .. }));
-        let rb_from_target = matches!(msg, SvssMsg::Rb(m) if m.origin == target);
+        use sba_net::WireKind;
+        let deal = msg.wire_kind() == WireKind::MwDeal;
+        let rb_from_target = !msg.wire_kind().is_coin_rb() && msg.origin() == Some(target);
         deal || from == target || rb_from_target
     });
 }
@@ -218,7 +222,7 @@ fn shunned_process_is_ignored_in_later_sessions() {
     net.push_raw(
         liar,
         dealer,
-        SvssMsg::Priv(SvssPriv::MwPoint {
+        SvssMsg::private(SvssPriv::MwPoint {
             mw: id2,
             value: f(99),
         }),

@@ -83,8 +83,8 @@ fn inconsistent_rows_dealer_binding() {
             if to != Pid::new(3) {
                 return Tamper::Keep;
             }
-            match msg {
-                SvssMsg::Priv(SvssPriv::Rows { session, rows }) => {
+            match msg.clone().unpack() {
+                sba_net::Unpacked::Priv(SvssPriv::Rows { session, rows }) => {
                     let bump = |v: &[Gf61]| -> Vec<Gf61> {
                         let mut v = v.to_vec();
                         if let Some(c) = v.first_mut() {
@@ -92,8 +92,8 @@ fn inconsistent_rows_dealer_binding() {
                         }
                         v
                     };
-                    Tamper::Replace(vec![SvssMsg::Priv(SvssPriv::Rows {
-                        session: *session,
+                    Tamper::Replace(vec![SvssMsg::private(SvssPriv::Rows {
+                        session,
                         rows: Box::new(RowsBody {
                             g: bump(&rows.g),
                             h: bump(&rows.h),
@@ -137,8 +137,8 @@ fn moderation_excludes_conflicting_pairs() {
         if to != Pid::new(3) {
             return Tamper::Keep;
         }
-        match msg {
-            SvssMsg::Priv(SvssPriv::Rows { session, rows }) => {
+        match msg.clone().unpack() {
+            sba_net::Unpacked::Priv(SvssPriv::Rows { session, rows }) => {
                 let bump = |v: &[Gf61]| -> Vec<Gf61> {
                     let mut v = v.to_vec();
                     if let Some(c) = v.first_mut() {
@@ -146,8 +146,8 @@ fn moderation_excludes_conflicting_pairs() {
                     }
                     v
                 };
-                Tamper::Replace(vec![SvssMsg::Priv(SvssPriv::Rows {
-                    session: *session,
+                Tamper::Replace(vec![SvssMsg::private(SvssPriv::Rows {
+                    session,
                     rows: Box::new(RowsBody {
                         g: bump(&rows.g),
                         h: bump(&rows.h),

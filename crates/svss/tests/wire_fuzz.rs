@@ -1,11 +1,15 @@
-//! Wire-format fuzzing for the full SVSS message surface: random
-//! well-formed messages round-trip; random bytes never panic the decoder.
+//! Wire-format fuzzing for the full flat message surface: random
+//! well-formed messages of **every** `WireKind` round-trip; truncated and
+//! foreign-discriminant inputs are rejected; random bytes never panic the
+//! decoder.
 
 use proptest::prelude::*;
-use sba_broadcast::{MuxMsg, RbMsg, WrbMsg};
 use sba_field::{Field, Gf61};
-use sba_net::{MwId, Pid, ProcessSet, Reader, SvssId, Wire};
-use sba_svss::{GsetsBody, MwDealBody, RowsBody, SvssMsg, SvssPriv, SvssRbValue, SvssSlot};
+use sba_net::{
+    CodecError, CoinSlot, GsetsBody, MwDealBody, MwId, Pid, ProcessSet, RbStep, Reader, RowsBody,
+    SvssId, SvssPriv, SvssRbValue, SvssSlot, Wire, WireKind, WIRE_KIND_COUNT,
+};
+use sba_svss::SvssMsg;
 
 fn pid() -> impl Strategy<Value = Pid> {
     (1u32..200).prop_map(Pid::new)
@@ -27,6 +31,10 @@ fn mw_id() -> impl Strategy<Value = MwId> {
 fn pid_set() -> impl Strategy<Value = ProcessSet> {
     proptest::collection::btree_set(1u32..64, 0..8)
         .prop_map(|s| s.into_iter().map(Pid::new).collect())
+}
+
+fn rb_step() -> impl Strategy<Value = RbStep> {
+    prop_oneof![Just(RbStep::Init), Just(RbStep::Echo), Just(RbStep::Ready)]
 }
 
 fn svss_priv() -> impl Strategy<Value = SvssPriv<Gf61>> {
@@ -61,48 +69,179 @@ fn svss_priv() -> impl Strategy<Value = SvssPriv<Gf61>> {
     ]
 }
 
-fn svss_slot() -> impl Strategy<Value = SvssSlot> {
+/// A well-formed RB message of every slot family (the payload shape is
+/// fixed per family by the flat format).
+fn svss_rb() -> impl Strategy<Value = SvssMsg<Gf61>> {
     prop_oneof![
-        mw_id().prop_map(SvssSlot::MwAck),
-        mw_id().prop_map(SvssSlot::MwL),
-        mw_id().prop_map(SvssSlot::MwM),
-        mw_id().prop_map(SvssSlot::MwOk),
-        (mw_id(), pid()).prop_map(|(m, l)| SvssSlot::MwRecon(m, l)),
-        svss_id().prop_map(SvssSlot::Gsets),
-    ]
-}
-
-fn rb_value() -> impl Strategy<Value = SvssRbValue<Gf61>> {
-    prop_oneof![
-        Just(SvssRbValue::Unit),
-        pid_set().prop_map(SvssRbValue::Set),
-        field_el().prop_map(SvssRbValue::Value),
+        (mw_id(), pid(), rb_step()).prop_map(|(m, o, s)| SvssMsg::rb(
+            SvssSlot::mw_ack(m),
+            o,
+            s,
+            SvssRbValue::Unit
+        )),
+        (mw_id(), pid(), rb_step()).prop_map(|(m, o, s)| SvssMsg::rb(
+            SvssSlot::mw_ok(m),
+            o,
+            s,
+            SvssRbValue::Unit
+        )),
+        (mw_id(), pid(), rb_step(), pid_set()).prop_map(|(m, o, s, set)| {
+            SvssMsg::rb(SvssSlot::mw_l(m), o, s, SvssRbValue::Set(set))
+        }),
+        (mw_id(), pid(), rb_step(), pid_set()).prop_map(|(m, o, s, set)| {
+            SvssMsg::rb(SvssSlot::mw_m(m), o, s, SvssRbValue::Set(set))
+        }),
+        (mw_id(), pid(), pid(), rb_step(), field_el()).prop_map(|(m, poly, o, s, v)| {
+            SvssMsg::rb(SvssSlot::mw_recon(m, poly), o, s, SvssRbValue::Value(v))
+        }),
         (
+            svss_id(),
+            pid(),
+            rb_step(),
             pid_set(),
             proptest::collection::vec((pid(), pid_set()), 0..4)
         )
-            .prop_map(|(g, members)| SvssRbValue::Gsets(Box::new(GsetsBody { g, members }))),
+            .prop_map(|(sid, o, s, g, members)| {
+                SvssMsg::rb(
+                    SvssSlot::gsets(sid),
+                    o,
+                    s,
+                    SvssRbValue::Gsets(Box::new(GsetsBody { g, members })),
+                )
+            }),
     ]
 }
 
-fn svss_msg() -> impl Strategy<Value = SvssMsg<Gf61>> {
-    prop_oneof![
-        svss_priv().prop_map(SvssMsg::Priv),
-        (svss_slot(), pid(), rb_value()).prop_map(|(tag, origin, value)| {
-            SvssMsg::Rb(MuxMsg {
-                tag,
-                origin,
-                inner: RbMsg::Wrb(WrbMsg::Init(value)),
-            })
+fn coin_rb() -> impl Strategy<Value = SvssMsg<Gf61>> {
+    (
+        prop_oneof![
+            any::<u64>().prop_map(CoinSlot::Attach),
+            any::<u64>().prop_map(CoinSlot::Support)
+        ],
+        pid(),
+        rb_step(),
+        pid_set(),
+    )
+        .prop_map(|(slot, o, s, set)| SvssMsg::coin_rb(slot, o, s, set))
+}
+
+fn any_msg() -> impl Strategy<Value = SvssMsg<Gf61>> {
+    prop_oneof![svss_priv().prop_map(SvssMsg::private), svss_rb(), coin_rb()]
+}
+
+/// One deterministic representative per [`WireKind`] — the exhaustiveness
+/// backstop for the proptest strategies above.
+fn representative(kind: WireKind) -> SvssMsg<Gf61> {
+    let mw = MwId::nested(
+        SvssId::new(5, Pid::new(1)),
+        Pid::new(2),
+        Pid::new(3),
+        Pid::new(3),
+        Pid::new(2),
+    );
+    let sid = SvssId::new(5, Pid::new(1));
+    let origin = Pid::new(4);
+    let set: ProcessSet = Pid::all(3).collect();
+    let f = Gf61::from_u64(77);
+    let step = kind.rb_step().unwrap_or(RbStep::Init);
+    match kind {
+        WireKind::MwDeal => SvssMsg::private(SvssPriv::MwDeal {
+            mw,
+            deal: Box::new(MwDealBody {
+                values: vec![f, f],
+                monitor_poly: vec![f],
+                moderator_poly: Some(vec![f]),
+            }),
         }),
-        (svss_slot(), pid(), rb_value()).prop_map(|(tag, origin, value)| {
-            SvssMsg::Rb(MuxMsg {
-                tag,
-                origin,
-                inner: RbMsg::Ready(value),
-            })
+        WireKind::MwPoint => SvssMsg::private(SvssPriv::MwPoint { mw, value: f }),
+        WireKind::MwMval => SvssMsg::private(SvssPriv::MwMonitorValue { mw, value: f }),
+        WireKind::Rows => SvssMsg::private(SvssPriv::Rows {
+            session: sid,
+            rows: Box::new(RowsBody {
+                g: vec![f],
+                h: vec![f, f],
+            }),
         }),
-    ]
+        WireKind::MwAckInit | WireKind::MwAckEcho | WireKind::MwAckReady => {
+            SvssMsg::rb(SvssSlot::mw_ack(mw), origin, step, SvssRbValue::Unit)
+        }
+        WireKind::MwLInit | WireKind::MwLEcho | WireKind::MwLReady => {
+            SvssMsg::rb(SvssSlot::mw_l(mw), origin, step, SvssRbValue::Set(set))
+        }
+        WireKind::MwMInit | WireKind::MwMEcho | WireKind::MwMReady => {
+            SvssMsg::rb(SvssSlot::mw_m(mw), origin, step, SvssRbValue::Set(set))
+        }
+        WireKind::MwOkInit | WireKind::MwOkEcho | WireKind::MwOkReady => {
+            SvssMsg::rb(SvssSlot::mw_ok(mw), origin, step, SvssRbValue::Unit)
+        }
+        WireKind::MwReconInit | WireKind::MwReconEcho | WireKind::MwReconReady => SvssMsg::rb(
+            SvssSlot::mw_recon(mw, Pid::new(2)),
+            origin,
+            step,
+            SvssRbValue::Value(f),
+        ),
+        WireKind::GsetsInit | WireKind::GsetsEcho | WireKind::GsetsReady => SvssMsg::rb(
+            SvssSlot::gsets(sid),
+            origin,
+            step,
+            SvssRbValue::Gsets(Box::new(GsetsBody {
+                g: set,
+                members: vec![(Pid::new(1), set)],
+            })),
+        ),
+        WireKind::AttachInit | WireKind::AttachEcho | WireKind::AttachReady => {
+            SvssMsg::coin_rb(CoinSlot::Attach(9), origin, step, set)
+        }
+        WireKind::SupportInit | WireKind::SupportEcho | WireKind::SupportReady => {
+            SvssMsg::coin_rb(CoinSlot::Support(9), origin, step, set)
+        }
+    }
+}
+
+/// Every flat discriminant round-trips, reports its own kind, and matches
+/// its arithmetic `encoded_len`.
+#[test]
+fn every_wire_kind_round_trips() {
+    for kind in WireKind::all() {
+        let msg = representative(kind);
+        assert_eq!(msg.wire_kind(), kind);
+        let bytes = msg.encoded();
+        assert_eq!(bytes[0], kind as u8, "flat discriminant leads the frame");
+        assert_eq!(msg.encoded_len(), bytes.len(), "{kind:?}");
+        let mut r = Reader::new(&bytes);
+        assert_eq!(SvssMsg::<Gf61>::decode(&mut r).unwrap(), msg, "{kind:?}");
+        assert_eq!(r.remaining(), 0);
+    }
+}
+
+/// Every strict prefix of every kind's encoding is rejected (truncation
+/// can never produce a value, let alone a panic).
+#[test]
+fn truncated_frames_rejected() {
+    for kind in WireKind::all() {
+        let bytes = representative(kind).encoded();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(
+                SvssMsg::<Gf61>::decode(&mut r).is_err(),
+                "{kind:?} truncated to {cut} bytes decoded"
+            );
+        }
+    }
+}
+
+/// Discriminant bytes outside the kind table are foreign and rejected
+/// with `BadDiscriminant`.
+#[test]
+fn foreign_discriminants_rejected() {
+    for b in WIRE_KIND_COUNT..=255 {
+        let frame = [b, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let mut r = Reader::new(&frame);
+        assert_eq!(
+            SvssMsg::<Gf61>::decode(&mut r).unwrap_err(),
+            CodecError::BadDiscriminant(b)
+        );
+    }
 }
 
 proptest! {
@@ -112,13 +251,27 @@ proptest! {
     /// and the arithmetic `encoded_len` matches the real encoding (the
     /// simulator charges metrics through it without serializing).
     #[test]
-    fn svss_messages_round_trip(msg in svss_msg()) {
+    fn svss_messages_round_trip(msg in any_msg()) {
         let bytes = msg.encoded();
         prop_assert_eq!(msg.encoded_len(), bytes.len());
         let mut r = Reader::new(&bytes);
         let back = SvssMsg::<Gf61>::decode(&mut r).expect("well-formed");
         prop_assert_eq!(back, msg);
         prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Unpacking and re-packing the structured form is the identity.
+    #[test]
+    fn unpack_pack_identity(msg in any_msg()) {
+        use sba_net::Unpacked;
+        let back = match msg.clone().unpack() {
+            Unpacked::Priv(p) => SvssMsg::private(p),
+            Unpacked::Rb { slot, origin, step, value } => SvssMsg::rb(slot, origin, step, value),
+            Unpacked::CoinRb { slot, origin, step, set } => {
+                SvssMsg::coin_rb(slot, origin, step, set)
+            }
+        };
+        prop_assert_eq!(back, msg);
     }
 
     /// Arbitrary byte soup either decodes to SOMETHING (which must then

@@ -23,6 +23,19 @@ fn main() {
     println!("messages sent  : {}", report.messages);
     println!("bytes sent     : {}", report.bytes);
     println!("virtual time   : {}", report.metrics.virtual_time);
+    // Same-tick batching: the simulator coalesces every message one event
+    // sends to one recipient into a single scheduled delivery.
+    println!(
+        "batches sent   : {} ({:.1} msgs/batch)",
+        report.metrics.batches_sent,
+        report.messages as f64 / report.metrics.batches_sent.max(1) as f64
+    );
+    println!(
+        "peak in flight : {} msgs in {} batches (~{:.1} KB queue)",
+        report.metrics.inflight_peak_msgs,
+        report.metrics.inflight_peak_batches,
+        report.metrics.inflight_peak_bytes as f64 / 1e3
+    );
     println!();
     println!("message breakdown by protocol step:");
     for (kind, (count, bytes)) in report.metrics.per_kind_sorted() {

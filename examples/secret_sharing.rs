@@ -7,8 +7,9 @@
 //! ```
 
 use sba::field::{Field, Gf61};
+use sba::net::{RbStep, Unpacked, WireKind};
 use sba::svss::harness::{SvssNet, Tamper};
-use sba::svss::{SvssMsg, SvssRbValue, SvssSlot};
+use sba::svss::{SvssMsg, SvssRbValue};
 use sba::{Params, Pid, SvssId};
 
 fn main() {
@@ -36,19 +37,24 @@ fn main() {
     println!("\nnow p4 forges every reconstruction point it broadcasts ...");
     let mut net = SvssNet::<Gf61>::new(params, 2);
     net.set_tamper(Pid::new(4), |_to, msg| {
-        if let SvssMsg::Rb(m) = msg {
-            use sba::broadcast::{MuxMsg, RbMsg, WrbMsg};
-            if let (SvssSlot::MwRecon(..), RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(v)))) =
-                (m.tag, &m.inner)
-            {
-                return Tamper::Replace(vec![SvssMsg::Rb(MuxMsg {
-                    tag: m.tag,
-                    origin: m.origin,
-                    inner: RbMsg::Wrb(WrbMsg::Init(SvssRbValue::Value(*v + Gf61::from_u64(1)))),
-                })]);
-            }
+        if msg.wire_kind() != WireKind::MwReconInit {
+            return Tamper::Keep;
         }
-        Tamper::Keep
+        let Unpacked::Rb {
+            slot,
+            origin,
+            value: SvssRbValue::Value(v),
+            ..
+        } = msg.clone().unpack()
+        else {
+            return Tamper::Keep;
+        };
+        Tamper::Replace(vec![SvssMsg::rb(
+            slot,
+            origin,
+            RbStep::Init,
+            SvssRbValue::Value(v + Gf61::from_u64(1)),
+        )])
     });
     let session = SvssId::new(1, Pid::new(1));
     net.share(session, secret);

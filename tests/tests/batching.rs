@@ -1,0 +1,158 @@
+//! Order-equivalence and outcome-equivalence pins for batched delivery.
+//!
+//! PR 4 made the per-recipient same-tick batch the simulator's unit of
+//! scheduling. Two properties keep that honest:
+//!
+//! 1. **Queue-level order equivalence** (the strong pin): with identical
+//!    processes and seeds, the batched queue and the unbatched reference
+//!    queue ([`Simulation::set_batching`]) produce the *exact same
+//!    per-message delivery sequence* — batching only changes how
+//!    deliveries are chunked into callbacks, never their order. This
+//!    holds because both modes draw one delay per `(event, recipient)`
+//!    group from the same RNG stream and assign batch members
+//!    consecutive positions.
+//! 2. **Engine-level outcome equivalence**: the protocol engines'
+//!    `on_batch` overrides (which amortize mux probes and monotone
+//!    advance/pump fixpoints across a batch, and may reorder same-tick
+//!    *sends*) still terminate with agreement — any send reordering
+//!    within a tick is a legal asynchronous schedule.
+
+use std::sync::{Arc, Mutex};
+
+use sba::field::Gf61;
+use sba::net::{Kinded, Outbox};
+use sba::sim::{schedulers, Process, Simulation};
+use sba::{AbaConfig, AbaMsg, AbaNode, AbaProcess, Params, Pid};
+
+type Msg = AbaMsg<Gf61>;
+
+/// One recorded scheduled delivery (self-deliveries are not scheduled
+/// and are identical by construction).
+type Record = (u32 /* to */, u32 /* from */, &'static str);
+
+/// Wraps a production `AbaProcess` (batch amortization and all),
+/// recording every scheduled delivery into a shared log before
+/// forwarding the batch intact.
+struct Recorder {
+    me: Pid,
+    inner: AbaProcess<Gf61>,
+    log: Arc<Mutex<Vec<Record>>>,
+}
+
+impl Process<Msg> for Recorder {
+    fn on_start(&mut self, out: &mut Outbox<Msg>) {
+        self.inner.on_start(out);
+    }
+    fn on_message(&mut self, from: Pid, msg: Msg, out: &mut Outbox<Msg>) {
+        self.inner.on_message(from, msg, out);
+    }
+    fn on_batch(&mut self, from: Pid, msgs: &mut Vec<Msg>, out: &mut Outbox<Msg>) {
+        {
+            let mut log = self.log.lock().expect("single-threaded");
+            for msg in msgs.iter() {
+                log.push((self.me.index(), from.index(), msg.kind()));
+            }
+        }
+        self.inner.on_batch(from, msgs, out);
+    }
+    fn done(&self) -> bool {
+        self.inner.done()
+    }
+}
+
+fn recorded_run(seed: u64, batching: bool) -> (Vec<Record>, Vec<Option<bool>>, u64, u64) {
+    let n = 4;
+    let params = Params::new(n, 1).unwrap();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let procs: Vec<Recorder> = (1..=n as u32)
+        .map(|i| {
+            let pid = Pid::new(i);
+            let node: AbaNode<Gf61> =
+                AbaNode::new(pid, AbaConfig::scc(params, seed ^ (u64::from(i) << 32)));
+            Recorder {
+                me: pid,
+                inner: AbaProcess::new(node, vec![(0, i % 2 == 0)]),
+                log: Arc::clone(&log),
+            }
+        })
+        .collect();
+    let mut sim = Simulation::new(procs, schedulers::uniform(20), seed);
+    sim.set_batching(batching);
+    let outcome = sim.run_until_all_done(60_000_000);
+    assert!(outcome.all_done, "seed {seed} batching={batching}: stalled");
+    let decisions = (1..=n as u32)
+        .map(|i| sim.process(Pid::new(i)).inner.node().decision(0))
+        .collect();
+    let (sent, vt) = (sim.metrics().messages_sent, sim.metrics().virtual_time);
+    let log = log.lock().expect("single-threaded").clone();
+    (log, decisions, sent, vt)
+}
+
+/// The strong pin: the batched queue and the per-message reference
+/// layout produce **bit-identical full runs** on pinned seeds — the same
+/// per-message delivery sequence, the same decisions, the same message
+/// counts and virtual end time — end to end through the production
+/// agreement stack (engine batch amortization included).
+#[test]
+fn delivery_order_identical_with_batching() {
+    for seed in [3u64, 11, 42] {
+        let (batched, d1, sent1, vt1) = recorded_run(seed, true);
+        let (unbatched, d2, sent2, vt2) = recorded_run(seed, false);
+        assert!(!batched.is_empty());
+        assert_eq!(d1, d2, "seed {seed}: decisions diverged");
+        assert_eq!(sent1, sent2, "seed {seed}: message counts diverged");
+        assert_eq!(vt1, vt2, "seed {seed}: virtual end times diverged");
+        assert_eq!(
+            batched.len(),
+            unbatched.len(),
+            "seed {seed}: different delivery counts"
+        );
+        // Compare element-wise with a readable first-divergence report.
+        if let Some(k) = (0..batched.len()).find(|&k| batched[k] != unbatched[k]) {
+            panic!(
+                "seed {seed}: delivery {k} diverged: batched {:?} vs unbatched {:?}",
+                batched[k], unbatched[k]
+            );
+        }
+    }
+}
+
+/// The engines' batch overrides (probe memo, deferred advance/pump) are
+/// outcome-equivalent to member-by-member processing: full production
+/// runs terminate with agreement, and coalescing measurably happens.
+#[test]
+fn engine_batching_terminates_with_agreement() {
+    for seed in [5u64, 19] {
+        let n = 4;
+        let params = Params::new(n, 1).unwrap();
+        let procs: Vec<AbaProcess<Gf61>> = (1..=n as u32)
+            .map(|i| {
+                let node: AbaNode<Gf61> = AbaNode::new(
+                    Pid::new(i),
+                    AbaConfig::scc(params, seed ^ (u64::from(i) << 32)),
+                );
+                AbaProcess::new(node, vec![(0, i % 2 == 0)])
+            })
+            .collect();
+        let mut sim = Simulation::new(procs, schedulers::uniform(20), seed);
+        let outcome = sim.run_until_all_done(60_000_000);
+        assert!(outcome.all_done, "seed {seed}: stalled");
+        let decisions: Vec<Option<bool>> = (1..=n as u32)
+            .map(|i| sim.process(Pid::new(i)).node().decision(0))
+            .collect();
+        assert!(decisions.iter().all(Option::is_some), "seed {seed}");
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: disagreement {decisions:?}"
+        );
+        let m = sim.metrics();
+        assert!(
+            m.batches_sent < m.messages_sent,
+            "seed {seed}: no coalescing happened ({} batches / {} messages)",
+            m.batches_sent,
+            m.messages_sent
+        );
+        assert!(m.inflight_peak_msgs > 0 && m.inflight_peak_bytes > 0);
+        assert!(m.inflight_peak_batches <= m.inflight_peak_msgs);
+    }
+}
