@@ -49,6 +49,44 @@ const _: () = assert!(size_of::<SvssSlot>() == 16);
 const _: () = assert!(size_of::<MuxMsg<VoteSlot, VoteValue>>() <= 24);
 const _: () = assert!(size_of::<RbMsg<VoteValue>>() <= 8);
 
+/// PR 5's MwDeal word-complexity diet, pinned at the n=7/t=2 benchmark
+/// shape: the recipient's own value is omitted (6 `others`, not 7
+/// values), vector length prefixes are one byte, and the moderator
+/// polynomial's presence flag is merged into its length byte. The
+/// pre-diet encoding of the same deal was 131 B (moderator copy) /
+/// 103 B — `mw/deal` is the only multi-kilobyte payload class of a full
+/// run, so these bytes are the `deal_bytes` trajectory `experiments
+/// compare` drift-gates.
+#[test]
+fn mw_deal_encoding_pinned() {
+    use sba_field::Field;
+    use sba_net::{MwDealBody, Pid, SvssPriv, Wire};
+    let f = |v: u64| Gf61::from_u64(v);
+    let mw = MwId::nested(
+        SvssId::new(9, Pid::new(1)),
+        Pid::new(2),
+        Pid::new(3),
+        Pid::new(3),
+        Pid::new(2),
+    );
+    let deal = |moderator: bool| {
+        SvssMsg::<Gf61>::private(SvssPriv::MwDeal {
+            mw,
+            deal: Box::new(MwDealBody {
+                others: (0..6).map(f).collect(),
+                monitor_poly: vec![f(1), f(2), f(3)],
+                moderator_poly: moderator.then(|| vec![f(4), f(5), f(6)]),
+            }),
+        })
+    };
+    // kind 1 + mw 13 + others (1+48) + monitor (1+24) + merged byte 1.
+    assert_eq!(deal(false).encoded_len(), 89);
+    assert_eq!(deal(false).encoded().len(), 89);
+    // The moderator's copy adds its 3 coefficients, nothing else.
+    assert_eq!(deal(true).encoded_len(), 89 + 24);
+    assert_eq!(deal(true).encoded().len(), 89 + 24);
+}
+
 /// The queue arenas' per-slot footprint: one batch entry per
 /// `(tick, from, to)` group, one payload slot per in-flight message.
 /// Runtime (not const) because the sizes come through a function, but it

@@ -20,11 +20,13 @@
 //! `compare OLD NEW [--key K] [--max-ratio R]` diffs two snapshots and
 //! exits nonzero when `K` (default `scc_larger_system.wall_seconds`)
 //! regressed by more than `R` (default 1.25 = +25 %) — the CI perf gate.
-//! It additionally drift-checks `scc_larger_system.messages` and
-//! `scc_larger_system.peak_inflight_bytes` (±10 % in either direction,
-//! when both snapshots carry the key): the message count is seed-pinned
-//! and the peak queue footprint is the memory contract, so silent drift
-//! in either is a bug even when wall time looks fine.
+//! It additionally drift-checks `scc_larger_system.messages` (±10 %,
+//! two-sided: the count is seed-pinned, so movement either way means
+//! the schedule changed), and regression-gates
+//! `scc_larger_system.peak_inflight_bytes` and
+//! `scc_larger_system.deal_bytes` (+10 %: the memory and word-complexity
+//! contracts — growth is a bug, a drop is a win the new snapshot
+//! re-baselines), whenever both snapshots carry the key.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -146,14 +148,23 @@ fn compare_snapshots(args: &[String]) {
             std::process::exit(1);
         }
     }
-    // Two-sided ±10 % drift gates on the deterministic keys. A key absent
-    // from the *old* snapshot is skipped with a note (older snapshots
-    // predate the gauge); absent from the *new* one, it fails — gauges
-    // must not silently disappear.
+    // Drift gates on the deterministic keys (±10 %). `messages` is
+    // two-sided: the count is pinned by seed + scheduler semantics, so
+    // movement in either direction means the schedule changed under us.
+    // The memory and word-complexity gauges are regression-gated only:
+    // a +10 % growth is a bug, while a large drop is a deliberate win
+    // that this snapshot re-baselines (it cannot be *silent* — the
+    // improvement prints below, the new value is committed as the next
+    // baseline, and a gauge that breaks outright trips the
+    // missing-from-new check instead). A key absent from the *old*
+    // snapshot is skipped with a note (older snapshots predate the
+    // gauge); absent from the *new* one, it fails — gauges must not
+    // silently disappear.
     const DRIFT: f64 = 1.10;
-    for drift_key in [
-        "scc_larger_system.messages",
-        "scc_larger_system.peak_inflight_bytes",
+    for (drift_key, two_sided) in [
+        ("scc_larger_system.messages", true),
+        ("scc_larger_system.peak_inflight_bytes", false),
+        ("scc_larger_system.deal_bytes", false),
     ] {
         if drift_key == key {
             // The caller picked this key as the primary gate with an
@@ -171,12 +182,20 @@ fn compare_snapshots(args: &[String]) {
             }
             (Some(o), Some(n)) if o > 0.0 => {
                 let ratio = n / o;
-                let ok = (1.0 / DRIFT..=DRIFT).contains(&ratio);
+                let ok = ratio <= DRIFT && (!two_sided || ratio >= 1.0 / DRIFT);
+                let improved = !two_sided && ratio < 1.0 / DRIFT;
                 println!(
-                    "{drift_key}: {o} -> {n} ({:+.1}% vs ±{:.0}% drift limit){}",
+                    "{drift_key}: {o} -> {n} ({:+.1}% vs {}{:.0}% drift limit){}",
                     (ratio - 1.0) * 100.0,
+                    if two_sided { "±" } else { "+" },
                     (DRIFT - 1.0) * 100.0,
-                    if ok { "" } else { "  <-- DRIFT" }
+                    if !ok {
+                        "  <-- DRIFT"
+                    } else if improved {
+                        "  (improvement; re-baselined by this snapshot)"
+                    } else {
+                        ""
+                    }
                 );
                 if !ok {
                     failed = true;
@@ -291,9 +310,23 @@ fn e9_perf(full: bool, json_path: Option<&str>) {
 
     if full {
         // The scc_larger_system workload: n=7, t=2, split inputs, SCC coin.
+        //
+        // Seed history: BENCH_2..4 pinned seed 13, whose schedule decided
+        // in 1 round (~8.06 M messages) under the PR 4 batched scheduler.
+        // PR 5 made the *event* the unit of scheduling (self-delivery
+        // generations + one delay-draw pass per event), which re-rolls
+        // every seed's schedule; seed 13 now lands on a 2-round run
+        // (16.45 M messages, a structurally different workload that the
+        // ±10 % message drift gate would rightly refuse to compare). The
+        // workload is re-pinned to seed 15, which keeps the 1-round,
+        // ~8.05 M-message shape the perf trajectory has tracked since
+        // BENCH_4 — within 0.1 % of the old message count. For the
+        // record, seed 13's 2-round run measured 9.2 s / 16.45 M msgs
+        // (0.56 µs per delivered message) on the machine that produced
+        // BENCH_5.
         use std::time::Instant;
         println!("Timing the n=7 SCC agreement run (slow tier's heaviest test)...\n");
-        let config = ClusterConfig::new(7, 2).seed(13);
+        let config = ClusterConfig::new(7, 2).seed(15);
         let mut cluster = Cluster::new(config, &split_inputs(7));
         let start = Instant::now();
         let report = cluster.run(60_000_000);
@@ -328,6 +361,20 @@ fn e9_perf(full: bool, json_path: Option<&str>) {
         sink.put_num(
             "scc_larger_system.peak_inflight_bytes",
             m.inflight_peak_bytes as f64,
+        );
+        // The MwDeal word-complexity trajectory (PR 5 diet): `mw/deal`
+        // is the only multi-kilobyte payload class, so its byte share is
+        // tracked (and drift-gated by `compare`) separately.
+        let (deal_msgs, deal_bytes) = m.sent_with_prefix("mw/deal");
+        println!(
+            "mw/deal: {deal_msgs} messages, {deal_bytes} bytes ({:.1} B/deal)\n",
+            deal_bytes as f64 / deal_msgs.max(1) as f64
+        );
+        sink.put_num("scc_larger_system.deal_msgs", deal_msgs as f64);
+        sink.put_num("scc_larger_system.deal_bytes", deal_bytes as f64);
+        sink.put_num(
+            "scc_larger_system.self_delivery_batches",
+            m.self_delivery_batches as f64,
         );
     }
 

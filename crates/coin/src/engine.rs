@@ -1,13 +1,46 @@
 //! The per-process SCC engine.
+//!
+//! # Dense session interning and retirement
+//!
+//! Every delivered coin message routes into per-session state keyed by
+//! the session tag. PR 4 kept that state in a `FastMap<u64, CoinSession>`
+//! and probed it several times per delivered message (once per absorbed
+//! event and ~6 times per `pump` pass). Since PR 5 the sessions live in
+//! a recycled slab behind a one-`u64`-per-bucket fingerprint index, in
+//! the style of `RbMux` (crates/broadcast/src/mux.rs): the tag is
+//! interned once per delivery batch, and every subsequent access is a
+//! direct slab index.
+//!
+//! **Retirement.** A coin session's input space is finite: `2n` RB slot
+//! deliveries (each RB slot delivers exactly once), `n²` SVSS share
+//! completions, and the reconstructions this process invokes. Once the
+//! coin value has been emitted *and* every one of those inputs has been
+//! consumed (all `n` attach sets, all `n` supports, all `n²` shares, all
+//! `n·(t+1)` invoked reconstructions resolved), the session is provably
+//! inert — no future input can make it send or emit again — so the whole
+//! state machine is dropped for a compact `(tag, value)` record and its
+//! slab slot is recycled. Late, duplicate, or tampered traffic for a
+//! retired session is dropped without resurrecting the slot: RB-level
+//! replays die in the mux (all the session's slots are retired there),
+//! and stray SVSS events for a retired tag are discarded here. In
+//! adversarial runs where a Byzantine process withholds its broadcasts,
+//! the gate simply never fires and the session stays live — retirement
+//! is a memory optimization, never a behavior change.
+//!
+//! [`CoinEngine::set_dense_sessions`]`(false)` keeps the PR 4 map (no
+//! interning, no retirement) as the reference mode;
+//! `crates/coin/tests/coin_adversarial.rs` pins both modes to identical
+//! event streams and message traces through the full adversarial sweep.
 
 use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sba_broadcast::{MuxMsg, Params, RbDelivery, RbMux};
 use sba_field::{Domain, Field};
-use sba_net::{FastMap, Pid, ProcessSet, SvssId, Unpacked};
+use sba_net::{FastMap, FxHasher, Pid, ProcessSet, SvssId, Unpacked};
 use sba_svss::{Reconstructed, SvssEngine, SvssEvent, SvssMsg};
 
 use crate::messages::{coin_mux_of_parts, wire_of_coin_mux};
@@ -59,9 +92,221 @@ struct CoinSession {
     output: Option<bool>,
 }
 
+impl CoinSession {
+    /// Whether the session is provably inert (see the module docs): the
+    /// coin value is out and every element of its finite input space has
+    /// been consumed, so no future input can make it send or emit.
+    fn fully_consumed(&self, n: usize, t: usize) -> bool {
+        self.output.is_some()
+            && self.t_sets.len() == n
+            && self.supports.len() == n
+            && self.completed_shares.len() == n * n
+            && self.recon_invoked.len() == n * (t + 1)
+            && self
+                .recon_invoked
+                .iter()
+                .all(|sid| self.outputs.contains_key(sid))
+    }
+}
+
 // The session state must not be generic over F (it lives in a plain map),
 // so reconstructed values are erased to their canonical u64 form.
 type Gf64Erased = u64;
+
+/// Tag bit distinguishing live-slab indices from retired-store indices in
+/// the session index's packed `u32` value (mirrors `RbMux`).
+const RETIRED_BIT: u32 = 1 << 31;
+
+/// Packed-slot value reserved as the empty-bucket sentinel.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Slot marker returned for map-mode sessions (no dense index exists).
+const NO_SLOT: u32 = u32::MAX;
+
+fn fx_hash(tag: u64) -> u64 {
+    let mut h = FxHasher::default();
+    tag.hash(&mut h);
+    h.finish()
+}
+
+/// The dense store: `tag → slot` interning index (one `u64` per bucket:
+/// 32-bit fingerprint + packed slot id) over a recycled live slab and an
+/// append-only retired store.
+#[derive(Debug, Default)]
+struct DenseSessions {
+    /// `(fp << 32) | packed_slot`; low word [`EMPTY_SLOT`] marks empty.
+    buckets: Vec<u64>,
+    mask: usize,
+    interned: usize,
+    /// Live sessions (with their tags); freed entries are recycled, so
+    /// the slab size tracks the peak concurrently-live session count.
+    live: Vec<(u64, CoinSession)>,
+    /// Recycled `live` indices.
+    free: Vec<u32>,
+    /// Tags and coin values of retired sessions, append-only.
+    retired: Vec<(u64, bool)>,
+}
+
+impl DenseSessions {
+    fn new() -> Self {
+        DenseSessions {
+            buckets: vec![u64::MAX; 16],
+            mask: 15,
+            interned: 0,
+            live: Vec::new(),
+            free: Vec::new(),
+            retired: Vec::new(),
+        }
+    }
+
+    /// The tag stored alongside slot `packed`'s state.
+    fn tag_of(&self, packed: u32) -> u64 {
+        if packed & RETIRED_BIT != 0 {
+            self.retired[(packed & !RETIRED_BIT) as usize].0
+        } else {
+            self.live[packed as usize].0
+        }
+    }
+
+    /// Probes for `tag` under hash `h`. Returns the packed slot on a hit,
+    /// or the bucket position of the first empty slot on a miss.
+    fn probe(&self, h: u64, tag: u64) -> Result<u32, usize> {
+        let fp = (h >> 32) as u32;
+        let mut at = h as usize & self.mask;
+        loop {
+            let bucket = self.buckets[at];
+            let slot = bucket as u32;
+            if slot == EMPTY_SLOT {
+                return Err(at);
+            }
+            if (bucket >> 32) as u32 == fp && self.tag_of(slot) == tag {
+                return Ok(slot);
+            }
+            at = (at + 1) & self.mask;
+        }
+    }
+
+    /// Doubles the index and reinserts every bucket.
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.buckets, vec![u64::MAX; (self.mask + 1) * 2]);
+        self.mask = self.buckets.len() - 1;
+        for bucket in old {
+            if bucket as u32 == EMPTY_SLOT {
+                continue;
+            }
+            let h = fx_hash(self.tag_of(bucket as u32));
+            let mut at = h as usize & self.mask;
+            while self.buckets[at] as u32 != EMPTY_SLOT {
+                at = (at + 1) & self.mask;
+            }
+            self.buckets[at] = (h >> 32) << 32 | u64::from(bucket as u32);
+        }
+    }
+
+    /// Interns `tag`, creating a fresh live session (in a recycled slab
+    /// slot when one is free) on first sight. Returns the packed slot.
+    fn intern(&mut self, tag: u64) -> u32 {
+        let h = fx_hash(tag);
+        match self.probe(h, tag) {
+            Ok(slot) => slot,
+            Err(at) => {
+                let idx = if let Some(idx) = self.free.pop() {
+                    self.live[idx as usize] = (tag, CoinSession::default());
+                    idx
+                } else {
+                    assert!(
+                        self.live.len() < RETIRED_BIT as usize,
+                        "coin session slab overflow"
+                    );
+                    self.live.push((tag, CoinSession::default()));
+                    (self.live.len() - 1) as u32
+                };
+                self.buckets[at] = (h >> 32) << 32 | u64::from(idx);
+                self.interned += 1;
+                if self.interned * 4 > (self.mask + 1) * 3 {
+                    self.grow();
+                }
+                idx
+            }
+        }
+    }
+
+    /// Retires live slot `idx`: keeps only `(tag, value)`, recycles the
+    /// slab slot, and repoints the tag's bucket at the record.
+    fn retire(&mut self, idx: u32) {
+        let (tag, session) = &mut self.live[idx as usize];
+        let tag = *tag;
+        let value = session.output.expect("retire requires an emitted value");
+        // Drop the whole state machine; the husk stays until recycled.
+        *session = CoinSession::default();
+        assert!(
+            (self.retired.len() as u32) < !RETIRED_BIT,
+            "coin retired-store overflow"
+        );
+        let record = RETIRED_BIT | self.retired.len() as u32;
+        self.retired.push((tag, value));
+        self.free.push(idx);
+        let h = fx_hash(tag);
+        let mut at = h as usize & self.mask;
+        loop {
+            if self.buckets[at] as u32 == idx {
+                self.buckets[at] = (h >> 32) << 32 | u64::from(record);
+                return;
+            }
+            at = (at + 1) & self.mask;
+        }
+    }
+}
+
+/// The session store: the PR 4 reference map, or the dense slab.
+#[derive(Debug)]
+enum Sessions {
+    /// Reference mode: plain hash map, no retirement (PR 4 semantics).
+    Map(FastMap<u64, CoinSession>),
+    /// Dense interned slab with retirement (the default).
+    Dense(DenseSessions),
+}
+
+impl Sessions {
+    /// Interns `tag` and returns its live session plus (in dense mode)
+    /// its slab index, or `None` if the session is retired.
+    fn live_mut(&mut self, tag: u64) -> Option<(u32, &mut CoinSession)> {
+        match self {
+            Sessions::Map(map) => Some((NO_SLOT, map.entry(tag).or_default())),
+            Sessions::Dense(d) => {
+                let slot = d.intern(tag);
+                if slot & RETIRED_BIT != 0 {
+                    None
+                } else {
+                    Some((slot, &mut d.live[slot as usize].1))
+                }
+            }
+        }
+    }
+
+    /// The coin output of session `tag`, if flipped (answered from the
+    /// retirement record once the session is retired).
+    fn output(&self, tag: u64) -> Option<bool> {
+        match self {
+            Sessions::Map(map) => map.get(&tag).and_then(|s| s.output),
+            Sessions::Dense(d) => match d.probe(fx_hash(tag), tag) {
+                Ok(slot) if slot & RETIRED_BIT != 0 => {
+                    Some(d.retired[(slot & !RETIRED_BIT) as usize].1)
+                }
+                Ok(slot) => d.live[slot as usize].1.output,
+                Err(_) => None,
+            },
+        }
+    }
+
+    /// `(live, peak, retired)` session counts (memory accounting).
+    fn stats(&self) -> (usize, usize, usize) {
+        match self {
+            Sessions::Map(map) => (map.len(), map.len(), 0),
+            Sessions::Dense(d) => (d.live.len() - d.free.len(), d.live.len(), d.retired.len()),
+        }
+    }
+}
 
 /// The shunning common coin for one process.
 ///
@@ -75,7 +320,7 @@ pub struct CoinEngine<F: Field> {
     rng: StdRng,
     svss: SvssEngine<F>,
     mux: RbMux<CoinSlot, ProcessSet>,
-    sessions: FastMap<u64, CoinSession>,
+    sessions: Sessions,
     events: Vec<CoinEvent>,
     /// Reusable batch-routing buffers for [`CoinEngine::on_batch`]
     /// (capacity survives across deliveries; allocation-free steady
@@ -84,7 +329,15 @@ pub struct CoinEngine<F: Field> {
     rb_run: Vec<MuxMsg<CoinSlot, ProcessSet>>,
     rb_deliveries: Vec<RbDelivery<CoinSlot, ProcessSet>>,
     svss_batch: Vec<SvssMsg<F>>,
+    /// Dense-mode touched-session bitset (one bit per live slab slot):
+    /// the per-batch session pump marks slots here instead of pushing and
+    /// re-sorting tags, so a batch touches each session's bit once.
+    touched_bits: Vec<u64>,
+    /// Map-mode touched-tag scratch, and (both modes) the per-batch list
+    /// of tags to pump, in ascending order.
     touched_tags: Vec<u64>,
+    /// Tags pumped since the last retirement sweep (dense mode).
+    pumped: Vec<u64>,
 }
 
 impl<F: Field> CoinEngine<F> {
@@ -98,12 +351,14 @@ impl<F: Field> CoinEngine<F> {
             rng: StdRng::seed_from_u64(seed ^ 0xC014),
             svss: SvssEngine::with_domain(me, params, seed ^ 0x5C0_FFEE, domain),
             mux: RbMux::new(me, params),
-            sessions: FastMap::default(),
+            sessions: Sessions::Dense(DenseSessions::new()),
             events: Vec::new(),
             rb_run: Vec::new(),
             rb_deliveries: Vec::new(),
             svss_batch: Vec::new(),
+            touched_bits: Vec::new(),
             touched_tags: Vec::new(),
+            pumped: Vec::new(),
         }
     }
 
@@ -117,6 +372,26 @@ impl<F: Field> CoinEngine<F> {
         self.params
     }
 
+    /// Switches between the dense interned session slab (default, with
+    /// retirement) and the PR 4 reference map (no retirement). The
+    /// equivalence suite pins both modes bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any session already exists.
+    pub fn set_dense_sessions(&mut self, enabled: bool) {
+        let (live, _, retired) = self.sessions.stats();
+        assert!(
+            live == 0 && retired == 0,
+            "set_dense_sessions must precede the first session"
+        );
+        self.sessions = if enabled {
+            Sessions::Dense(DenseSessions::new())
+        } else {
+            Sessions::Map(FastMap::default())
+        };
+    }
+
     /// Drains accumulated events.
     pub fn take_events(&mut self) -> Vec<CoinEvent> {
         std::mem::take(&mut self.events)
@@ -124,7 +399,7 @@ impl<F: Field> CoinEngine<F> {
 
     /// The coin output of session `tag`, if flipped.
     pub fn output(&self, tag: u64) -> Option<bool> {
-        self.sessions.get(&tag).and_then(|s| s.output)
+        self.sessions.output(tag)
     }
 
     /// Read access to the underlying SVSS engine (for experiments).
@@ -142,6 +417,13 @@ impl<F: Field> CoinEngine<F> {
         )
     }
 
+    /// `(live, peak, retired)` coin-session counts (memory accounting;
+    /// the reference map never retires, so there `peak == live` and
+    /// `retired == 0`).
+    pub fn session_stats(&self) -> (usize, usize, usize) {
+        self.sessions.stats()
+    }
+
     /// Disables shunning detection (experiment E8 ablation).
     pub fn disable_detection(&mut self) {
         self.svss.disable_detection();
@@ -152,11 +434,15 @@ impl<F: Field> CoinEngine<F> {
     /// Every nonfaulty process must call this for the session to
     /// terminate.
     pub fn start(&mut self, tag: u64, sends: &mut Vec<(Pid, CoinMsg<F>)>) {
-        let session = self.sessions.entry(tag).or_default();
-        if session.started {
-            return;
+        {
+            let Some((_, session)) = self.sessions.live_mut(tag) else {
+                return; // retired: the session already ran to completion
+            };
+            if session.started {
+                return;
+            }
+            session.started = true;
         }
-        session.started = true;
         for target in Pid::all(self.params.n()) {
             let secret = F::random(&mut self.rng);
             // The SVSS engine emits the shared flat wire type: its sends
@@ -165,16 +451,24 @@ impl<F: Field> CoinEngine<F> {
                 .share(coin_svss_id(tag, self.me, target), secret, sends);
         }
         self.pump(tag, sends);
+        self.sweep_retirements();
     }
 
     /// Allows session `tag` to enter its reconstruct phase. The agreement
     /// layer calls this only after locking its vote for the round, so the
     /// adversary cannot learn the coin before honest votes are cast.
     pub fn enable_reconstruct(&mut self, tag: u64, sends: &mut Vec<(Pid, CoinMsg<F>)>) {
-        let session = self.sessions.entry(tag).or_default();
-        if !session.recon_enabled {
-            session.recon_enabled = true;
+        let enable = match self.sessions.live_mut(tag) {
+            None => false, // retired: reconstruction already resolved
+            Some((_, session)) => {
+                let first = !session.recon_enabled;
+                session.recon_enabled = true;
+                first
+            }
+        };
+        if enable {
             self.pump(tag, sends);
+            self.sweep_retirements();
         }
     }
 
@@ -193,7 +487,7 @@ impl<F: Field> CoinEngine<F> {
             let m = coin_mux_of_parts(slot, origin, step, set);
             let delivery = self.mux.on_message_with(from, m, sends, wire_of_coin_mux);
             if let Some(d) = delivery {
-                if let Some(tag) = self.absorb_coin_delivery(d) {
+                if let Some((tag, _)) = self.absorb_coin_delivery(d) {
                     self.pump(tag, sends);
                 }
             }
@@ -206,13 +500,16 @@ impl<F: Field> CoinEngine<F> {
                 self.pump(tag, sends);
             }
         }
+        self.sweep_retirements();
     }
 
     /// Feeds a whole same-sender delivery batch (drained from `msgs`):
     /// SVSS members go through the nested engine's batch path, coin RB
     /// members through the mux's batch path, and the per-session `pump`
     /// fixpoint runs **once per touched session** instead of once per
-    /// message — the dominant post-delivery cost in a full run.
+    /// message — the dominant post-delivery cost in a full run. Touched
+    /// sessions are collected in the dense-index bitset (one bit per
+    /// live slab slot), so the batch never re-sorts duplicate tags.
     pub fn on_batch(
         &mut self,
         from: Pid,
@@ -222,7 +519,6 @@ impl<F: Field> CoinEngine<F> {
         let mut svss_batch = std::mem::take(&mut self.svss_batch);
         let mut rb_run = std::mem::take(&mut self.rb_run);
         let mut deliveries = std::mem::take(&mut self.rb_deliveries);
-        let mut tags = std::mem::take(&mut self.touched_tags);
         for msg in msgs.drain(..) {
             if msg.wire_kind().is_coin_rb() {
                 let Unpacked::CoinRb {
@@ -250,33 +546,92 @@ impl<F: Field> CoinEngine<F> {
             &mut deliveries,
         );
         for d in deliveries.drain(..) {
-            if let Some(tag) = self.absorb_coin_delivery(d) {
-                tags.push(tag);
+            if let Some((tag, slot)) = self.absorb_coin_delivery(d) {
+                self.touch(tag, slot);
             }
         }
-        tags.extend(self.absorb_svss_events());
-        tags.sort_unstable();
-        tags.dedup();
+        for tag in self.absorb_svss_events() {
+            let slot = match &self.sessions {
+                Sessions::Map(_) => NO_SLOT,
+                // The absorb interned the tag; a retired hit is
+                // impossible here (absorb drops retired-tag events).
+                Sessions::Dense(d) => d.probe(fx_hash(tag), tag).expect("absorbed tags interned"),
+            };
+            self.touch(tag, slot);
+        }
         // `pump` recurses into sessions its own outputs touch, so the
         // scratch must be released before pumping.
         self.svss_batch = svss_batch;
         self.rb_run = rb_run;
         self.rb_deliveries = deliveries;
+        let mut tags = std::mem::take(&mut self.touched_tags);
+        if let Sessions::Dense(d) = &self.sessions {
+            debug_assert!(tags.is_empty());
+            for (w, word) in self.touched_bits.iter_mut().enumerate() {
+                let mut bits = *word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    tags.push(d.live[w * 64 + b].0);
+                }
+                *word = 0;
+            }
+        }
+        // Pump in ascending tag order — the same order the map-mode
+        // sort+dedup produces, so both modes advance sessions alike.
+        tags.sort_unstable();
+        tags.dedup();
         for tag in &tags {
             self.pump(*tag, sends);
         }
         tags.clear();
         self.touched_tags = tags;
+        self.sweep_retirements();
+    }
+
+    /// Marks a touched session for the end-of-batch pump.
+    fn touch(&mut self, tag: u64, slot: u32) {
+        if matches!(self.sessions, Sessions::Dense(_)) {
+            let (w, b) = ((slot / 64) as usize, slot % 64);
+            if w >= self.touched_bits.len() {
+                self.touched_bits.resize(w + 1, 0);
+            }
+            self.touched_bits[w] |= 1u64 << b;
+        } else {
+            self.touched_tags.push(tag);
+        }
+    }
+
+    /// Retires every session pumped since the last sweep whose input
+    /// space is fully consumed (dense mode; see the module docs). Called
+    /// at the end of every public entry point, after all pumps settle.
+    fn sweep_retirements(&mut self) {
+        let mut pumped = std::mem::take(&mut self.pumped);
+        if let Sessions::Dense(d) = &mut self.sessions {
+            let (n, t) = (self.params.n(), self.params.t());
+            pumped.sort_unstable();
+            pumped.dedup();
+            for &tag in &pumped {
+                if let Ok(slot) = d.probe(fx_hash(tag), tag) {
+                    if slot & RETIRED_BIT == 0 && d.live[slot as usize].1.fully_consumed(n, t) {
+                        d.retire(slot);
+                    }
+                }
+            }
+        }
+        pumped.clear();
+        self.pumped = pumped;
     }
 
     /// Records one accepted coin-slot broadcast into its session; returns
-    /// the touched session tag (or `None` for forged origins).
-    fn absorb_coin_delivery(&mut self, d: RbDelivery<CoinSlot, ProcessSet>) -> Option<u64> {
+    /// the touched session tag and dense slot (or `None` for forged
+    /// origins and retired sessions).
+    fn absorb_coin_delivery(&mut self, d: RbDelivery<CoinSlot, ProcessSet>) -> Option<(u64, u32)> {
         if d.origin.index() as usize > self.params.n() {
             return None; // forged origin: no such process
         }
         let tag = d.tag.coin_tag();
-        let session = self.sessions.entry(tag).or_default();
+        let (slot, session) = self.sessions.live_mut(tag)?;
         match d.tag {
             CoinSlot::Attach(_) => {
                 // |T_j| must be exactly t+1; malformed sets are
@@ -289,7 +644,7 @@ impl<F: Field> CoinEngine<F> {
                 session.supports.push((d.origin, d.value));
             }
         }
-        Some(tag)
+        Some((tag, slot))
     }
 
     /// Pulls SVSS events into coin-session state; returns affected tags.
@@ -304,7 +659,9 @@ impl<F: Field> CoinEngine<F> {
                     if coin_svss_id(tag, dealer, target) != sid {
                         continue;
                     }
-                    let session = self.sessions.entry(tag).or_default();
+                    let Some((_, session)) = self.sessions.live_mut(tag) else {
+                        continue; // retired: the session already ran
+                    };
                     session.completed_shares.insert(sid);
                     if target == self.me && !session.my_dealers.contains(&sid.dealer()) {
                         session.my_dealers.push(sid.dealer());
@@ -316,7 +673,9 @@ impl<F: Field> CoinEngine<F> {
                     if coin_svss_id(tag, dealer, target) != sid {
                         continue;
                     }
-                    let session = self.sessions.entry(tag).or_default();
+                    let Some((_, session)) = self.sessions.live_mut(tag) else {
+                        continue; // retired: reconstruction already done
+                    };
                     let erased = match value {
                         Reconstructed::Value(v) => Reconstructed::Value(v.as_u64()),
                         Reconstructed::Bottom => Reconstructed::Bottom,
@@ -335,16 +694,34 @@ impl<F: Field> CoinEngine<F> {
         tags
     }
 
-    /// Monotone advancement of one coin session.
+    /// Monotone advancement of one coin session. A retired tag is inert.
+    ///
+    /// Every step block re-resolves the session through the store — in
+    /// dense mode that is a direct slab index (resolved once, below), in
+    /// map mode a hash probe, exactly the cost this store exists to cut.
     fn pump(&mut self, tag: u64, sends: &mut Vec<(Pid, CoinMsg<F>)>) {
         let n = self.params.n();
         let t = self.params.t();
         let quorum = self.params.quorum();
-        let me = self.me;
+        let Some((slot, _)) = self.sessions.live_mut(tag) else {
+            return; // retired: provably inert
+        };
+        self.pumped.push(tag);
+        // Direct-index accessor for the step blocks: no hash probe in
+        // dense mode. The slot stays valid for the whole pump (sessions
+        // retire only in `sweep_retirements`, after all pumps).
+        macro_rules! session {
+            () => {
+                match &mut self.sessions {
+                    Sessions::Map(map) => map.get_mut(&tag).expect("interned above"),
+                    Sessions::Dense(d) => &mut d.live[slot as usize].1,
+                }
+            };
+        }
 
         // Step 2: attach after t+1 dealers completed secrets for me.
         {
-            let session = self.sessions.entry(tag).or_default();
+            let session = session!();
             if !session.attach_broadcast && session.my_dealers.len() > t {
                 session.attach_broadcast = true;
                 let t_set: ProcessSet = session.my_dealers.iter().take(t + 1).copied().collect();
@@ -355,7 +732,7 @@ impl<F: Field> CoinEngine<F> {
 
         // Step 3: acceptance.
         {
-            let session = self.sessions.entry(tag).or_default();
+            let session = session!();
             let mut newly: Vec<Pid> = Vec::new();
             for (&j, t_j) in &session.t_sets {
                 if session.accepted.contains(j) {
@@ -375,7 +752,7 @@ impl<F: Field> CoinEngine<F> {
 
         // Step 4: support broadcast at quorum.
         {
-            let session = self.sessions.entry(tag).or_default();
+            let session = session!();
             if !session.support_broadcast && session.accepted.len() >= quorum {
                 session.support_broadcast = true;
                 let snapshot = session.accepted;
@@ -386,7 +763,7 @@ impl<F: Field> CoinEngine<F> {
 
         // Step 5: validate supports; fix B at n−t validated.
         {
-            let session = self.sessions.entry(tag).or_default();
+            let session = session!();
             let accepted = session.accepted;
             for (l, s_l) in &session.supports {
                 if !session.validated.contains(*l) && s_l.is_subset(&accepted) {
@@ -411,7 +788,7 @@ impl<F: Field> CoinEngine<F> {
         {
             let mut to_recon: Vec<SvssId> = Vec::new();
             {
-                let session = self.sessions.entry(tag).or_default();
+                let session = session!();
                 if session.recon_enabled {
                     for j in session.accepted.iter() {
                         if let Some(t_j) = session.t_sets.get(&j) {
@@ -439,7 +816,7 @@ impl<F: Field> CoinEngine<F> {
 
         // Step 7: output once every B-member's value is known.
         {
-            let session = self.sessions.entry(tag).or_default();
+            let session = session!();
             if session.output.is_none() && session.recon_enabled {
                 if let Some(b) = session.b_set {
                     let mut zero_seen = false;
@@ -478,6 +855,5 @@ impl<F: Field> CoinEngine<F> {
                 }
             }
         }
-        let _ = me; // `me` is reserved for future per-process tracing
     }
 }

@@ -26,19 +26,31 @@ struct Net {
     rng: StdRng,
     tampers: Vec<Option<TamperFn>>,
     shuns: Vec<(Pid, Pid)>,
+    /// Every event each engine reported, in order (the equivalence pin).
+    events: Vec<Vec<sba_coin::CoinEvent>>,
 }
 
 impl Net {
     fn new(params: Params, seed: u64) -> Self {
+        Net::with_mode(params, seed, true)
+    }
+
+    /// `dense = false` selects the PR 4 reference session map.
+    fn with_mode(params: Params, seed: u64, dense: bool) -> Self {
         Net {
             params,
             engines: Pid::all(params.n())
-                .map(|p| CoinEngine::new(p, params, seed ^ (u64::from(p.index()) << 40)))
+                .map(|p| {
+                    let mut e = CoinEngine::new(p, params, seed ^ (u64::from(p.index()) << 40));
+                    e.set_dense_sessions(dense);
+                    e
+                })
                 .collect(),
             queue: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             tampers: (0..params.n()).map(|_| None).collect(),
             shuns: Vec::new(),
+            events: (0..params.n()).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -50,6 +62,7 @@ impl Net {
             if let sba_coin::CoinEvent::Shunned { process } = ev {
                 self.shuns.push((p, process));
             }
+            self.events[idx].push(ev);
         }
         for (to, msg) in sends {
             match self.tampers[idx].as_mut() {
@@ -166,6 +179,184 @@ fn malformed_attach_sets_ignored() {
     assert!(
         net.shuns.is_empty(),
         "malformed sets are not a shun offence"
+    );
+}
+
+/// The reconstruct-point forger used by the equivalence sweep (the same
+/// attack as [`forger_is_shunned_or_coin_is_common`], built twice so two
+/// meshes can run it in lockstep).
+fn forger_tamper() -> TamperFn {
+    Box::new(|_to, msg| {
+        if msg.wire_kind() != WireKind::MwReconInit {
+            return Tamper::Keep;
+        }
+        let Unpacked::Rb {
+            slot,
+            origin,
+            value: SvssRbValue::Value(v),
+            ..
+        } = msg.clone().unpack()
+        else {
+            return Tamper::Keep;
+        };
+        Tamper::Replace(vec![CoinMsg::rb(
+            slot,
+            origin,
+            RbStep::Init,
+            SvssRbValue::Value(v + Gf61::from_u64(5)),
+        )])
+    })
+}
+
+/// Drives two meshes through one coin session under ONE shared schedule
+/// RNG, asserting after every delivery that their queues evolved
+/// identically (same length, same chosen entry).
+fn lockstep_flip(a: &mut Net, b: &mut Net, tag: u64, schedule_seed: u64) {
+    let n = a.params.n();
+    for p in Pid::all(n) {
+        a.drive(p, |e, s| e.start(tag, s));
+        b.drive(p, |e, s| e.start(tag, s));
+        a.drive(p, |e, s| e.enable_reconstruct(tag, s));
+        b.drive(p, |e, s| e.enable_reconstruct(tag, s));
+    }
+    let mut rng = StdRng::seed_from_u64(schedule_seed);
+    let mut step = 0u64;
+    while !a.queue.is_empty() || !b.queue.is_empty() {
+        assert_eq!(
+            a.queue.len(),
+            b.queue.len(),
+            "tag {tag} step {step}: queue lengths diverged"
+        );
+        let k = rng.gen_range(0..a.queue.len());
+        let (fa, ta, ma) = a.queue.swap_remove(k);
+        let (fb, tb, mb) = b.queue.swap_remove(k);
+        assert_eq!(
+            (fa, ta, &ma),
+            (fb, tb, &mb),
+            "tag {tag} step {step}: queued message diverged"
+        );
+        a.drive(ta, |e, s| e.on_message(fa, ma, s));
+        b.drive(tb, |e, s| e.on_message(fb, mb, s));
+        step += 1;
+    }
+}
+
+/// PR 5 equivalence wall: the dense interned session slab (with
+/// retirement) and the PR 4 reference map are **bit-identical** through
+/// the full adversarial sweep — same message trace delivery for
+/// delivery, same per-process `CoinEvent` streams, same outputs, same
+/// shun pairs — while the dense mode actually retires the sessions the
+/// sweep completes (the mirror of `tests/tests/batching.rs` for the
+/// session store).
+#[test]
+fn dense_sessions_match_reference_map_through_adversarial_sweep() {
+    let params = Params::new(4, 1).unwrap();
+    let mut dense = Net::with_mode(params, 23, true);
+    let mut map = Net::with_mode(params, 23, false);
+    // The same forging adversary corrupts both meshes.
+    dense.tampers[3] = Some(forger_tamper());
+    map.tampers[3] = Some(forger_tamper());
+    for tag in 1..=3u64 {
+        lockstep_flip(&mut dense, &mut map, tag, 0xE0_0123 ^ tag);
+        assert_eq!(dense.outputs(tag), map.outputs(tag), "tag {tag}");
+    }
+    assert_eq!(dense.events, map.events, "event streams diverged");
+    assert_eq!(dense.shuns, map.shuns, "shun pairs diverged");
+    for p in Pid::all(4) {
+        let e_dense = &dense.engines[(p.index() - 1) as usize];
+        let e_map = &map.engines[(p.index() - 1) as usize];
+        // RB-layer accounting is store-independent.
+        assert_eq!(e_dense.rb_instance_stats(), e_map.rb_instance_stats());
+        let (live_d, peak_d, retired_d) = e_dense.session_stats();
+        let (live_m, _, retired_m) = e_map.session_stats();
+        // The map keeps every session forever; the slab retires the
+        // fully-drained ones and recycles their slots.
+        assert_eq!(retired_m, 0);
+        assert_eq!(live_d + retired_d, live_m, "{p}: sessions lost");
+        assert!(
+            retired_d >= 1,
+            "{p}: a fully drained honest sweep must retire sessions \
+             (live={live_d} peak={peak_d} retired={retired_d})"
+        );
+    }
+}
+
+/// Session retirement edge cases (companion to
+/// `tests/tests/retirement.rs`): after a session retires, late,
+/// duplicate, and tampered coin messages for it — the full replayed
+/// inbox plus conflicting-set variants of every RB step — are dropped
+/// without output, without sends, and without resurrecting the slot;
+/// `start` and `enable_reconstruct` re-invocations are equally inert;
+/// `output()` still answers from the record.
+#[test]
+fn retired_sessions_drop_late_duplicate_and_tampered_traffic() {
+    let params = Params::new(4, 1).unwrap();
+    let mut net = Net::new(params, 51);
+    // Record every message p2 ever received so it can be replayed later.
+    let mut p2_inbox: Vec<(Pid, Msg)> = Vec::new();
+    {
+        let tag = 1u64;
+        for p in Pid::all(4) {
+            net.drive(p, |e, s| e.start(tag, s));
+            net.drive(p, |e, s| e.enable_reconstruct(tag, s));
+        }
+        while !net.queue.is_empty() {
+            let k = net.rng.gen_range(0..net.queue.len());
+            let (from, to, msg) = net.queue.swap_remove(k);
+            if to == Pid::new(2) {
+                p2_inbox.push((from, msg.clone()));
+            }
+            net.drive(to, |e, s| e.on_message(from, msg, s));
+        }
+    }
+    let p2 = &mut net.engines[1];
+    let value = p2.output(1).expect("honest flip terminates");
+    let (live_before, peak_before, retired_before) = p2.session_stats();
+    assert!(retired_before >= 1, "session 1 must have retired");
+    let events_before = net.events[1].len();
+
+    // Replay p2's whole inbox (duplicates) and a tampered variant of
+    // every coin-RB message (conflicting sets, every RB step). All must
+    // be inert: any answer would land in `net.queue`.
+    assert!(net.queue.is_empty());
+    for (from, msg) in p2_inbox.clone() {
+        net.drive(Pid::new(2), |e, s| e.on_message(from, msg, s));
+    }
+    for (from, msg) in p2_inbox {
+        if !msg.wire_kind().is_coin_rb() {
+            continue;
+        }
+        let Unpacked::CoinRb { slot, origin, .. } = msg.unpack() else {
+            unreachable!()
+        };
+        for step in [RbStep::Init, RbStep::Echo, RbStep::Ready] {
+            let bogus: ProcessSet = Pid::all(3).collect();
+            let tampered = CoinMsg::coin_rb(slot, origin, step, bogus);
+            net.drive(Pid::new(2), |e, s| e.on_message(from, tampered, s));
+        }
+    }
+    let p2 = &mut net.engines[1];
+    let mut sends = Vec::new();
+    p2.start(1, &mut sends);
+    p2.enable_reconstruct(1, &mut sends);
+    assert!(sends.is_empty(), "retired session restarted: {sends:?}");
+    assert!(
+        net.queue.is_empty(),
+        "retired session answered: {:?}",
+        net.queue
+    );
+    let p2 = &net.engines[1];
+    assert_eq!(
+        p2.session_stats(),
+        (live_before, peak_before, retired_before),
+        "slot resurrected"
+    );
+    assert_eq!(p2.output(1), Some(value), "record lost");
+    assert_eq!(
+        net.events[1].len(),
+        events_before,
+        "late traffic produced events: {:?}",
+        &net.events[1][events_before..]
     );
 }
 

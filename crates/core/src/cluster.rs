@@ -287,6 +287,13 @@ impl Cluster {
         &self.sim
     }
 
+    /// Mutable access to the simulation — e.g. to drain in-flight
+    /// tails after [`Cluster::run`] returned at `all_done` (memory
+    /// accounting tests want full quiescence).
+    pub fn sim_mut(&mut self) -> &mut Simulation<Msg, ClusterProcess> {
+        &mut self.sim
+    }
+
     /// The honest process ids.
     pub fn honest(&self) -> &[Pid] {
         &self.honest

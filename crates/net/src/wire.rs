@@ -407,10 +407,28 @@ impl CoinSlot {
 /// Body of a `MwDeal` — the only share message with more than one
 /// polynomial, boxed so [`WireMsg`] stays at its pinned 32 bytes for the
 /// far more common point/ack traffic.
+///
+/// # Word-complexity diet (PR 5)
+///
+/// The deal grid the dealer hands recipient `j` overlaps: the row of
+/// values `f_1(j), …, f_n(j)` and the coefficient vector of `f_j`
+/// intersect in `f_j(j)`, so carrying all `n` values next to the full
+/// monitor polynomial was redundant. The wire form drops the
+/// recipient's own value (`others` has `n−1` entries) and the receiving
+/// engine splices `f_j(j)` back in by evaluating `monitor_poly` at its
+/// own index — field arithmetic is exact, so the spliced value is
+/// bit-identical to what the dealer would have sent. Vector length
+/// prefixes are a single byte (the packed-pid cap of 255 already bounds
+/// every runnable length) and the moderator polynomial's presence flag
+/// is merged into its length byte. `mw/deal` is the only multi-kilobyte
+/// payload class in a full run, so these bytes are the word-complexity
+/// lever the ROADMAP names; `crates/aba/tests/wire_sizes.rs` pins the
+/// encoded size.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MwDealBody<F> {
-    /// `f_l(j)` for `l = 1..=n` (recipient is `j`).
-    pub values: Vec<F>,
+    /// `f_l(j)` for `l ≠ j`, ascending `l` (recipient is `j`; the
+    /// recipient's own value `f_j(j)` is derived from `monitor_poly`).
+    pub others: Vec<F>,
     /// Coefficients of `f_j`, degree ≤ t.
     pub monitor_poly: Vec<F>,
     /// Coefficients of `f`, present iff the recipient is the moderator.
@@ -762,20 +780,29 @@ impl<F: Field> WireMsg<F> {
     }
 }
 
+/// Field-vector length cap on the wire (single-byte prefix; the packed
+/// pid cap of 255 already bounds every runnable vector length).
+const FIELD_VEC_CAP: usize = 255;
+
 fn put_field_vec<F: Field>(v: &[F], buf: &mut Vec<u8>) {
-    (v.len() as u32).encode(buf);
+    assert!(
+        v.len() <= FIELD_VEC_CAP,
+        "field vector of {} elements exceeds the wire cap of {FIELD_VEC_CAP}",
+        v.len()
+    );
+    buf.push(v.len() as u8);
     for &x in v {
         put_field(x, buf);
     }
 }
 
 fn field_vec_len<F>(v: &[F]) -> usize {
-    4 + 8 * v.len()
+    1 + 8 * v.len()
 }
 
 fn get_field_vec<F: Field>(r: &mut Reader<'_>) -> Result<Vec<F>, CodecError> {
-    let len = u32::decode(r)? as usize;
-    if len > r.remaining() {
+    let len = r.byte()? as usize;
+    if len * 8 > r.remaining() {
         return Err(CodecError::Invalid);
     }
     let mut out = Vec::with_capacity(len);
@@ -813,13 +840,21 @@ impl<F: Field> Wire for WireMsg<F> {
                 let Body::Deal(d) = &self.body else {
                     unreachable!()
                 };
-                put_field_vec(&d.values, buf);
+                put_field_vec(&d.others, buf);
                 put_field_vec(&d.monitor_poly, buf);
+                // Presence flag and length share one byte: 0 = absent,
+                // k = present with k−1 coefficients.
                 match &d.moderator_poly {
                     None => buf.push(0),
                     Some(p) => {
-                        buf.push(1);
-                        put_field_vec(p, buf);
+                        assert!(
+                            p.len() < FIELD_VEC_CAP,
+                            "moderator polynomial exceeds the wire cap"
+                        );
+                        buf.push(p.len() as u8 + 1);
+                        for &x in p {
+                            put_field(x, buf);
+                        }
                     }
                 }
             }
@@ -909,15 +944,24 @@ impl<F: Field> Wire for WireMsg<F> {
         let body = match kind {
             WireKind::MwDeal => {
                 (key.tag, key.p) = get_mw(r)?;
-                let values = get_field_vec(r)?;
+                let others = get_field_vec(r)?;
                 let monitor_poly = get_field_vec(r)?;
-                let moderator_poly = match r.byte()? {
+                let moderator_poly = match r.byte()? as usize {
                     0 => None,
-                    1 => Some(get_field_vec(r)?),
-                    d => return Err(CodecError::BadDiscriminant(d)),
+                    k => {
+                        let len = k - 1;
+                        if len * 8 > r.remaining() {
+                            return Err(CodecError::Invalid);
+                        }
+                        let mut p = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            p.push(get_field(r)?);
+                        }
+                        Some(p)
+                    }
                 };
                 Body::Deal(Box::new(MwDealBody {
-                    values,
+                    others,
                     monitor_poly,
                     moderator_poly,
                 }))
@@ -989,10 +1033,10 @@ impl<F: Field> Wire for WireMsg<F> {
             Body::Value(_) => 8,
             Body::Gsets(b) => b.g.encoded_len() + b.members.encoded_len(),
             Body::Deal(d) => {
-                field_vec_len(&d.values)
+                field_vec_len(&d.others)
                     + field_vec_len(&d.monitor_poly)
                     + 1
-                    + d.moderator_poly.as_ref().map_or(0, |p| field_vec_len(p))
+                    + d.moderator_poly.as_ref().map_or(0, |p| 8 * p.len())
             }
             Body::Rows(rows) => field_vec_len(&rows.g) + field_vec_len(&rows.h),
         };
@@ -1160,7 +1204,7 @@ mod tests {
             WireMsg::private(SvssPriv::MwDeal {
                 mw: mw_id(),
                 deal: Box::new(MwDealBody {
-                    values: vec![f(1), f(2)],
+                    others: vec![f(1), f(2)],
                     monitor_poly: vec![f(3)],
                     moderator_poly: Some(vec![f(4)]),
                 }),

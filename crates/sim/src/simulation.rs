@@ -28,6 +28,27 @@
 //! differ only in queue memory layout, which is exactly the machinery
 //! the batch rework replaced (`tests/tests/batching.rs` pins full-stack
 //! runs across both layouts).
+//!
+//! # Batched self-delivery (PR 5)
+//!
+//! Self-addressed sends model local computation and bypass the
+//! scheduler. Since PR 5 they are delivered in **generations**: all
+//! self-sends a process queues while handling one callback form one
+//! generation, delivered in a single [`Process::on_batch`] call (a full
+//! n=7 run makes ~10⁷ self-deliveries; the per-message `on_message`
+//! path cost one engine entry and one scheduling pass *per message*).
+//! Network sends are scheduled **once per event**: the triggering
+//! callback and its whole self-delivery fixpoint are one atomic local
+//! step, and everything it sends shares one per-recipient grouping pass
+//! (one delay draw per recipient). A generation is an atomic local
+//! step, so this is still a legal model of local computation. The two
+//! queue layouts mirror the network queue's split:
+//! batched mode chains the generation's payloads through one recycled
+//! buffer; the [`Simulation::set_batching`] reference mode keeps the
+//! old per-message envelope queue and reassembles the generation at
+//! delivery time — bit-identical runs, different memory layout
+//! (`tests/tests/batching.rs` pins this too, and the
+//! [`Metrics::self_delivery_batches`] gauge counts generations in both).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -446,8 +467,16 @@ pub struct Simulation<M, P = Box<dyn Process<M>>> {
     trace: Option<(usize, std::collections::VecDeque<TraceEntry>)>,
     /// Reusable per-delivery outbox (capacity survives across events).
     outbox: Outbox<M>,
-    /// Reusable self-delivery queue for [`Simulation::dispatch_outbox`].
-    local: VecDeque<Envelope<M>>,
+    /// Reusable self-delivery generation buffer (batched layout): the
+    /// generation currently being delivered or collected.
+    local_gen: Vec<M>,
+    /// Reference-layout self-delivery queue (`set_batching(false)`): one
+    /// fat envelope per message, reassembled into a generation at
+    /// delivery time — the per-message layout the batched path replaced.
+    local_ref: VecDeque<Envelope<M>>,
+    /// Network sends of the event being dispatched, held until its
+    /// self-delivery fixpoint completes (one scheduling pass per event).
+    held: Vec<Envelope<M>>,
     /// Reusable open-group table for one outbox drain (≤ n entries).
     open: Vec<OpenGroup<M>>,
     /// Pool of payload buffers recycled through `open`.
@@ -478,7 +507,9 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
             batching: true,
             trace: None,
             outbox: Outbox::new(Pid::new(1)),
-            local: VecDeque::new(),
+            local_gen: Vec::new(),
+            local_ref: VecDeque::new(),
+            held: Vec::new(),
             open: Vec::new(),
             group_bufs: Vec::new(),
             batch_scratch: Vec::new(),
@@ -487,11 +518,12 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
         }
     }
 
-    /// Enables or disables per-recipient delivery batching (on by
-    /// default). With batching off, every group member becomes its own
-    /// queue entry — same scheduler draws, same delivery order, one
-    /// [`Process::on_batch`] call per message. This is the reference
-    /// mode the order-equivalence test compares against.
+    /// Enables or disables the batched queue layouts (on by default).
+    /// With batching off, every network group member becomes its own
+    /// queue entry and every self-delivery generation is stored as
+    /// per-message envelopes — same scheduler draws, same delivery
+    /// order, same callbacks, fatter queues. This is the reference mode
+    /// the order-equivalence tests compare against.
     ///
     /// # Panics
     ///
@@ -564,16 +596,37 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
         self.metrics.inflight_peak_bytes = self.metrics.inflight_peak_bytes.max(bytes);
     }
 
-    /// Schedules one drained outbox pass: groups network sends per
-    /// recipient (one scheduler draw per group, on the group's first
-    /// envelope), queues self-sends onto `local`.
-    fn schedule_pass(&mut self, out: &mut Outbox<M>, local: &mut VecDeque<Envelope<M>>) {
-        let mut open = std::mem::take(&mut self.open);
+    /// Splits one drained outbox: self-sends join the next self-delivery
+    /// generation (`local` in the batched layout, the envelope queue in
+    /// the reference layout); network sends accumulate in `held` until
+    /// [`Simulation::schedule_held`] schedules the whole event's output
+    /// in one pass.
+    fn split_outbox(
+        &mut self,
+        out: &mut Outbox<M>,
+        local: &mut Vec<M>,
+        held: &mut Vec<Envelope<M>>,
+    ) {
         for env in out.drain_iter() {
             if env.to == env.from {
-                local.push_back(env);
-                continue;
+                if self.batching {
+                    local.push(env.msg);
+                } else {
+                    self.local_ref.push_back(env);
+                }
+            } else {
+                held.push(env);
             }
+        }
+    }
+
+    /// Schedules every network send one delivery event produced (its
+    /// direct sends plus everything its self-delivery fixpoint added):
+    /// groups envelopes per recipient, one scheduler draw per group on
+    /// the group's first envelope, in first-encounter order.
+    fn schedule_held(&mut self, from: Pid, held: &mut Vec<Envelope<M>>) {
+        let mut open = std::mem::take(&mut self.open);
+        for env in held.drain(..) {
             let to = env.to.index() as usize;
             assert!(
                 to >= 1 && to <= self.procs.len(),
@@ -595,7 +648,6 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
             }
         }
         for g in open.iter_mut() {
-            let from = out.me();
             self.seq += 1;
             if self.batching {
                 let k = g.msgs.len() as u64;
@@ -634,20 +686,45 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
     }
 
     fn dispatch_outbox(&mut self, out: &mut Outbox<M>) {
-        // Self-sends are delivered synchronously (FIFO), modelling local
-        // computation; network sends go through the adversary, grouped
-        // per recipient per pass. All buffers are reused across events so
-        // the dispatch loop allocates nothing at steady state.
-        let mut local = std::mem::take(&mut self.local);
-        self.schedule_pass(out, &mut local);
-        while let Some(env) = local.pop_front() {
-            self.metrics.self_deliveries += 1;
-            let idx = (env.to.index() - 1) as usize;
-            out.reset(env.to);
-            self.procs[idx].on_message(env.from, env.msg, out);
-            self.schedule_pass(out, &mut local);
+        // Self-sends are delivered synchronously in generations (see the
+        // module docs): everything a process sends itself while handling
+        // one callback is delivered back in ONE `on_batch` call. Network
+        // sends from the whole event — the triggering callback plus its
+        // self-delivery fixpoint — are held and scheduled in one pass at
+        // the end, so the event is the unit of scheduling. All buffers
+        // are reused across events; the dispatch loop allocates nothing
+        // at steady state. Self-sends always target the outbox owner, so
+        // a single per-process generation buffer suffices.
+        let me = out.me();
+        let mut gen = std::mem::take(&mut self.local_gen);
+        let mut held = std::mem::take(&mut self.held);
+        debug_assert!(gen.is_empty(), "generation buffer leaked");
+        debug_assert!(held.is_empty(), "held-send buffer leaked");
+        self.split_outbox(out, &mut gen, &mut held);
+        loop {
+            if !self.batching {
+                // Reference layout: reassemble the generation from the
+                // per-message envelope queue (same members, same order).
+                debug_assert!(gen.is_empty());
+                while let Some(env) = self.local_ref.pop_front() {
+                    debug_assert_eq!(env.to, me, "self-sends target their sender");
+                    gen.push(env.msg);
+                }
+            }
+            if gen.is_empty() {
+                break;
+            }
+            self.metrics.self_deliveries += gen.len() as u64;
+            self.metrics.self_delivery_batches += 1;
+            let idx = (me.index() - 1) as usize;
+            out.reset(me);
+            self.procs[idx].on_batch(me, &mut gen, out);
+            gen.clear(); // the contract says drained; be defensive
+            self.split_outbox(out, &mut gen, &mut held);
         }
-        self.local = local;
+        self.schedule_held(me, &mut held);
+        self.local_gen = gen;
+        self.held = held;
     }
 
     fn start_if_needed(&mut self) {
@@ -870,6 +947,44 @@ mod tests {
         assert!(outcome.quiescent);
         assert_eq!(sim.metrics().messages_sent, 0);
         assert_eq!(sim.metrics().self_deliveries, 5);
+        // A chain of single self-sends is 5 generations of one message.
+        assert_eq!(sim.metrics().self_delivery_batches, 5);
+    }
+
+    /// All self-sends queued while handling one callback form ONE
+    /// generation: one `on_batch` call, one scheduling pass — and the
+    /// reference layout produces the identical generation structure.
+    #[test]
+    fn self_sends_coalesce_into_generations() {
+        /// Fans `width` self-sends per generation, `depth` generations
+        /// deep.
+        struct Fan {
+            width: u64,
+            depth: u64,
+        }
+        impl Process<u64> for Fan {
+            fn on_start(&mut self, out: &mut Outbox<u64>) {
+                for _ in 0..self.width {
+                    out.send(Pid::new(1), 1);
+                }
+            }
+            fn on_message(&mut self, _from: Pid, msg: u64, out: &mut Outbox<u64>) {
+                if msg < self.depth {
+                    out.send(Pid::new(1), msg + 1);
+                }
+            }
+        }
+        for batching in [true, false] {
+            let procs: Vec<Box<dyn Process<u64>>> = vec![Box::new(Fan { width: 4, depth: 3 })];
+            let mut sim = Simulation::new(procs, schedulers::uniform(10), 1);
+            sim.set_batching(batching);
+            sim.run_to_quiescence(100);
+            let m = sim.metrics();
+            // Generation 1: the 4 initial sends. Each delivered message
+            // spawns a follow-up until depth 3: generations of 4, 4, 4.
+            assert_eq!(m.self_deliveries, 12, "batching={batching}");
+            assert_eq!(m.self_delivery_batches, 3, "batching={batching}");
+        }
     }
 
     #[test]

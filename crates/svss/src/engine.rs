@@ -434,10 +434,27 @@ impl<F: Field> SvssEngine<F> {
             Inner::Priv(p) => match p {
                 SvssPriv::MwDeal { mw, deal } => {
                     let crate::MwDealBody {
-                        values,
+                        others,
                         monitor_poly,
                         moderator_poly,
                     } = *deal;
+                    // The wire form omits this process's own value (it is
+                    // `monitor_poly(me)`, see `MwDealBody`); splice it
+                    // back in so the machine sees the full value row.
+                    // Field arithmetic is exact, so the spliced value is
+                    // bit-identical to what an honest dealer computed. A
+                    // body whose `others` length cannot be a valid row is
+                    // malformed: treat it as never sent.
+                    if others.len() + 1 != self.params.n() {
+                        return;
+                    }
+                    let x = self.domain.point(self.me.as_u64());
+                    let mut own = F::ZERO;
+                    for &c in monitor_poly.iter().rev() {
+                        own = own * x + c;
+                    }
+                    let mut values = others;
+                    values.insert((self.me.index() - 1) as usize, own);
                     self.feed_mw(
                         mw,
                         MwIn::Deal {

@@ -279,7 +279,15 @@ impl<F: Field> Mw<F> {
             .collect();
         for j in Pid::all(self.n) {
             let xj = self.domain.point(j.as_u64());
-            let values: Vec<F> = fls.iter().map(|fl| fl.eval(xj)).collect();
+            // The wire body omits j's own value f_j(j): it is redundant
+            // with `monitor_poly` and the recipient splices it back in
+            // (see `MwDealBody`).
+            let others: Vec<F> = fls
+                .iter()
+                .enumerate()
+                .filter(|&(l, _)| l != (j.index() - 1) as usize)
+                .map(|(_, fl)| fl.eval(xj))
+                .collect();
             let monitor_poly = fls[(j.index() - 1) as usize].coeffs().to_vec();
             let moderator_poly = if j == self.id.moderator() {
                 Some(f.coeffs().to_vec())
@@ -291,7 +299,7 @@ impl<F: Field> Mw<F> {
                 SvssPriv::MwDeal {
                     mw: self.id,
                     deal: Box::new(crate::MwDealBody {
-                        values,
+                        others,
                         monitor_poly,
                         moderator_poly,
                     }),
@@ -722,7 +730,7 @@ mod tests {
         let mut moderator_polys = 0;
         for o in &out {
             if let MwOut::Send(to, SvssPriv::MwDeal { deal, .. }) = o {
-                assert_eq!(deal.values.len(), N);
+                assert_eq!(deal.others.len(), N - 1);
                 if deal.moderator_poly.is_some() {
                     assert_eq!(*to, Pid::new(2), "only the moderator gets f");
                     moderator_polys += 1;

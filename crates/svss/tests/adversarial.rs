@@ -114,7 +114,7 @@ fn malformed_messages_are_inert() {
             SvssMsg::private(SvssPriv::MwDeal {
                 mw: bogus_mw,
                 deal: Box::new(MwDealBody {
-                    values: vec![f(1); 2], // wrong length
+                    others: vec![f(1); 2], // wrong length (n−1 = 3 expected)
                     monitor_poly: vec![f(1); 9],
                     moderator_poly: None,
                 }),

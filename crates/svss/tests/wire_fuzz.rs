@@ -45,11 +45,11 @@ fn svss_priv() -> impl Strategy<Value = SvssPriv<Gf61>> {
             proptest::collection::vec(field_el(), 0..4),
             proptest::option::of(proptest::collection::vec(field_el(), 0..4)),
         )
-            .prop_map(|(mw, values, monitor_poly, moderator_poly)| {
+            .prop_map(|(mw, others, monitor_poly, moderator_poly)| {
                 SvssPriv::MwDeal {
                     mw,
                     deal: Box::new(MwDealBody {
-                        values,
+                        others,
                         monitor_poly,
                         moderator_poly,
                     }),
@@ -148,7 +148,7 @@ fn representative(kind: WireKind) -> SvssMsg<Gf61> {
         WireKind::MwDeal => SvssMsg::private(SvssPriv::MwDeal {
             mw,
             deal: Box::new(MwDealBody {
-                values: vec![f, f],
+                others: vec![f, f],
                 monitor_poly: vec![f],
                 moderator_poly: Some(vec![f]),
             }),
@@ -228,6 +228,69 @@ fn truncated_frames_rejected() {
             );
         }
     }
+}
+
+/// The shrunk PR 5 deal encoding (single-byte vector lengths, merged
+/// moderator flag/length byte, recipient's own value omitted) round-trips
+/// across the moderator/non-moderator split and every vector shape the
+/// protocol can produce, and the merged byte is bounds-checked: a length
+/// byte promising more coefficients than the frame carries is rejected,
+/// never mis-decoded.
+#[test]
+fn shrunk_deal_encoding_round_trips_and_rejects_lies() {
+    let mw = MwId::nested(
+        SvssId::new(5, Pid::new(1)),
+        Pid::new(2),
+        Pid::new(3),
+        Pid::new(3),
+        Pid::new(2),
+    );
+    let f = Gf61::from_u64;
+    for n_minus_1 in [0usize, 3, 6, 63] {
+        for t_plus_1 in [0usize, 1, 3] {
+            for moderator in [false, true] {
+                let msg = SvssMsg::<Gf61>::private(SvssPriv::MwDeal {
+                    mw,
+                    deal: Box::new(MwDealBody {
+                        others: (0..n_minus_1 as u64).map(f).collect(),
+                        monitor_poly: (0..t_plus_1 as u64).map(f).collect(),
+                        moderator_poly: moderator.then(|| (0..t_plus_1 as u64).map(f).collect()),
+                    }),
+                });
+                let bytes = msg.encoded();
+                assert_eq!(msg.encoded_len(), bytes.len());
+                let mut r = Reader::new(&bytes);
+                assert_eq!(SvssMsg::<Gf61>::decode(&mut r).unwrap(), msg);
+                assert_eq!(r.remaining(), 0);
+            }
+        }
+    }
+    // A lying merged byte: claim 200 moderator coefficients in a frame
+    // that ends right after the byte.
+    let small = SvssMsg::<Gf61>::private(SvssPriv::MwDeal {
+        mw,
+        deal: Box::new(MwDealBody {
+            others: vec![f(1)],
+            monitor_poly: vec![f(2)],
+            moderator_poly: None,
+        }),
+    });
+    let mut bytes = small.encoded();
+    let last = bytes.len() - 1;
+    bytes[last] = 201; // merged byte: Some with 200 coefficients
+    let mut r = Reader::new(&bytes);
+    assert_eq!(
+        SvssMsg::<Gf61>::decode(&mut r).unwrap_err(),
+        CodecError::Invalid
+    );
+    // Same lie on a vector length prefix (the `others` length byte).
+    let mut bytes = small.encoded();
+    bytes[14] = 250; // kind 1 + mw 13, then the others length byte
+    let mut r = Reader::new(&bytes);
+    assert_eq!(
+        SvssMsg::<Gf61>::decode(&mut r).unwrap_err(),
+        CodecError::Invalid
+    );
 }
 
 /// Discriminant bytes outside the kind table are foreign and rejected

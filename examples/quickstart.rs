@@ -36,6 +36,14 @@ fn main() {
         report.metrics.inflight_peak_batches,
         report.metrics.inflight_peak_bytes as f64 / 1e3
     );
+    // Self-delivery batching: local fixpoints run one `on_batch` call
+    // per generation instead of one callback per self-message.
+    println!(
+        "self-delivery  : {} msgs in {} generations ({:.1} msgs/gen)",
+        report.metrics.self_deliveries,
+        report.metrics.self_delivery_batches,
+        report.metrics.self_deliveries as f64 / report.metrics.self_delivery_batches.max(1) as f64
+    );
     println!();
     println!("message breakdown by protocol step:");
     for (kind, (count, bytes)) in report.metrics.per_kind_sorted() {

@@ -26,8 +26,10 @@ use sba::{AbaConfig, AbaMsg, AbaNode, AbaProcess, Params, Pid};
 
 type Msg = AbaMsg<Gf61>;
 
-/// One recorded scheduled delivery (self-deliveries are not scheduled
-/// and are identical by construction).
+/// One recorded delivery. Since PR 5 this covers the self-delivery path
+/// too: generations arrive through the same `on_batch` hook (with
+/// `from == to`), so the log pins network scheduling AND the
+/// self-delivery generation structure in one sequence.
 type Record = (u32 /* to */, u32 /* from */, &'static str);
 
 /// Wraps a production `AbaProcess` (batch amortization and all),
@@ -60,7 +62,11 @@ impl Process<Msg> for Recorder {
     }
 }
 
-fn recorded_run(seed: u64, batching: bool) -> (Vec<Record>, Vec<Option<bool>>, u64, u64) {
+/// `(delivery log, decisions, messages_sent, virtual_time,
+/// self_deliveries, self_delivery_batches)` of one full production run.
+type RunPin = (Vec<Record>, Vec<Option<bool>>, u64, u64, u64, u64);
+
+fn recorded_run(seed: u64, batching: bool) -> RunPin {
     let n = 4;
     let params = Params::new(n, 1).unwrap();
     let log = Arc::new(Mutex::new(Vec::new()));
@@ -84,24 +90,43 @@ fn recorded_run(seed: u64, batching: bool) -> (Vec<Record>, Vec<Option<bool>>, u
         .map(|i| sim.process(Pid::new(i)).inner.node().decision(0))
         .collect();
     let (sent, vt) = (sim.metrics().messages_sent, sim.metrics().virtual_time);
+    let (selfs, self_batches) = (
+        sim.metrics().self_deliveries,
+        sim.metrics().self_delivery_batches,
+    );
     let log = log.lock().expect("single-threaded").clone();
-    (log, decisions, sent, vt)
+    (log, decisions, sent, vt, selfs, self_batches)
 }
 
-/// The strong pin: the batched queue and the per-message reference
-/// layout produce **bit-identical full runs** on pinned seeds — the same
-/// per-message delivery sequence, the same decisions, the same message
-/// counts and virtual end time — end to end through the production
-/// agreement stack (engine batch amortization included).
+/// The strong pin: the batched queue layouts (network batches AND
+/// self-delivery generations, PR 5) and the per-message reference
+/// layouts produce **bit-identical full runs** on pinned seeds — the
+/// same per-message delivery sequence (self-deliveries included), the
+/// same decisions, the same message counts, the same self-delivery
+/// generation structure, and the same virtual end time — end to end
+/// through the production agreement stack (engine batch amortization
+/// included).
 #[test]
 fn delivery_order_identical_with_batching() {
     for seed in [3u64, 11, 42] {
-        let (batched, d1, sent1, vt1) = recorded_run(seed, true);
-        let (unbatched, d2, sent2, vt2) = recorded_run(seed, false);
+        let (batched, d1, sent1, vt1, selfs1, sbat1) = recorded_run(seed, true);
+        let (unbatched, d2, sent2, vt2, selfs2, sbat2) = recorded_run(seed, false);
         assert!(!batched.is_empty());
         assert_eq!(d1, d2, "seed {seed}: decisions diverged");
         assert_eq!(sent1, sent2, "seed {seed}: message counts diverged");
         assert_eq!(vt1, vt2, "seed {seed}: virtual end times diverged");
+        // Self-delivery batching on vs. off: same per-message count,
+        // same generation count, and the gauge is actually exercised.
+        assert_eq!(selfs1, selfs2, "seed {seed}: self-deliveries diverged");
+        assert_eq!(sbat1, sbat2, "seed {seed}: generation counts diverged");
+        assert!(
+            sbat1 > 0 && selfs1 > sbat1,
+            "seed {seed}: self-delivery batching never coalesced \
+             ({selfs1} self-deliveries in {sbat1} generations)"
+        );
+        // Self-deliveries ride the recorded log too (from == to), so the
+        // element-wise compare below pins their order and chunking.
+        assert!(batched.iter().any(|&(to, from, _)| to == from));
         assert_eq!(
             batched.len(),
             unbatched.len(),

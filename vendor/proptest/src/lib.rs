@@ -8,9 +8,15 @@
 //!
 //! Differences from upstream, deliberate for an offline test tier:
 //!
-//! - **No shrinking.** A failing case reports its case number and the
-//!   deterministic per-test seed instead of a minimized input.
-//!   (`max_shrink_iters` is accepted and ignored.)
+//! - **Basic shrinking** (PR 5): integer ranges shrink toward their
+//!   lower bound, `any::<int>()` toward zero, tuples per component, and
+//!   vectors by truncation plus element shrinking. A failing case is
+//!   minimized greedily ([`strategy::minimize`]) within
+//!   `max_shrink_iters` candidate evaluations (default 1024; `0`
+//!   disables shrinking) and the panic reports the minimal failing
+//!   input alongside the case number and replay seed. Combinators that
+//!   cannot invert their mapping (`prop_map`, `prop_oneof!`) report the
+//!   failing value unshrunk, as upstream's `.no_shrink()` would.
 //! - **Deterministic seeding.** Each test's RNG is seeded from a hash of
 //!   its full module path, so runs are reproducible by construction; set
 //!   `PROPTEST_SEED` to perturb the whole suite.
@@ -33,6 +39,15 @@ pub mod strategy {
 
         /// Draws one value.
         fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Proposes strictly-simpler candidates for `value`, most
+        /// aggressive first. The runner keeps any candidate that still
+        /// fails and re-shrinks from it (see [`minimize`]). The default
+        /// — no candidates — is correct for strategies that cannot
+        /// invert their construction (`prop_map`, unions).
+        fn shrink_value(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<T, F>(self, f: F) -> Map<Self, F>
@@ -57,6 +72,39 @@ pub mod strategy {
         fn gen_value(&self, rng: &mut TestRng) -> T {
             (**self).gen_value(rng)
         }
+        fn shrink_value(&self, value: &T) -> Vec<T> {
+            (**self).shrink_value(value)
+        }
+    }
+
+    /// Greedily minimizes a failing value: repeatedly takes the first
+    /// shrink candidate that still satisfies `failing`, stopping when no
+    /// candidate fails or `budget` candidate evaluations are spent.
+    /// Returns the minimized value and the number of accepted shrink
+    /// steps. Deterministic — shrinking never consults the RNG.
+    pub fn minimize<S: Strategy>(
+        strategy: &S,
+        mut value: S::Value,
+        budget: u32,
+        mut failing: impl FnMut(&S::Value) -> bool,
+    ) -> (S::Value, u32) {
+        let mut spent = 0u32;
+        let mut steps = 0u32;
+        'outer: while spent < budget {
+            for cand in strategy.shrink_value(&value) {
+                spent += 1;
+                if failing(&cand) {
+                    value = cand;
+                    steps += 1;
+                    continue 'outer;
+                }
+                if spent >= budget {
+                    break 'outer;
+                }
+            }
+            break;
+        }
+        (value, steps)
     }
 
     /// See [`Strategy::prop_map`].
@@ -108,6 +156,35 @@ pub mod strategy {
         }
     }
 
+    /// Shrink candidates for an integer over `[start, value)`: the lower
+    /// bound itself, the midpoint (binary descent), and the predecessor
+    /// (linear tail) — ascending, deduplicated.
+    fn shrink_toward<T>(start: T, value: T) -> Vec<T>
+    where
+        T: Copy
+            + PartialOrd
+            + PartialEq
+            + std::ops::Add<Output = T>
+            + std::ops::Sub<Output = T>
+            + std::ops::Div<Output = T>,
+        u8: Into<T>,
+    {
+        let one: T = 1u8.into();
+        let two: T = 2u8.into();
+        if value <= start {
+            return Vec::new();
+        }
+        let mut out = vec![start];
+        let mid = start + (value - start) / two;
+        if mid != start {
+            out.push(mid);
+        }
+        if value - one != mid && value - one != start {
+            out.push(value - one);
+        }
+        out
+    }
+
     macro_rules! int_range_strategies {
         ($($ty:ty),*) => {$(
             impl Strategy for Range<$ty> {
@@ -116,6 +193,9 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty range strategy");
                     let span = (self.end - self.start) as u64;
                     self.start + rng.u64_below(span) as $ty
+                }
+                fn shrink_value(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_toward(self.start, *value)
                 }
             }
             impl Strategy for RangeInclusive<$ty> {
@@ -129,6 +209,9 @@ pub mod strategy {
                     }
                     start + rng.u64_below(span + 1) as $ty
                 }
+                fn shrink_value(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_toward(*self.start(), *value)
+                }
             }
         )*};
     }
@@ -136,26 +219,39 @@ pub mod strategy {
     int_range_strategies!(u8, u16, u32, u64, usize);
 
     macro_rules! tuple_strategies {
-        ($(($($name:ident),+))*) => {$(
-            #[allow(non_snake_case)]
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
                 fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.gen_value(rng),)+)
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+                /// Per-component shrinking, leftmost component first.
+                fn shrink_value(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink_value(&value.$idx) {
+                            let mut t = value.clone();
+                            t.$idx = cand;
+                            out.push(t);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
     }
 
     tuple_strategies! {
-        (A, B)
-        (A, B, C)
-        (A, B, C, D)
-        (A, B, C, D, E)
-        (A, B, C, D, E, G)
-        (A, B, C, D, E, G, H)
-        (A, B, C, D, E, G, H, I)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, G.5)
+        (A.0, B.1, C.2, D.3, E.4, G.5, H.6)
+        (A.0, B.1, C.2, D.3, E.4, G.5, H.6, I.7)
     }
 
     /// Strategy for "any value of `T`"; see [`any`].
@@ -171,6 +267,13 @@ pub mod strategy {
         fn gen_value(&self, rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
         }
+        fn shrink_value(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 
     macro_rules! any_int_strategies {
@@ -179,6 +282,24 @@ pub mod strategy {
                 type Value = $ty;
                 fn gen_value(&self, rng: &mut TestRng) -> $ty {
                     rng.next_u64() as $ty
+                }
+                /// Shrinks toward zero (from either sign).
+                #[allow(unused_comparisons)] // one arm is dead for unsigned
+                fn shrink_value(&self, value: &$ty) -> Vec<$ty> {
+                    let v = *value;
+                    if v == 0 {
+                        return Vec::new();
+                    }
+                    let mut out = vec![0 as $ty];
+                    let mid = v / 2;
+                    if mid != 0 {
+                        out.push(mid);
+                    }
+                    let step = if v > 0 { v - 1 } else { v + 1 };
+                    if step != mid && step != 0 {
+                        out.push(step);
+                    }
+                    out
                 }
             }
         )*};
@@ -206,6 +327,11 @@ pub mod collection {
         fn pick(self, rng: &mut TestRng) -> usize {
             assert!(self.lo < self.hi, "empty size range");
             self.lo + rng.usize_below(self.hi - self.lo)
+        }
+
+        /// The smallest admissible length (shrinking's floor).
+        pub(crate) fn lo(self) -> usize {
+            self.lo
         }
     }
 
@@ -247,11 +373,34 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.pick(rng);
             (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+        /// Shrinks by truncation (halve, then drop-last) while the
+        /// length stays in range, then element-wise.
+        fn shrink_value(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let lo = self.size.lo();
+            if value.len() / 2 >= lo && value.len() / 2 < value.len() {
+                out.push(value[..value.len() / 2].to_vec());
+            }
+            if value.len() > lo && value.len() / 2 != value.len() - 1 {
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink_value(v) {
+                    let mut copy = value.clone();
+                    copy[i] = cand;
+                    out.push(copy);
+                }
+            }
+            out
         }
     }
 
@@ -383,7 +532,8 @@ pub mod test_runner {
     pub struct Config {
         /// Number of cases to generate per test.
         pub cases: u32,
-        /// Accepted for source compatibility; shrinking is not implemented.
+        /// Candidate-evaluation budget for shrinking a failing case
+        /// (`0` disables shrinking).
         pub max_shrink_iters: u32,
     }
 
@@ -394,7 +544,7 @@ pub mod test_runner {
                 // default moderate so in-crate suites stay fast. Tests that
                 // want more set `cases` explicitly.
                 cases: 64,
-                max_shrink_iters: 0,
+                max_shrink_iters: 1024,
             }
         }
     }
@@ -496,22 +646,49 @@ macro_rules! __proptest_items {
                 concat!(module_path!(), "::", stringify!($name)),
             );
             let strategy = ($($strategy),+);
-            for case in 0..config.cases {
-                let ($($parm),+) = $crate::strategy::Strategy::gen_value(&strategy, &mut rng);
+            // Pins the closure's parameter to the strategy's value type
+            // (method calls inside the body need it known up front).
+            fn __bind<S, F>(_strategy: &S, f: F) -> F
+            where
+                S: $crate::strategy::Strategy,
+                F: Fn(S::Value) -> ::std::result::Result<(), ::std::string::String>,
+            {
+                f
+            }
+            let run_case = __bind(&strategy, |__case| {
+                let ($($parm),+) = __case;
                 let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
                     $body
                     ::std::result::Result::Ok(())
                 })();
-                if let ::std::result::Result::Err(message) = outcome {
+                outcome
+            });
+            for case in 0..config.cases {
+                let value = $crate::strategy::Strategy::gen_value(&strategy, &mut rng);
+                if let ::std::result::Result::Err(message) = run_case(::std::clone::Clone::clone(&value)) {
+                    // Minimize the failing input, then report the
+                    // minimal case's own failure message.
+                    let (minimal, steps) = $crate::strategy::minimize(
+                        &strategy,
+                        value,
+                        config.max_shrink_iters,
+                        |v| run_case(::std::clone::Clone::clone(v)).is_err(),
+                    );
+                    let message = run_case(::std::clone::Clone::clone(&minimal))
+                        .err()
+                        .unwrap_or(message);
                     panic!(
                         "proptest {} failed at case {}/{} (stream {:#x}; rerun \
-                         this test with PROPTEST_REPLAY={} to reproduce): {}",
+                         this test with PROPTEST_REPLAY={} to reproduce): {}\n\
+                         minimal failing input: {:?} (after {} shrink steps)",
                         stringify!($name),
                         case + 1,
                         config.cases,
                         rng.initial_state(),
                         rng.initial_state(),
-                        message
+                        message,
+                        minimal,
+                        steps
                     );
                 }
             }
@@ -659,6 +836,86 @@ mod tests {
             }
         }
         inner();
+    }
+
+    /// The runner minimizes failing cases: whatever value in `37..1000`
+    /// the stream produced first, the report names the boundary value 37.
+    #[test]
+    #[should_panic(expected = "minimal failing input: 37 (after")]
+    fn failing_property_reports_minimal_input() {
+        proptest! {
+            #[allow(dead_code)]
+            fn inner(x in 0u64..1000) {
+                prop_assert!(x < 37, "x was {}", x);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn integer_ranges_shrink_toward_their_lower_bound() {
+        use crate::strategy::{minimize, Strategy};
+        let s = 5u64..1000;
+        // Candidates descend: lower bound first, then midpoint, then v−1.
+        assert_eq!(s.shrink_value(&637), vec![5, 321, 636]);
+        assert_eq!(s.shrink_value(&5), Vec::<u64>::new());
+        let (min, steps) = minimize(&s, 637, 10_000, |&v| v >= 37);
+        assert_eq!(min, 37, "greedy descent finds the failure boundary");
+        assert!(steps > 0);
+        // Inclusive ranges and any::<int>() shrink the same way.
+        assert_eq!((3u32..=90).shrink_value(&10), vec![3, 6, 9]);
+        assert_eq!(
+            crate::strategy::any::<i64>().shrink_value(&-9),
+            vec![0, -4, -8]
+        );
+        assert_eq!(
+            crate::strategy::any::<u8>().shrink_value(&0),
+            Vec::<u8>::new()
+        );
+        assert_eq!(
+            crate::strategy::any::<bool>().shrink_value(&true),
+            vec![false]
+        );
+    }
+
+    #[test]
+    fn tuples_shrink_per_component() {
+        use crate::strategy::{minimize, Strategy};
+        let s = (0u32..100, 0u32..100);
+        // Leftmost component's candidates come first.
+        let cands = s.shrink_value(&(8, 6));
+        assert_eq!(cands[0], (0, 6));
+        assert!(cands.contains(&(8, 0)));
+        // Minimizing a + b ≥ 30 drives the left component to its bound
+        // and the right one to the boundary.
+        let (min, _) = minimize(&s, (50, 50), 10_000, |&(a, b)| a + b >= 30);
+        assert_eq!(min, (0, 30));
+    }
+
+    #[test]
+    fn vectors_shrink_by_truncation_and_element() {
+        use crate::strategy::{minimize, Strategy};
+        let s = crate::collection::vec(0u8..100, 0..10);
+        let cands = s.shrink_value(&vec![9, 9, 9, 9]);
+        assert!(cands.contains(&vec![9, 9]), "halving candidate");
+        assert!(cands.contains(&vec![9, 9, 9]), "drop-last candidate");
+        assert!(cands.contains(&vec![0, 9, 9, 9]), "element candidate");
+        // "Some element ≥ 7" minimizes to the single boundary element.
+        let (min, _) = minimize(&s, vec![50, 80, 12], 10_000, |v| v.iter().any(|&x| x >= 7));
+        assert_eq!(min, vec![7]);
+        // The length floor is respected.
+        let fixed = crate::collection::vec(0u8..100, 3);
+        assert!(fixed
+            .shrink_value(&vec![1, 2, 3])
+            .iter()
+            .all(|v| v.len() == 3));
+    }
+
+    #[test]
+    fn shrinking_can_be_disabled() {
+        use crate::strategy::minimize;
+        let (min, steps) = minimize(&(0u64..1000), 637, 0, |&v| v >= 37);
+        assert_eq!((min, steps), (637, 0), "budget 0 = no shrinking");
     }
 
     #[test]
