@@ -78,7 +78,7 @@ pub enum AbaEvent {
 }
 
 /// Per-instance state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Instance {
     started: bool,
     value: bool,
@@ -113,6 +113,7 @@ impl Instance {
 /// Lifecycle per instance: [`AbaNode::propose`] with the input bit, feed
 /// messages via [`AbaNode::on_message`], watch for [`AbaEvent::Decided`]
 /// and [`AbaEvent::Halted`] from [`AbaNode::take_events`].
+#[derive(Clone)]
 pub struct AbaNode<F: Field> {
     me: Pid,
     config: AbaConfig,
@@ -623,6 +624,7 @@ impl<F: Field> AbaNode<F> {
 /// Adapter: run an [`AbaNode`] as a simulated process.
 ///
 /// The node is `done` once every proposed instance halted.
+#[derive(Clone)]
 pub struct AbaProcess<F: Field> {
     node: AbaNode<F>,
     proposals: Vec<(u32, bool)>,

@@ -17,6 +17,14 @@
 //! `--full` mode E9 additionally times the heavyweight n=7 SCC agreement
 //! run (the `scc_larger_system` slow-tier test's workload).
 //!
+//! `e11` sweeps the scenario zoo: every [`Zoo`](sba::Zoo) scenario is
+//! run, recorded as a JSON artifact under `artifacts/`, and immediately
+//! replayed from that artifact — the harness exits nonzero if any replay
+//! diverges from its recording (the CI replay-smoke gate). `e12` drives
+//! the checkpoint/fork path: one run per scenario is checkpointed
+//! mid-flight, resumed (must reproduce the original tail digest), and
+//! forked under divergent seeds (every branch must still decide).
+//!
 //! `compare OLD NEW [--key K] [--max-ratio R]` diffs two snapshots and
 //! exits nonzero when `K` (default `scc_larger_system.wall_seconds`)
 //! regressed by more than `R` (default 1.25 = +25 %) — the CI perf gate.
@@ -92,6 +100,146 @@ fn main() {
     if run_all || which == "e10" {
         e10_threaded(full);
     }
+    if run_all || which == "e11" {
+        e11_scenario_zoo(full, json_path.as_deref());
+    }
+    if run_all || which == "e12" {
+        e12_fork(full);
+    }
+}
+
+// ---------------------------------------------------------------------
+// E11 - the scenario zoo: record every scenario, replay from artifact
+// ---------------------------------------------------------------------
+fn e11_scenario_zoo(full: bool, json_path: Option<&str>) {
+    use sba::Zoo;
+    use sba_bench::trial::{record, replay_file, Trial};
+
+    println!("## E11 - scenario zoo: record -> artifact -> replay\n");
+    println!("Every scenario runs once, is recorded under artifacts/, and is");
+    println!("replayed from its artifact; `replay` must be bit-identical (the");
+    println!("digest folds every delivered message's timing, route, and kind).\n");
+    println!(
+        "| scenario | rounds | messages | drops | retrans | held | recoveries | digest | replay |"
+    );
+    println!(
+        "|----------|--------|----------|-------|---------|------|------------|--------|--------|"
+    );
+    let dir = std::path::Path::new("artifacts");
+    let seed = 7u64;
+    let mut sink = JsonSink::new();
+    sink.put_str("schema", "sba-zoo-v1");
+    let mut failed = false;
+    for zoo in Zoo::ALL {
+        let mut trial = Trial::new(zoo, seed);
+        if full {
+            trial.n = 7;
+            trial.t = 2;
+        }
+        let (path, run) = record(&trial, dir).expect("record artifact");
+        let replay = replay_file(&path).expect("artifact replays");
+        let r = &run.report;
+        let m = &r.metrics;
+        assert!(r.terminated, "{} must terminate", zoo.name());
+        assert!(r.agreement(), "{} must agree", zoo.name());
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {:016x} | {} |",
+            zoo.name(),
+            r.max_round,
+            r.messages,
+            m.sched_drops,
+            m.sched_retransmits,
+            m.sched_held,
+            m.recoveries,
+            run.digest,
+            if replay.ok() { "identical" } else { "DIVERGED" }
+        );
+        if !replay.ok() {
+            for mm in &replay.mismatches {
+                eprintln!(
+                    "  REPLAY DIVERGENCE {}: {} recorded {} replayed {}",
+                    zoo.name(),
+                    mm.key,
+                    mm.recorded,
+                    mm.replayed
+                );
+            }
+            failed = true;
+        }
+        let k = |s: &str| format!("{}.{s}", zoo.name());
+        sink.put_num(&k("rounds"), f64::from(r.max_round));
+        sink.put_num(&k("messages"), r.messages as f64);
+        sink.put_num(&k("virtual_time"), m.virtual_time as f64);
+        sink.put_num(&k("sched_drops"), m.sched_drops as f64);
+        sink.put_num(&k("sched_retransmits"), m.sched_retransmits as f64);
+        sink.put_num(&k("sched_held"), m.sched_held as f64);
+        sink.put_num(&k("recoveries"), m.recoveries as f64);
+        sink.put_num(&k("replay_ok"), if replay.ok() { 1.0 } else { 0.0 });
+    }
+    println!("\n(artifacts written to {}/)\n", dir.display());
+    if let Some(path) = json_path {
+        std::fs::write(path, sink.render()).expect("write json snapshot");
+        println!("(wrote {path})\n");
+    }
+    if failed {
+        eprintln!("REPLAY GATE FAILED: a replay diverged from its artifact");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// E12 - checkpoint/fork: resume fidelity + divergent-branch liveness
+// ---------------------------------------------------------------------
+fn e12_fork(full: bool) {
+    use sba::Zoo;
+    use sba_bench::trial::{fork, Trial};
+
+    println!("## E12 - checkpoint/fork: resume fidelity, branch liveness\n");
+    println!("Each scenario runs to a mid-protocol branch point and is");
+    println!("checkpointed. Resuming with the original schedule must reproduce");
+    println!("the original tail exactly; forking with divergent seeds yields");
+    println!("different schedules that must all still decide (almost-sure");
+    println!("termination does not depend on the adversary's coin flips).\n");
+    println!("| scenario | branch @events | resume | branches decided | distinct digests |");
+    println!("|----------|----------------|--------|------------------|------------------|");
+    let branch_seeds: &[u64] = if full {
+        &[101, 202, 303, 404]
+    } else {
+        &[101, 202]
+    };
+    for zoo in Zoo::ALL {
+        let trial = Trial::new(zoo, 7);
+        let report = fork(&trial, 2_000, branch_seeds);
+        assert!(
+            report.resume_faithful(),
+            "{}: resumed checkpoint diverged from the original run",
+            zoo.name()
+        );
+        let decided = report
+            .branches
+            .iter()
+            .filter(|b| b.report.terminated && b.report.agreement())
+            .count();
+        assert_eq!(
+            decided,
+            branch_seeds.len(),
+            "{}: a fork stalled",
+            zoo.name()
+        );
+        let mut digests: Vec<u64> = report.branches.iter().map(|b| b.digest).collect();
+        digests.push(report.original.digest);
+        digests.sort_unstable();
+        digests.dedup();
+        println!(
+            "| {} | {} | faithful | {}/{} | {} |",
+            zoo.name(),
+            report.branch_events,
+            decided,
+            branch_seeds.len(),
+            digests.len()
+        );
+    }
+    println!();
 }
 
 // ---------------------------------------------------------------------

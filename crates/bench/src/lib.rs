@@ -3,6 +3,8 @@
 
 use sba::{Cluster, ClusterConfig, ClusterReport};
 
+pub mod trial;
+
 /// Descriptive statistics of a sample.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Stats {

@@ -1,0 +1,367 @@
+//! The trial harness: record, replay, and fork scenario runs as JSON
+//! artifacts.
+//!
+//! A *trial* is `(scenario, n, t, seed, event budget)` — everything
+//! needed to reproduce a run bit-for-bit, since a simulation is a pure
+//! function of its construction. [`record`] runs a trial and writes an
+//! artifact (config + outcome + metrics + run digest) under a directory
+//! of the caller's choosing (`artifacts/` by convention); [`replay_file`]
+//! reads an artifact back, re-runs the trial it describes, and reports
+//! every numeric divergence — an empty mismatch list *is* the
+//! bit-identity proof (the digest folds every delivered message's
+//! timing, route, and kind).
+//!
+//! [`fork`] drives the mid-run checkpoint path: advance a trial to a
+//! branch point, then continue it once with the original schedule (the
+//! tail must reproduce the recorded digest) and once per divergent seed
+//! (each branch must still decide — almost-sure termination does not
+//! depend on the adversary's coin flips).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use sba::{Cluster, ClusterReport, Zoo};
+
+use crate::{parse_snapshot, JsonSink};
+
+/// Artifact schema tag.
+pub const TRIAL_SCHEMA: &str = "sba-trial-v1";
+
+/// A reproducible scenario run: the full recipe, no state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trial {
+    /// The adversarial scenario.
+    pub zoo: Zoo,
+    /// Cluster size.
+    pub n: usize,
+    /// Fault bound.
+    pub t: usize,
+    /// Run seed (drives scheduling and all protocol randomness).
+    pub seed: u64,
+    /// Event budget for the run.
+    pub max_events: u64,
+}
+
+impl Trial {
+    /// A trial at the zoo's canonical small size (n=4, t=1) with the
+    /// standard event budget.
+    pub fn new(zoo: Zoo, seed: u64) -> Trial {
+        Trial {
+            zoo,
+            n: 4,
+            t: 1,
+            seed,
+            max_events: 60_000_000,
+        }
+    }
+
+    /// Builds the trial's cluster (digest enabled, split inputs).
+    pub fn cluster(&self) -> Cluster {
+        self.zoo.cluster(self.n, self.t, self.seed)
+    }
+
+    /// Runs the trial to completion.
+    pub fn run(&self) -> TrialRun {
+        let mut cluster = self.cluster();
+        let report = cluster.run(self.max_events);
+        TrialRun {
+            digest: cluster.digest().expect("zoo clusters run with digest"),
+            report,
+        }
+    }
+
+    /// The artifact file name this trial records to.
+    pub fn artifact_name(&self) -> String {
+        format!(
+            "trial_{}_n{}t{}_s{}.json",
+            self.zoo.name(),
+            self.n,
+            self.t,
+            self.seed
+        )
+    }
+}
+
+/// A completed trial: the cluster report plus the run digest.
+#[derive(Clone, Debug)]
+pub struct TrialRun {
+    /// The cluster's report (decisions, rounds, shun pairs, metrics).
+    pub report: ClusterReport,
+    /// The run digest over every delivered message.
+    pub digest: u64,
+}
+
+/// Encodes a trial + outcome as artifact JSON.
+///
+/// Scalars only (the [`JsonSink`] round-trips numbers through `f64`, so
+/// the 64-bit digest is stored as two 32-bit halves); decisions are
+/// packed as bitmasks, which also keeps the artifact diff-friendly.
+pub fn artifact_json(trial: &Trial, run: &TrialRun) -> String {
+    let mut sink = JsonSink::new();
+    sink.put_str("schema", TRIAL_SCHEMA);
+    sink.put_str("trial.scenario", trial.zoo.name());
+    let index = Zoo::ALL
+        .iter()
+        .position(|z| *z == trial.zoo)
+        .expect("in ALL");
+    sink.put_num("trial.scenario_index", index as f64);
+    sink.put_num("trial.n", trial.n as f64);
+    sink.put_num("trial.t", trial.t as f64);
+    sink.put_num("trial.seed", trial.seed as f64);
+    sink.put_num("trial.max_events", trial.max_events as f64);
+    let r = &run.report;
+    let (mut decided_mask, mut decision_bits) = (0u64, 0u64);
+    for (i, d) in r.decisions.iter().enumerate() {
+        if let Some(bit) = d {
+            decided_mask |= 1 << i;
+            if *bit {
+                decision_bits |= 1 << i;
+            }
+        }
+    }
+    sink.put_num("outcome.terminated", u64::from(r.terminated) as f64);
+    sink.put_num("outcome.decided_mask", decided_mask as f64);
+    sink.put_num("outcome.decision_bits", decision_bits as f64);
+    sink.put_num("outcome.max_round", f64::from(r.max_round));
+    sink.put_num("outcome.shun_pairs", r.shun_pairs.len() as f64);
+    sink.put_num("outcome.digest_hi", (run.digest >> 32) as f64);
+    sink.put_num("outcome.digest_lo", (run.digest & 0xffff_ffff) as f64);
+    let m = &r.metrics;
+    for (key, value) in [
+        ("messages_sent", m.messages_sent),
+        ("bytes_sent", m.bytes_sent),
+        ("messages_delivered", m.messages_delivered),
+        ("self_deliveries", m.self_deliveries),
+        ("self_delivery_batches", m.self_delivery_batches),
+        ("batches_sent", m.batches_sent),
+        ("events", m.events),
+        ("virtual_time", m.virtual_time),
+        ("latency_sum", m.latency_sum),
+        ("latency_max", m.latency_max),
+        ("inflight_peak_msgs", m.inflight_peak_msgs),
+        ("inflight_peak_batches", m.inflight_peak_batches),
+        ("inflight_peak_bytes", m.inflight_peak_bytes),
+        ("sched_drops", m.sched_drops),
+        ("sched_retransmits", m.sched_retransmits),
+        ("sched_held", m.sched_held),
+        ("processes_down", m.processes_down),
+        ("recoveries", m.recoveries),
+    ] {
+        sink.put_num(&format!("metrics.{key}"), value as f64);
+    }
+    sink.render()
+}
+
+/// Runs a trial and writes its artifact under `dir` (created if needed).
+/// Returns the artifact path and the completed run.
+///
+/// # Errors
+///
+/// I/O errors from creating the directory or writing the file.
+pub fn record(trial: &Trial, dir: &Path) -> std::io::Result<(PathBuf, TrialRun)> {
+    let run = trial.run();
+    fs::create_dir_all(dir)?;
+    let path = dir.join(trial.artifact_name());
+    fs::write(&path, artifact_json(trial, &run))?;
+    Ok((path, run))
+}
+
+/// One numeric divergence between a recorded artifact and its replay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mismatch {
+    /// The dotted artifact key.
+    pub key: String,
+    /// Value in the artifact.
+    pub recorded: f64,
+    /// Value produced by the replay.
+    pub replayed: f64,
+}
+
+/// Outcome of replaying an artifact.
+#[derive(Clone, Debug)]
+pub struct Replay {
+    /// The trial reconstructed from the artifact.
+    pub trial: Trial,
+    /// The re-run.
+    pub run: TrialRun,
+    /// Every numeric key whose replayed value differs from the recorded
+    /// one. Empty ⇔ the replay was bit-identical (trace digest included).
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl Replay {
+    /// Whether the replay reproduced the artifact exactly.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Replays artifact text: rebuilds the recorded trial, re-runs it, and
+/// diffs every numeric key.
+///
+/// # Errors
+///
+/// Errors on malformed artifacts (bad JSON, missing keys, unknown
+/// scenario index).
+pub fn replay_artifact(text: &str) -> Result<Replay, String> {
+    let recorded = parse_snapshot(text)?;
+    let get = |key: &str| {
+        recorded
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("artifact is missing '{key}'"))
+    };
+    let index = get("trial.scenario_index")? as usize;
+    let zoo = *Zoo::ALL
+        .get(index)
+        .ok_or_else(|| format!("unknown scenario index {index}"))?;
+    let trial = Trial {
+        zoo,
+        n: get("trial.n")? as usize,
+        t: get("trial.t")? as usize,
+        seed: get("trial.seed")? as u64,
+        max_events: get("trial.max_events")? as u64,
+    };
+    let run = trial.run();
+    let replayed = parse_snapshot(&artifact_json(&trial, &run))?;
+    let mut mismatches = Vec::new();
+    for (key, recorded_v) in &recorded {
+        let replayed_v = replayed
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("replay produced no '{key}'"))?;
+        if replayed_v != *recorded_v {
+            mismatches.push(Mismatch {
+                key: key.clone(),
+                recorded: *recorded_v,
+                replayed: replayed_v,
+            });
+        }
+    }
+    Ok(Replay {
+        trial,
+        run,
+        mismatches,
+    })
+}
+
+/// [`replay_artifact`] over a file on disk.
+///
+/// # Errors
+///
+/// I/O errors reading the file, plus everything [`replay_artifact`]
+/// rejects.
+pub fn replay_file(path: &Path) -> Result<Replay, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    replay_artifact(&text)
+}
+
+/// One forked branch's outcome.
+#[derive(Clone, Debug)]
+pub struct BranchOutcome {
+    /// The branch's divergence seed.
+    pub seed: u64,
+    /// The branch's run digest (diverges from the original's).
+    pub digest: u64,
+    /// The branch's cluster report.
+    pub report: ClusterReport,
+}
+
+/// Outcome of a checkpoint/fork experiment (see [`fork`]).
+#[derive(Clone, Debug)]
+pub struct ForkReport {
+    /// Events processed before the branch point.
+    pub branch_events: u64,
+    /// The uninterrupted original run.
+    pub original: TrialRun,
+    /// Digest of the checkpoint resumed with the *original* stream —
+    /// equal to `original.digest` iff the checkpoint is faithful.
+    pub resumed_digest: u64,
+    /// One outcome per divergence seed.
+    pub branches: Vec<BranchOutcome>,
+}
+
+impl ForkReport {
+    /// Whether the same-seed resume reproduced the original tail exactly.
+    pub fn resume_faithful(&self) -> bool {
+        self.resumed_digest == self.original.digest
+    }
+}
+
+/// Runs `trial` to (about) `at_events` delivered events, checkpoints,
+/// then: finishes the original run, resumes the checkpoint with the
+/// original schedule (must reproduce the original digest), and forks one
+/// divergent branch per seed in `seeds`.
+pub fn fork(trial: &Trial, at_events: u64, seeds: &[u64]) -> ForkReport {
+    let mut cluster = trial.cluster();
+    cluster.sim_mut().run_to_quiescence(at_events);
+    let ck = cluster.checkpoint();
+    let report = cluster.run(trial.max_events);
+    let original = TrialRun {
+        digest: cluster.digest().expect("zoo clusters run with digest"),
+        report,
+    };
+    let mut resumed = ck.resume();
+    resumed.run(trial.max_events);
+    let resumed_digest = resumed.digest().expect("digest survives checkpointing");
+    let branches = seeds
+        .iter()
+        .map(|&seed| {
+            let mut branch = ck.fork(seed);
+            let report = branch.run(trial.max_events);
+            BranchOutcome {
+                seed,
+                digest: branch.digest().expect("digest survives checkpointing"),
+                report,
+            }
+        })
+        .collect();
+    ForkReport {
+        branch_events: ck.events(),
+        original,
+        resumed_digest,
+        branches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_round_trips_bit_identically() {
+        let trial = Trial::new(Zoo::Benign, 42);
+        let run = trial.run();
+        let replay = replay_artifact(&artifact_json(&trial, &run)).expect("well-formed");
+        assert!(
+            replay.ok(),
+            "self-replay must be exact: {:?}",
+            replay.mismatches
+        );
+        assert_eq!(replay.run.digest, run.digest);
+        assert_eq!(replay.trial, trial);
+    }
+
+    #[test]
+    fn tampered_artifact_is_flagged() {
+        let trial = Trial::new(Zoo::Benign, 42);
+        let run = trial.run();
+        let tampered = artifact_json(&trial, &run).replace(
+            &format!("\"digest_lo\": {}", run.digest & 0xffff_ffff),
+            &format!("\"digest_lo\": {}", (run.digest & 0xffff_ffff) ^ 1),
+        );
+        let replay = replay_artifact(&tampered).expect("still well-formed");
+        assert!(!replay.ok());
+        assert_eq!(replay.mismatches.len(), 1);
+        assert_eq!(replay.mismatches[0].key, "outcome.digest_lo");
+    }
+
+    #[test]
+    fn replay_rejects_malformed_artifacts() {
+        assert!(replay_artifact("{}").is_err());
+        assert!(replay_artifact("not json").is_err());
+        assert!(replay_artifact("{\"trial\": {\"scenario_index\": 99}}").is_err());
+    }
+}

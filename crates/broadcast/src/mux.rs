@@ -103,7 +103,7 @@ const EMPTY_SLOT: u32 = u32::MAX;
 /// general-purpose swiss table costs two: control bytes + the fat
 /// key/value entry). At ~2 × 10⁵ interned slots per process this is the
 /// single hottest table in the stack.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct SlotIndex {
     /// `(fp << 32) | packed_slot`; low word [`EMPTY_SLOT`] marks empty.
     buckets: Vec<u64>,
@@ -141,7 +141,7 @@ fn fx_hash<K: Hash>(key: &K) -> u64 {
 /// mux.broadcast(7, 99, &mut sends);
 /// assert_eq!(sends.len(), 4); // Init fan-out
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RbMux<T, P> {
     me: Pid,
     params: Params,

@@ -66,7 +66,7 @@ pub enum CoinEvent {
 }
 
 /// Per-session state.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct CoinSession {
     started: bool,
     /// Dealers whose secret-attached-to-me share completed, arrival order.
@@ -132,7 +132,7 @@ fn fx_hash(tag: u64) -> u64 {
 /// The dense store: `tag → slot` interning index (one `u64` per bucket:
 /// 32-bit fingerprint + packed slot id) over a recycled live slab and an
 /// append-only retired store.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct DenseSessions {
     /// `(fp << 32) | packed_slot`; low word [`EMPTY_SLOT`] marks empty.
     buckets: Vec<u64>,
@@ -259,7 +259,7 @@ impl DenseSessions {
 }
 
 /// The session store: the PR 4 reference map, or the dense slab.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Sessions {
     /// Reference mode: plain hash map, no retirement (PR 4 semantics).
     Map(FastMap<u64, CoinSession>),
@@ -314,6 +314,7 @@ impl Sessions {
 /// every session), [`CoinEngine::enable_reconstruct`] (the agreement layer
 /// gates this on its vote lock), and [`CoinEngine::on_message`]; collect
 /// [`CoinEvent`]s with [`CoinEngine::take_events`].
+#[derive(Clone)]
 pub struct CoinEngine<F: Field> {
     me: Pid,
     params: Params,

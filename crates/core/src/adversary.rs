@@ -17,6 +17,16 @@ pub enum Fault {
     Silent,
     /// Honest until it has handled this many deliveries, then dead.
     CrashAfter(u64),
+    /// Honest until it has handled `after` deliveries, down (missing,
+    /// but buffering, every delivery) for the next `down_for`, then
+    /// recovered: the missed backlog is replayed — catch-up from peers —
+    /// and the process runs honestly to its own decision.
+    CrashRecover {
+        /// Deliveries handled before the crash.
+        after: u64,
+        /// Deliveries missed while down.
+        down_for: u64,
+    },
     /// Runs the honest protocol but forges every secret-sharing
     /// reconstruction point it broadcasts, shifting it by `delta`. This is
     /// the paper's Example-1-style attack, repeated forever: each coin
@@ -32,7 +42,9 @@ pub enum Fault {
 
 /// Tamper: shift every SVSS reconstruction point this process originates
 /// by `delta`.
-pub fn lying_share_tamper(delta: u64) -> impl FnMut(Pid, &Msg) -> Tamper<Msg> + Send + 'static {
+pub fn lying_share_tamper(
+    delta: u64,
+) -> impl FnMut(Pid, &Msg) -> Tamper<Msg> + Send + Clone + 'static {
     move |_to, msg| {
         let AbaMsg::Coin(coin) = msg else {
             return Tamper::Keep;
@@ -59,7 +71,7 @@ pub fn lying_share_tamper(delta: u64) -> impl FnMut(Pid, &Msg) -> Tamper<Msg> + 
 }
 
 /// Tamper: flip every vote-layer bit this process originates.
-pub fn vote_flip_tamper() -> impl FnMut(Pid, &Msg) -> Tamper<Msg> + Send + 'static {
+pub fn vote_flip_tamper() -> impl FnMut(Pid, &Msg) -> Tamper<Msg> + Send + Clone + 'static {
     move |_to, msg| {
         let AbaMsg::Vote(m) = msg else {
             return Tamper::Keep;

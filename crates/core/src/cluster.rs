@@ -96,13 +96,21 @@ impl ClusterConfig {
 }
 
 /// One process of the cluster: honest, or one of the fault models.
+///
+/// `Clone` deep-copies the whole protocol state (engines, RNG streams,
+/// tamper closures), which is what makes a [`Cluster`] checkpointable.
+#[derive(Clone)]
 pub enum ClusterProcess {
     /// Runs the full honest protocol.
     Honest(AbaProcess<Gf61>),
     /// Sends nothing, ever.
     Silent(SilentProcess),
     /// Honest until a delivery budget runs out, then dead.
-    Crash(CrashProcess<AbaProcess<Gf61>>),
+    Crash(CrashProcess<AbaProcess<Gf61>, Msg>),
+    /// Honest, then down for a bounded outage, then recovered (catch-up
+    /// by replaying the missed backlog). Crash faults are not Byzantine:
+    /// a recovered process is expected to decide like everyone else.
+    Recovering(CrashProcess<AbaProcess<Gf61>, Msg>),
     /// Honest state machine with tampered outgoing messages.
     Byzantine(TamperProcess<AbaProcess<Gf61>, Msg>),
 }
@@ -113,13 +121,28 @@ impl ClusterProcess {
         match self {
             ClusterProcess::Honest(p) => Some(p.node()),
             ClusterProcess::Silent(_) => None,
-            ClusterProcess::Crash(p) => Some(p.inner().node()),
+            ClusterProcess::Crash(p) | ClusterProcess::Recovering(p) => Some(p.inner().node()),
             ClusterProcess::Byzantine(p) => Some(p.inner().node()),
         }
     }
 
+    /// Whether this process follows the protocol (crash-recover counts:
+    /// crash faults are omission faults, not Byzantine ones — its
+    /// decision and shun observations are part of the honest report).
     fn is_honest(&self) -> bool {
-        matches!(self, ClusterProcess::Honest(_))
+        matches!(
+            self,
+            ClusterProcess::Honest(_) | ClusterProcess::Recovering(_)
+        )
+    }
+
+    /// The honest event stream, for processes that have one.
+    fn events(&self) -> Option<&[sba_aba::AbaEvent]> {
+        match self {
+            ClusterProcess::Honest(p) => Some(p.events()),
+            ClusterProcess::Recovering(p) => Some(p.inner().events()),
+            _ => None,
+        }
     }
 }
 
@@ -128,7 +151,7 @@ impl Process<Msg> for ClusterProcess {
         match self {
             ClusterProcess::Honest(p) => p.on_start(out),
             ClusterProcess::Silent(p) => Process::<Msg>::on_start(p, out),
-            ClusterProcess::Crash(p) => p.on_start(out),
+            ClusterProcess::Crash(p) | ClusterProcess::Recovering(p) => p.on_start(out),
             ClusterProcess::Byzantine(p) => p.on_start(out),
         }
     }
@@ -136,7 +159,9 @@ impl Process<Msg> for ClusterProcess {
         match self {
             ClusterProcess::Honest(p) => p.on_message(from, msg, out),
             ClusterProcess::Silent(p) => Process::<Msg>::on_message(p, from, msg, out),
-            ClusterProcess::Crash(p) => p.on_message(from, msg, out),
+            ClusterProcess::Crash(p) | ClusterProcess::Recovering(p) => {
+                p.on_message(from, msg, out)
+            }
             ClusterProcess::Byzantine(p) => p.on_message(from, msg, out),
         }
     }
@@ -144,7 +169,7 @@ impl Process<Msg> for ClusterProcess {
         match self {
             ClusterProcess::Honest(p) => p.on_batch(from, msgs, out),
             ClusterProcess::Silent(p) => Process::<Msg>::on_batch(p, from, msgs, out),
-            ClusterProcess::Crash(p) => p.on_batch(from, msgs, out),
+            ClusterProcess::Crash(p) | ClusterProcess::Recovering(p) => p.on_batch(from, msgs, out),
             ClusterProcess::Byzantine(p) => p.on_batch(from, msgs, out),
         }
     }
@@ -152,8 +177,24 @@ impl Process<Msg> for ClusterProcess {
         match self {
             ClusterProcess::Honest(p) => p.done(),
             ClusterProcess::Silent(_) => true,
+            // A crash-recover process comes back and is expected to
+            // decide; the run waits for it.
+            ClusterProcess::Recovering(p) => p.done(),
             // Corrupted processes never gate termination.
             ClusterProcess::Crash(_) | ClusterProcess::Byzantine(_) => true,
+        }
+    }
+    fn down(&self) -> bool {
+        match self {
+            ClusterProcess::Silent(_) => true,
+            ClusterProcess::Crash(p) | ClusterProcess::Recovering(p) => p.crashed(),
+            _ => false,
+        }
+    }
+    fn recoveries(&self) -> u64 {
+        match self {
+            ClusterProcess::Crash(p) | ClusterProcess::Recovering(p) => p.recoveries(),
+            _ => 0,
         }
     }
 }
@@ -266,6 +307,9 @@ impl Cluster {
                     Some(Fault::CrashAfter(k)) => {
                         ClusterProcess::Crash(CrashProcess::new(process, k))
                     }
+                    Some(Fault::CrashRecover { after, down_for }) => ClusterProcess::Recovering(
+                        CrashProcess::with_recovery(process, after, down_for),
+                    ),
                     Some(Fault::LyingShares { delta }) => ClusterProcess::Byzantine(
                         TamperProcess::new(process, adversary::lying_share_tamper(delta)),
                     ),
@@ -299,6 +343,26 @@ impl Cluster {
         &self.honest
     }
 
+    /// The run digest, if [`Simulation::enable_digest`] was turned on
+    /// (scenario-zoo clusters enable it so runs can be replay-verified).
+    pub fn digest(&self) -> Option<u64> {
+        self.sim.digest()
+    }
+
+    /// Freezes the full cluster state — every engine, RNG stream, the
+    /// in-flight queue, the scheduler — as a reusable checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler does not support checkpointing (all stock
+    /// [`schedulers`] do; custom `FnScheduler`s do not).
+    pub fn checkpoint(&self) -> ClusterCheckpoint {
+        ClusterCheckpoint {
+            sim: self.sim.checkpoint(),
+            honest: self.honest.clone(),
+        }
+    }
+
     /// Runs until all honest processes halt (or the event budget runs
     /// out) and reports.
     pub fn run(&mut self, max_events: u64) -> ClusterReport {
@@ -321,8 +385,8 @@ impl Cluster {
                     max_round = max_round.max(r);
                 }
             }
-            if let ClusterProcess::Honest(p) = proc_ {
-                for ev in p.events() {
+            if let Some(events) = proc_.events() {
+                for ev in events {
                     if let sba_aba::AbaEvent::Shunned { process } = ev {
                         shun_pairs.push((pid, *process));
                     }
@@ -340,6 +404,40 @@ impl Cluster {
             metrics,
             shun_pairs,
         }
+    }
+}
+
+/// A frozen mid-run [`Cluster`], from [`Cluster::checkpoint`]. Reusable:
+/// each [`ClusterCheckpoint::resume`] / [`ClusterCheckpoint::fork`]
+/// yields an independent continuation of the same branch point.
+pub struct ClusterCheckpoint {
+    sim: sba_sim::SimCheckpoint<Msg, ClusterProcess>,
+    honest: Vec<Pid>,
+}
+
+impl ClusterCheckpoint {
+    /// Continues with the original scheduler stream: the tail is
+    /// bit-identical to the run the checkpoint was taken from.
+    pub fn resume(&self) -> Cluster {
+        Cluster {
+            sim: self.sim.resume(),
+            honest: self.honest.clone(),
+        }
+    }
+
+    /// Continues with a scheduler stream re-derived from `seed`: same
+    /// protocol state at the branch point, divergent schedule after it
+    /// ("round 3, coin revealed, partition heals" counterfactuals).
+    pub fn fork(&self, seed: u64) -> Cluster {
+        Cluster {
+            sim: self.sim.fork(seed),
+            honest: self.honest.clone(),
+        }
+    }
+
+    /// Events processed up to the branch point.
+    pub fn events(&self) -> u64 {
+        self.sim.events()
     }
 }
 

@@ -60,5 +60,7 @@ pub use sba_svss::{Reconstructed, SvssEngine, SvssEvent};
 
 pub mod adversary;
 mod cluster;
+pub mod scenario;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterReport};
+pub use cluster::{Cluster, ClusterCheckpoint, ClusterConfig, ClusterProcess, ClusterReport};
+pub use scenario::Zoo;

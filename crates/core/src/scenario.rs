@@ -1,0 +1,141 @@
+//! The scenario zoo: named adversarial environments as first-class,
+//! reproducible test artifacts.
+//!
+//! Each [`Zoo`] entry is a canned (scheduler, fault) combination with
+//! canonical parameters, addressable by a stable name. The bench trial
+//! harness records `(scenario, n, t, seed)` in its JSON artifacts; anyone
+//! holding an artifact rebuilds the identical cluster through
+//! [`Zoo::cluster`] and replays the run bit-for-bit (zoo clusters always
+//! run with the [digest](sba_sim::Simulation::enable_digest) enabled, so
+//! bit-identity is checkable).
+
+use sba_net::Pid;
+use sba_sim::schedulers;
+
+use crate::adversary::Fault;
+use crate::{Cluster, ClusterConfig};
+
+/// The named adversarial scenarios (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Zoo {
+    /// Benign uniform random delays — the control group.
+    Benign,
+    /// Quorum-splitting partition until a heal event, after which the
+    /// held cross-traffic drains in send order
+    /// ([`schedulers::healed_partition`]).
+    HealedPartition,
+    /// One process crashes mid-protocol, misses a stretch of deliveries,
+    /// then recovers and catches up ([`Fault::CrashRecover`]).
+    CrashRecover,
+    /// Lossy links with bounded retransmission
+    /// ([`schedulers::loss_retransmit`]).
+    LossRetransmit,
+    /// Targeted rushing adversary: one process's links always run ahead
+    /// of the rest of the network ([`schedulers::rushing`]).
+    Rushing,
+    /// Long-fat-network heavy-tail delays ([`schedulers::heavy_tail`]).
+    HeavyTail,
+}
+
+impl Zoo {
+    /// Every scenario, in reporting order.
+    pub const ALL: [Zoo; 6] = [
+        Zoo::Benign,
+        Zoo::HealedPartition,
+        Zoo::CrashRecover,
+        Zoo::LossRetransmit,
+        Zoo::Rushing,
+        Zoo::HeavyTail,
+    ];
+
+    /// The stable name recorded in artifacts and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Zoo::Benign => "benign",
+            Zoo::HealedPartition => "healed_partition",
+            Zoo::CrashRecover => "crash_recover",
+            Zoo::LossRetransmit => "loss_retransmit",
+            Zoo::Rushing => "rushing",
+            Zoo::HeavyTail => "heavy_tail",
+        }
+    }
+
+    /// Resolves a stable name back to its scenario.
+    pub fn from_name(name: &str) -> Option<Zoo> {
+        Zoo::ALL.into_iter().find(|z| z.name() == name)
+    }
+
+    /// Builds the scenario's cluster with the canonical split-input
+    /// vector (alternating proposals, the hardest honest input).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t` (and, for [`Zoo::CrashRecover`], `t >= 1`).
+    pub fn cluster(self, n: usize, t: usize, seed: u64) -> Cluster {
+        let inputs: Vec<Option<bool>> = (0..n).map(|i| Some(i % 2 == 0)).collect();
+        self.cluster_with_inputs(n, t, seed, &inputs)
+    }
+
+    /// Builds the scenario's cluster with explicit inputs. The run
+    /// digest is always enabled, so the returned cluster's runs can be
+    /// recorded and replay-verified.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Zoo::cluster`].
+    pub fn cluster_with_inputs(
+        self,
+        n: usize,
+        t: usize,
+        seed: u64,
+        inputs: &[Option<bool>],
+    ) -> Cluster {
+        let mut config = ClusterConfig::new(n, t).seed(seed);
+        if self == Zoo::CrashRecover {
+            assert!(t >= 1, "crash_recover needs a fault slot");
+            config = config.fault(
+                Pid::new(n as u32),
+                Fault::CrashRecover {
+                    after: 300,
+                    down_for: 500,
+                },
+            );
+        }
+        // One side of the partition must be below the n-t quorum, or the
+        // "partition" would not bite; splitting at ⌈n/2⌉ guarantees both
+        // sides stall (for n > 3t ≥ 3) until the heal.
+        let group_a: Vec<Pid> = Pid::all(n.div_ceil(2)).collect();
+        let scheduler = match self {
+            Zoo::Benign => schedulers::uniform(20),
+            Zoo::HealedPartition => schedulers::healed_partition(group_a, 400, 6),
+            Zoo::CrashRecover => schedulers::uniform(12),
+            Zoo::LossRetransmit => schedulers::loss_retransmit(200, 40, 3, 8),
+            Zoo::Rushing => schedulers::rushing(Pid::new(1), 30),
+            Zoo::HeavyTail => schedulers::heavy_tail(4, 800),
+        };
+        let mut cluster = Cluster::with_scheduler(config, inputs, scheduler);
+        cluster.sim_mut().enable_digest();
+        cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for z in Zoo::ALL {
+            assert_eq!(Zoo::from_name(z.name()), Some(z));
+        }
+        assert_eq!(Zoo::from_name("nope"), None);
+    }
+
+    #[test]
+    fn zoo_clusters_have_digests() {
+        let mut c = Zoo::Benign.cluster(4, 1, 3);
+        assert!(c.digest().is_some());
+        c.sim_mut().run_to_quiescence(10);
+        assert_ne!(c.digest(), Some(0xcbf2_9ce4_8422_2325), "digest folds");
+    }
+}

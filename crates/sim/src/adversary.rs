@@ -14,6 +14,24 @@ use sba_net::{Envelope, Outbox, Pid};
 
 use crate::Process;
 
+/// Cumulative link-level counters a scheduling strategy may expose.
+///
+/// The simulator polls these after every scheduling pass and mirrors them
+/// into [`Metrics`](crate::Metrics), so fault sweeps can assert on the
+/// adversary's behaviour (how many sends were "lost" and retransmitted,
+/// how many were held behind a partition) without threading extra state
+/// through the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Simulated transmission losses (each one adds a retransmission
+    /// timeout to the delivery delay; the model never truly drops).
+    pub drops: u64,
+    /// Retransmissions performed to recover the losses.
+    pub retransmits: u64,
+    /// Sends held behind a partition (released at the heal event).
+    pub held: u64,
+}
+
 /// Assigns delivery times to envelopes: the adversary's scheduling power.
 ///
 /// Implementations may inspect the full envelope (sender, recipient,
@@ -23,6 +41,21 @@ use crate::Process;
 pub trait Scheduler<M>: Send {
     /// Chooses the virtual delivery time for `env` sent at time `now`.
     fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64;
+
+    /// Cumulative link counters (see [`LinkStats`]); strategies that
+    /// model loss or partitions override this so the simulator can
+    /// surface their activity through [`Metrics`](crate::Metrics).
+    fn link_stats(&self) -> LinkStats {
+        LinkStats::default()
+    }
+
+    /// A deep copy of this scheduler for checkpointing, or `None` if the
+    /// strategy cannot be cloned (e.g. [`FnScheduler`] over an arbitrary
+    /// closure). All stock [`schedulers`] support it; a simulation whose
+    /// scheduler returns `None` cannot be checkpointed.
+    fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+        None
+    }
 }
 
 /// A scheduler from a closure; the workhorse for custom adversaries.
@@ -72,12 +105,16 @@ where
 pub mod schedulers {
     use super::*;
 
+    #[derive(Clone)]
     struct Uniform {
         max_delay: u64,
     }
-    impl<M> Scheduler<M> for Uniform {
+    impl<M: 'static> Scheduler<M> for Uniform {
         fn delivery_time(&mut self, _env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
             now + rng.gen_range(1..=self.max_delay)
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            Some(Box::new(self.clone()))
         }
     }
 
@@ -92,10 +129,14 @@ pub mod schedulers {
         Box::new(Uniform { max_delay })
     }
 
+    #[derive(Clone)]
     struct Fifo;
-    impl<M> Scheduler<M> for Fifo {
+    impl<M: 'static> Scheduler<M> for Fifo {
         fn delivery_time(&mut self, _env: &Envelope<M>, now: u64, _rng: &mut StdRng) -> u64 {
             now + 1
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            Some(Box::new(self.clone()))
         }
     }
 
@@ -104,12 +145,13 @@ pub mod schedulers {
         Box::new(Fifo)
     }
 
+    #[derive(Clone)]
     struct Lagged {
         slow: Vec<Pid>,
         factor: u64,
         base: u64,
     }
-    impl<M> Scheduler<M> for Lagged {
+    impl<M: 'static> Scheduler<M> for Lagged {
         fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
             let d = rng.gen_range(1..=self.base);
             if self.slow.contains(&env.to) || self.slow.contains(&env.from) {
@@ -117,6 +159,9 @@ pub mod schedulers {
             } else {
                 now + d
             }
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            Some(Box::new(self.clone()))
         }
     }
 
@@ -128,16 +173,20 @@ pub mod schedulers {
         Box::new(Lagged { slow, factor, base })
     }
 
+    #[derive(Clone)]
     struct Skew {
         max_delay: u64,
     }
-    impl<M> Scheduler<M> for Skew {
+    impl<M: 'static> Scheduler<M> for Skew {
         fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
             // Per-(sender,recipient) deterministic skew plus jitter: creates
             // persistent asymmetry between links, the adversarial shape that
             // most stresses quorum formation.
             let link = u64::from(env.from.index()) * 31 + u64::from(env.to.index()) * 17;
             now + 1 + (link % self.max_delay) + rng.gen_range(0..=self.max_delay / 4)
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            Some(Box::new(self.clone()))
         }
     }
 
@@ -151,12 +200,13 @@ pub mod schedulers {
         Box::new(Skew { max_delay })
     }
 
+    #[derive(Clone)]
     struct Partition {
         group_a: Vec<Pid>,
         heal_at: u64,
         base: u64,
     }
-    impl<M> Scheduler<M> for Partition {
+    impl<M: 'static> Scheduler<M> for Partition {
         fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
             let a_from = self.group_a.contains(&env.from);
             let a_to = self.group_a.contains(&env.to);
@@ -169,6 +219,9 @@ pub mod schedulers {
                 // "temporary partition".
                 d.max(self.heal_at + rng.gen_range(1..=self.base))
             }
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            Some(Box::new(self.clone()))
         }
     }
 
@@ -193,12 +246,13 @@ pub mod schedulers {
         })
     }
 
+    #[derive(Clone)]
     struct Burst {
         period: u64,
         burst_len: u64,
         base: u64,
     }
-    impl<M> Scheduler<M> for Burst {
+    impl<M: 'static> Scheduler<M> for Burst {
         fn delivery_time(&mut self, _env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
             // Messages sent during the "quiet" part of each period are
             // held and released in a burst at the period boundary.
@@ -209,6 +263,9 @@ pub mod schedulers {
             } else {
                 d.max(now - phase + self.period)
             }
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            Some(Box::new(self.clone()))
         }
     }
 
@@ -227,6 +284,216 @@ pub mod schedulers {
             base,
         })
     }
+
+    #[derive(Clone)]
+    struct HealedPartition {
+        group_a: Vec<Pid>,
+        heal_at: u64,
+        base: u64,
+        held: u64,
+        /// Release clock for the post-heal drain of held cross-traffic.
+        last_release: u64,
+    }
+    impl<M: 'static> Scheduler<M> for HealedPartition {
+        fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+            let cross = self.group_a.contains(&env.from) != self.group_a.contains(&env.to);
+            if !cross || now >= self.heal_at {
+                return now + rng.gen_range(1..=self.base);
+            }
+            // Cross-partition traffic is queued, not dropped, and the heal
+            // event releases the whole backlog in send order: successive
+            // held sends get strictly increasing post-heal times, which
+            // also preserves FIFO per link (global send order refines it).
+            self.held += 1;
+            self.last_release = self.last_release.max(self.heal_at) + rng.gen_range(1..=self.base);
+            self.last_release
+        }
+        fn link_stats(&self) -> LinkStats {
+            LinkStats {
+                held: self.held,
+                ..LinkStats::default()
+            }
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    /// [`partition_until`] with an explicit heal event: cross-group
+    /// messages sent during the partition are queued and *released in
+    /// send order* starting at `heal_at` (a drain burst, one `1..=base`
+    /// gap per message), instead of landing at independent random
+    /// post-heal times. The number of queued sends is surfaced through
+    /// [`LinkStats::held`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero.
+    pub fn healed_partition<M: 'static>(
+        group_a: Vec<Pid>,
+        heal_at: u64,
+        base: u64,
+    ) -> Box<dyn Scheduler<M>> {
+        assert!(base > 0, "base delay must be positive");
+        Box::new(HealedPartition {
+            group_a,
+            heal_at,
+            base,
+            held: 0,
+            last_release: 0,
+        })
+    }
+
+    #[derive(Clone)]
+    struct LossRetransmit {
+        loss_permille: u32,
+        rto: u64,
+        max_retries: u32,
+        base: u64,
+        drops: u64,
+        retransmits: u64,
+    }
+    impl<M: 'static> Scheduler<M> for LossRetransmit {
+        fn delivery_time(&mut self, _env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+            // Each independent loss costs one retransmission timeout; the
+            // retry budget bounds the added delay, so delivery stays
+            // eventual (losses are modelled in the delay domain — the
+            // asynchronous model never truly drops).
+            let mut lost = 0u32;
+            while lost < self.max_retries && rng.gen_range(0..1000u32) < self.loss_permille {
+                lost += 1;
+            }
+            self.drops += u64::from(lost);
+            self.retransmits += u64::from(lost);
+            now + u64::from(lost) * self.rto + rng.gen_range(1..=self.base)
+        }
+        fn link_stats(&self) -> LinkStats {
+            LinkStats {
+                drops: self.drops,
+                retransmits: self.retransmits,
+                held: 0,
+            }
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    /// Lossy network with bounded retransmission: every transmission
+    /// attempt is lost with probability `loss_permille`/1000 (up to
+    /// `max_retries` times), and each loss adds one retransmission
+    /// timeout `rto` to the delivery delay on top of the benign
+    /// `1..=base` draw. Losses and retransmissions are surfaced through
+    /// [`LinkStats`] (and from there [`Metrics`](crate::Metrics)).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `loss_permille < 1000`, `rto > 0` and `base > 0`.
+    pub fn loss_retransmit<M: 'static>(
+        loss_permille: u32,
+        rto: u64,
+        max_retries: u32,
+        base: u64,
+    ) -> Box<dyn Scheduler<M>> {
+        assert!(loss_permille < 1000, "loss probability must be < 1");
+        assert!(rto > 0 && base > 0, "delays must be positive");
+        Box::new(LossRetransmit {
+            loss_permille,
+            rto,
+            max_retries,
+            base,
+            drops: 0,
+            retransmits: 0,
+        })
+    }
+
+    #[derive(Clone)]
+    struct Rushing {
+        target: Pid,
+        window: u64,
+        /// Last delivery time assigned per directed link, to keep every
+        /// link FIFO under the reordering.
+        last: Vec<((Pid, Pid), u64)>,
+    }
+    impl<M: 'static> Scheduler<M> for Rushing {
+        fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+            // A full-information rushing adversary: the target's traffic
+            // (in both directions) is delivered first among all eligible
+            // events, everyone else's is pushed toward the edge of the
+            // legal asynchrony window — the target always speaks before
+            // the rest of the network hears anything.
+            let rushed = env.to == self.target || env.from == self.target;
+            let raw = if rushed {
+                now + 1
+            } else {
+                now + self.window - rng.gen_range(0..=self.window / 4)
+            };
+            // FIFO per directed link: never schedule before an earlier
+            // same-link send (reordering happens only across links).
+            let key = (env.from, env.to);
+            match self.last.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, last)) => {
+                    let at = raw.max(*last);
+                    *last = at;
+                    at
+                }
+                None => {
+                    self.last.push((key, raw));
+                    raw
+                }
+            }
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    /// A targeted rushing adversary: reorders deliveries inside the legal
+    /// asynchrony envelope so that `target`'s links always run ahead of
+    /// everyone else's (rushed traffic lands at `now + 1`, the rest near
+    /// `now + window`), while preserving FIFO on every directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2` (there must be room to reorder).
+    pub fn rushing<M: 'static>(target: Pid, window: u64) -> Box<dyn Scheduler<M>> {
+        assert!(window >= 2, "window must leave room to reorder");
+        Box::new(Rushing {
+            target,
+            window,
+            last: Vec::new(),
+        })
+    }
+
+    #[derive(Clone)]
+    struct HeavyTail {
+        base: u64,
+        cap: u64,
+    }
+    impl<M: 'static> Scheduler<M> for HeavyTail {
+        fn delivery_time(&mut self, _env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+            // Bounded integer Pareto (α = 1): delay = base · 1024/u for
+            // uniform u ∈ 1..=1024, truncated at `cap`. Median ≈ 2·base,
+            // p99 ≈ 100·base — the long-fat-network shape where a few
+            // messages straggle far behind the bulk.
+            let u = rng.gen_range(1..=1024u64);
+            now + (self.base * 1024 / u).min(self.cap)
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    /// Heavy-tail (bounded Pareto) delays: most messages arrive within a
+    /// few `base` ticks, a small fraction straggle up to `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < base <= cap`.
+    pub fn heavy_tail<M: 'static>(base: u64, cap: u64) -> Box<dyn Scheduler<M>> {
+        assert!(base > 0 && cap >= base, "need 0 < base <= cap");
+        Box::new(HeavyTail { base, cap })
+    }
 }
 
 /// A corrupted process that never sends anything (fail-silent from the
@@ -241,27 +508,82 @@ impl<M> Process<M> for SilentProcess {
     fn done(&self) -> bool {
         true // never blocks experiment termination checks
     }
+    fn down(&self) -> bool {
+        true // crashed-from-the-start, as far as health gauges go
+    }
 }
 
 /// Wraps an honest process and crashes it (drops all behaviour) after a
-/// fixed number of deliveries: fail-stop mid-protocol.
-pub struct CrashProcess<P> {
+/// fixed number of deliveries: fail-stop mid-protocol — or, with
+/// [`CrashProcess::with_recovery`], crash-*recover*: the process misses a
+/// fixed number of deliveries while down, then comes back and catches up
+/// by replaying everything it missed (the deterministic stand-in for
+/// "recover state from peers").
+///
+/// The extra `M` type parameter carries the missed-delivery buffer; plain
+/// fail-stop wrappers never populate it.
+#[derive(Clone)]
+pub struct CrashProcess<P, M> {
     inner: P,
+    /// Deliveries until the crash point; `u64::MAX` after a recovery
+    /// (a recovered process never re-crashes).
     deliveries_left: u64,
+    /// Deliveries to miss while down before recovering; `None` = fail-stop.
+    down_for: Option<u64>,
+    /// Remaining deliveries to miss while down.
+    down_left: u64,
+    /// Messages that arrived while down, replayed (in delivery order) at
+    /// the recovery tick.
+    missed: Vec<(Pid, M)>,
+    recoveries: u64,
 }
 
-impl<P> CrashProcess<P> {
-    /// Crashes `inner` after it has handled `deliveries` messages.
+impl<P, M> CrashProcess<P, M> {
+    /// Crashes `inner` after it has handled `deliveries` messages
+    /// (fail-stop: it never comes back).
     pub fn new(inner: P, deliveries: u64) -> Self {
         CrashProcess {
             inner,
             deliveries_left: deliveries,
+            down_for: None,
+            down_left: 0,
+            missed: Vec::new(),
+            recoveries: 0,
         }
     }
 
-    /// Whether the crash point has been reached.
+    /// Crashes `inner` after `deliveries` handled messages, keeps it down
+    /// for the next `down_for` deliveries (buffered, not handled), then
+    /// recovers it: the buffered backlog is replayed into the inner
+    /// process in delivery order — catching up from peers — and the
+    /// process runs normally from there on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `down_for` is zero (use [`CrashProcess::new`] for
+    /// fail-stop).
+    pub fn with_recovery(inner: P, deliveries: u64, down_for: u64) -> Self {
+        assert!(down_for > 0, "a zero-length outage is not a crash");
+        CrashProcess {
+            inner,
+            deliveries_left: deliveries,
+            down_for: Some(down_for),
+            down_left: if deliveries == 0 { down_for } else { 0 },
+            missed: Vec::new(),
+            recoveries: 0,
+        }
+    }
+
+    /// Whether the process is currently down (crashed and, if it is a
+    /// crash-recover process, not yet recovered).
     pub fn crashed(&self) -> bool {
         self.deliveries_left == 0
+    }
+
+    /// Completed recoveries (0 or 1: a process re-crashing after recovery
+    /// is not modelled).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
     }
 
     /// The wrapped process.
@@ -270,37 +592,70 @@ impl<P> CrashProcess<P> {
     }
 }
 
-impl<M, P: Process<M>> Process<M> for CrashProcess<P> {
-    fn on_start(&mut self, out: &mut Outbox<M>) {
-        if self.deliveries_left > 0 {
-            self.inner.on_start(out);
-        }
-    }
-    fn on_message(&mut self, from: Pid, msg: M, out: &mut Outbox<M>) {
+impl<P: Process<M>, M: Send> CrashProcess<P, M> {
+    /// Delivers one message through the crash state machine.
+    fn deliver(&mut self, from: Pid, msg: M, out: &mut Outbox<M>) {
         if self.deliveries_left == 0 {
+            let Some(_) = self.down_for else {
+                return; // fail-stop: dead forever
+            };
+            // Down: the delivery is missed but remembered.
+            self.missed.push((from, msg));
+            self.down_left -= 1;
+            if self.down_left == 0 {
+                // Recovery tick: replay the missed backlog (catch up from
+                // peers), then stay up for good.
+                self.recoveries += 1;
+                self.deliveries_left = u64::MAX;
+                let missed = std::mem::take(&mut self.missed);
+                for (f, m) in missed {
+                    self.inner.on_message(f, m, out);
+                }
+            }
             return;
         }
         self.deliveries_left -= 1;
         self.inner.on_message(from, msg, out);
         if self.deliveries_left == 0 {
             // Messages queued in this final step still go out; afterwards
-            // the process is dead.
+            // the process is down (dead, or counting down to recovery).
+            self.down_left = self.down_for.unwrap_or(0);
         }
+    }
+}
+
+impl<M: Send, P: Process<M>> Process<M> for CrashProcess<P, M> {
+    fn on_start(&mut self, out: &mut Outbox<M>) {
+        if self.deliveries_left > 0 {
+            self.inner.on_start(out);
+        }
+    }
+    fn on_message(&mut self, from: Pid, msg: M, out: &mut Outbox<M>) {
+        self.deliver(from, msg, out);
     }
     fn on_batch(&mut self, from: Pid, msgs: &mut Vec<M>, out: &mut Outbox<M>) {
         // The crash budget is counted in *messages*, so a batch that
-        // straddles the crash point is truncated mid-batch: the process
-        // dies exactly after its configured number of deliveries.
+        // straddles the crash point is split mid-batch: the process goes
+        // down exactly after its configured number of deliveries (and the
+        // rest of the batch counts toward the outage).
         for msg in msgs.drain(..) {
-            if self.deliveries_left == 0 {
-                return;
-            }
-            self.deliveries_left -= 1;
-            self.inner.on_message(from, msg, out);
+            self.deliver(from, msg, out);
         }
     }
     fn done(&self) -> bool {
-        self.crashed() || self.inner.done()
+        match self.down_for {
+            // Fail-stop: a dead process never blocks termination checks.
+            None => self.crashed() || self.inner.done(),
+            // Crash-recover: the run is expected to wait for the
+            // recovered process's output.
+            Some(_) => self.inner.done(),
+        }
+    }
+    fn down(&self) -> bool {
+        self.crashed()
+    }
+    fn recoveries(&self) -> u64 {
+        self.recoveries
     }
 }
 
@@ -421,6 +776,166 @@ mod tests {
         sim.run_to_quiescence(1000);
         // Echoer answered exactly 4 of the 10 pings. 10 pings + 4 replies.
         assert_eq!(sim.metrics().messages_sent, 14);
+    }
+
+    #[test]
+    fn healed_partition_releases_backlog_in_send_order() {
+        let mut s = schedulers::healed_partition::<u64>(vec![Pid::new(1), Pid::new(2)], 1000, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let across = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(3),
+            msg: 0u64,
+        };
+        let inside = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(2),
+            msg: 0u64,
+        };
+        // Intra-group traffic flows during the partition.
+        assert!(s.delivery_time(&inside, 5, &mut rng) <= 8);
+        // Held cross-traffic drains after the heal, in send order.
+        let mut prev = 1000;
+        for _ in 0..50 {
+            let at = s.delivery_time(&across, 5, &mut rng);
+            assert!(at > prev, "release order must follow send order");
+            prev = at;
+        }
+        assert_eq!(s.link_stats().held, 50);
+        // After the heal the link is normal again.
+        let at = s.delivery_time(&across, 2000, &mut rng);
+        assert!(at > 2000 && at <= 2003);
+        assert_eq!(s.link_stats().held, 50, "post-heal sends are not held");
+    }
+
+    #[test]
+    fn loss_retransmit_counts_and_delays() {
+        let mut s = schedulers::loss_retransmit::<u64>(500, 100, 3, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let env = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(2),
+            msg: 0u64,
+        };
+        for _ in 0..200 {
+            let at = s.delivery_time(&env, 0, &mut rng);
+            // k losses cost exactly k·rto on top of the 1..=4 draw.
+            let k = (at - 1) / 100;
+            assert!(k <= 3, "retry budget bounds the added delay");
+        }
+        let stats = s.link_stats();
+        assert!(stats.drops > 0, "p=0.5 over 200 sends must lose some");
+        assert_eq!(stats.drops, stats.retransmits);
+        // No-loss configuration never drops.
+        let mut s0 = schedulers::loss_retransmit::<u64>(0, 100, 3, 4);
+        for _ in 0..50 {
+            assert!(s0.delivery_time(&env, 0, &mut rng) <= 4);
+        }
+        assert_eq!(s0.link_stats(), LinkStats::default());
+    }
+
+    #[test]
+    fn rushing_prefers_target_and_keeps_links_fifo() {
+        let mut s = schedulers::rushing::<u64>(Pid::new(1), 40);
+        let mut rng = StdRng::seed_from_u64(3);
+        let to_target = Envelope {
+            from: Pid::new(2),
+            to: Pid::new(1),
+            msg: 0u64,
+        };
+        let bystander = Envelope {
+            from: Pid::new(2),
+            to: Pid::new(3),
+            msg: 0u64,
+        };
+        assert_eq!(s.delivery_time(&to_target, 10, &mut rng), 11);
+        let slow = s.delivery_time(&bystander, 10, &mut rng);
+        assert!(slow >= 40, "bystander traffic rides the window edge");
+        // FIFO per link: a later same-link send never lands earlier.
+        let mut prev_target = 11;
+        let mut prev_by = slow;
+        for now in 11..60 {
+            let a = s.delivery_time(&to_target, now, &mut rng);
+            assert!(a >= prev_target);
+            prev_target = a;
+            let b = s.delivery_time(&bystander, now, &mut rng);
+            assert!(b >= prev_by);
+            prev_by = b;
+        }
+    }
+
+    #[test]
+    fn heavy_tail_is_bounded_and_skewed() {
+        let mut s = schedulers::heavy_tail::<u64>(3, 500);
+        let mut rng = StdRng::seed_from_u64(4);
+        let env = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(2),
+            msg: 0u64,
+        };
+        let delays: Vec<u64> = (0..2000)
+            .map(|_| s.delivery_time(&env, 0, &mut rng))
+            .collect();
+        assert!(delays.iter().all(|&d| (3..=500).contains(&d)));
+        let small = delays.iter().filter(|&&d| d <= 6).count();
+        let huge = delays.iter().filter(|&&d| d >= 100).count();
+        assert!(small > 1000, "bulk of the mass near base: {small}");
+        assert!(huge > 10, "a real straggler tail: {huge}");
+    }
+
+    #[test]
+    fn crash_recover_replays_missed_backlog() {
+        struct Echoer;
+        impl Process<u64> for Echoer {
+            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+            fn on_message(&mut self, from: Pid, msg: u64, out: &mut Outbox<u64>) {
+                out.send(from, msg);
+            }
+        }
+        struct Driver {
+            replies: u64,
+        }
+        impl Process<u64> for Driver {
+            fn on_start(&mut self, out: &mut Outbox<u64>) {
+                for k in 0..10 {
+                    out.send(Pid::new(2), k);
+                }
+            }
+            fn on_message(&mut self, _from: Pid, _msg: u64, _out: &mut Outbox<u64>) {
+                self.replies += 1;
+            }
+        }
+        // Up for 2 deliveries, down for the next 3 (buffered), then
+        // recovered: every one of the 10 pings is eventually answered.
+        let procs: Vec<Box<dyn Process<u64>>> = vec![
+            Box::new(Driver { replies: 0 }),
+            Box::new(CrashProcess::with_recovery(Echoer, 2, 3)),
+        ];
+        let mut sim = Simulation::new(procs, schedulers::fifo(), 9);
+        sim.run_to_quiescence(1000);
+        assert_eq!(sim.metrics().messages_sent, 20, "all pings answered");
+        assert_eq!(sim.metrics().recoveries, 1);
+        assert_eq!(sim.metrics().processes_down, 0, "nobody down at the end");
+    }
+
+    #[test]
+    fn crash_recover_down_state_is_visible_mid_outage() {
+        struct Sink;
+        impl Process<u64> for Sink {
+            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+            fn on_message(&mut self, _from: Pid, _msg: u64, _out: &mut Outbox<u64>) {}
+        }
+        let mut p: CrashProcess<Sink, u64> = CrashProcess::with_recovery(Sink, 1, 2);
+        let mut out = Outbox::new(Pid::new(2));
+        assert!(!p.crashed());
+        p.on_message(Pid::new(1), 0, &mut out);
+        assert!(p.crashed(), "crash point reached");
+        p.on_message(Pid::new(1), 1, &mut out);
+        assert!(p.crashed(), "still down mid-outage");
+        assert_eq!(p.recoveries(), 0);
+        p.on_message(Pid::new(1), 2, &mut out);
+        assert!(!p.crashed(), "recovered");
+        assert_eq!(p.recoveries(), 1);
     }
 
     #[test]

@@ -52,13 +52,15 @@
 //! ```
 
 mod adversary;
+mod checkpoint;
 mod metrics;
 mod process;
 mod simulation;
 mod tamper;
 pub mod threaded;
 
-pub use adversary::{schedulers, CrashProcess, FnScheduler, Scheduler, SilentProcess};
+pub use adversary::{schedulers, CrashProcess, FnScheduler, LinkStats, Scheduler, SilentProcess};
+pub use checkpoint::{Checkpoint, SimCheckpoint};
 pub use metrics::Metrics;
 pub use process::{Process, SimMsg};
 pub use simulation::{queue_slot_sizes, RunOutcome, Simulation, TraceEntry};

@@ -11,7 +11,11 @@ use sba_net::FastMap;
 /// order.
 ///
 /// [`Kinded::kind`]: sba_net::Kinded::kind
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every counter (including the per-kind map): two
+/// runs with equal metrics made the same sends, deliveries, and timing
+/// decisions — the equality the replay-conformance tests assert.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Metrics {
     /// Envelopes handed to the scheduler (excludes self-deliveries).
     pub messages_sent: u64,
@@ -47,6 +51,21 @@ pub struct Metrics {
     /// arenas' high-water capacity matches this at steady state; heap
     /// payloads boxed inside messages are not counted).
     pub inflight_peak_bytes: u64,
+    /// Simulated transmission losses reported by the scheduler (see
+    /// [`LinkStats::drops`](crate::LinkStats)); each one was recovered by
+    /// a retransmission, never a true drop.
+    pub sched_drops: u64,
+    /// Retransmissions reported by the scheduler.
+    pub sched_retransmits: u64,
+    /// Sends the scheduler held behind a partition until its heal event.
+    pub sched_held: u64,
+    /// Processes reporting [`Process::down`](crate::Process::down) when
+    /// the run loop last returned — crashed, silent, or mid-outage at
+    /// decision time.
+    pub processes_down: u64,
+    /// Completed crash-recoveries across all processes (see
+    /// [`Process::recoveries`](crate::Process::recoveries)).
+    pub recoveries: u64,
 }
 
 impl Metrics {

@@ -55,6 +55,24 @@ pub trait Process<M>: Send {
     fn done(&self) -> bool {
         false
     }
+
+    /// Whether this process is currently down (crashed, silent, or
+    /// mid-outage). Fault wrappers like [`CrashProcess`] override this;
+    /// the simulator mirrors the count into
+    /// [`Metrics::processes_down`](crate::Metrics::processes_down) so
+    /// fault sweeps can assert how many processes were dead at decision
+    /// time. Defaults to `false`.
+    ///
+    /// [`CrashProcess`]: crate::CrashProcess
+    fn down(&self) -> bool {
+        false
+    }
+
+    /// Completed crash-recoveries, mirrored into
+    /// [`Metrics::recoveries`](crate::Metrics::recoveries). Defaults to 0.
+    fn recoveries(&self) -> u64 {
+        0
+    }
 }
 
 impl<M> Process<M> for Box<dyn Process<M>> {
@@ -69,5 +87,11 @@ impl<M> Process<M> for Box<dyn Process<M>> {
     }
     fn done(&self) -> bool {
         (**self).done()
+    }
+    fn down(&self) -> bool {
+        (**self).down()
+    }
+    fn recoveries(&self) -> u64 {
+        (**self).recoveries()
     }
 }

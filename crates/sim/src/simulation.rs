@@ -63,6 +63,7 @@ use crate::{Metrics, Process, Scheduler, SimMsg};
 /// A batch spilled past the calendar window, ordered by `(at, seq)`.
 /// Overflow is rare (delays in this workspace are far below the window),
 /// so these hold their payloads in a plain `Vec`.
+#[derive(Clone)]
 struct OverflowBatch<M> {
     at: u64,
     seq: u64,
@@ -104,6 +105,7 @@ const NIL: u32 = u32::MAX;
 /// One queued batch: the shared `(at, seq, sent, from, to)` header plus
 /// an intrusive FIFO of payload slots, threaded into its bucket's entry
 /// chain (when queued) or the entry free list (when vacant).
+#[derive(Clone)]
 struct Entry {
     at: u64,
     seq: u64,
@@ -120,6 +122,7 @@ struct Entry {
 
 /// One payload slot: a message plus the intrusive link to the next
 /// member of its batch (or the next free slot).
+#[derive(Clone)]
 struct PaySlot<M> {
     /// `Some` while queued; taken at pop, leaving the slot on the free
     /// list for reuse.
@@ -156,6 +159,10 @@ struct PoppedBatch {
 /// in push order, so a FIFO bucket per virtual tick reproduces a heap's
 /// order exactly (bucket scan order gives ascending `at`; each bucket is
 /// pushed, hence popped, in ascending `seq`).
+///
+/// `Clone` deep-copies both arenas and the overflow heap — the queue
+/// half of a [`SimCheckpoint`](crate::SimCheckpoint) snapshot.
+#[derive(Clone)]
 struct EventQueue<M> {
     /// `ring[at % CALENDAR_WINDOW]` is the `(head, tail)` of the entry
     /// FIFO for time `at`, for `at ∈ [cursor, cursor + CALENDAR_WINDOW)`.
@@ -465,6 +472,10 @@ pub struct Simulation<M, P = Box<dyn Process<M>>> {
     started: bool,
     batching: bool,
     trace: Option<(usize, std::collections::VecDeque<TraceEntry>)>,
+    /// Running fold over every delivered network message when enabled
+    /// ([`Simulation::enable_digest`]); `None` keeps the hot path free of
+    /// the per-member hashing.
+    digest: Option<u64>,
     /// Reusable per-delivery outbox (capacity survives across events).
     outbox: Outbox<M>,
     /// Reusable self-delivery generation buffer (batched layout): the
@@ -506,6 +517,7 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
             started: false,
             batching: true,
             trace: None,
+            digest: None,
             outbox: Outbox::new(Pid::new(1)),
             local_gen: Vec::new(),
             local_ref: VecDeque::new(),
@@ -545,6 +557,35 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
     /// The recorded trace (empty unless [`Simulation::enable_trace`]).
     pub fn trace(&self) -> impl Iterator<Item = &TraceEntry> {
         self.trace.iter().flat_map(|(_, q)| q.iter())
+    }
+
+    /// Enables the run digest: a deterministic hash folded over every
+    /// delivered network message (delivery time, send time, sender,
+    /// recipient, kind label). Two runs with equal digests delivered the
+    /// same messages in the same order at the same times — the cheap
+    /// bit-identity witness the record/replay harness stores in its
+    /// artifacts. Off by default (it hashes per *member*, which the
+    /// benchmarked hot path must not pay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn enable_digest(&mut self) {
+        assert!(!self.started, "enable_digest must precede the first event");
+        self.digest = Some(0xcbf2_9ce4_8422_2325);
+    }
+
+    /// The current run digest (`None` unless [`Simulation::enable_digest`]
+    /// was called before the run).
+    pub fn digest(&self) -> Option<u64> {
+        self.digest
+    }
+
+    /// One digest fold step (an FxHash-style rotate-xor-multiply; the
+    /// quality bar is "collisions don't happen by accident", not
+    /// cryptography).
+    fn digest_mix(h: u64, v: u64) -> u64 {
+        (h.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95)
     }
 
     /// Derives a per-process RNG from a run seed; use this when
@@ -683,6 +724,13 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
             self.group_bufs.push(g.msgs);
         }
         self.open = open;
+        // Mirror the strategy's cumulative link counters (loss, partition
+        // holds) into the run metrics; a plain struct copy, free for
+        // strategies that don't override `link_stats`.
+        let stats = self.scheduler.link_stats();
+        self.metrics.sched_drops = stats.drops;
+        self.metrics.sched_retransmits = stats.retransmits;
+        self.metrics.sched_held = stats.held;
     }
 
     fn dispatch_outbox(&mut self, out: &mut Outbox<M>) {
@@ -777,6 +825,18 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
                 });
             }
         }
+        if let Some(d) = &mut self.digest {
+            let mut h = *d;
+            for msg in &scratch {
+                h = Self::digest_mix(h, b.at);
+                h = Self::digest_mix(h, b.sent);
+                h = Self::digest_mix(h, u64::from(b.from.index()) << 32 | u64::from(b.to.index()));
+                for &byte in msg.kind().as_bytes() {
+                    h = Self::digest_mix(h, u64::from(byte));
+                }
+            }
+            *d = h;
+        }
         let idx = (b.to.index() - 1) as usize;
         let mut out = std::mem::replace(&mut self.outbox, Outbox::new(b.to));
         out.reset(b.to);
@@ -788,22 +848,29 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
         true
     }
 
+    /// Refreshes the process-health gauges ([`Metrics::processes_down`],
+    /// [`Metrics::recoveries`]); called whenever a run loop hands control
+    /// back so the gauges describe the state "at decision time".
+    fn refresh_process_gauges(&mut self) {
+        self.metrics.processes_down = self.procs.iter().filter(|p| p.down()).count() as u64;
+        self.metrics.recoveries = self.procs.iter().map(|p| p.recoveries()).sum();
+    }
+
     /// Runs until no messages are in flight or `max_events` batch
     /// deliveries happened.
     pub fn run_to_quiescence(&mut self, max_events: u64) -> RunOutcome {
         let start_events = self.metrics.events;
         self.start_if_needed();
+        let mut quiescent = false;
         while self.metrics.events - start_events < max_events {
             if !self.step() {
-                return RunOutcome {
-                    quiescent: true,
-                    all_done: self.all_done(),
-                    events: self.metrics.events - start_events,
-                };
+                quiescent = true;
+                break;
             }
         }
+        self.refresh_process_gauges();
         RunOutcome {
-            quiescent: false,
+            quiescent,
             all_done: self.all_done(),
             events: self.metrics.events - start_events,
         }
@@ -814,29 +881,31 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
     pub fn run_until_all_done(&mut self, max_events: u64) -> RunOutcome {
         let start_events = self.metrics.events;
         self.start_if_needed();
-        loop {
+        let outcome = loop {
             if self.all_done() {
-                return RunOutcome {
+                break RunOutcome {
                     quiescent: self.queue.is_empty(),
                     all_done: true,
                     events: self.metrics.events - start_events,
                 };
             }
             if self.metrics.events - start_events >= max_events {
-                return RunOutcome {
+                break RunOutcome {
                     quiescent: false,
                     all_done: false,
                     events: self.metrics.events - start_events,
                 };
             }
             if !self.step() {
-                return RunOutcome {
+                break RunOutcome {
                     quiescent: true,
                     all_done: self.all_done(),
                     events: self.metrics.events - start_events,
                 };
             }
-        }
+        };
+        self.refresh_process_gauges();
+        outcome
     }
 
     /// Runs until `pred` holds (checked after each delivery), quiescence,
@@ -844,13 +913,66 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
     pub fn run_until(&mut self, max_events: u64, mut pred: impl FnMut(&Self) -> bool) -> bool {
         self.start_if_needed();
         let start_events = self.metrics.events;
-        loop {
+        let hit = loop {
             if pred(self) {
-                return true;
+                break true;
             }
             if self.metrics.events - start_events >= max_events || !self.step() {
-                return pred(self);
+                break pred(self);
             }
+        };
+        self.refresh_process_gauges();
+        hit
+    }
+
+    /// Replaces the scheduler RNG with a fresh stream derived from
+    /// `seed`: the divergence point of a forked run. The extra constant
+    /// keeps a fork's stream distinct from a fresh run's even when the
+    /// same seed value is reused.
+    pub(crate) fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed ^ 0x5ba0_5eed ^ 0xf0f0_0f0f);
+    }
+
+    /// A deep copy of the whole simulation — processes (via
+    /// [`Checkpoint::snapshot`]), calendar queue, scheduler, RNG stream,
+    /// metrics, clocks, trace, and digest. Scratch buffers are rebuilt
+    /// empty: between events they hold no state (debug-asserted), only
+    /// recycled capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler does not support checkpointing
+    /// ([`Scheduler::clone_box`] returned `None`).
+    pub(crate) fn deep_copy(&self) -> Self
+    where
+        P: crate::Checkpoint,
+    {
+        debug_assert!(self.local_ref.is_empty(), "checkpoint mid-dispatch");
+        debug_assert!(self.held.is_empty(), "checkpoint mid-dispatch");
+        Simulation {
+            procs: self.procs.iter().map(crate::Checkpoint::snapshot).collect(),
+            queue: self.queue.clone(),
+            scheduler: self
+                .scheduler
+                .clone_box()
+                .expect("this scheduler does not support checkpointing"),
+            metrics: self.metrics.clone(),
+            rng: self.rng.clone(),
+            now: self.now,
+            seq: self.seq,
+            started: self.started,
+            batching: self.batching,
+            trace: self.trace.clone(),
+            digest: self.digest,
+            outbox: Outbox::new(Pid::new(1)),
+            local_gen: Vec::new(),
+            local_ref: VecDeque::new(),
+            held: Vec::new(),
+            open: Vec::new(),
+            group_bufs: Vec::new(),
+            batch_scratch: Vec::new(),
+            inflight_msgs: self.inflight_msgs,
+            inflight_batches: self.inflight_batches,
         }
     }
 }

@@ -21,8 +21,24 @@ pub enum Tamper<M> {
     Replace(Vec<M>),
 }
 
+/// A cloneable tamper function: the closure itself plus the ability to
+/// deep-copy it behind the box, which is what lets a corrupted process
+/// be checkpointed along with everyone else.
+trait CloneTamper<M>: FnMut(Pid, &M) -> Tamper<M> + Send {
+    fn clone_box(&self) -> Box<dyn CloneTamper<M>>;
+}
+
+impl<M, F> CloneTamper<M> for F
+where
+    F: FnMut(Pid, &M) -> Tamper<M> + Send + Clone + 'static,
+{
+    fn clone_box(&self) -> Box<dyn CloneTamper<M>> {
+        Box::new(self.clone())
+    }
+}
+
 /// The boxed tamper function type.
-type TamperFn<M> = Box<dyn FnMut(Pid, &M) -> Tamper<M> + Send>;
+type TamperFn<M> = Box<dyn CloneTamper<M>>;
 
 /// Wraps an honest process with an outgoing-message tamper function.
 pub struct TamperProcess<P, M> {
@@ -33,10 +49,25 @@ pub struct TamperProcess<P, M> {
     raw: Outbox<M>,
 }
 
+impl<P: Clone, M> Clone for TamperProcess<P, M> {
+    fn clone(&self) -> Self {
+        TamperProcess {
+            inner: self.inner.clone(),
+            tamper: self.tamper.clone_box(),
+            raw: Outbox::new(Pid::new(1)),
+        }
+    }
+}
+
 impl<P, M> TamperProcess<P, M> {
     /// Corrupts `inner` with `tamper`, applied to every outgoing message
-    /// (the recipient is the first argument).
-    pub fn new(inner: P, tamper: impl FnMut(Pid, &M) -> Tamper<M> + Send + 'static) -> Self {
+    /// (the recipient is the first argument). The closure must be `Clone`
+    /// so the corrupted process stays checkpointable (capture only
+    /// cloneable state — all stock tampers do).
+    pub fn new(
+        inner: P,
+        tamper: impl FnMut(Pid, &M) -> Tamper<M> + Send + Clone + 'static,
+    ) -> Self {
         TamperProcess {
             inner,
             tamper: Box::new(tamper),

@@ -74,6 +74,7 @@ impl<F> Inner<F> {
 ///
 /// See the crate-level documentation and `tests/` for full multi-process
 /// runs; the engine is driven either by `sba-sim` or by real channels.
+#[derive(Clone)]
 pub struct SvssEngine<F: Field> {
     me: Pid,
     params: Params,
