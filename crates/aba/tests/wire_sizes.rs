@@ -23,6 +23,10 @@ use sba_svss::{SvssMsg, SvssPriv, SvssRbValue};
 use std::mem::size_of;
 
 // The flat coin/SVSS wire message: 16-byte packed key + 16-byte body.
+// PR 7 lifted the process cap to MAX_N = 256 (the `ProcessSet` bitmask
+// is now 4 words = 32 bytes), but the body slot stores sets compactly —
+// word-0 sets inline, wider sets spilled to the heap — so the queued
+// message stays at its pinned 32 bytes for every n ≤ 64 workload.
 const _: () = assert!(size_of::<CoinMsg<Gf61>>() == 32);
 const _: () = assert!(size_of::<SvssMsg<Gf61>>() == 32);
 
@@ -36,8 +40,11 @@ const _: () = assert!(size_of::<Envelope<AbaMsg<Gf61>>>() <= 40);
 
 // The structured decomposition forms stay lean too (they live on the
 // stack during routing, and `SvssPriv` rides in the DMM delay buffer).
+// `SvssRbValue` carries the now-4-word `ProcessSet` inline, so it grew
+// 16 → 40 with the MAX_N = 256 cap lift — acceptable because it is a
+// transient stack form, never queued.
 const _: () = assert!(size_of::<SvssPriv<Gf61>>() <= 32);
-const _: () = assert!(size_of::<SvssRbValue<Gf61>>() <= 16);
+const _: () = assert!(size_of::<SvssRbValue<Gf61>>() <= 40);
 
 // Slot tags key the mux interning stores; both ids are packed to 16 B,
 // and since PR 4 `SvssSlot` is too (it was a 24-byte enum).

@@ -25,6 +25,14 @@
 //! mid-flight, resumed (must reproduce the original tail digest), and
 //! forked under divergent seeds (every branch must still decide).
 //!
+//! `e13` is the n-sweep (PR 7's cap lift): the SCC unit workload — one
+//! moderated MW-SVSS share session — at n ∈ {7, 16, 31, 64, 128, 256}
+//! (`--full`; quick mode stops at 31, and `--ns 7,31,128` picks an
+//! explicit set, which is how CI stays inside its budget). With `--json
+//! PATH` the per-n gauges are *merged* into the snapshot as
+//! `scc_n<N>.{messages,wall_seconds,deal_bytes,...}`, so one file can
+//! carry both the e9 trajectory and the scaling curve.
+//!
 //! `compare OLD NEW [--key K] [--max-ratio R]` diffs two snapshots and
 //! exits nonzero when `K` (default `scc_larger_system.wall_seconds`)
 //! regressed by more than `R` (default 1.25 = +25 %) — the CI perf gate.
@@ -34,7 +42,10 @@
 //! `scc_larger_system.peak_inflight_bytes` and
 //! `scc_larger_system.deal_bytes` (+10 %: the memory and word-complexity
 //! contracts — growth is a bug, a drop is a win the new snapshot
-//! re-baselines), whenever both snapshots carry the key.
+//! re-baselines), whenever both snapshots carry the key. Every
+//! `scc_n<N>.messages` key present in both snapshots gets the same
+//! two-sided ±10 % check, so each point of the scaling curve is gated
+//! independently.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -59,9 +70,18 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let ns_arg = args
+        .iter()
+        .position(|a| a == "--ns")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let which = args
         .iter()
-        .find(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .find(|a| {
+            !a.starts_with("--")
+                && Some(a.as_str()) != json_path.as_deref()
+                && Some(a.as_str()) != ns_arg.as_deref()
+        })
         .map(String::as_str)
         .unwrap_or("all");
     let run_all = which == "all";
@@ -105,6 +125,9 @@ fn main() {
     }
     if run_all || which == "e12" {
         e12_fork(full);
+    }
+    if run_all || which == "e13" {
+        e13_nsweep(full, json_path.as_deref(), ns_arg.as_deref());
     }
 }
 
@@ -243,6 +266,214 @@ fn e12_fork(full: bool) {
 }
 
 // ---------------------------------------------------------------------
+// E13 - n-sweep: the SCC unit workload at n up to MAX_N (scaling curve)
+// ---------------------------------------------------------------------
+
+/// One process of the E13 workload: an [`SvssEngine`](sba::SvssEngine)
+/// driven as a [`sim::Process`](sba::sim::Process), running a single
+/// moderated MW-SVSS share session (dealer p1, moderator p2).
+struct MwShareProc {
+    engine: sba::SvssEngine<Gf61>,
+    id: sba::net::MwId,
+    secret: Gf61,
+    completed: bool,
+}
+
+impl MwShareProc {
+    fn absorb_events(&mut self) {
+        use sba::SvssEvent;
+        for ev in self.engine.take_events() {
+            if matches!(ev, SvssEvent::MwShareCompleted(i) if i == self.id) {
+                self.completed = true;
+            }
+        }
+    }
+
+    fn forward(
+        sends: Vec<(Pid, sba::svss::SvssMsg<Gf61>)>,
+        out: &mut sba::net::Outbox<sba::svss::SvssMsg<Gf61>>,
+    ) {
+        for (to, m) in sends {
+            out.send(to, m);
+        }
+    }
+}
+
+impl sba::sim::Process<sba::svss::SvssMsg<Gf61>> for MwShareProc {
+    fn on_start(&mut self, out: &mut sba::net::Outbox<sba::svss::SvssMsg<Gf61>>) {
+        let mut sends = Vec::new();
+        if self.engine.me() == self.id.dealer() {
+            self.engine.mw_share(self.id, self.secret, &mut sends);
+        }
+        if self.engine.me() == self.id.moderator() {
+            self.engine
+                .mw_set_moderator_input(self.id, self.secret, &mut sends);
+        }
+        Self::forward(sends, out);
+        self.absorb_events();
+    }
+
+    fn on_message(
+        &mut self,
+        from: Pid,
+        msg: sba::svss::SvssMsg<Gf61>,
+        out: &mut sba::net::Outbox<sba::svss::SvssMsg<Gf61>>,
+    ) {
+        let mut sends = Vec::new();
+        self.engine.on_message(from, msg, &mut sends);
+        Self::forward(sends, out);
+        self.absorb_events();
+    }
+
+    fn on_batch(
+        &mut self,
+        from: Pid,
+        msgs: &mut Vec<sba::svss::SvssMsg<Gf61>>,
+        out: &mut sba::net::Outbox<sba::svss::SvssMsg<Gf61>>,
+    ) {
+        let mut sends = Vec::new();
+        self.engine.on_batch(from, msgs, &mut sends);
+        Self::forward(sends, out);
+        self.absorb_events();
+    }
+
+    fn done(&self) -> bool {
+        self.completed
+    }
+}
+
+fn e13_nsweep(full: bool, json_path: Option<&str>, ns_arg: Option<&str>) {
+    use sba::field::Domain;
+    use sba::sim::{schedulers, Simulation};
+    use sba_bench::parse_snapshot;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    println!("## E13 - n-sweep: SCC unit workload up to MAX_N = {}\n", {
+        sba::net::MAX_N
+    });
+    println!("The full SCC agreement is degree-7 polynomial in n — infeasible far");
+    println!("beyond n = 7 — so the sweep runs the coin's *unit* workload: one");
+    println!("moderated MW-SVSS share session (dealer p1, moderator p2, fixed");
+    println!("seed) under the batched simulator with a uniform adversary. That is");
+    println!("the ~n^3-message building block the coin fans out n^2 times, and it");
+    println!("exercises the full RB/DMM/engine stack at each n. Message counts");
+    println!("are seed-pinned and machine-independent; `compare` drift-gates each");
+    println!("`scc_n<N>.messages` key present in both snapshots.\n");
+
+    // Default sweep: full/BENCH mode covers the whole curve to MAX_N;
+    // quick mode (and `all`) stays at toy scale. CI passes an explicit
+    // subset via --ns to stay inside the job budget.
+    let ns: Vec<usize> = match ns_arg {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("--ns takes n1,n2,..."))
+            .collect(),
+        None if full => vec![7, 16, 31, 64, 128, 256],
+        None => vec![7, 16, 31],
+    };
+
+    println!("| n | t | wall s | messages | bytes | mw/deal msgs | mw/deal bytes | peak bytes |");
+    println!("|---|---|--------|----------|-------|--------------|---------------|------------|");
+    let mut sink_rows: Vec<(usize, Vec<(&'static str, f64)>)> = Vec::new();
+    let mut curve: Vec<(f64, f64)> = Vec::new();
+    for &n in &ns {
+        assert!(
+            n as u32 <= sba::net::MAX_N,
+            "n = {n} exceeds MAX_N = {}",
+            sba::net::MAX_N
+        );
+        let t = (n - 1) / 3;
+        let params = Params::new(n, t).expect("n > 3t");
+        // One shared domain: the per-engine difference tables are O(n^2)
+        // to build, which at n = 256 x 256 engines would dominate the run.
+        let domain: Arc<Domain<Gf61>> = Arc::new(Domain::new(n));
+        let id = sba::net::MwId::standalone(1, Pid::new(1), Pid::new(2));
+        let secret = Gf61::from_u64(7);
+        let procs: Vec<MwShareProc> = Pid::all(n)
+            .map(|p| MwShareProc {
+                engine: sba::SvssEngine::with_domain(
+                    p,
+                    params,
+                    15 ^ (u64::from(p.index()) << 32),
+                    Arc::clone(&domain),
+                ),
+                id,
+                secret,
+                completed: false,
+            })
+            .collect();
+        let mut sim = Simulation::new(procs, schedulers::uniform(8), 15);
+        let start = Instant::now();
+        let outcome = sim.run_until_all_done(4_000_000_000);
+        let wall = start.elapsed().as_secs_f64();
+        assert!(
+            outcome.all_done,
+            "n = {n}: MW share must complete at every process"
+        );
+        let m = sim.metrics();
+        let (deal_msgs, deal_bytes) = m.sent_with_prefix("mw/deal");
+        println!(
+            "| {n} | {t} | {wall:.2} | {} | {} | {deal_msgs} | {deal_bytes} | {} |",
+            m.messages_sent, m.bytes_sent, m.inflight_peak_bytes
+        );
+        curve.push((n as f64, m.messages_sent as f64));
+        sink_rows.push((
+            n,
+            vec![
+                ("wall_seconds", wall),
+                ("messages", m.messages_sent as f64),
+                ("bytes", m.bytes_sent as f64),
+                ("deal_msgs", deal_msgs as f64),
+                ("deal_bytes", deal_bytes as f64),
+                ("peak_inflight_bytes", m.inflight_peak_bytes as f64),
+            ],
+        ));
+    }
+    if curve.len() >= 2 {
+        println!(
+            "\nlog-log slope (messages vs n): **{:.2}** — the unit workload is",
+            loglog_slope(&curve)
+        );
+        println!("~cubic (3n RB slots x ~n^2 RB messages), as the paper's per-session");
+        println!("complexity accounting predicts.\n");
+    } else {
+        println!();
+    }
+
+    if let Some(path) = json_path {
+        // Merge-on-write: BENCH_<pr>.json carries both the e9 gauges and
+        // this sweep, so re-emit any existing numeric keys (minus stale
+        // scc_n<N> families, which this run replaces) before appending.
+        let mut sink = JsonSink::new();
+        sink.put_str("schema", "sba-bench-v1");
+        if let Ok(prev) = std::fs::read_to_string(path) {
+            if prev.contains("\"mode\": \"full\"") {
+                sink.put_str("mode", "full");
+            } else if prev.contains("\"mode\": \"quick\"") {
+                sink.put_str("mode", "quick");
+            }
+            let stale = |k: &str| {
+                k.strip_prefix("scc_n")
+                    .is_some_and(|rest| rest.bytes().next().is_some_and(|b| b.is_ascii_digit()))
+            };
+            for (k, v) in parse_snapshot(&prev).expect("existing snapshot parses") {
+                if !stale(&k) {
+                    sink.put_num(&k, v);
+                }
+            }
+        }
+        for (n, row) in &sink_rows {
+            for (name, v) in row {
+                sink.put_num(&format!("scc_n{n}.{name}"), *v);
+            }
+        }
+        std::fs::write(path, sink.render()).expect("write json snapshot");
+        println!("(wrote {path})\n");
+    }
+}
+
+// ---------------------------------------------------------------------
 // compare - the CI perf-regression gate over two BENCH_<pr>.json files
 // ---------------------------------------------------------------------
 
@@ -309,6 +540,11 @@ fn compare_snapshots(args: &[String]) {
     // gauge); absent from the *new* one, it fails — gauges must not
     // silently disappear.
     const DRIFT: f64 = 1.10;
+    // The scc_larger_system gauges live in e9's snapshot. A "new" file
+    // produced by e13 alone (CI's NSWEEP_fresh.json) legitimately lacks
+    // them, so the disappeared-from-new hard-fail only applies when the
+    // new snapshot is e9-shaped to begin with.
+    let new_is_e9 = new.iter().any(|(k, _)| k.starts_with("scc_larger_system."));
     for (drift_key, two_sided) in [
         ("scc_larger_system.messages", true),
         ("scc_larger_system.peak_inflight_bytes", false),
@@ -324,6 +560,9 @@ fn compare_snapshots(args: &[String]) {
             |snap: &[(String, f64)]| snap.iter().find(|(k, _)| k == drift_key).map(|&(_, v)| v);
         match (find(&old), find(&new)) {
             (None, _) => println!("{drift_key}: skipped (old snapshot predates this gauge)"),
+            (Some(_), None) if !new_is_e9 => {
+                println!("{drift_key}: skipped (new snapshot is not an e9 run)");
+            }
             (Some(_), None) => {
                 eprintln!("DRIFT GATE: {drift_key} disappeared from the new snapshot");
                 failed = true;
@@ -353,6 +592,49 @@ fn compare_snapshots(args: &[String]) {
                 eprintln!("DRIFT GATE: old value for {drift_key} is not positive ({o})");
                 failed = true;
             }
+        }
+    }
+    // The per-n scaling family (E13): every `scc_n<N>.messages` key
+    // present in BOTH snapshots is drift-checked two-sided — the counts
+    // are seed-pinned, so movement either way means the schedule changed.
+    // Keys on one side only are skipped with a note: older snapshots
+    // predate the sweep, and CI's fresh sweep runs a subset of the n set.
+    let family = |k: &str| {
+        k.strip_prefix("scc_n")
+            .and_then(|rest| rest.strip_suffix(".messages"))
+            .is_some_and(|mid| !mid.is_empty() && mid.bytes().all(|b| b.is_ascii_digit()))
+    };
+    let lookup =
+        |snap: &[(String, f64)], k: &str| snap.iter().find(|(kk, _)| kk == k).map(|&(_, v)| v);
+    for (k, o) in old.iter().filter(|(k, _)| family(k)) {
+        if *k == key {
+            println!("{k}: drift check skipped (primary gate above)");
+            continue;
+        }
+        match lookup(&new, k) {
+            None => println!("{k}: skipped (absent from the new sweep's n set)"),
+            Some(nv) if *o > 0.0 => {
+                let ratio = nv / o;
+                let ok = (1.0 / DRIFT..=DRIFT).contains(&ratio);
+                println!(
+                    "{k}: {o} -> {nv} ({:+.1}% vs ±{:.0}% drift limit){}",
+                    (ratio - 1.0) * 100.0,
+                    (DRIFT - 1.0) * 100.0,
+                    if ok { "" } else { "  <-- DRIFT" }
+                );
+                if !ok {
+                    failed = true;
+                }
+            }
+            Some(_) => {
+                eprintln!("DRIFT GATE: old value for {k} is not positive ({o})");
+                failed = true;
+            }
+        }
+    }
+    for (k, _) in new.iter().filter(|(k, _)| family(k)) {
+        if lookup(&old, k).is_none() {
+            println!("{k}: skipped (old snapshot predates this n)");
         }
     }
     if failed {

@@ -8,10 +8,12 @@ use crate::Params;
 /// `(sender, value)` tally, counting each distinct value once at its
 /// first occurrence.
 ///
-/// Allocation-free: tallies hold at most `n ≤ 64` entries and this runs
-/// on every echo/ready delivery — the hottest message kinds in a full
-/// run — so the `O(n²)` equality scan beats building a count table per
-/// message. Shared by [`Wrb`] and [`crate::Rb`].
+/// Allocation-free: tallies hold at most `n` entries (n ≤ MAX_N = 256)
+/// and this runs on every echo/ready delivery — the hottest message
+/// kinds in a full run — so the equality scan beats building a count
+/// table per message at pinned scales; RB payload diversity is tiny
+/// (usually one honest value), so the scan is near-linear in practice.
+/// Shared by [`Wrb`] and [`crate::Rb`].
 pub(crate) fn value_with_count<P: Clone + Eq>(entries: &[(Pid, P)], threshold: usize) -> Option<P> {
     for (i, (_, v)) in entries.iter().enumerate() {
         if entries[..i].iter().any(|(_, u)| u == v) {
@@ -98,7 +100,7 @@ pub struct Wrb<P> {
     sent_echo: bool,
     started: bool,
     /// First echo per sender, in arrival order. A linear list beats a
-    /// hash map at `n ≤ 64` senders, and is dropped wholesale once the
+    /// hash map at per-instance sender counts (≤ n), and is dropped once the
     /// instance accepts (acceptance is sticky; the tally is dead state).
     echoes: Vec<(Pid, P)>,
     accepted: Option<P>,

@@ -16,15 +16,26 @@
 //! `M(x) = Π (x − x_m)` — `O(k²)` multiplications total, against `O(k³)`
 //! multiplications plus `k` inversions for the textbook formula.
 //!
-//! The domain is capped at 64 points, matching [`sba_net::ProcessSet`]'s
-//! process-count cap; interpolation scratch therefore lives on the stack.
+//! The domain is capped at [`MAX_DOMAIN`] points, matching the workspace
+//! process-count cap (`sba_net::MAX_N` — tied by a compile-time assert on
+//! the `sba-net` side); interpolation scratch still lives on the stack
+//! (a few KiB of fixed-size arrays).
 
 use std::fmt;
 
 use crate::{batch_invert, Field, InterpolateError, Poly};
 
-/// Largest supported domain (process count). Matches the `ProcessSet` cap.
-pub const MAX_DOMAIN: usize = 64;
+/// Largest supported domain (process count). Matches `sba_net::MAX_N`,
+/// the workspace-wide process cap (asserted at compile time in `sba-net`,
+/// which depends on this crate).
+pub const MAX_DOMAIN: usize = 256;
+
+/// Words in the duplicate-index bitmask used by `check_indices`.
+const SEEN_WORDS: usize = MAX_DOMAIN / 64;
+const _: () = assert!(
+    MAX_DOMAIN.is_multiple_of(64),
+    "seen-bitmask words must be fully used"
+);
 
 /// A precomputed evaluation domain over the points `1..=n`.
 ///
@@ -121,16 +132,16 @@ impl<F: Field> Domain<F> {
     /// Validates that every index is in `1..=n` and no index repeats.
     /// Returns the duplicate-free bitmask check result.
     fn check_indices(&self, pts: &[(u64, F)]) -> Result<(), InterpolateError> {
-        let mut seen = 0u64;
+        let mut seen = [0u64; SEEN_WORDS];
         for &(i, _) in pts {
             if !self.contains_index(i) {
                 return Err(InterpolateError::OutOfDomain);
             }
-            let bit = 1u64 << (i - 1);
-            if seen & bit != 0 {
+            let (w, bit) = (((i - 1) / 64) as usize, 1u64 << ((i - 1) % 64));
+            if seen[w] & bit != 0 {
                 return Err(InterpolateError::DuplicateX);
             }
-            seen |= bit;
+            seen[w] |= bit;
         }
         Ok(())
     }
@@ -466,6 +477,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "capped")]
     fn oversized_domain_rejected() {
+        let _: Domain<Gf61> = Domain::new(MAX_DOMAIN + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn domain_wider_than_field_rejected() {
+        // Gf101 only has 100 nonzero points, below MAX_DOMAIN: the modulus
+        // check must fire before any point collides with zero.
         let _: Domain<Gf101> = Domain::new(101);
+    }
+
+    #[test]
+    fn max_domain_boundary_accepted() {
+        let domain: Domain<Gf61> = Domain::new(MAX_DOMAIN);
+        assert_eq!(domain.n(), MAX_DOMAIN);
+        assert!(domain.contains_index(MAX_DOMAIN as u64));
+        assert!(!domain.contains_index(MAX_DOMAIN as u64 + 1));
     }
 }

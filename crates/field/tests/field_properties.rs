@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sba_field::{BiPoly, Field, Gf101, Gf61, Poly};
+use sba_field::{BiPoly, Domain, Field, Gf101, Gf61, Poly};
 
 /// Shared body: a random degree-`d` polynomial is recovered exactly from
 /// `d+1` evaluations at distinct indices, and its secret from the recovery.
@@ -146,6 +146,45 @@ proptest! {
         prop_assert!(
             Poly::interpolate_checked(&pts, degree).is_none(),
             "a corrupted share slipped through checked interpolation"
+        );
+    }
+
+    /// Wide-domain interpolation (PR 7 cap lift): over a 128-point domain
+    /// — past the old 64-point tables — a degree-d polynomial is
+    /// recovered exactly from d+1 evaluations at indices drawn anywhere
+    /// in 1..=128, its secret matches `interpolate_at_zero`, and the
+    /// checked form accepts the honest redundancy.
+    #[test]
+    fn domain_interpolation_at_n128(
+        seed in any::<u64>(),
+        degree in 0usize..6,
+        offset in 0u64..100,
+    ) {
+        let domain: Domain<Gf61> = Domain::new(128);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = Gf61::random(&mut rng);
+        let p = Poly::random_with_constant(secret, degree, &mut rng);
+        // Spread the sample indices across both 64-index words: stride
+        // from a high offset and wrap within 1..=128.
+        let idx = |k: u64| (offset + k * 17) % 128 + 1;
+        let pts: Vec<(u64, Gf61)> = (0..=degree as u64)
+            .map(|k| (idx(k), p.eval_at_index(idx(k))))
+            .collect();
+        // Strided indices are distinct here (17 is coprime to 128 and
+        // degree < 8 keeps the stride from wrapping onto itself).
+        let q = domain.interpolate(&pts).expect("interpolation succeeds");
+        prop_assert_eq!(&q, &p, "128-point domain changed the polynomial");
+        prop_assert_eq!(
+            domain.interpolate_at_zero(&pts).expect("at-zero succeeds"),
+            secret
+        );
+        let redundant: Vec<(u64, Gf61)> = (1..=(degree as u64 + 3))
+            .map(|i| (i + 64, p.eval_at_index(i + 64)))
+            .collect();
+        prop_assert_eq!(
+            domain.interpolate_checked_at_zero(&redundant, degree),
+            Some(secret),
+            "checked interpolation rejected honest high-index shares"
         );
     }
 }

@@ -36,7 +36,7 @@ pub use codec::{get_field, put_field, CodecError, Reader, Wire};
 pub use envelope::{Envelope, Outbox};
 pub use fasthash::{FastMap, FastSet, FxHasher};
 pub use kind::Kinded;
-pub use pid::{Pid, ProcessSet, ProcessSetIter};
+pub use pid::{Pid, ProcessSet, ProcessSetIter, MAX_N};
 pub use session::{MwId, SessionKey, SvssId};
 pub use wire::{
     CoinSlot, GsetsBody, MwDealBody, RbStep, RowsBody, SlotKind, SlotView, SvssPriv, SvssRbValue,

@@ -1,6 +1,38 @@
 //! Process identifiers and small process sets.
 
+use std::cmp::Ordering;
 use std::fmt;
+
+/// Workspace-wide cap on the number of processes `n`.
+///
+/// This is the single source of truth for every layout that depends on
+/// the process count: the [`ProcessSet`] bitset width, the packed
+/// single-byte pid slots in the flat wire format (`crates/net/src/wire.rs`),
+/// the `MwId` session coordinates, and the evaluation-domain width
+/// (`sba_field::MAX_DOMAIN` — tied by a compile-time assert below).
+///
+/// The value is a deliberate trade: 256 processes is 4 bitset words
+/// (keeping `ProcessSet` `Copy`-cheap) and exactly spans the one-byte
+/// pid slots in the 16-byte wire keys (indices `1..=256` stored
+/// excess-one as `0..=255`).
+pub const MAX_N: u32 = 256;
+
+/// Bitset words needed to cover [`MAX_N`] process indices.
+pub(crate) const WORDS: usize = MAX_N as usize / 64;
+
+// The packed wire slots store `index - 1` in one byte, so the cap must
+// fit excess-one in a u8; the bitset math assumes whole words; and the
+// field evaluation domain must be at least as wide as the process cap
+// (pid indices double as evaluation points).
+const _: () = assert!(MAX_N <= 256, "packed wire pids store index-1 in one byte");
+const _: () = assert!(
+    MAX_N.is_multiple_of(64),
+    "ProcessSet words must be fully used"
+);
+const _: () = assert!(
+    MAX_N as usize == sba_field::MAX_DOMAIN,
+    "process cap and evaluation-domain width must agree"
+);
 
 /// A process identifier.
 ///
@@ -61,58 +93,91 @@ impl fmt::Display for Pid {
     }
 }
 
-/// An ordered set of process ids, stored as a 64-bit bitmask.
+/// An ordered set of process ids, stored as a fixed multi-word bitmask.
 ///
 /// Used for the protocol sets the paper broadcasts (`L_j`, `M`, `G`,
 /// `G_j`, attach/support sets). These sets ride inside every reliable
 /// broadcast and are cloned per relay hop, and the SVSS state machines
 /// re-check membership and subset conditions on every monotone advance —
-/// so the representation is a `u64` bitmask: `Copy`-cheap clones, `O(1)`
-/// subset/membership tests, and deterministic ascending iteration for
-/// reproducible simulation.
+/// so the representation is a `[u64; 4]` bitmask: `Copy`-cheap clones,
+/// `O(1)` insert/membership, `O(words)` subset tests, and deterministic
+/// ascending iteration for reproducible simulation.
 ///
 /// Process indices are therefore capped at [`ProcessSet::MAX_INDEX`]
-/// processes — far above the protocol's practical message-complexity
-/// range, and aligned with `sba_field::MAX_DOMAIN`.
-#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ProcessSet(u64);
+/// ( = [`MAX_N`]) processes — sized to keep the set `Copy`-small while
+/// spanning the packed one-byte pid slots of the wire format, and
+/// aligned with `sba_field::MAX_DOMAIN`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ProcessSet([u64; WORDS]);
+
+// Ordering compares words most-significant first, which reproduces the
+// numeric order of the historical single-u64 representation for sets
+// confined to indices 1..=64 (seed-pinned schedules sort on this).
+impl Ord for ProcessSet {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for w in (0..WORDS).rev() {
+            match self.0[w].cmp(&other.0[w]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for ProcessSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// Iterator over a [`ProcessSet`] in ascending index order.
 #[derive(Clone, Debug)]
-pub struct ProcessSetIter(u64);
+pub struct ProcessSetIter {
+    words: [u64; WORDS],
+    w: usize,
+}
 
 impl Iterator for ProcessSetIter {
     type Item = Pid;
 
     #[inline]
     fn next(&mut self) -> Option<Pid> {
-        if self.0 == 0 {
-            return None;
+        while self.w < WORDS {
+            let word = self.words[self.w];
+            if word != 0 {
+                let bit = word.trailing_zeros();
+                self.words[self.w] &= word - 1;
+                return Some(Pid(self.w as u32 * 64 + bit + 1));
+            }
+            self.w += 1;
         }
-        let bit = self.0.trailing_zeros();
-        self.0 &= self.0 - 1;
-        Some(Pid(bit + 1))
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.0.count_ones() as usize;
+        let n: usize = self.words[self.w..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         (n, Some(n))
     }
 }
 
 impl ProcessSet {
-    /// The largest representable process index.
-    pub const MAX_INDEX: u32 = 64;
+    /// The largest representable process index ( = [`MAX_N`]).
+    pub const MAX_INDEX: u32 = MAX_N;
 
     #[inline]
-    fn bit(p: Pid) -> u64 {
+    fn slot(p: Pid) -> (usize, u64) {
         assert!(
             p.index() <= Self::MAX_INDEX,
             "process index {} exceeds the ProcessSet cap of {}",
             p.index(),
             Self::MAX_INDEX
         );
-        1u64 << (p.index() - 1)
+        let i = p.index() - 1;
+        ((i / 64) as usize, 1u64 << (i % 64))
     }
 
     /// Creates an empty set.
@@ -126,39 +191,46 @@ impl ProcessSet {
     ///
     /// Panics if the index exceeds [`ProcessSet::MAX_INDEX`].
     pub fn insert(&mut self, p: Pid) -> bool {
-        let bit = Self::bit(p);
-        let fresh = self.0 & bit == 0;
-        self.0 |= bit;
+        let (w, bit) = Self::slot(p);
+        let fresh = self.0[w] & bit == 0;
+        self.0[w] |= bit;
         fresh
     }
 
     /// Whether `p` is a member.
     #[inline]
     pub fn contains(&self, p: Pid) -> bool {
-        p.index() <= Self::MAX_INDEX && self.0 & (1u64 << (p.index() - 1)) != 0
+        if p.index() > Self::MAX_INDEX {
+            return false;
+        }
+        let i = p.index() - 1;
+        self.0[(i / 64) as usize] & (1u64 << (i % 64)) != 0
     }
 
     /// Number of members.
     #[inline]
     pub fn len(&self) -> usize {
-        self.0.count_ones() as usize
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.0 == 0
+        self.0 == [0; WORDS]
     }
 
     /// Iterates members in ascending index order.
     pub fn iter(&self) -> ProcessSetIter {
-        ProcessSetIter(self.0)
+        ProcessSetIter {
+            words: self.0,
+            w: 0,
+        }
     }
 
     /// Whether `self ⊆ other`.
     #[inline]
     pub fn is_subset(&self, other: &ProcessSet) -> bool {
-        self.0 & !other.0 == 0
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a & !b == 0)
     }
 
     /// Removes a process; returns whether it was present.
@@ -166,14 +238,49 @@ impl ProcessSet {
         if !self.contains(p) {
             return false;
         }
-        self.0 &= !(1u64 << (p.index() - 1));
+        let (w, bit) = Self::slot(p);
+        self.0[w] &= !bit;
         true
     }
 
     /// Union with another set, in place.
     #[inline]
     pub fn extend_from(&mut self, other: &ProcessSet) {
-        self.0 |= other.0;
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// The raw bitmask words, least-significant first: bit `b` of word
+    /// `w` is process index `64·w + b + 1`. Exposed for compact storage
+    /// (the wire body slot) and representation-level tests.
+    #[inline]
+    pub fn as_words(&self) -> [u64; WORDS] {
+        self.0
+    }
+
+    /// Rebuilds a set from its [`ProcessSet::as_words`] representation.
+    #[inline]
+    pub fn from_words(words: [u64; WORDS]) -> Self {
+        ProcessSet(words)
+    }
+
+    /// The union `self ∪ other` as a new set.
+    #[inline]
+    pub fn union(&self, other: &ProcessSet) -> ProcessSet {
+        let mut out = *self;
+        out.extend_from(other);
+        out
+    }
+
+    /// The intersection `self ∩ other` as a new set.
+    #[inline]
+    pub fn intersection(&self, other: &ProcessSet) -> ProcessSet {
+        let mut out = *self;
+        for (a, b) in out.0.iter_mut().zip(other.0.iter()) {
+            *a &= b;
+        }
+        out
     }
 }
 
@@ -262,5 +369,45 @@ mod tests {
         assert_eq!(a.len(), 3);
         assert!(a.remove(Pid::new(3)));
         assert!(!a.remove(Pid::new(3)));
+    }
+
+    #[test]
+    fn process_set_spans_words() {
+        // Members on both sides of every word boundary.
+        let idxs = [1u32, 63, 64, 65, 127, 128, 129, 200, 255, 256];
+        let s: ProcessSet = idxs.iter().map(|&i| Pid::new(i)).collect();
+        assert_eq!(s.len(), idxs.len());
+        let order: Vec<u32> = s.iter().map(Pid::index).collect();
+        assert_eq!(order, idxs);
+        for &i in &idxs {
+            assert!(s.contains(Pid::new(i)));
+        }
+        assert!(!s.contains(Pid::new(130)));
+        let mut t = s;
+        assert!(t.remove(Pid::new(128)));
+        assert!(!t.contains(Pid::new(128)));
+        assert!(t.is_subset(&s));
+        assert!(!s.is_subset(&t));
+        assert_eq!(s.intersection(&t), t);
+        assert_eq!(s.union(&t), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the ProcessSet cap")]
+    fn process_set_cap_enforced() {
+        let mut s = ProcessSet::new();
+        s.insert(Pid::new(MAX_N + 1));
+    }
+
+    #[test]
+    fn process_set_order_matches_low_word_numeric() {
+        // For sets confined to 1..=64 the Ord must match the historical
+        // u64 numeric order (schedule determinism depends on it).
+        let a: ProcessSet = [Pid::new(1), Pid::new(2)].into_iter().collect(); // 0b11
+        let b: ProcessSet = [Pid::new(3)].into_iter().collect(); // 0b100
+        assert!(a < b);
+        // High words dominate.
+        let c: ProcessSet = [Pid::new(65)].into_iter().collect();
+        assert!(b < c);
     }
 }

@@ -84,10 +84,11 @@ impl Wire for SvssId {
 ///
 /// `MwId` rides in every MW-level RB slot tag and keys the hottest maps
 /// in the SVSS engine, so it is packed to 16 bytes: the four process
-/// indices and the parent dealer are stored as single bytes. Process
-/// indices are therefore capped at [`MwId::MAX_INDEX`] — comfortably
-/// above the `ProcessSet`/`Domain` cap of 64 that already bounds every
-/// runnable system. The wire encoding is unchanged (full `u32` pids).
+/// indices and the parent dealer are stored as single excess-one bytes
+/// (`index − 1`, so indices `1..=256` fit in a `u8`). Process indices
+/// are therefore capped at [`MwId::MAX_INDEX`] = [`crate::MAX_N`], the
+/// same cap that bounds `ProcessSet` and the `Domain` tables. The wire
+/// encoding is unchanged (full `u32` pids).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MwId {
     parent_tag: u64,
@@ -98,7 +99,8 @@ pub struct MwId {
     col: u8,
 }
 
-/// Narrows a pid index to the packed byte, panicking past the cap.
+/// Narrows a pid index to the packed excess-one byte (`index − 1`),
+/// panicking past the cap.
 fn pack_pid(p: Pid) -> u8 {
     assert!(
         p.index() <= MwId::MAX_INDEX,
@@ -106,12 +108,18 @@ fn pack_pid(p: Pid) -> u8 {
         p.index(),
         MwId::MAX_INDEX
     );
-    p.index() as u8
+    (p.index() - 1) as u8
+}
+
+/// Widens a packed excess-one byte back to the pid it names.
+fn unpack_pid(b: u8) -> Pid {
+    Pid::new(u32::from(b) + 1)
 }
 
 impl MwId {
-    /// The largest process index representable in a packed `MwId`.
-    pub const MAX_INDEX: u32 = 255;
+    /// The largest process index representable in a packed `MwId`
+    /// ( = [`crate::MAX_N`]).
+    pub const MAX_INDEX: u32 = crate::MAX_N;
 
     /// Creates the id of an MW-SVSS invocation nested in SVSS session
     /// `parent`, with the given dealer/moderator and target entry.
@@ -150,27 +158,27 @@ impl MwId {
 
     /// The enclosing SVSS session (for standalone sessions, a synthetic id).
     pub fn parent(self) -> SvssId {
-        SvssId::new(self.parent_tag, Pid::new(u32::from(self.parent_dealer)))
+        SvssId::new(self.parent_tag, unpack_pid(self.parent_dealer))
     }
 
     /// The MW-SVSS dealer.
     pub fn dealer(self) -> Pid {
-        Pid::new(u32::from(self.dealer))
+        unpack_pid(self.dealer)
     }
 
     /// The MW-SVSS moderator.
     pub fn moderator(self) -> Pid {
-        Pid::new(u32::from(self.moderator))
+        unpack_pid(self.moderator)
     }
 
     /// Row index of the bivariate entry this instance carries.
     pub fn row(self) -> Pid {
-        Pid::new(u32::from(self.row))
+        unpack_pid(self.row)
     }
 
     /// Column index of the bivariate entry this instance carries.
     pub fn col(self) -> Pid {
-        Pid::new(u32::from(self.col))
+        unpack_pid(self.col)
     }
 }
 
@@ -253,6 +261,24 @@ mod tests {
                 assert_ne!(x, y);
             }
         }
+    }
+
+    #[test]
+    fn mw_id_cap_boundary_round_trips() {
+        // Index MAX_N packs excess-one into the top byte value (255).
+        let top = Pid::new(MwId::MAX_INDEX);
+        let id = MwId::standalone(1, top, Pid::new(1));
+        assert_eq!(id.dealer(), top);
+        assert_eq!(id.parent().dealer(), top);
+        let bytes = id.encoded();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MwId::decode(&mut r).unwrap(), id);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the MwId cap")]
+    fn mw_id_cap_enforced() {
+        let _ = MwId::standalone(1, Pid::new(MwId::MAX_INDEX + 1), Pid::new(1));
     }
 
     #[test]

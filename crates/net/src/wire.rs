@@ -13,7 +13,8 @@
 //! `F = Gf61`, pinned by `crates/aba/tests/wire_sizes.rs`. The RB step
 //! (init/echo/ready), the protocol slot, and the session identifiers are
 //! all packed into the key; the body holds only the payload (boxed when
-//! large and rare).
+//! large and rare, and stored compactly when a full `MAX_N`-wide
+//! `ProcessSet` would not fit the slot — see [`CompactSet`]).
 //!
 //! Layering note: the *protocol* crates still reason in their own terms —
 //! `sba-broadcast`'s mux routes `MuxMsg { tag, origin, inner }`, the SVSS
@@ -207,23 +208,23 @@ impl WireKind {
     }
 }
 
-/// Narrows a pid index to a packed byte, panicking past the cap (255 —
-/// same cap as [`MwId`], far above the `ProcessSet` cap of 64 that
-/// already bounds every runnable system).
+/// Narrows a pid index to a packed excess-one byte (`index − 1`, so the
+/// full `1..=MAX_N` range fits in a `u8`), panicking past the cap — the
+/// same [`crate::MAX_N`] cap that bounds `MwId` and `ProcessSet`.
 fn pack_pid(p: Pid) -> u8 {
     assert!(
-        p.index() <= 255,
-        "process index {} exceeds the packed-wire cap of 255",
-        p.index()
+        p.index() <= crate::MAX_N,
+        "process index {} exceeds the packed-wire cap of {}",
+        p.index(),
+        crate::MAX_N
     );
-    p.index() as u8
+    (p.index() - 1) as u8
 }
 
-fn unpack_pid(b: u8) -> Result<Pid, CodecError> {
-    if b == 0 {
-        return Err(CodecError::Invalid);
-    }
-    Ok(Pid::new(u32::from(b)))
+/// Widens a packed excess-one byte back to the pid it names. Total:
+/// every byte value is a valid index in `1..=MAX_N`.
+fn unpack_pid(b: u8) -> Pid {
+    Pid::new(u32::from(b) + 1)
 }
 
 /// An RB slot of the SVSS stack, packed the way [`MwId`] is packed: one
@@ -293,11 +294,11 @@ fn pack_mw(mw: MwId) -> (u64, [u8; 5]) {
 
 fn unpack_mw(tag: u64, p: [u8; 5]) -> MwId {
     MwId::nested(
-        SvssId::new(tag, Pid::new(u32::from(p[0]))),
-        Pid::new(u32::from(p[1])),
-        Pid::new(u32::from(p[2])),
-        Pid::new(u32::from(p[3])),
-        Pid::new(u32::from(p[4])),
+        SvssId::new(tag, unpack_pid(p[0])),
+        unpack_pid(p[1]),
+        unpack_pid(p[2]),
+        unpack_pid(p[3]),
+        unpack_pid(p[4]),
     )
 }
 
@@ -331,7 +332,7 @@ impl SvssSlot {
     ///
     /// # Panics
     ///
-    /// Panics if `poly`'s index exceeds the packed cap of 255.
+    /// Panics if `poly`'s index exceeds the packed cap of [`crate::MAX_N`].
     pub fn mw_recon(mw: MwId, poly: Pid) -> Self {
         Self::mw(SlotKind::MwRecon, mw, pack_pid(poly))
     }
@@ -340,7 +341,8 @@ impl SvssSlot {
     ///
     /// # Panics
     ///
-    /// Panics if the dealer's index exceeds the packed cap of 255.
+    /// Panics if the dealer's index exceeds the packed cap of
+    /// [`crate::MAX_N`].
     pub fn gsets(sid: SvssId) -> Self {
         SvssSlot {
             tag: sid.tag(),
@@ -363,11 +365,9 @@ impl SvssSlot {
             SlotKind::MwM => SlotView::MwM(unpack_mw(self.tag, self.p)),
             SlotKind::MwOk => SlotView::MwOk(unpack_mw(self.tag, self.p)),
             SlotKind::MwRecon => {
-                SlotView::MwRecon(unpack_mw(self.tag, self.p), Pid::new(u32::from(self.aux)))
+                SlotView::MwRecon(unpack_mw(self.tag, self.p), unpack_pid(self.aux))
             }
-            SlotKind::Gsets => {
-                SlotView::Gsets(SvssId::new(self.tag, Pid::new(u32::from(self.p[0]))))
-            }
+            SlotKind::Gsets => SlotView::Gsets(SvssId::new(self.tag, unpack_pid(self.p[0]))),
         }
     }
 
@@ -405,7 +405,7 @@ impl CoinSlot {
 }
 
 /// Body of a `MwDeal` — the only share message with more than one
-/// polynomial, boxed so [`WireMsg`] stays at its pinned 32 bytes for the
+/// polynomial, boxed so [`WireMsg`] stays at its pinned size for the
 /// far more common point/ack traffic.
 ///
 /// # Word-complexity diet (PR 5)
@@ -533,12 +533,50 @@ struct WireKey {
     origin: u8,
 }
 
+/// Body-slot storage for process sets. Sets confined to the first
+/// bitmask word (indices `1..=64` — every seed-pinned workload) stay
+/// inline; wider sets spill their word block to the heap. The inline
+/// common case holds [`WireMsg`] at its pinned 32 bytes (~10⁶ envelopes
+/// ride the queue arena in a full n=7 run), while the spill path spans
+/// the full [`crate::MAX_N`] range.
+///
+/// Canonical-form invariant (enforced by [`CompactSet::pack`], the only
+/// constructor): `Spilled` only when a high word is nonzero, so the
+/// derived `Eq` agrees with set equality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum CompactSet {
+    Inline(u64),
+    Spilled(Box<[u64; crate::pid::WORDS]>),
+}
+
+impl CompactSet {
+    fn pack(s: ProcessSet) -> CompactSet {
+        let w = s.as_words();
+        if w[1..].iter().all(|&x| x == 0) {
+            CompactSet::Inline(w[0])
+        } else {
+            CompactSet::Spilled(Box::new(w))
+        }
+    }
+
+    fn expand(&self) -> ProcessSet {
+        match self {
+            CompactSet::Inline(w0) => {
+                let mut w = [0u64; crate::pid::WORDS];
+                w[0] = *w0;
+                ProcessSet::from_words(w)
+            }
+            CompactSet::Spilled(w) => ProcessSet::from_words(**w),
+        }
+    }
+}
+
 /// The payload slot of a [`WireMsg`]: exactly one variant is legal per
 /// [`WireKind`] (a construction invariant, enforced on decode).
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Body<F> {
     Unit,
-    Set(ProcessSet),
+    Set(CompactSet),
     Value(F),
     Gsets(Box<GsetsBody>),
     Deal(Box<MwDealBody<F>>),
@@ -650,11 +688,11 @@ impl<F: Field> WireMsg<F> {
     ///
     /// Panics if `value`'s variant does not match the slot family's fixed
     /// payload shape (the flat wire format cannot represent a mismatch),
-    /// or if `origin` exceeds the packed pid cap of 255.
+    /// or if `origin` exceeds the packed pid cap of [`crate::MAX_N`].
     pub fn rb(slot: SvssSlot, origin: Pid, step: RbStep, value: SvssRbValue<F>) -> Self {
         let body = match (slot.kind, value) {
             (SlotKind::MwAck | SlotKind::MwOk, SvssRbValue::Unit) => Body::Unit,
-            (SlotKind::MwL | SlotKind::MwM, SvssRbValue::Set(s)) => Body::Set(s),
+            (SlotKind::MwL | SlotKind::MwM, SvssRbValue::Set(s)) => Body::Set(CompactSet::pack(s)),
             (SlotKind::MwRecon, SvssRbValue::Value(v)) => Body::Value(v),
             (SlotKind::Gsets, SvssRbValue::Gsets(b)) => Body::Gsets(b),
             (k, v) => panic!("slot family {k:?} cannot carry payload {v:?}"),
@@ -675,7 +713,7 @@ impl<F: Field> WireMsg<F> {
     ///
     /// # Panics
     ///
-    /// Panics if `origin` exceeds the packed pid cap of 255.
+    /// Panics if `origin` exceeds the packed pid cap of [`crate::MAX_N`].
     pub fn coin_rb(slot: CoinSlot, origin: Pid, step: RbStep, set: ProcessSet) -> Self {
         let (tag, base) = match slot {
             CoinSlot::Attach(t) => (t, 22),
@@ -689,7 +727,7 @@ impl<F: Field> WireMsg<F> {
                 kind: WireKind::from_byte(base + step as u8).expect("in range"),
                 origin: pack_pid(origin),
             },
-            body: Body::Set(set),
+            body: Body::Set(CompactSet::pack(set)),
         }
     }
 
@@ -707,7 +745,7 @@ impl<F: Field> WireMsg<F> {
         if self.key.kind.is_priv() {
             None
         } else {
-            Some(Pid::new(u32::from(self.key.origin)))
+            Some(unpack_pid(self.key.origin))
         }
     }
 
@@ -731,7 +769,7 @@ impl<F: Field> WireMsg<F> {
                     value,
                 },
                 (WireKind::Rows, Body::Rows(rows)) => SvssPriv::Rows {
-                    session: SvssId::new(key.tag, Pid::new(u32::from(key.p[0]))),
+                    session: SvssId::new(key.tag, unpack_pid(key.p[0])),
                     rows,
                 },
                 _ => unreachable!("kind/body agreement is a construction invariant"),
@@ -739,7 +777,7 @@ impl<F: Field> WireMsg<F> {
             return Unpacked::Priv(p);
         }
         let step = kind.rb_step().expect("non-priv kinds are RB kinds");
-        let origin = Pid::new(u32::from(key.origin));
+        let origin = unpack_pid(key.origin);
         if kind.is_coin_rb() {
             let slot = if (kind as u8) < 25 {
                 CoinSlot::Attach(key.tag)
@@ -753,7 +791,7 @@ impl<F: Field> WireMsg<F> {
                 slot,
                 origin,
                 step,
-                set,
+                set: set.expand(),
             };
         }
         let slot = SvssSlot {
@@ -764,7 +802,7 @@ impl<F: Field> WireMsg<F> {
         };
         let value = match body {
             Body::Unit => SvssRbValue::Unit,
-            Body::Set(s) => SvssRbValue::Set(s),
+            Body::Set(s) => SvssRbValue::Set(s.expand()),
             Body::Value(v) => SvssRbValue::Value(v),
             Body::Gsets(b) => SvssRbValue::Gsets(b),
             Body::Deal(_) | Body::Rows(_) => {
@@ -780,9 +818,15 @@ impl<F: Field> WireMsg<F> {
     }
 }
 
-/// Field-vector length cap on the wire (single-byte prefix; the packed
-/// pid cap of 255 already bounds every runnable vector length).
+/// Field-vector length cap on the wire (single-byte prefix). The longest
+/// vector any message carries is an `MwDeal`'s `others` with `n − 1`
+/// entries, so the one-byte prefix spans every runnable length even at
+/// `n = MAX_N`.
 const FIELD_VEC_CAP: usize = 255;
+const _: () = assert!(
+    crate::MAX_N as usize - 1 <= FIELD_VEC_CAP,
+    "one-byte vector length prefix must span n - 1 entries"
+);
 
 fn put_field_vec<F: Field>(v: &[F], buf: &mut Vec<u8>) {
     assert!(
@@ -822,11 +866,8 @@ fn get_mw(r: &mut Reader<'_>) -> Result<(u64, [u8; 5]), CodecError> {
     let bytes = r.take(5)?;
     let mut p = [0u8; 5];
     p.copy_from_slice(bytes);
-    for &b in &p {
-        if b == 0 {
-            return Err(CodecError::Invalid); // pids are 1-based
-        }
-    }
+    // Excess-one packing makes every byte value a valid index: nothing
+    // further to validate.
     Ok((tag, p))
 }
 
@@ -894,7 +935,7 @@ impl<F: Field> Wire for WireMsg<F> {
                 let Body::Set(s) = &self.body else {
                     unreachable!()
                 };
-                s.encode(buf);
+                s.expand().encode(buf);
             }
             WireKind::MwReconInit | WireKind::MwReconEcho | WireKind::MwReconReady => {
                 put_mw(key.tag, &key.p, buf);
@@ -926,7 +967,7 @@ impl<F: Field> Wire for WireMsg<F> {
                 let Body::Set(s) = &self.body else {
                     unreachable!()
                 };
-                s.encode(buf);
+                s.expand().encode(buf);
             }
         }
     }
@@ -972,7 +1013,7 @@ impl<F: Field> Wire for WireMsg<F> {
             }
             WireKind::Rows => {
                 key.tag = u64::decode(r)?;
-                key.p[0] = unpack_pid(r.byte()?)?.index() as u8;
+                key.p[0] = r.byte()?;
                 let g = get_field_vec(r)?;
                 let h = get_field_vec(r)?;
                 Body::Rows(Box::new(RowsBody { g, h }))
@@ -984,7 +1025,7 @@ impl<F: Field> Wire for WireMsg<F> {
             | WireKind::MwOkEcho
             | WireKind::MwOkReady => {
                 (key.tag, key.p) = get_mw(r)?;
-                key.origin = unpack_pid(r.byte()?)?.index() as u8;
+                key.origin = r.byte()?;
                 Body::Unit
             }
             WireKind::MwLInit
@@ -994,19 +1035,19 @@ impl<F: Field> Wire for WireMsg<F> {
             | WireKind::MwMEcho
             | WireKind::MwMReady => {
                 (key.tag, key.p) = get_mw(r)?;
-                key.origin = unpack_pid(r.byte()?)?.index() as u8;
-                Body::Set(ProcessSet::decode(r)?)
+                key.origin = r.byte()?;
+                Body::Set(CompactSet::pack(ProcessSet::decode(r)?))
             }
             WireKind::MwReconInit | WireKind::MwReconEcho | WireKind::MwReconReady => {
                 (key.tag, key.p) = get_mw(r)?;
-                key.aux = unpack_pid(r.byte()?)?.index() as u8;
-                key.origin = unpack_pid(r.byte()?)?.index() as u8;
+                key.aux = r.byte()?;
+                key.origin = r.byte()?;
                 Body::Value(get_field(r)?)
             }
             WireKind::GsetsInit | WireKind::GsetsEcho | WireKind::GsetsReady => {
                 key.tag = u64::decode(r)?;
-                key.p[0] = unpack_pid(r.byte()?)?.index() as u8;
-                key.origin = unpack_pid(r.byte()?)?.index() as u8;
+                key.p[0] = r.byte()?;
+                key.origin = r.byte()?;
                 Body::Gsets(Box::new(GsetsBody {
                     g: ProcessSet::decode(r)?,
                     members: Vec::decode(r)?,
@@ -1019,8 +1060,8 @@ impl<F: Field> Wire for WireMsg<F> {
             | WireKind::SupportEcho
             | WireKind::SupportReady => {
                 key.tag = u64::decode(r)?;
-                key.origin = unpack_pid(r.byte()?)?.index() as u8;
-                Body::Set(ProcessSet::decode(r)?)
+                key.origin = r.byte()?;
+                Body::Set(CompactSet::pack(ProcessSet::decode(r)?))
             }
         };
         Ok(WireMsg { key, body })
@@ -1029,7 +1070,7 @@ impl<F: Field> Wire for WireMsg<F> {
     fn encoded_len(&self) -> usize {
         let body = match &self.body {
             Body::Unit => 0,
-            Body::Set(s) => s.encoded_len(),
+            Body::Set(s) => s.expand().encoded_len(),
             Body::Value(_) => 8,
             Body::Gsets(b) => b.g.encoded_len() + b.members.encoded_len(),
             Body::Deal(d) => {
@@ -1194,6 +1235,10 @@ mod tests {
     fn flat_sizes() {
         assert_eq!(std::mem::size_of::<WireKey>(), 16);
         assert_eq!(std::mem::size_of::<SvssSlot>(), 16);
+        // The 4-word ProcessSet does not fit the 16-byte body slot;
+        // CompactSet keeps the word-0 common case inline so the struct
+        // stays at its historical 32 bytes.
+        assert_eq!(std::mem::size_of::<CompactSet>(), 16);
         assert_eq!(std::mem::size_of::<WireMsg<Gf61>>(), 32);
     }
 
@@ -1283,18 +1328,46 @@ mod tests {
     }
 
     #[test]
-    fn zero_pid_bytes_rejected() {
-        // MwPoint with a zeroed dealer byte.
+    fn spilled_sets_round_trip() {
+        // A set with members past index 64 spills out of the inline body
+        // slot but encodes, decodes, and unpacks like its inline siblings.
+        let wide: ProcessSet = [Pid::new(1), Pid::new(65), Pid::new(256)]
+            .into_iter()
+            .collect();
+        let msg: WireMsg<Gf61> =
+            WireMsg::coin_rb(CoinSlot::Attach(9), Pid::new(200), RbStep::Echo, wide);
+        let bytes = msg.encoded();
+        assert_eq!(msg.encoded_len(), bytes.len());
+        let mut r = Reader::new(&bytes);
+        let back = WireMsg::<Gf61>::decode(&mut r).unwrap();
+        assert_eq!(back, msg);
+        match back.unpack() {
+            Unpacked::CoinRb { set, origin, .. } => {
+                assert_eq!(set, wide);
+                assert_eq!(origin, Pid::new(200));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packed_pid_cap_round_trips() {
+        // Excess-one packing: index MAX_N lands on byte 255 and every
+        // byte value decodes to a valid 1-based pid.
+        let top = Pid::new(crate::MAX_N);
+        let mw = MwId::standalone(4, top, Pid::new(1));
         let msg: WireMsg<Gf61> = WireMsg::private(SvssPriv::MwPoint {
-            mw: mw_id(),
+            mw,
             value: Gf61::from_u64(5),
         });
-        let mut bytes = msg.encoded();
-        bytes[9] = 0; // kind(1) + tag(8), first pid byte
+        let bytes = msg.encoded();
+        assert_eq!(bytes[9], 255); // kind(1) + tag(8), first pid byte
         let mut r = Reader::new(&bytes);
-        assert_eq!(
-            WireMsg::<Gf61>::decode(&mut r).unwrap_err(),
-            CodecError::Invalid
-        );
+        let back = WireMsg::<Gf61>::decode(&mut r).unwrap();
+        assert_eq!(back, msg);
+        match back.unpack() {
+            Unpacked::Priv(SvssPriv::MwPoint { mw: m, .. }) => assert_eq!(m.dealer(), top),
+            other => panic!("unexpected unpack: {other:?}"),
+        }
     }
 }

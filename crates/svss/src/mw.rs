@@ -139,7 +139,7 @@ pub struct Mw<F: Field> {
     // Step 3 state: first point per confirmer, my confirmer set L_me.
     /// First point per confirmer, indexed by `pid - 1` (per-pid state in
     /// this machine is direct-indexed: `advance` re-probes it on every
-    /// input, and at `n ≤ 64` a dense vector beats any hash map).
+    /// input, and at `n ≤ MAX_N = 256` a dense vector beats any hash map).
     points: Vec<Option<F>>,
     l_mine: ProcessSet,
     l_frozen: bool,
