@@ -17,13 +17,20 @@
 //! `--full` mode E9 additionally times the heavyweight n=7 SCC agreement
 //! run (the `scc_larger_system` slow-tier test's workload).
 //!
-//! `e11` sweeps the scenario zoo: every [`Zoo`](sba::Zoo) scenario is
-//! run, recorded as a JSON artifact under `artifacts/`, and immediately
-//! replayed from that artifact — the harness exits nonzero if any replay
-//! diverges from its recording (the CI replay-smoke gate). `e12` drives
-//! the checkpoint/fork path: one run per scenario is checkpointed
-//! mid-flight, resumed (must reproduce the original tail digest), and
-//! forked under divergent seeds (every branch must still decide).
+//! `e11` sweeps the scenario zoo: every [`Zoo`](sba::Zoo) scenario —
+//! plus the three compound [`ScenarioPlan`](sba::ScenarioPlan)s, which
+//! run under the invariant monitor and embed their full plan in the
+//! artifact — is run, recorded as a JSON artifact under `artifacts/`,
+//! and immediately replayed from that artifact — the harness exits
+//! nonzero if any replay diverges from its recording (the CI
+//! replay-smoke gate). `e12` drives the checkpoint/fork path: one run
+//! per scenario is checkpointed mid-flight, resumed (must reproduce the
+//! original tail digest), and forked under divergent seeds (every
+//! branch must still decide). `e14` hardens that into the *fork
+//! corpus*: every recorded `trial_*.json` artifact is checkpointed at
+//! each round boundary and forked under fresh seeds; a stalled branch,
+//! an unfaithful resume, or a monitor violation fails the run (the CI
+//! fork-conformance gate; `--json` writes the conformance table).
 //!
 //! `e13` is the n-sweep (PR 7's cap lift): the SCC unit workload — one
 //! moderated MW-SVSS share session — at n ∈ {7, 16, 31, 64, 128, 256}
@@ -129,6 +136,9 @@ fn main() {
     if run_all || which == "e13" {
         e13_nsweep(full, json_path.as_deref(), ns_arg.as_deref());
     }
+    if run_all || which == "e14" {
+        e14_fork_corpus(full, json_path.as_deref());
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -199,6 +209,55 @@ fn e11_scenario_zoo(full: bool, json_path: Option<&str>) {
         sink.put_num(&k("recoveries"), m.recoveries as f64);
         sink.put_num(&k("replay_ok"), if replay.ok() { 1.0 } else { 0.0 });
     }
+
+    // The compound fault plans: serialized in full into their artifacts
+    // (`plan.*` keys), run under the invariant monitor, and replayed
+    // from the artifact like the zoo. Always at the canonical (4, 1) —
+    // their trigger constants are calibrated for that size.
+    println!("\nCompound fault plans (invariant monitor riding every run):\n");
+    println!("| plan | rounds | messages | held | recoveries | violations | digest | replay |");
+    println!("|------|--------|----------|------|------------|------------|--------|--------|");
+    for plan in sba::ScenarioPlan::compounds(4, 1, seed) {
+        let trial = Trial::plan(plan);
+        let (path, run) = record(&trial, dir).expect("record artifact");
+        let replay = replay_file(&path).expect("artifact replays");
+        let r = &run.report;
+        let m = &r.metrics;
+        let name = trial.scenario.name().to_string();
+        assert!(r.terminated, "{name} must terminate");
+        assert!(r.agreement(), "{name} must agree");
+        assert_eq!(
+            run.monitor_ok,
+            Some(true),
+            "{name} must run violation-free under the monitor"
+        );
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:016x} | {} |",
+            name,
+            r.max_round,
+            r.messages,
+            m.sched_held,
+            m.recoveries,
+            m.monitor_violations,
+            run.digest,
+            if replay.ok() { "identical" } else { "DIVERGED" }
+        );
+        if !replay.ok() {
+            for mm in &replay.mismatches {
+                eprintln!(
+                    "  REPLAY DIVERGENCE {name}: {} recorded {} replayed {}",
+                    mm.key, mm.recorded, mm.replayed
+                );
+            }
+            failed = true;
+        }
+        let k = |s: &str| format!("{name}.{s}");
+        sink.put_num(&k("rounds"), f64::from(r.max_round));
+        sink.put_num(&k("messages"), r.messages as f64);
+        sink.put_num(&k("monitor_checks"), m.monitor_checks as f64);
+        sink.put_num(&k("monitor_violations"), m.monitor_violations as f64);
+        sink.put_num(&k("replay_ok"), if replay.ok() { 1.0 } else { 0.0 });
+    }
     println!("\n(artifacts written to {}/)\n", dir.display());
     if let Some(path) = json_path {
         std::fs::write(path, sink.render()).expect("write json snapshot");
@@ -263,6 +322,78 @@ fn e12_fork(full: bool) {
         );
     }
     println!();
+}
+
+// ---------------------------------------------------------------------
+// E14 - fork corpus: every recorded artifact, every round boundary
+// ---------------------------------------------------------------------
+fn e14_fork_corpus(full: bool, json_path: Option<&str>) {
+    use sba_bench::trial::fork_corpus;
+
+    println!("## E14 - fork corpus: every artifact, every round boundary\n");
+    println!("Every trial_*.json artifact is rebuilt, checkpointed at each");
+    println!("voting-round boundary (quarter-point supplements guarantee at");
+    println!("least three branch points), resumed (must reproduce the recorded");
+    println!("digest), and forked under fresh seeds — every branch must still");
+    println!("decide, with the invariant monitor riding every run.\n");
+    println!("| artifact | scenario | boundaries @events | resumes | branches decided | violations | ok |");
+    println!("|----------|----------|--------------------|---------|------------------|------------|----|");
+    let dir = std::path::Path::new("artifacts");
+    let seeds: &[u64] = if full { &[101, 202] } else { &[101] };
+    let max_boundaries = if full { 6 } else { 3 };
+    let entries = fork_corpus(dir, seeds, max_boundaries).expect("fork corpus runs");
+    assert!(
+        !entries.is_empty(),
+        "no trial_*.json artifacts under {} (run e11 first)",
+        dir.display()
+    );
+    let mut sink = JsonSink::new();
+    sink.put_str("schema", "sba-fork-v1");
+    let mut failed = false;
+    for e in &entries {
+        println!(
+            "| {} | {} | {:?} | {}/{} | {}/{} | {} | {} |",
+            e.artifact,
+            e.scenario,
+            e.boundaries,
+            e.resumes_faithful,
+            e.boundaries.len(),
+            e.branches_decided,
+            e.branches_run,
+            e.monitor_violations,
+            if e.ok() { "yes" } else { "NO" }
+        );
+        if !e.ok() {
+            eprintln!(
+                "FORK CORPUS FAILURE {}: {}/{} resumes faithful, {}/{} branches decided, {} monitor violations",
+                e.artifact,
+                e.resumes_faithful,
+                e.boundaries.len(),
+                e.branches_decided,
+                e.branches_run,
+                e.monitor_violations
+            );
+            failed = true;
+        }
+        let k = |s: &str| format!("{}.{s}", e.scenario);
+        sink.put_num(&k("boundaries"), e.boundaries.len() as f64);
+        sink.put_num(&k("resumes_faithful"), e.resumes_faithful as f64);
+        sink.put_num(&k("branches_run"), e.branches_run as f64);
+        sink.put_num(&k("branches_decided"), e.branches_decided as f64);
+        sink.put_num(&k("monitor_violations"), e.monitor_violations as f64);
+        sink.put_num(&k("ok"), if e.ok() { 1.0 } else { 0.0 });
+    }
+    println!();
+    if let Some(path) = json_path {
+        std::fs::write(path, sink.render()).expect("write json snapshot");
+        println!("(wrote {path})\n");
+    }
+    if failed {
+        eprintln!(
+            "FORK CORPUS GATE FAILED: a branch stalled, a resume diverged, or the monitor fired"
+        );
+        std::process::exit(1);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -805,6 +936,15 @@ fn e9_perf(full: bool, json_path: Option<&str>) {
         sink.put_num(
             "scc_larger_system.self_delivery_batches",
             m.self_delivery_batches as f64,
+        );
+        // Monitor gauges (0 here — the perf workload runs unmonitored;
+        // nonzero only in monitored runs). Deliberately outside every
+        // `compare` drift gate: the counters measure the *monitor*, not
+        // the protocol.
+        sink.put_num("scc_larger_system.monitor_checks", m.monitor_checks as f64);
+        sink.put_num(
+            "scc_larger_system.monitor_violations",
+            m.monitor_violations as f64,
         );
     }
 

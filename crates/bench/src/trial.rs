@@ -3,35 +3,60 @@
 //!
 //! A *trial* is `(scenario, n, t, seed, event budget)` — everything
 //! needed to reproduce a run bit-for-bit, since a simulation is a pure
-//! function of its construction. [`record`] runs a trial and writes an
-//! artifact (config + outcome + metrics + run digest) under a directory
-//! of the caller's choosing (`artifacts/` by convention); [`replay_file`]
-//! reads an artifact back, re-runs the trial it describes, and reports
-//! every numeric divergence — an empty mismatch list *is* the
-//! bit-identity proof (the digest folds every delivered message's
-//! timing, route, and kind).
+//! function of its construction. The scenario is either a [`Zoo`] entry
+//! or a full [`ScenarioPlan`]; plan trials serialize the *entire plan*
+//! (roles, scheduler layers, timed events) into the artifact, so the
+//! artifact carries its environment. [`record`] runs a trial and writes
+//! an artifact (config + outcome + metrics + run digest) under a
+//! directory of the caller's choosing (`artifacts/` by convention);
+//! [`replay_file`] reads an artifact back, re-runs the trial it
+//! describes, and reports every numeric divergence — an empty mismatch
+//! list *is* the bit-identity proof (the digest folds every delivered
+//! message's timing, route, and kind).
 //!
 //! [`fork`] drives the mid-run checkpoint path: advance a trial to a
 //! branch point, then continue it once with the original schedule (the
 //! tail must reproduce the recorded digest) and once per divergent seed
 //! (each branch must still decide — almost-sure termination does not
-//! depend on the adversary's coin flips).
+//! depend on the adversary's coin flips). [`fork_corpus`] runs that
+//! discipline over *every* recorded artifact in a directory, forking at
+//! each round boundary (experiment E14).
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use sba::{Cluster, ClusterReport, Zoo};
+use sba::{ClusterReport, PlanCheckpoint, PlanRun, ScenarioPlan, Zoo};
 
 use crate::{parse_snapshot, JsonSink};
 
 /// Artifact schema tag.
 pub const TRIAL_SCHEMA: &str = "sba-trial-v1";
 
+/// What a [`Trial`] runs: a canned zoo entry or a full fault plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// A canonical [`Zoo`] scenario (recorded by index).
+    Zoo(Zoo),
+    /// An arbitrary [`ScenarioPlan`] (recorded in full as `plan.*`
+    /// keys).
+    Plan(ScenarioPlan),
+}
+
+impl Scenario {
+    /// The stable name recorded in artifacts and CLI output.
+    pub fn name(&self) -> &str {
+        match self {
+            Scenario::Zoo(z) => z.name(),
+            Scenario::Plan(p) => &p.name,
+        }
+    }
+}
+
 /// A reproducible scenario run: the full recipe, no state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Trial {
     /// The adversarial scenario.
-    pub zoo: Zoo,
+    pub scenario: Scenario,
     /// Cluster size.
     pub n: usize,
     /// Fault bound.
@@ -43,11 +68,11 @@ pub struct Trial {
 }
 
 impl Trial {
-    /// A trial at the zoo's canonical small size (n=4, t=1) with the
+    /// A zoo trial at the canonical small size (n=4, t=1) with the
     /// standard event budget.
     pub fn new(zoo: Zoo, seed: u64) -> Trial {
         Trial {
-            zoo,
+            scenario: Scenario::Zoo(zoo),
             n: 4,
             t: 1,
             seed,
@@ -55,17 +80,40 @@ impl Trial {
         }
     }
 
-    /// Builds the trial's cluster (digest enabled, split inputs).
-    pub fn cluster(&self) -> Cluster {
-        self.zoo.cluster(self.n, self.t, self.seed)
+    /// A trial over a full fault plan (size and seed come from the
+    /// plan), with the standard event budget.
+    pub fn plan(plan: ScenarioPlan) -> Trial {
+        Trial {
+            n: plan.n,
+            t: plan.t,
+            seed: plan.seed,
+            scenario: Scenario::Plan(plan),
+            max_events: 60_000_000,
+        }
+    }
+
+    /// The trial's scenario as a [`ScenarioPlan`] — the single source
+    /// of truth for how its cluster is built.
+    pub fn as_plan(&self) -> ScenarioPlan {
+        match &self.scenario {
+            Scenario::Zoo(z) => z.plan(self.n, self.t, self.seed),
+            Scenario::Plan(p) => p.clone(),
+        }
+    }
+
+    /// Builds the trial's run (digest enabled, split inputs, timed
+    /// events pending).
+    pub fn plan_run(&self) -> PlanRun {
+        self.as_plan().build()
     }
 
     /// Runs the trial to completion.
     pub fn run(&self) -> TrialRun {
-        let mut cluster = self.cluster();
-        let report = cluster.run(self.max_events);
+        let mut run = self.plan_run();
+        let report = run.run(self.max_events);
         TrialRun {
-            digest: cluster.digest().expect("zoo clusters run with digest"),
+            digest: run.cluster().digest().expect("plan runs carry digests"),
+            monitor_ok: run.cluster().monitor_report().map(|m| m.ok()),
             report,
         }
     }
@@ -74,7 +122,7 @@ impl Trial {
     pub fn artifact_name(&self) -> String {
         format!(
             "trial_{}_n{}t{}_s{}.json",
-            self.zoo.name(),
+            self.scenario.name(),
             self.n,
             self.t,
             self.seed
@@ -89,6 +137,9 @@ pub struct TrialRun {
     pub report: ClusterReport,
     /// The run digest over every delivered message.
     pub digest: u64,
+    /// Whether the invariant monitor stayed clean (`None` if the plan
+    /// did not enable it).
+    pub monitor_ok: Option<bool>,
 }
 
 /// Encodes a trial + outcome as artifact JSON.
@@ -96,19 +147,25 @@ pub struct TrialRun {
 /// Scalars only (the [`JsonSink`] round-trips numbers through `f64`, so
 /// the 64-bit digest is stored as two 32-bit halves); decisions are
 /// packed as bitmasks, which also keeps the artifact diff-friendly.
+/// Plan trials additionally embed the full plan as `plan.*` keys
+/// ([`ScenarioPlan::to_kv`]).
 pub fn artifact_json(trial: &Trial, run: &TrialRun) -> String {
     let mut sink = JsonSink::new();
     sink.put_str("schema", TRIAL_SCHEMA);
-    sink.put_str("trial.scenario", trial.zoo.name());
-    let index = Zoo::ALL
-        .iter()
-        .position(|z| *z == trial.zoo)
-        .expect("in ALL");
-    sink.put_num("trial.scenario_index", index as f64);
+    sink.put_str("trial.scenario", trial.scenario.name());
+    if let Scenario::Zoo(zoo) = &trial.scenario {
+        let index = Zoo::ALL.iter().position(|z| z == zoo).expect("in ALL");
+        sink.put_num("trial.scenario_index", index as f64);
+    }
     sink.put_num("trial.n", trial.n as f64);
     sink.put_num("trial.t", trial.t as f64);
     sink.put_num("trial.seed", trial.seed as f64);
     sink.put_num("trial.max_events", trial.max_events as f64);
+    if let Scenario::Plan(plan) = &trial.scenario {
+        for (key, value) in plan.to_kv() {
+            sink.put_num(&key, value);
+        }
+    }
     let r = &run.report;
     let (mut decided_mask, mut decision_bits) = (0u64, 0u64);
     for (i, d) in r.decisions.iter().enumerate() {
@@ -146,6 +203,8 @@ pub fn artifact_json(trial: &Trial, run: &TrialRun) -> String {
         ("sched_held", m.sched_held),
         ("processes_down", m.processes_down),
         ("recoveries", m.recoveries),
+        ("monitor_checks", m.monitor_checks),
+        ("monitor_violations", m.monitor_violations),
     ] {
         sink.put_num(&format!("metrics.{key}"), value as f64);
     }
@@ -196,14 +255,21 @@ impl Replay {
     }
 }
 
-/// Replays artifact text: rebuilds the recorded trial, re-runs it, and
-/// diffs every numeric key.
+/// Extracts the `"scenario": "<name>"` string from raw artifact text
+/// (the numeric snapshot parser drops string values; the name is only
+/// display metadata, but plan replays preserve it when present).
+fn scenario_name(text: &str) -> Option<String> {
+    let tail = text.split("\"scenario\": \"").nth(1)?;
+    Some(tail.split('"').next()?.to_string())
+}
+
+/// Reconstructs the trial an artifact describes without re-running it.
 ///
 /// # Errors
 ///
 /// Errors on malformed artifacts (bad JSON, missing keys, unknown
-/// scenario index).
-pub fn replay_artifact(text: &str) -> Result<Replay, String> {
+/// scenario index, malformed embedded plan).
+pub fn parse_trial(text: &str) -> Result<Trial, String> {
     let recorded = parse_snapshot(text)?;
     let get = |key: &str| {
         recorded
@@ -212,17 +278,35 @@ pub fn replay_artifact(text: &str) -> Result<Replay, String> {
             .map(|&(_, v)| v)
             .ok_or_else(|| format!("artifact is missing '{key}'"))
     };
-    let index = get("trial.scenario_index")? as usize;
-    let zoo = *Zoo::ALL
-        .get(index)
-        .ok_or_else(|| format!("unknown scenario index {index}"))?;
-    let trial = Trial {
-        zoo,
+    let scenario = if recorded.iter().any(|(k, _)| k == "plan.version") {
+        let name = scenario_name(text).unwrap_or_else(|| "plan".to_string());
+        Scenario::Plan(ScenarioPlan::from_kv(&name, &recorded)?)
+    } else {
+        let index = get("trial.scenario_index")? as usize;
+        let zoo = *Zoo::ALL
+            .get(index)
+            .ok_or_else(|| format!("unknown scenario index {index}"))?;
+        Scenario::Zoo(zoo)
+    };
+    Ok(Trial {
+        scenario,
         n: get("trial.n")? as usize,
         t: get("trial.t")? as usize,
         seed: get("trial.seed")? as u64,
         max_events: get("trial.max_events")? as u64,
-    };
+    })
+}
+
+/// Replays artifact text: rebuilds the recorded trial, re-runs it, and
+/// diffs every numeric key. Only *recorded* keys are compared, so
+/// artifacts written before a metric existed still replay cleanly.
+///
+/// # Errors
+///
+/// Everything [`parse_trial`] rejects.
+pub fn replay_artifact(text: &str) -> Result<Replay, String> {
+    let recorded = parse_snapshot(text)?;
+    let trial = parse_trial(text)?;
     let run = trial.run();
     let replayed = parse_snapshot(&artifact_json(&trial, &run))?;
     let mut mismatches = Vec::new();
@@ -290,30 +374,37 @@ impl ForkReport {
     }
 }
 
+fn finish(run: &mut PlanRun, max_events: u64) -> (u64, ClusterReport) {
+    let report = run.run(max_events);
+    let digest = run.cluster().digest().expect("plan runs carry digests");
+    (digest, report)
+}
+
 /// Runs `trial` to (about) `at_events` delivered events, checkpoints,
 /// then: finishes the original run, resumes the checkpoint with the
 /// original schedule (must reproduce the original digest), and forks one
-/// divergent branch per seed in `seeds`.
+/// divergent branch per seed in `seeds`. Plan events that have not fired
+/// by the branch point are carried into every branch.
 pub fn fork(trial: &Trial, at_events: u64, seeds: &[u64]) -> ForkReport {
-    let mut cluster = trial.cluster();
-    cluster.sim_mut().run_to_quiescence(at_events);
-    let ck = cluster.checkpoint();
-    let report = cluster.run(trial.max_events);
+    let mut run = trial.plan_run();
+    run.advance_until(at_events, |_| false);
+    let ck = run.checkpoint();
+    let (digest, report) = finish(&mut run, trial.max_events);
     let original = TrialRun {
-        digest: cluster.digest().expect("zoo clusters run with digest"),
+        digest,
+        monitor_ok: run.cluster().monitor_report().map(|m| m.ok()),
         report,
     };
     let mut resumed = ck.resume();
-    resumed.run(trial.max_events);
-    let resumed_digest = resumed.digest().expect("digest survives checkpointing");
+    let (resumed_digest, _) = finish(&mut resumed, trial.max_events);
     let branches = seeds
         .iter()
         .map(|&seed| {
             let mut branch = ck.fork(seed);
-            let report = branch.run(trial.max_events);
+            let (digest, report) = finish(&mut branch, trial.max_events);
             BranchOutcome {
                 seed,
-                digest: branch.digest().expect("digest survives checkpointing"),
+                digest,
                 report,
             }
         })
@@ -324,6 +415,142 @@ pub fn fork(trial: &Trial, at_events: u64, seeds: &[u64]) -> ForkReport {
         resumed_digest,
         branches,
     }
+}
+
+/// Fork-conformance result for one recorded artifact (experiment E14).
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Artifact file name.
+    pub artifact: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Event counts of the round boundaries forked at.
+    pub boundaries: Vec<u64>,
+    /// How many same-stream resumes reproduced the original digest
+    /// (all of them, when conformant).
+    pub resumes_faithful: usize,
+    /// Divergent branches run (boundaries × seeds).
+    pub branches_run: usize,
+    /// Branches that terminated with honest agreement.
+    pub branches_decided: usize,
+    /// Invariant-monitor violations summed over the original run and
+    /// every branch.
+    pub monitor_violations: u64,
+}
+
+impl CorpusEntry {
+    /// Whether every resume was faithful, every branch decided, and the
+    /// monitor stayed clean.
+    pub fn ok(&self) -> bool {
+        self.resumes_faithful == self.boundaries.len()
+            && self.branches_decided == self.branches_run
+            && self.monitor_violations == 0
+    }
+}
+
+/// The branch decided: terminated, honest decisions exist, and agree.
+fn decided(report: &ClusterReport) -> bool {
+    report.terminated && report.all_decided() && report.agreement()
+}
+
+/// Forks one trial at up to `max_boundaries` round boundaries under
+/// every seed in `seeds`, with the invariant monitor riding every
+/// branch. Round boundaries are discovered live (a checkpoint is taken
+/// as each voting round is first entered); if the run has fewer than
+/// three, quarter-points of the run's event count fill in — every entry
+/// gets at least three branch points (unless the run is shorter than
+/// four events).
+pub fn fork_corpus_trial(trial: &Trial, seeds: &[u64], max_boundaries: usize) -> CorpusEntry {
+    let mut plan = trial.as_plan();
+    plan.monitor = true;
+    // Pass 1: run to completion, checkpointing at each round entry.
+    let mut run = plan.build();
+    let mut cks: Vec<(u64, PlanCheckpoint)> = Vec::new();
+    let mut round = 1u32;
+    while cks.len() < max_boundaries && run.advance_to_round(round, trial.max_events) {
+        cks.push((run.cluster().sim().metrics().events, run.checkpoint()));
+        round += 1;
+    }
+    let (original_digest, original_report) = finish(&mut run, trial.max_events);
+    let mut violations = original_report.metrics.monitor_violations;
+    let total = original_report.metrics.events;
+    // Pass 2 (only if rounds were scarce): quarter-point supplements
+    // from an identical fresh run — same plan, same seed, so its
+    // checkpoints resume onto the same digest.
+    let mut quarter = 1u64;
+    while cks.len() < max_boundaries.min(3) && quarter <= 3 {
+        let target = total * quarter / 4;
+        quarter += 1;
+        if target == 0 || cks.iter().any(|(e, _)| *e == target) {
+            continue;
+        }
+        let mut fresh = plan.build();
+        if fresh.advance_until(trial.max_events, |s| s.metrics().events >= target) {
+            cks.push((fresh.cluster().sim().metrics().events, fresh.checkpoint()));
+        }
+    }
+    cks.sort_by_key(|(e, _)| *e);
+    let mut resumes_faithful = 0;
+    let mut branches_run = 0;
+    let mut branches_decided = 0;
+    for (_, ck) in &cks {
+        let mut resumed = ck.resume();
+        let (digest, report) = finish(&mut resumed, trial.max_events);
+        if digest == original_digest {
+            resumes_faithful += 1;
+        }
+        violations += report.metrics.monitor_violations;
+        for &seed in seeds {
+            let mut branch = ck.fork(seed);
+            let (_, report) = finish(&mut branch, trial.max_events);
+            branches_run += 1;
+            if decided(&report) {
+                branches_decided += 1;
+            }
+            violations += report.metrics.monitor_violations;
+        }
+    }
+    CorpusEntry {
+        artifact: trial.artifact_name(),
+        scenario: trial.scenario.name().to_string(),
+        boundaries: cks.into_iter().map(|(e, _)| e).collect(),
+        resumes_faithful,
+        branches_run,
+        branches_decided,
+        monitor_violations: violations,
+    }
+}
+
+/// [`fork_corpus_trial`] over every `trial_*.json` artifact under
+/// `dir`, in file-name order.
+///
+/// # Errors
+///
+/// I/O errors listing/reading the directory and malformed artifacts.
+pub fn fork_corpus(
+    dir: &Path,
+    seeds: &[u64],
+    max_boundaries: usize,
+) -> Result<Vec<CorpusEntry>, String> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("read dir {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|f| f.to_str())
+                .is_some_and(|f| f.starts_with("trial_") && f.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .map(|path| {
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            let trial = parse_trial(&text)?;
+            Ok(fork_corpus_trial(&trial, seeds, max_boundaries))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -342,6 +569,22 @@ mod tests {
         );
         assert_eq!(replay.run.digest, run.digest);
         assert_eq!(replay.trial, trial);
+    }
+
+    #[test]
+    fn plan_artifact_round_trips_with_its_environment() {
+        let trial = Trial::plan(ScenarioPlan::crash_during_recovery(4, 1, 7));
+        let run = trial.run();
+        assert_eq!(run.monitor_ok, Some(true));
+        let text = artifact_json(&trial, &run);
+        assert!(text.contains("\"plan\""), "plan keys embedded");
+        let replay = replay_artifact(&text).expect("well-formed");
+        assert!(
+            replay.ok(),
+            "plan self-replay must be exact: {:?}",
+            replay.mismatches
+        );
+        assert_eq!(replay.trial, trial, "plan (and name) reconstructed");
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub enum Fault {
     /// Runs the honest protocol but flips every vote-layer bit it
     /// originates (reports, candidates, votes, decide gossip).
     FlippedVotes,
+    /// Runs the honest protocol but **equivocates**: tells half the
+    /// network one vote-layer bit and the other half its negation
+    /// (recipient-dependent tampering — the canonical Byzantine
+    /// behaviour reliable broadcast exists to defeat; see
+    /// [`equivocating_vote_tamper`]).
+    Equivocate,
 }
 
 /// Tamper: shift every SVSS reconstruction point this process originates
@@ -79,6 +85,37 @@ pub fn vote_flip_tamper() -> impl FnMut(Pid, &Msg) -> Tamper<Msg> + Send + Clone
         let RbMsg::Wrb(WrbMsg::Init(value)) = &m.inner else {
             return Tamper::Keep;
         };
+        let flipped = match value {
+            VoteValue::Bit(b) => VoteValue::Bit(!b),
+            VoteValue::MaybeBit(Some(b)) => VoteValue::MaybeBit(Some(!b)),
+            VoteValue::MaybeBit(None) => VoteValue::MaybeBit(Some(true)),
+        };
+        Tamper::Replace(vec![AbaMsg::Vote(MuxMsg {
+            tag: m.tag,
+            origin: m.origin,
+            inner: RbMsg::Wrb(WrbMsg::Init(flipped)),
+        })])
+    }
+}
+
+/// Tamper: equivocate on every vote-layer value this process originates —
+/// odd-indexed recipients get the honest bit, even-indexed recipients its
+/// negation. Unlike [`vote_flip_tamper`] (which lies *consistently*),
+/// this is per-recipient inconsistency: the attack reliable broadcast is
+/// designed to block. An honest RB/WRB quorum can accept at most one of
+/// the two versions per slot, so honest processes still agree (the
+/// equivocator merely fails to get some slots accepted and earns shuns).
+pub fn equivocating_vote_tamper() -> impl FnMut(Pid, &Msg) -> Tamper<Msg> + Send + Clone + 'static {
+    move |to, msg| {
+        let AbaMsg::Vote(m) = msg else {
+            return Tamper::Keep;
+        };
+        let RbMsg::Wrb(WrbMsg::Init(value)) = &m.inner else {
+            return Tamper::Keep;
+        };
+        if to.index() % 2 == 1 {
+            return Tamper::Keep; // odd recipients hear the honest value
+        }
         let flipped = match value {
             VoteValue::Bit(b) => VoteValue::Bit(!b),
             VoteValue::MaybeBit(Some(b)) => VoteValue::MaybeBit(Some(!b)),
@@ -147,6 +184,42 @@ mod tests {
             _ => panic!("Init must be flipped"),
         }
         // Relays (echo/ready) stay honest: RB correctness still holds.
+        let echo: Msg = AbaMsg::Vote(MuxMsg {
+            tag: VoteSlot::Report {
+                instance: 0,
+                round: 1,
+            },
+            origin: Pid::new(3),
+            inner: RbMsg::Wrb(WrbMsg::Echo(VoteValue::Bit(true))),
+        });
+        assert!(matches!(tamper(Pid::new(2), &echo), Tamper::Keep));
+    }
+
+    #[test]
+    fn equivocation_differs_per_recipient() {
+        let mut tamper = equivocating_vote_tamper();
+        let init: Msg = AbaMsg::Vote(MuxMsg {
+            tag: VoteSlot::Report {
+                instance: 0,
+                round: 1,
+            },
+            origin: Pid::new(1),
+            inner: RbMsg::Wrb(WrbMsg::Init(VoteValue::Bit(true))),
+        });
+        // Even recipients get the flipped bit...
+        match tamper(Pid::new(2), &init) {
+            Tamper::Replace(v) => assert!(matches!(
+                &v[0],
+                AbaMsg::Vote(MuxMsg {
+                    inner: RbMsg::Wrb(WrbMsg::Init(VoteValue::Bit(false))),
+                    ..
+                })
+            )),
+            _ => panic!("even recipient must see the flipped value"),
+        }
+        // ...odd recipients the honest one: two versions of one Init.
+        assert!(matches!(tamper(Pid::new(3), &init), Tamper::Keep));
+        // Relays stay honest either way.
         let echo: Msg = AbaMsg::Vote(MuxMsg {
             tag: VoteSlot::Report {
                 instance: 0,

@@ -129,7 +129,7 @@ impl ClusterProcess {
     /// Whether this process follows the protocol (crash-recover counts:
     /// crash faults are omission faults, not Byzantine ones — its
     /// decision and shun observations are part of the honest report).
-    fn is_honest(&self) -> bool {
+    pub fn is_honest(&self) -> bool {
         matches!(
             self,
             ClusterProcess::Honest(_) | ClusterProcess::Recovering(_)
@@ -137,7 +137,7 @@ impl ClusterProcess {
     }
 
     /// The honest event stream, for processes that have one.
-    fn events(&self) -> Option<&[sba_aba::AbaEvent]> {
+    pub fn events(&self) -> Option<&[sba_aba::AbaEvent]> {
         match self {
             ClusterProcess::Honest(p) => Some(p.events()),
             ClusterProcess::Recovering(p) => Some(p.inner().events()),
@@ -244,6 +244,10 @@ impl ClusterReport {
 pub struct Cluster {
     sim: Simulation<Msg, ClusterProcess>,
     honest: Vec<Pid>,
+    /// Proposals the cluster was built with (the monitor's validity
+    /// reference, and the basis for rebuilding a corrupted process).
+    inputs: Vec<Option<bool>>,
+    monitor: Option<crate::monitor::InvariantMonitor>,
 }
 
 impl Cluster {
@@ -317,12 +321,18 @@ impl Cluster {
                         process,
                         adversary::vote_flip_tamper(),
                     )),
+                    Some(Fault::Equivocate) => ClusterProcess::Byzantine(TamperProcess::new(
+                        process,
+                        adversary::equivocating_vote_tamper(),
+                    )),
                 }
             })
             .collect();
         Cluster {
             sim: Simulation::new(procs, scheduler, config.seed),
             honest,
+            inputs: inputs.to_vec(),
+            monitor: None,
         }
     }
 
@@ -349,6 +359,125 @@ impl Cluster {
         self.sim.digest()
     }
 
+    /// Installs the [invariant monitor](crate::monitor): after every
+    /// delivered event the paper's safety properties (agreement-so-far,
+    /// validity, shun monotonicity, no honest-pair shuns) are re-checked
+    /// against the live process table, and findings accumulate in a
+    /// [`MonitorReport`](crate::MonitorReport) readable through
+    /// [`Cluster::monitor_report`]. Strictly opt-in: the monitored run's
+    /// digest and non-monitor metrics are bit-identical to the
+    /// unmonitored run's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn enable_monitor(&mut self) {
+        let monitor = crate::monitor::InvariantMonitor::new(self.inputs.clone());
+        self.sim.set_observer(Box::new(monitor.clone()));
+        self.monitor = Some(monitor);
+    }
+
+    /// The monitor's findings so far (`None` unless
+    /// [`Cluster::enable_monitor`] was called before the run).
+    pub fn monitor_report(&self) -> Option<crate::monitor::MonitorReport> {
+        self.monitor.as_ref().map(|m| m.report())
+    }
+
+    /// Corrupts process `p` **mid-run** with `fault`, keeping its
+    /// accumulated protocol state: an *adaptive* adversary that picks
+    /// its victim after watching the run (the timed `Corrupt` action of
+    /// a [`ScenarioPlan`](crate::ScenarioPlan)). The process drops out
+    /// of the honest set from this event on; the invariant monitor (if
+    /// enabled) sees the change on the next delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not currently honest (corrupting a corrupted
+    /// process has no sensible semantics — use [`Cluster::crash`] to
+    /// re-crash a crash-recover process).
+    pub fn corrupt(&mut self, p: Pid, fault: Fault) {
+        let slot = self.sim.process_mut(p);
+        assert!(
+            matches!(slot, ClusterProcess::Honest(_)),
+            "corrupt targets a currently-honest process"
+        );
+        let taken = std::mem::replace(slot, ClusterProcess::Silent(SilentProcess));
+        let ClusterProcess::Honest(process) = taken else {
+            unreachable!("asserted honest above");
+        };
+        *self.sim.process_mut(p) = match fault {
+            Fault::Silent => ClusterProcess::Silent(SilentProcess),
+            Fault::CrashAfter(k) => ClusterProcess::Crash(CrashProcess::new(process, k)),
+            Fault::CrashRecover { after, down_for } => {
+                ClusterProcess::Recovering(CrashProcess::with_recovery(process, after, down_for))
+            }
+            Fault::LyingShares { delta } => ClusterProcess::Byzantine(TamperProcess::new(
+                process,
+                adversary::lying_share_tamper(delta),
+            )),
+            Fault::FlippedVotes => ClusterProcess::Byzantine(TamperProcess::new(
+                process,
+                adversary::vote_flip_tamper(),
+            )),
+            Fault::Equivocate => ClusterProcess::Byzantine(TamperProcess::new(
+                process,
+                adversary::equivocating_vote_tamper(),
+            )),
+        };
+        // Crash-recover keeps the process in the honest (omission-fault)
+        // set; everything else removes it.
+        if !self.sim.process(p).is_honest() {
+            self.honest.retain(|&h| h != p);
+        }
+    }
+
+    /// Crashes process `p` **now**: fail-stop with `down_for = None`, or
+    /// down for the next `d` deliveries then recovered (backlog replay)
+    /// with `Some(d)`. Unlike [`Cluster::corrupt`] this also applies to
+    /// a process already carrying a crash fault — re-crashing a process
+    /// *during its recovery window* extends the outage (the
+    /// "crash-during-recovery" compound scenario).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is silent or Byzantine, or if `down_for` is
+    /// `Some(0)`.
+    pub fn crash(&mut self, p: Pid, down_for: Option<u64>) {
+        let slot = self.sim.process_mut(p);
+        let taken = std::mem::replace(slot, ClusterProcess::Silent(SilentProcess));
+        *self.sim.process_mut(p) = match taken {
+            ClusterProcess::Honest(process) => match down_for {
+                None => {
+                    let mut cp = CrashProcess::new(process, 1);
+                    cp.crash_now(None);
+                    ClusterProcess::Crash(cp)
+                }
+                Some(d) => {
+                    let mut cp = CrashProcess::with_recovery(process, 1, d);
+                    cp.crash_now(Some(d));
+                    ClusterProcess::Recovering(cp)
+                }
+            },
+            ClusterProcess::Crash(mut cp) | ClusterProcess::Recovering(mut cp) => {
+                cp.crash_now(down_for);
+                match down_for {
+                    None => ClusterProcess::Crash(cp),
+                    Some(_) => ClusterProcess::Recovering(cp),
+                }
+            }
+            other => {
+                let kind = match other {
+                    ClusterProcess::Silent(_) => "silent",
+                    _ => "byzantine",
+                };
+                panic!("cannot crash a {kind} process");
+            }
+        };
+        if !self.sim.process(p).is_honest() {
+            self.honest.retain(|&h| h != p);
+        }
+    }
+
     /// Freezes the full cluster state — every engine, RNG stream, the
     /// in-flight queue, the scheduler — as a reusable checkpoint.
     ///
@@ -360,6 +489,13 @@ impl Cluster {
         ClusterCheckpoint {
             sim: self.sim.checkpoint(),
             honest: self.honest.clone(),
+            inputs: self.inputs.clone(),
+            // Deep-cloned so the original run's later observations never
+            // leak into the frozen state branches start from.
+            monitor: self
+                .monitor
+                .as_ref()
+                .map(crate::monitor::InvariantMonitor::deep_clone),
         }
     }
 
@@ -413,25 +549,47 @@ impl Cluster {
 pub struct ClusterCheckpoint {
     sim: sba_sim::SimCheckpoint<Msg, ClusterProcess>,
     honest: Vec<Pid>,
+    inputs: Vec<Option<bool>>,
+    /// The monitor's state frozen at the branch point; every resumed /
+    /// forked branch gets its own
+    /// [`deep_clone`](crate::monitor::InvariantMonitor::deep_clone) of
+    /// it, so branches observe their divergent futures independently
+    /// (a shared live monitor would misread a branch's re-observations
+    /// as the original run rewinding).
+    monitor: Option<crate::monitor::InvariantMonitor>,
 }
 
 impl ClusterCheckpoint {
     /// Continues with the original scheduler stream: the tail is
     /// bit-identical to the run the checkpoint was taken from.
     pub fn resume(&self) -> Cluster {
-        Cluster {
-            sim: self.sim.resume(),
-            honest: self.honest.clone(),
-        }
+        self.branch(self.sim.resume())
     }
 
     /// Continues with a scheduler stream re-derived from `seed`: same
     /// protocol state at the branch point, divergent schedule after it
     /// ("round 3, coin revealed, partition heals" counterfactuals).
     pub fn fork(&self, seed: u64) -> Cluster {
+        self.branch(self.sim.fork(seed))
+    }
+
+    /// Wires one branch: its monitor is an isolated copy of the
+    /// branch-point state, re-installed as the simulation's observer
+    /// (the checkpointed observer inside `sim` shares state with other
+    /// branches — see [`Observer::clone_box`](sba_sim::Observer)).
+    fn branch(&self, mut sim: Simulation<Msg, ClusterProcess>) -> Cluster {
+        let monitor = self
+            .monitor
+            .as_ref()
+            .map(crate::monitor::InvariantMonitor::deep_clone);
+        if let Some(m) = &monitor {
+            sim.replace_observer(Box::new(m.clone()));
+        }
         Cluster {
-            sim: self.sim.fork(seed),
+            sim,
             honest: self.honest.clone(),
+            inputs: self.inputs.clone(),
+            monitor,
         }
     }
 

@@ -60,7 +60,12 @@ pub use sba_svss::{Reconstructed, SvssEngine, SvssEvent};
 
 pub mod adversary;
 mod cluster;
+pub mod monitor;
 pub mod scenario;
 
 pub use cluster::{Cluster, ClusterCheckpoint, ClusterConfig, ClusterProcess, ClusterReport};
-pub use scenario::Zoo;
+pub use monitor::{InvariantMonitor, MonitorReport, MonitorViolation};
+pub use scenario::{
+    Action, PlanCheckpoint, PlanCoin, PlanEvent, PlanRun, Role, ScenarioPlan, SchedLayer, Trigger,
+    Zoo,
+};

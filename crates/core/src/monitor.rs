@@ -1,0 +1,308 @@
+//! The runtime invariant monitor: safety checked after *every* delivery.
+//!
+//! End-of-run assertions (the `ClusterReport` checks the test suite
+//! makes) can only say a run *ended* safe; they cannot catch a
+//! transient violation, localize when one happened, or guard a run that
+//! never terminates. The [`InvariantMonitor`] is an opt-in
+//! [`Observer`](sba_sim::Observer) riding the simulator's per-event
+//! hook (the same place the run digest folds) that re-checks the
+//! paper's safety properties after every delivered event:
+//!
+//! - **agreement-so-far** — no two honest decisions differ, and a
+//!   decision never changes once made;
+//! - **validity** — if every honest process proposed the same bit, any
+//!   honest decision equals it;
+//! - **shun monotonicity** — a process's shun observations only
+//!   accumulate (the event log never rewinds or repeats a pair);
+//! - **no honest-pair shuns** — an honest process never shuns a
+//!   currently-honest process (the MW-SVSS shunning guarantee).
+//!
+//! Violations are recorded as structured [`MonitorViolation`]s in a
+//! shared [`MonitorReport`] — localized to the exact event — and
+//! surfaced live through [`Metrics::monitor_violations`]
+//! (see [`Metrics`](sba_sim::Metrics)), instead of a late test failure.
+//! The monitor draws nothing from the simulation RNG and never touches
+//! the digest, so monitored and unmonitored runs are bit-identical
+//! apart from the two monitor counters.
+
+use std::sync::{Arc, Mutex};
+
+use sba_aba::AbaEvent;
+use sba_net::Pid;
+use sba_sim::{Observer, ObserverStats};
+
+use crate::cluster::ClusterProcess;
+
+/// How many violations are kept verbatim; later ones are only counted.
+/// A persistent violation would otherwise grow the report by one entry
+/// per delivered event.
+const MAX_RECORDED: usize = 64;
+
+/// One invariant violation, localized to the event that exposed it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MonitorViolation {
+    /// The simulator event counter when the violation was observed.
+    pub at_event: u64,
+    /// Virtual time of that event.
+    pub now: u64,
+    /// Which invariant failed (`"agreement"`, `"decision-stability"`,
+    /// `"validity"`, `"shun-monotonicity"`, `"honest-pair-shun"`).
+    pub invariant: &'static str,
+    /// Human-readable specifics (who, what values).
+    pub detail: String,
+}
+
+/// The monitor's cumulative findings for one run (or one family of
+/// forked runs sharing a monitor — see [`InvariantMonitor`]'s `Clone`).
+#[derive(Clone, Debug, Default)]
+pub struct MonitorReport {
+    /// Invariant evaluations performed (4 per delivered event).
+    pub checks: u64,
+    /// Total violations observed (including any beyond the recording
+    /// cap).
+    pub violations_total: u64,
+    /// The first [`MAX_RECORDED`] violations, verbatim.
+    pub violations: Vec<MonitorViolation>,
+    /// `(round, event counter)` at the first honest entry into each
+    /// voting round — the round-boundary map the fork-corpus harness
+    /// forks at.
+    pub round_starts: Vec<(u32, u64)>,
+}
+
+impl MonitorReport {
+    /// Whether the run stayed violation-free.
+    pub fn ok(&self) -> bool {
+        self.violations_total == 0
+    }
+}
+
+#[derive(Clone)]
+struct MonitorCore {
+    /// Proposal per process (index `i` is pid `i+1`); fixed at build.
+    inputs: Vec<Option<bool>>,
+    /// Last observed decision per process (stability cache).
+    decisions: Vec<Option<bool>>,
+    /// Cursor into each process's append-only event log.
+    cursors: Vec<usize>,
+    /// Observed shun targets per process (for duplicate detection).
+    shunned: Vec<Vec<Pid>>,
+    /// Highest voting round any honest process has entered.
+    max_round_seen: u32,
+    report: MonitorReport,
+}
+
+impl MonitorCore {
+    fn violation(&mut self, at_event: u64, now: u64, invariant: &'static str, detail: String) {
+        self.report.violations_total += 1;
+        if self.report.violations.len() < MAX_RECORDED {
+            self.report.violations.push(MonitorViolation {
+                at_event,
+                now,
+                invariant,
+                detail,
+            });
+        }
+    }
+
+    fn observe(&mut self, now: u64, events: u64, procs: &[ClusterProcess]) -> ObserverStats {
+        let before = self.report.violations_total;
+        // The honest set is re-read from the process table every event,
+        // so mid-run corruption (Cluster::corrupt / Cluster::crash) is
+        // reflected without any extra bookkeeping.
+        // If every honest process proposed the same bit, validity pins
+        // honest decisions to it.
+        let mut unanimous: Option<Option<bool>> = None; // None = no proposer yet
+        for (i, p) in procs.iter().enumerate() {
+            if !p.is_honest() {
+                continue;
+            }
+            if let Some(b) = self.inputs[i] {
+                unanimous = match unanimous {
+                    None => Some(Some(b)),
+                    Some(Some(prev)) if prev == b => Some(Some(b)),
+                    _ => Some(None),
+                };
+            }
+        }
+        let unanimous: Option<bool> = unanimous.flatten();
+
+        for i in 0..procs.len() {
+            let p = &procs[i];
+            if !p.is_honest() {
+                continue;
+            }
+            let Some(node) = p.node() else { continue };
+            // Agreement-so-far, decision stability, validity.
+            let cur = node.decision(0);
+            match (self.decisions[i], cur) {
+                (Some(prev), cur) if cur != Some(prev) => {
+                    self.violation(
+                        events,
+                        now,
+                        "decision-stability",
+                        format!("p{} decided {prev} then reported {cur:?}", i + 1),
+                    );
+                    // Re-arm on the new value so a flip is recorded once
+                    // per change, not once per subsequent event.
+                    if let Some(c) = cur {
+                        self.decisions[i] = Some(c);
+                    }
+                }
+                (None, Some(d)) => {
+                    self.decisions[i] = Some(d);
+                    for (j, q) in procs.iter().enumerate() {
+                        if j != i && q.is_honest() {
+                            if let Some(other) = self.decisions[j] {
+                                if other != d {
+                                    self.violation(
+                                        events,
+                                        now,
+                                        "agreement",
+                                        format!(
+                                            "p{} decided {d}, p{} decided {other}",
+                                            i + 1,
+                                            j + 1
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if let Some(b) = unanimous {
+                        if d != b {
+                            self.violation(
+                                events,
+                                now,
+                                "validity",
+                                format!("all honest proposed {b} but p{} decided {d}", i + 1),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+            // Shun monotonicity + no-honest-pair-shuns, over the new
+            // suffix of the append-only event log.
+            let evs = p.events().unwrap_or(&[]);
+            if evs.len() < self.cursors[i] {
+                self.violation(
+                    events,
+                    now,
+                    "shun-monotonicity",
+                    format!("p{}'s event log rewound", i + 1),
+                );
+                self.cursors[i] = evs.len();
+            }
+            for ev in &evs[self.cursors[i]..] {
+                if let AbaEvent::Shunned { process } = ev {
+                    if self.shunned[i].contains(process) {
+                        self.violation(
+                            events,
+                            now,
+                            "shun-monotonicity",
+                            format!("p{} re-shunned {process:?}", i + 1),
+                        );
+                    } else {
+                        self.shunned[i].push(*process);
+                    }
+                    let target = &procs[(process.index() - 1) as usize];
+                    if target.is_honest() {
+                        self.violation(
+                            events,
+                            now,
+                            "honest-pair-shun",
+                            format!("honest p{} shunned honest {process:?}", i + 1),
+                        );
+                    }
+                }
+            }
+            self.cursors[i] = evs.len();
+            // Round-boundary map (not an invariant; the fork corpus
+            // forks at these event counts).
+            let r = node.current_round(0);
+            while self.max_round_seen < r {
+                self.max_round_seen += 1;
+                self.report.round_starts.push((self.max_round_seen, events));
+            }
+        }
+        self.report.checks += 4;
+        ObserverStats {
+            checks: 4,
+            violations: self.report.violations_total - before,
+        }
+    }
+}
+
+/// The cluster-level invariant monitor (see the module docs). Created
+/// through [`Cluster::enable_monitor`](crate::Cluster::enable_monitor);
+/// the cluster keeps one handle and installs another as the
+/// simulation's observer.
+///
+/// `Clone` shares the underlying report — that is how the cluster's
+/// handle and the simulation's observer stay one monitor. Checkpointed
+/// / forked branches instead get [`InvariantMonitor::deep_clone`]d
+/// monitors: each branch re-observes from the branch point against its
+/// own copy of the monitor's caches (decision table, event-log
+/// cursors), because sharing the live core would make a branch's
+/// re-observations look like rewinds of the original run.
+#[derive(Clone)]
+pub struct InvariantMonitor {
+    core: Arc<Mutex<MonitorCore>>,
+}
+
+impl InvariantMonitor {
+    /// A monitor over `inputs.len()` processes with the given proposals.
+    pub fn new(inputs: Vec<Option<bool>>) -> Self {
+        let n = inputs.len();
+        InvariantMonitor {
+            core: Arc::new(Mutex::new(MonitorCore {
+                inputs,
+                decisions: vec![None; n],
+                cursors: vec![0; n],
+                shunned: vec![Vec::new(); n],
+                max_round_seen: 0,
+                report: MonitorReport::default(),
+            })),
+        }
+    }
+
+    /// A snapshot of the cumulative findings.
+    pub fn report(&self) -> MonitorReport {
+        self.core
+            .lock()
+            .expect("monitor lock poisoned")
+            .clone_report()
+    }
+
+    /// An *independent* monitor frozen at this one's current state —
+    /// unlike `Clone`, later observations on either side do not leak to
+    /// the other. This is the checkpoint/fork isolation primitive: each
+    /// resumed or forked branch monitors its own future against the
+    /// state the caches had at the branch point.
+    #[must_use]
+    pub fn deep_clone(&self) -> Self {
+        let core = self.core.lock().expect("monitor lock poisoned");
+        InvariantMonitor {
+            core: Arc::new(Mutex::new(core.clone())),
+        }
+    }
+}
+
+impl MonitorCore {
+    fn clone_report(&self) -> MonitorReport {
+        self.report.clone()
+    }
+}
+
+impl Observer<ClusterProcess> for InvariantMonitor {
+    fn after_event(&mut self, now: u64, events: u64, procs: &[ClusterProcess]) -> ObserverStats {
+        self.core
+            .lock()
+            .expect("monitor lock poisoned")
+            .observe(now, events, procs)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Observer<ClusterProcess>>> {
+        Some(Box::new(self.clone()))
+    }
+}

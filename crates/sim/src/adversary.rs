@@ -56,6 +56,17 @@ pub trait Scheduler<M>: Send {
     fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
         None
     }
+
+    /// Mid-run heal hook: partition-style strategies re-open their links
+    /// so traffic *sent from `now` on* flows normally. Deliveries already
+    /// scheduled keep their times — the simulator never reschedules a
+    /// queued envelope — so a held backlog still drains at the strategy's
+    /// original release clock (eventual delivery is preserved either
+    /// way). Non-partition strategies ignore the call (default no-op);
+    /// composite schedulers forward it to every layer.
+    fn heal_partitions(&mut self, now: u64) {
+        let _ = now;
+    }
 }
 
 /// A scheduler from a closure; the workhorse for custom adversaries.
@@ -223,6 +234,9 @@ pub mod schedulers {
         fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
             Some(Box::new(self.clone()))
         }
+        fn heal_partitions(&mut self, now: u64) {
+            self.heal_at = self.heal_at.min(now);
+        }
     }
 
     /// Splits processes into `group_a` vs the rest until virtual time
@@ -316,6 +330,9 @@ pub mod schedulers {
         }
         fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
             Some(Box::new(self.clone()))
+        }
+        fn heal_partitions(&mut self, now: u64) {
+            self.heal_at = self.heal_at.min(now);
         }
     }
 
@@ -494,6 +511,125 @@ pub mod schedulers {
         assert!(base > 0 && cap >= base, "need 0 < base <= cap");
         Box::new(HeavyTail { base, cap })
     }
+
+    #[derive(Clone)]
+    struct WindowPartition {
+        group_a: Vec<Pid>,
+        from: u64,
+        until: u64,
+        base: u64,
+        held: u64,
+        /// Release clock for the post-heal drain of held cross-traffic.
+        last_release: u64,
+    }
+    impl<M: 'static> Scheduler<M> for WindowPartition {
+        fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+            let cross = self.group_a.contains(&env.from) != self.group_a.contains(&env.to);
+            if !cross || now < self.from || now >= self.until {
+                return now + rng.gen_range(1..=self.base);
+            }
+            // Same drain discipline as `healed_partition`: held sends are
+            // released in send order from the heal point.
+            self.held += 1;
+            self.last_release = self.last_release.max(self.until) + rng.gen_range(1..=self.base);
+            self.last_release
+        }
+        fn link_stats(&self) -> LinkStats {
+            LinkStats {
+                held: self.held,
+                ..LinkStats::default()
+            }
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            Some(Box::new(self.clone()))
+        }
+        fn heal_partitions(&mut self, now: u64) {
+            self.until = self.until.min(now);
+        }
+    }
+
+    /// A partition that *starts mid-run*: cross-group traffic sent in the
+    /// virtual-time window `[from, until)` is held and drained in send
+    /// order from `until` (one `1..=base` gap per message, as in
+    /// [`healed_partition`]); traffic outside the window flows normally.
+    /// This is the shape a [`healed_partition`] cannot express — the
+    /// network degrades *after* the protocol is already in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < until` and `base > 0`.
+    pub fn window_partition<M: 'static>(
+        group_a: Vec<Pid>,
+        from: u64,
+        until: u64,
+        base: u64,
+    ) -> Box<dyn Scheduler<M>> {
+        assert!(from < until, "partition window must be non-empty");
+        assert!(base > 0, "base delay must be positive");
+        Box::new(WindowPartition {
+            group_a,
+            from,
+            until,
+            base,
+            held: 0,
+            last_release: 0,
+        })
+    }
+
+    struct Layered<M> {
+        layers: Vec<Box<dyn Scheduler<M>>>,
+    }
+    impl<M: 'static> Scheduler<M> for Layered<M> {
+        fn delivery_time(&mut self, env: &Envelope<M>, now: u64, rng: &mut StdRng) -> u64 {
+            // Every layer proposes a time (drawing from the shared RNG in
+            // stack order) and the envelope lands at the *latest* proposal,
+            // so each layer's constraint — a hold, a retransmission delay,
+            // a rushing window — is honoured simultaneously.
+            self.layers
+                .iter_mut()
+                .map(|l| l.delivery_time(env, now, rng))
+                .max()
+                .expect("layered scheduler has at least one layer")
+        }
+        fn link_stats(&self) -> LinkStats {
+            let mut sum = LinkStats::default();
+            for l in &self.layers {
+                let s = l.link_stats();
+                sum.drops += s.drops;
+                sum.retransmits += s.retransmits;
+                sum.held += s.held;
+            }
+            sum
+        }
+        fn clone_box(&self) -> Option<Box<dyn Scheduler<M>>> {
+            let mut layers = Vec::with_capacity(self.layers.len());
+            for l in &self.layers {
+                layers.push(l.clone_box()?);
+            }
+            Some(Box::new(Layered { layers }))
+        }
+        fn heal_partitions(&mut self, now: u64) {
+            for l in &mut self.layers {
+                l.heal_partitions(now);
+            }
+        }
+    }
+
+    /// Composes scheduler layers into one strategy: each layer proposes a
+    /// delivery time (sharing the simulation RNG, drawn in stack order)
+    /// and the message is delivered at the maximum — the intersection of
+    /// every layer's constraints. A single-layer stack is bit-identical
+    /// to the bare layer (same draws, same times), so wrapping costs
+    /// nothing determinism-wise. [`LinkStats`] are summed across layers;
+    /// `heal_partitions` reaches every layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn layered<M: 'static>(layers: Vec<Box<dyn Scheduler<M>>>) -> Box<dyn Scheduler<M>> {
+        assert!(!layers.is_empty(), "a scheduler stack needs >= 1 layer");
+        Box::new(Layered { layers })
+    }
 }
 
 /// A corrupted process that never sends anything (fail-silent from the
@@ -526,7 +662,7 @@ impl<M> Process<M> for SilentProcess {
 pub struct CrashProcess<P, M> {
     inner: P,
     /// Deliveries until the crash point; `u64::MAX` after a recovery
-    /// (a recovered process never re-crashes).
+    /// (a recovered process re-crashes only via [`CrashProcess::crash_now`]).
     deliveries_left: u64,
     /// Deliveries to miss while down before recovering; `None` = fail-stop.
     down_for: Option<u64>,
@@ -580,8 +716,30 @@ impl<P, M> CrashProcess<P, M> {
         self.deliveries_left == 0
     }
 
-    /// Completed recoveries (0 or 1: a process re-crashing after recovery
-    /// is not modelled).
+    /// Crashes the process *now*, regardless of its current state:
+    /// fail-stop with `down_for = None`, crash-recover (down for the
+    /// next `d` deliveries, then replay-and-catch-up) with `Some(d)`.
+    ///
+    /// Works on a process that is up, recovered, or — the "crash during
+    /// recovery" shape — already mid-outage: in that case the outage is
+    /// extended and the missed backlog keeps accumulating until the new
+    /// recovery point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `down_for` is `Some(0)`.
+    pub fn crash_now(&mut self, down_for: Option<u64>) {
+        if let Some(d) = down_for {
+            assert!(d > 0, "a zero-length outage is not a crash");
+        }
+        self.deliveries_left = 0;
+        self.down_for = down_for;
+        self.down_left = down_for.unwrap_or(0);
+    }
+
+    /// Completed recoveries (0 unless the process carries a recovery
+    /// schedule; more than 1 if it was re-crashed via
+    /// [`CrashProcess::crash_now`]).
     pub fn recoveries(&self) -> u64 {
         self.recoveries
     }
@@ -936,6 +1094,96 @@ mod tests {
         p.on_message(Pid::new(1), 2, &mut out);
         assert!(!p.crashed(), "recovered");
         assert_eq!(p.recoveries(), 1);
+    }
+
+    #[test]
+    fn layered_single_layer_is_bit_identical_to_bare() {
+        let mut bare = schedulers::uniform::<u64>(20);
+        let mut stack = schedulers::layered::<u64>(vec![schedulers::uniform(20)]);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let env = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(2),
+            msg: 0u64,
+        };
+        for now in 0..500u64 {
+            assert_eq!(
+                bare.delivery_time(&env, now, &mut rng_a),
+                stack.delivery_time(&env, now, &mut rng_b)
+            );
+        }
+    }
+
+    #[test]
+    fn layered_takes_the_max_and_sums_stats() {
+        // loss layer (always delays by >= 1 rto here) stacked on fifo:
+        // the max wins, and both layers' stats surface.
+        let mut s = schedulers::layered::<u64>(vec![
+            schedulers::loss_retransmit(999, 50, 1, 2),
+            schedulers::healed_partition(vec![Pid::new(1)], 1000, 2),
+        ]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let across = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(2),
+            msg: 0u64,
+        };
+        let at = s.delivery_time(&across, 0, &mut rng);
+        assert!(at > 1000, "partition hold dominates the loss delay");
+        let stats = s.link_stats();
+        assert!(stats.drops > 0 && stats.held == 1);
+        // clone_box preserves the whole stack.
+        assert!(s.clone_box().is_some());
+    }
+
+    #[test]
+    fn window_partition_bites_only_inside_the_window() {
+        let mut s =
+            schedulers::window_partition::<u64>(vec![Pid::new(1), Pid::new(2)], 100, 400, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let across = Envelope {
+            from: Pid::new(1),
+            to: Pid::new(3),
+            msg: 0u64,
+        };
+        assert!(s.delivery_time(&across, 10, &mut rng) <= 13, "pre-window");
+        let held = s.delivery_time(&across, 150, &mut rng);
+        assert!(held > 400, "in-window cross traffic drains post-heal");
+        assert_eq!(s.link_stats().held, 1);
+        assert!(s.delivery_time(&across, 500, &mut rng) <= 503, "post-heal");
+        // A heal event shrinks the window: later sends flow normally.
+        s.heal_partitions(200);
+        let at = s.delivery_time(&across, 250, &mut rng);
+        assert!(at <= 253, "healed mid-window");
+        assert_eq!(s.link_stats().held, 1);
+    }
+
+    #[test]
+    fn crash_now_mid_recovery_extends_the_outage() {
+        struct Sink;
+        impl Process<u64> for Sink {
+            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+            fn on_message(&mut self, _from: Pid, _msg: u64, _out: &mut Outbox<u64>) {}
+        }
+        let mut p: CrashProcess<Sink, u64> = CrashProcess::with_recovery(Sink, 1, 2);
+        let mut out = Outbox::new(Pid::new(2));
+        p.on_message(Pid::new(1), 0, &mut out);
+        p.on_message(Pid::new(1), 1, &mut out);
+        assert!(p.crashed(), "one missed delivery into the outage");
+        // Re-crash mid-outage: the recovery point moves out by 3 more
+        // deliveries and the backlog keeps growing.
+        p.crash_now(Some(3));
+        for k in 2..5 {
+            assert!(p.crashed());
+            p.on_message(Pid::new(1), k, &mut out);
+        }
+        assert!(!p.crashed(), "recovered at the extended point");
+        assert_eq!(p.recoveries(), 1);
+        // And a recovered process can be fail-stopped outright.
+        p.crash_now(None);
+        assert!(p.crashed());
+        assert!(p.done(), "fail-stop never blocks termination checks");
     }
 
     #[test]

@@ -54,6 +54,7 @@
 mod adversary;
 mod checkpoint;
 mod metrics;
+mod observer;
 mod process;
 mod simulation;
 mod tamper;
@@ -62,6 +63,7 @@ pub mod threaded;
 pub use adversary::{schedulers, CrashProcess, FnScheduler, LinkStats, Scheduler, SilentProcess};
 pub use checkpoint::{Checkpoint, SimCheckpoint};
 pub use metrics::Metrics;
+pub use observer::{Observer, ObserverStats};
 pub use process::{Process, SimMsg};
 pub use simulation::{queue_slot_sizes, RunOutcome, Simulation, TraceEntry};
 pub use tamper::{Tamper, TamperProcess};

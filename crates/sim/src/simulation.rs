@@ -58,7 +58,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sba_net::{Envelope, Outbox, Pid};
 
-use crate::{Metrics, Process, Scheduler, SimMsg};
+use crate::{Metrics, Observer, Process, Scheduler, SimMsg};
 
 /// A batch spilled past the calendar window, ordered by `(at, seq)`.
 /// Overflow is rare (delays in this workspace are far below the window),
@@ -476,6 +476,9 @@ pub struct Simulation<M, P = Box<dyn Process<M>>> {
     /// ([`Simulation::enable_digest`]); `None` keeps the hot path free of
     /// the per-member hashing.
     digest: Option<u64>,
+    /// Per-event invariant observer ([`Simulation::set_observer`]);
+    /// `None` keeps the hot path at one untaken branch per event.
+    observer: Option<Box<dyn Observer<P>>>,
     /// Reusable per-delivery outbox (capacity survives across events).
     outbox: Outbox<M>,
     /// Reusable self-delivery generation buffer (batched layout): the
@@ -518,6 +521,7 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
             batching: true,
             trace: None,
             digest: None,
+            observer: None,
             outbox: Outbox::new(Pid::new(1)),
             local_gen: Vec::new(),
             local_ref: VecDeque::new(),
@@ -579,6 +583,42 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
     /// was called before the run).
     pub fn digest(&self) -> Option<u64> {
         self.digest
+    }
+
+    /// Installs a per-event [`Observer`]: after every delivered event
+    /// (once its outbox is dispatched) the observer sees the clock, the
+    /// event counter, and the process table, and its check/violation
+    /// counts accumulate into [`Metrics::monitor_checks`] /
+    /// [`Metrics::monitor_violations`]. Observers draw nothing from the
+    /// RNG and never touch the digest, so observed and unobserved runs
+    /// are bit-identical apart from the two monitor counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer<P>>) {
+        assert!(!self.started, "set_observer must precede the first event");
+        self.observer = Some(observer);
+    }
+
+    /// Swaps the observer mid-run. This exists for checkpoint resume:
+    /// a resumed simulation carries the checkpointed observer, and the
+    /// resuming layer may replace it with an isolated copy whose state
+    /// matches the branch point (see
+    /// [`Observer::clone_box`](crate::Observer::clone_box), which may
+    /// share state). Fresh runs should use [`Simulation::set_observer`],
+    /// which insists the observer sees every event.
+    pub fn replace_observer(&mut self, observer: Box<dyn Observer<P>>) {
+        self.observer = Some(observer);
+    }
+
+    /// Forwards a heal event to the scheduler at the current virtual
+    /// time (see [`Scheduler::heal_partitions`]): traffic sent from now
+    /// on ignores any partition; already-scheduled deliveries keep their
+    /// times.
+    pub fn heal_partitions(&mut self) {
+        let now = self.now;
+        self.scheduler.heal_partitions(now);
     }
 
     /// One digest fold step (an FxHash-style rotate-xor-multiply; the
@@ -845,6 +885,12 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
         self.batch_scratch = scratch;
         self.dispatch_outbox(&mut out);
         self.outbox = out;
+        if let Some(mut obs) = self.observer.take() {
+            let stats = obs.after_event(self.now, self.metrics.events, &self.procs);
+            self.metrics.monitor_checks += stats.checks;
+            self.metrics.monitor_violations += stats.violations;
+            self.observer = Some(obs);
+        }
         true
     }
 
@@ -941,8 +987,8 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
     ///
     /// # Panics
     ///
-    /// Panics if the scheduler does not support checkpointing
-    /// ([`Scheduler::clone_box`] returned `None`).
+    /// Panics if the scheduler or the installed observer does not
+    /// support checkpointing (its `clone_box` returned `None`).
     pub(crate) fn deep_copy(&self) -> Self
     where
         P: crate::Checkpoint,
@@ -964,6 +1010,10 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
             batching: self.batching,
             trace: self.trace.clone(),
             digest: self.digest,
+            observer: self.observer.as_ref().map(|o| {
+                o.clone_box()
+                    .expect("this observer does not support checkpointing")
+            }),
             outbox: Outbox::new(Pid::new(1)),
             local_gen: Vec::new(),
             local_ref: VecDeque::new(),

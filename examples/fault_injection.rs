@@ -1,30 +1,38 @@
-//! Agreement under active Byzantine faults: a process that forges its
-//! secret-sharing reconstruction points, and one that flips every vote.
+//! Agreement under active Byzantine faults, each expressed as a
+//! declarative [`ScenarioPlan`] fault plan: who misbehaves (roles), how
+//! the network adversary schedules (layers), and what changes mid-run
+//! (timed events) — with the invariant monitor re-checking safety after
+//! every delivered message.
 //!
 //! ```sh
 //! cargo run -p sba-examples --example fault_injection
 //! ```
 
-use sba::adversary::Fault;
-use sba::{Cluster, ClusterConfig, Pid};
+use sba::{Action, Pid, PlanEvent, Role, ScenarioPlan, SchedLayer, Trigger};
 
-fn run(label: &str, fault: Fault, seed: u64) {
-    println!("=== {label} ===");
-    let config = ClusterConfig::new(4, 1)
-        .seed(seed)
-        .fault(Pid::new(4), fault);
-    let inputs = [Some(true), Some(false), Some(true), Some(false)];
-    let mut cluster = Cluster::new(config, &inputs);
-    let report = cluster.run(40_000_000);
+fn run(plan: ScenarioPlan) {
+    println!("=== {} ===", plan.name);
+    let mut run = plan.build();
+    let report = run.run(40_000_000);
 
     assert!(report.terminated, "termination under faults");
     assert!(report.agreement(), "agreement under faults");
+    let monitor = run.cluster().monitor_report().expect("monitor enabled");
+    assert!(
+        monitor.ok(),
+        "invariant violation: {:?}",
+        monitor.violations
+    );
     println!(
         "  decision  : {:?}",
         report.decisions.iter().flatten().next().unwrap()
     );
     println!("  max round : {}", report.max_round);
     println!("  messages  : {}", report.messages);
+    println!(
+        "  monitor   : {} checks, {} violations",
+        monitor.checks, monitor.violations_total
+    );
     if report.shun_pairs.is_empty() {
         println!("  shunning  : none needed");
     }
@@ -34,17 +42,53 @@ fn run(label: &str, fault: Fault, seed: u64) {
     println!();
 }
 
+/// One statically-faulted process over the benign baseline plan.
+fn faulted(name: &str, seed: u64, role: Role) -> ScenarioPlan {
+    ScenarioPlan {
+        roles: vec![(Pid::new(4), role)],
+        monitor: true,
+        ..ScenarioPlan::new(name, 4, 1, seed)
+    }
+}
+
 fn main() {
-    run("fail-silent p4", Fault::Silent, 11);
-    run(
+    run(faulted("fail-silent p4", 11, Role::Silent));
+    run(faulted(
         "p4 crashes after 2000 deliveries",
-        Fault::CrashAfter(2000),
         12,
-    );
-    run(
+        Role::Crash { after: 2000 },
+    ));
+    run(faulted(
         "p4 forges reconstruction points (Example-1 attack, repeated)",
-        Fault::LyingShares { delta: 7 },
         13,
-    );
-    run("p4 flips every vote bit", Fault::FlippedVotes, 14);
+        Role::LyingShares { delta: 7 },
+    ));
+    run(faulted("p4 flips every vote bit", 14, Role::FlippedVotes));
+
+    // Compound plans are one literal too: a partition that would outlive
+    // the run, healed by a timed event, then a crash once voting reaches
+    // round 2 — things the static `Fault` API could not express.
+    run(ScenarioPlan {
+        layers: vec![SchedLayer::WindowPartition {
+            group_a: vec![Pid::new(1), Pid::new(2)],
+            from: 30,
+            until: 5_000,
+            base: 6,
+        }],
+        events: vec![
+            PlanEvent {
+                at: Trigger::AtDelivery(95_000),
+                action: Action::HealPartitions,
+            },
+            PlanEvent {
+                at: Trigger::AtRound(2),
+                action: Action::Crash {
+                    p: Pid::new(4),
+                    down_for: Some(600),
+                },
+            },
+        ],
+        monitor: true,
+        ..ScenarioPlan::new("partition heals mid-run, then p4 crashes", 4, 1, 7)
+    });
 }

@@ -14,6 +14,10 @@ fn main() {
     let inputs = [Some(true), Some(false), Some(true), Some(false)];
     let mut cluster = Cluster::new(config, &inputs);
 
+    // Opt-in runtime safety: agreement, validity, and the shunning
+    // invariants are re-checked after every delivered message.
+    cluster.enable_monitor();
+
     let report = cluster.run(20_000_000);
 
     assert!(report.terminated, "almost-sure termination");
@@ -23,6 +27,10 @@ fn main() {
     println!("messages sent  : {}", report.messages);
     println!("bytes sent     : {}", report.bytes);
     println!("virtual time   : {}", report.metrics.virtual_time);
+    println!(
+        "monitor        : {} invariant checks, {} violations",
+        report.metrics.monitor_checks, report.metrics.monitor_violations
+    );
     // Same-tick batching: the simulator coalesces every message one event
     // sends to one recipient into a single scheduled delivery.
     println!(

@@ -9,7 +9,9 @@
 //! altered the schedule — which may be fine, but must be a conscious
 //! re-pin, not drift.
 
-use sba::{ClusterReport, Zoo};
+use sba::adversary::Fault;
+use sba::sim::schedulers;
+use sba::{Cluster, ClusterConfig, ClusterReport, Pid, PlanCoin, ScenarioPlan, Zoo};
 use sba_bench::trial::{self, Trial};
 
 /// The pinned tier-1 seed (matches the e11 artifact sweep).
@@ -189,6 +191,158 @@ fn forked_checkpoints_resume_exactly_and_diverge_live() {
             "fork seed {} failed to diverge",
             branch.seed
         );
+    }
+}
+
+/// Builds a zoo scenario the way the pre-plan code did — explicit
+/// config, fault, and scheduler constructor calls, no [`ScenarioPlan`]
+/// involved. Kept as an independent reference implementation so the
+/// next test can prove the plan DSL is a faithful re-expression, not a
+/// behavioural rewrite.
+fn legacy_cluster(zoo: Zoo, n: usize, t: usize, seed: u64) -> Cluster {
+    let inputs: Vec<Option<bool>> = (0..n).map(|i| Some(i % 2 == 0)).collect();
+    let mut config = ClusterConfig::new(n, t).seed(seed);
+    if zoo == Zoo::CrashRecover {
+        config = config.fault(
+            Pid::new(n as u32),
+            Fault::CrashRecover {
+                after: 300,
+                down_for: 500,
+            },
+        );
+    }
+    let group_a: Vec<Pid> = Pid::all(n.div_ceil(2)).collect();
+    let scheduler = match zoo {
+        Zoo::Benign => schedulers::uniform(20),
+        Zoo::HealedPartition => schedulers::healed_partition(group_a, 400, 6),
+        Zoo::CrashRecover => schedulers::uniform(12),
+        Zoo::LossRetransmit => schedulers::loss_retransmit(200, 40, 3, 8),
+        Zoo::Rushing => schedulers::rushing(Pid::new(1), 30),
+        Zoo::HeavyTail => schedulers::heavy_tail(4, 800),
+    };
+    let mut cluster = Cluster::with_scheduler(config, &inputs, scheduler);
+    cluster.sim_mut().enable_digest();
+    cluster
+}
+
+/// Every [`Zoo`] entry is now *defined* by its [`Zoo::plan`] literal;
+/// this pins that the plan-built cluster is bit-identical (digest and
+/// metrics) to the legacy hand-wired construction it replaced.
+#[test]
+fn plan_built_zoo_matches_legacy_construction_bit_for_bit() {
+    for zoo in Zoo::ALL {
+        let mut legacy = legacy_cluster(zoo, 4, 1, SEED);
+        let legacy_report = legacy.run(60_000_000);
+        let mut planned = zoo.cluster(4, 1, SEED);
+        let planned_report = planned.run(60_000_000);
+        assert_eq!(
+            legacy.digest(),
+            planned.digest(),
+            "{}: plan-built digest diverged from legacy construction",
+            zoo.name()
+        );
+        assert_eq!(
+            legacy_report.metrics,
+            planned_report.metrics,
+            "{}: metrics diverged",
+            zoo.name()
+        );
+    }
+}
+
+/// The three compound fault plans — partition healed mid-coin, crash
+/// stretched across a recovery, loss under a rushing adversary — run
+/// with the invariant monitor riding every delivery: each must
+/// terminate in agreement with zero violations, actually exercise its
+/// fault (held traffic, a recovery, drops), and round-trip through a
+/// recorded artifact bit-identically.
+#[test]
+fn compound_plans_run_clean_under_the_monitor() {
+    let dir = std::env::temp_dir().join(format!("sba-compound-{}", std::process::id()));
+    for plan in ScenarioPlan::compounds(4, 1, SEED) {
+        let trial = Trial::plan(plan.clone());
+        let (path, run) = trial::record(&trial, &dir).expect("record");
+        assert!(
+            run.report.terminated && run.report.all_decided() && run.report.agreement(),
+            "{}: compound run failed to decide",
+            plan.name
+        );
+        assert_eq!(
+            run.monitor_ok,
+            Some(true),
+            "{}: invariant monitor reported violations",
+            plan.name
+        );
+        let m = &run.report.metrics;
+        match plan.name.as_str() {
+            "partition_heal_mid_coin" => {
+                assert!(m.sched_held > 0, "partition never held a message");
+            }
+            "crash_during_recovery" => {
+                assert_eq!(m.recoveries, 1, "the stretched outage must recover once");
+            }
+            "loss_plus_rushing" => {
+                assert!(m.sched_drops > 0, "lossy layer never dropped");
+                assert_eq!(m.sched_retransmits, m.sched_drops);
+            }
+            other => panic!("unexpected compound plan {other}"),
+        }
+        let replay = trial::replay_file(&path).expect("artifact parses");
+        assert!(
+            replay.ok(),
+            "{}: replay diverged: {:?}",
+            plan.name,
+            replay.mismatches
+        );
+        assert_eq!(replay.trial, trial, "plan did not survive the artifact");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The zoo is size-generic: two scenarios pinned at n=16 (t=5) with an
+/// oracle coin standing in for the degree-7-in-n shunning coin. The
+/// decision bits and the partition actually biting are exact pins.
+#[test]
+fn zoo_scales_to_n16_with_an_oracle_coin() {
+    for (zoo, bit) in [(Zoo::Benign, false), (Zoo::HealedPartition, true)] {
+        let mut plan = zoo.plan(16, 5, SEED);
+        plan.coin = PlanCoin::Oracle { seed: SEED };
+        let report = plan.build().run(60_000_000);
+        assert!(
+            report.terminated && report.all_decided() && report.agreement(),
+            "{} at n=16 failed to decide",
+            zoo.name()
+        );
+        for d in report.decisions.iter().flatten() {
+            assert_eq!(*d, bit, "{} at n=16: decision drifted", zoo.name());
+        }
+        assert!(report.shun_pairs.is_empty(), "{} at n=16", zoo.name());
+        if zoo == Zoo::HealedPartition {
+            assert!(
+                report.metrics.sched_held > 0,
+                "n=16 partition never held a message"
+            );
+        }
+    }
+}
+
+/// The whole zoo at n=31 (t=10): every scenario still terminates in
+/// agreement at the largest odd size under the word cap.
+///
+/// Slow tier: `cargo test -- --ignored` or `--include-ignored`.
+#[test]
+#[ignore = "slow tier: full zoo at n=31, ~6 large cluster runs"]
+fn zoo_sweeps_at_n31_with_an_oracle_coin() {
+    for zoo in Zoo::ALL {
+        let mut plan = zoo.plan(31, 10, SEED);
+        plan.coin = PlanCoin::Oracle { seed: SEED };
+        let report = plan.build().run(120_000_000);
+        assert!(
+            report.terminated && report.all_decided() && report.agreement(),
+            "{} at n=31 failed to decide",
+            zoo.name()
+        );
+        assert!(report.shun_pairs.is_empty(), "{} at n=31", zoo.name());
     }
 }
 
