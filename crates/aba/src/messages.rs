@@ -193,6 +193,20 @@ impl<F: Field> Wire for AbaMsg<F> {
             AbaMsg::Coin(m) => m.encoded_len(),
         }
     }
+
+    /// Coin messages ride the coin layer's key-delta frame form when
+    /// the preceding frame member is also a coin message; votes (and a
+    /// coin after a vote) pay the one-byte frame prelude with nothing
+    /// elided.
+    fn framed_wire_len(&self, prev: Option<&Self>) -> usize {
+        match self {
+            AbaMsg::Coin(m) => m.framed_wire_len(match prev {
+                Some(AbaMsg::Coin(q)) => Some(q),
+                _ => None,
+            }),
+            AbaMsg::Vote(_) => 1 + self.encoded_len(),
+        }
+    }
 }
 
 impl<F> Kinded for AbaMsg<F> {

@@ -42,7 +42,9 @@ const _: () = assert!(size_of::<Envelope<AbaMsg<Gf61>>>() <= 40);
 // stack during routing, and `SvssPriv` rides in the DMM delay buffer).
 // `SvssRbValue` carries the now-4-word `ProcessSet` inline, so it grew
 // 16 → 40 with the MAX_N = 256 cap lift — acceptable because it is a
-// transient stack form, never queued.
+// transient stack form, never queued. Re-measured for PR 9: exactly 40
+// (32-byte set + discriminant, padded); the adaptive *wire* encoding
+// shrank the set's serialized form, not this in-memory one.
 const _: () = assert!(size_of::<SvssPriv<Gf61>>() <= 32);
 const _: () = assert!(size_of::<SvssRbValue<Gf61>>() <= 40);
 
@@ -87,11 +89,71 @@ fn mw_deal_encoding_pinned() {
         })
     };
     // kind 1 + mw 13 + others (1+48) + monitor (1+24) + merged byte 1.
+    // Re-measured for PR 9: unchanged — deals carry no sets, and the
+    // frame prelude is charged at the sim layer, not in `encoded()`.
     assert_eq!(deal(false).encoded_len(), 89);
     assert_eq!(deal(false).encoded().len(), 89);
     // The moderator's copy adds its 3 coefficients, nothing else.
     assert_eq!(deal(true).encoded_len(), 89 + 24);
     assert_eq!(deal(true).encoded().len(), 89 + 24);
+}
+
+/// PR 9's adaptive set + key-delta frame diet, pinned at both ends of
+/// the n range. Measured against the PR 8-era encoding (4-byte count +
+/// 4 bytes per member, full 14/15-byte header on every message):
+/// - full-set L-ready at n = 7:   47 → 23 B standalone, 11 B framed
+/// - full-set L-ready at n = 256: 1043 → 48 B standalone, 36 B framed
+/// - G-sets ready, 7 members × full 7-set: 299 → 83 B
+///
+/// These payloads are echoed n² times per RB slot, which is why
+/// `scc_n256.bytes` moves 24.1 GB → under 2.4 GB (BENCH_9 vs BENCH_8).
+#[test]
+fn set_and_frame_encodings_pinned() {
+    use sba_net::{GsetsBody, Pid, ProcessSet, RbStep, Wire};
+    let mw = MwId::nested(
+        SvssId::new(9, Pid::new(1)),
+        Pid::new(2),
+        Pid::new(3),
+        Pid::new(3),
+        Pid::new(2),
+    );
+    let l_ready = |n: usize| {
+        SvssMsg::<Gf61>::rb(
+            SvssSlot::mw_l(mw),
+            Pid::new(4),
+            RbStep::Ready,
+            SvssRbValue::Set(Pid::all(n).collect()),
+        )
+    };
+    // 15-byte header (kind + tag + 5 packed pids + origin) + the set:
+    // sparse (tag byte + one byte per member) up to 8 members per
+    // spanned word, dense (tag byte + ⌈n/64⌉ words) past that.
+    assert_eq!(l_ready(7).encoded_len(), 15 + 1 + 7);
+    assert_eq!(l_ready(7).encoded().len(), 15 + 1 + 7);
+    assert_eq!(l_ready(256).encoded_len(), 15 + 1 + 32);
+    assert_eq!(l_ready(256).encoded().len(), 15 + 1 + 32);
+    // Framed after a same-session message: prelude byte replaces the
+    // 8-byte tag and 5 p-bytes (the n = 256 e13 workload is a single
+    // MW share, so nearly every frame member takes this form).
+    let prev = l_ready(7);
+    assert_eq!(l_ready(256).framed_len(Some(&prev)), 1 + 48 - 8 - 5);
+    assert_eq!(l_ready(256).framed_len(None), 1 + 48);
+    // G-sets: the member table is an adaptive keyset plus one set per
+    // member — no 4-byte count, no 4-byte pids.
+    let full: ProcessSet = Pid::all(7).collect();
+    let gsets = SvssMsg::<Gf61>::rb(
+        SvssSlot::gsets(SvssId::new(9, Pid::new(1))),
+        Pid::new(4),
+        RbStep::Ready,
+        SvssRbValue::Gsets(Box::new(GsetsBody {
+            g: full,
+            members: full.iter().map(|p| (p, full)).collect(),
+        })),
+    );
+    // header 11 (kind + tag + dealer byte + origin) + g 8 + keyset 8 +
+    // 7 member sets × 8 (each a sparse 7-member set).
+    assert_eq!(gsets.encoded_len(), 11 + 8 + 8 + 7 * 8);
+    assert_eq!(gsets.encoded().len(), 11 + 8 + 8 + 7 * 8);
 }
 
 /// The queue arenas' per-slot footprint: one batch entry per

@@ -768,6 +768,48 @@ fn compare_snapshots(args: &[String]) {
             println!("{k}: skipped (old snapshot predates this n)");
         }
     }
+    // The per-n byte curve (PR 9): `scc_n<N>.bytes` is deterministic
+    // like the message counts, but gated regression-only — growth means
+    // the wire format (or the frame charging) fattened, while a large
+    // drop is a deliberate encoding win the new snapshot re-baselines.
+    let bytes_family = |k: &str| {
+        k.strip_prefix("scc_n")
+            .and_then(|rest| rest.strip_suffix(".bytes"))
+            .is_some_and(|mid| !mid.is_empty() && mid.bytes().all(|b| b.is_ascii_digit()))
+    };
+    for (k, o) in old.iter().filter(|(k, _)| bytes_family(k)) {
+        if *k == key {
+            println!("{k}: drift check skipped (primary gate above)");
+            continue;
+        }
+        match lookup(&new, k) {
+            None => println!("{k}: skipped (absent from the new sweep's n set)"),
+            Some(nv) if *o > 0.0 => {
+                let ratio = nv / o;
+                let ok = ratio <= DRIFT;
+                let improved = ratio < 1.0 / DRIFT;
+                println!(
+                    "{k}: {o} -> {nv} ({:+.1}% vs +{:.0}% regression limit){}",
+                    (ratio - 1.0) * 100.0,
+                    (DRIFT - 1.0) * 100.0,
+                    if !ok {
+                        "  <-- DRIFT"
+                    } else if improved {
+                        "  (improvement; re-baselined by this snapshot)"
+                    } else {
+                        ""
+                    }
+                );
+                if !ok {
+                    failed = true;
+                }
+            }
+            Some(_) => {
+                eprintln!("DRIFT GATE: old value for {k} is not positive ({o})");
+                failed = true;
+            }
+        }
+    }
     if failed {
         eprintln!("PERF GATE FAILED: {old_path} -> {new_path}");
         std::process::exit(1);
@@ -866,6 +908,29 @@ fn e9_perf(full: bool, json_path: Option<&str>) {
                 std::hint::black_box(std::hint::black_box(&poly).eval(Gf61::from_u64(9)));
             }),
         );
+    }
+
+    // The adaptive set codec (PR 9): decode writes straight into the
+    // bitmask words. The PR 8-era decoder built an intermediate
+    // `Vec<Pid>` per set — one allocation on the hottest decode path,
+    // ~22 M times per n = 256 sweep point. `_t<n>` = members decoded.
+    {
+        use sba::net::{ProcessSet, Reader, Wire};
+        let dense: ProcessSet = Pid::all(256).collect();
+        let sparse: ProcessSet = (1..=31u32).map(|i| Pid::new(8 * i)).collect();
+        for (label, set) in [
+            ("set_decode_dense_t256", dense),
+            ("set_decode_sparse_t31", sparse),
+        ] {
+            let bytes = set.encoded();
+            report(
+                label.to_string(),
+                time_ns(|| {
+                    let mut r = Reader::new(std::hint::black_box(&bytes));
+                    std::hint::black_box(ProcessSet::decode(&mut r).unwrap());
+                }),
+            );
+        }
     }
     println!();
 

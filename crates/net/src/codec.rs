@@ -118,6 +118,17 @@ pub trait Wire: Sized {
     fn wire_len(&self) -> usize {
         self.encoded_len()
     }
+
+    /// The wire length charged when this message rides a per-recipient
+    /// batch frame immediately after `prev` (`None` = first frame
+    /// member). Types without a frame-delta encoding charge their
+    /// standalone [`Wire::wire_len`], which keeps primitive test
+    /// messages byte-identical; `WireMsg` overrides this with the
+    /// key-delta arithmetic of its framed form.
+    fn framed_wire_len(&self, prev: Option<&Self>) -> usize {
+        let _ = prev;
+        self.wire_len()
+    }
 }
 
 impl Wire for u8 {
@@ -247,28 +258,95 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
 }
 
+/// Highest tag byte that means "sparse set of that many members". Tags
+/// `SPARSE_MAX+1 ..= SPARSE_MAX+WORDS` are dense with `tag - SPARSE_MAX`
+/// bitmask words; 255 is reserved (always rejected).
+const SET_SPARSE_MAX: u8 = 250;
+
+/// Number of `u64` bitmask words needed to cover every member of a
+/// nonempty word array whose top nonzero word is `top` (0-based).
+#[inline]
+fn set_words_spanned(words: &[u64]) -> usize {
+    words.iter().rposition(|&w| w != 0).map_or(0, |top| top + 1)
+}
+
+/// Adaptive set encoding: a one-byte tag selects *sparse* (member count,
+/// then that many strictly-ascending excess-one pid bytes — valid since
+/// `MAX_N = 256`) or *dense* (`tag - 250` little-endian `u64` bitmask
+/// words covering the set's highest member). The canonical minimal-form
+/// rule — sparse iff `len ≤ 8·words_spanned`, dense words end in a
+/// nonzero word — gives every set exactly one encoding, so decode
+/// rejects the other form outright. A full n = 256 set costs 33 bytes
+/// (was 1028 under the PR 8-era `u32`-per-member encoding); the empty
+/// set costs 1.
 impl Wire for crate::ProcessSet {
     fn encode(&self, buf: &mut Vec<u8>) {
-        (self.len() as u32).encode(buf);
-        for p in self.iter() {
-            p.encode(buf);
+        let words = self.as_words();
+        let w = set_words_spanned(&words);
+        let c = self.len();
+        if c <= 8 * w || w == 0 {
+            // Sparse (ties go sparse; the empty set is sparse with c = 0).
+            debug_assert!(c <= SET_SPARSE_MAX as usize);
+            buf.push(c as u8);
+            for p in self.iter() {
+                buf.push(crate::wire::pack_pid(p));
+            }
+        } else {
+            buf.push(SET_SPARSE_MAX + w as u8);
+            for word in &words[..w] {
+                buf.extend_from_slice(&word.to_le_bytes());
+            }
         }
     }
     fn encoded_len(&self) -> usize {
-        4 + 4 * self.len()
+        let w = set_words_spanned(&self.as_words());
+        1 + self.len().min(8 * w)
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let v: Vec<Pid> = Vec::decode(r)?;
-        let mut set = crate::ProcessSet::new();
-        for &p in &v {
-            if p.index() > crate::ProcessSet::MAX_INDEX {
-                return Err(CodecError::Invalid); // beyond the bitmask cap
+        const WORDS: usize = crate::pid::WORDS;
+        let tag = r.byte()?;
+        let mut words = [0u64; WORDS];
+        if tag <= SET_SPARSE_MAX {
+            // Sparse: `tag` excess-one pid bytes, strictly ascending
+            // (which also rejects duplicates), decoded straight into
+            // the bitmask — no intermediate `Vec<Pid>`.
+            let c = tag as usize;
+            let bytes = r.take(c)?;
+            let mut prev: i32 = -1;
+            for &b in bytes {
+                if i32::from(b) <= prev {
+                    return Err(CodecError::Invalid); // non-ascending / duplicate
+                }
+                prev = i32::from(b);
+                words[b as usize / 64] |= 1u64 << (b % 64);
             }
-            if !set.insert(p) {
-                return Err(CodecError::Invalid); // duplicates are non-canonical
+            // Minimal-form: this many members spread this wide must
+            // not have had a cheaper (or equal-cost) dense form.
+            let w = set_words_spanned(&words);
+            if c > 8 * w {
+                return Err(CodecError::Invalid); // should have been dense
+            }
+        } else {
+            let w = (tag - SET_SPARSE_MAX) as usize;
+            if w > WORDS {
+                return Err(CodecError::Invalid); // reserved tag 255
+            }
+            for word in &mut words[..w] {
+                *word = u64::from_le_bytes(r.take(8)?.try_into().unwrap());
+            }
+            if words[w - 1] == 0 {
+                return Err(CodecError::Invalid); // width not minimal
+            }
+            let c: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+            if c <= 8 * w {
+                return Err(CodecError::Invalid); // should have been sparse
             }
         }
-        Ok(set)
+        // Every dense bit is in range by construction: the bitmask words
+        // exactly cover 1..=MAX_N (compile-time `MAX_N == 64·WORDS`
+        // assert in `pid.rs`), and excess-one pid bytes cannot exceed
+        // MAX_N either.
+        Ok(crate::ProcessSet::from_words(words))
     }
 }
 
@@ -349,14 +427,80 @@ mod tests {
         u32::MAX.encode(&mut bytes);
         let mut r = Reader::new(&bytes);
         assert_eq!(Vec::<u8>::decode(&mut r).unwrap_err(), CodecError::Invalid);
-        // duplicate entries in a ProcessSet are non-canonical
-        let dup = vec![Pid::new(1), Pid::new(1)];
-        let mut bytes = Vec::new();
-        dup.encode(&mut bytes);
-        let mut r = Reader::new(&bytes);
+        // duplicate entries in a sparse ProcessSet are non-canonical
+        // (equal adjacent bytes violate the strictly-ascending rule)
+        let mut r = Reader::new(&[2, 0, 0]);
         assert_eq!(
             crate::ProcessSet::decode(&mut r).unwrap_err(),
             CodecError::Invalid
+        );
+        // ...as are out-of-order members
+        let mut r = Reader::new(&[2, 5, 3]);
+        assert_eq!(
+            crate::ProcessSet::decode(&mut r).unwrap_err(),
+            CodecError::Invalid
+        );
+    }
+
+    #[test]
+    fn adaptive_set_form_is_canonical() {
+        use crate::{Pid, ProcessSet};
+        // Empty set: one sparse tag byte.
+        assert_eq!(ProcessSet::new().encoded(), vec![0]);
+        // Small sets are sparse: tag = count, then excess-one bytes.
+        let s: ProcessSet = [3, 7].into_iter().map(Pid::new).collect();
+        assert_eq!(s.encoded(), vec![2, 2, 6]);
+        // A full one-word set is dense: 9 sparse bytes lose to tag + 8.
+        let full64: ProcessSet = Pid::all(64).collect();
+        assert_eq!(full64.encoded().len(), 9);
+        assert_eq!(full64.encoded()[0], 251);
+        // The tie (8 members in one word) goes sparse.
+        let eight: ProcessSet = Pid::all(8).collect();
+        assert_eq!(eight.encoded()[0], 8);
+        assert_eq!(eight.encoded().len(), 9);
+        // Full n = 256: 1 tag + 4 words = 33 bytes (the ISSUE's ~30×
+        // cut vs the old 1028-byte u32-per-member form).
+        let full: ProcessSet = Pid::all(256).collect();
+        assert_eq!(full.encoded().len(), 33);
+        round_trip(full);
+        round_trip(full64);
+        round_trip(eight);
+        round_trip(s);
+    }
+
+    #[test]
+    fn non_minimal_set_encodings_rejected() {
+        use crate::{Pid, ProcessSet};
+        let reject = |bytes: &[u8]| {
+            let mut r = Reader::new(bytes);
+            assert_eq!(
+                ProcessSet::decode(&mut r).unwrap_err(),
+                CodecError::Invalid,
+                "bytes {bytes:?} should be non-canonical"
+            );
+        };
+        // Sparse form of a set that must be dense: 9 members in word 0.
+        let mut nine = vec![9u8];
+        nine.extend(0..9);
+        reject(&nine);
+        // Dense form of a set that must be sparse: word 0 with 2 bits.
+        let mut dense = vec![251u8];
+        dense.extend_from_slice(&0b101u64.to_le_bytes());
+        reject(&dense);
+        // Dense width not minimal: top word is zero.
+        let mut wide = vec![252u8];
+        wide.extend_from_slice(&u64::MAX.to_le_bytes());
+        wide.extend_from_slice(&0u64.to_le_bytes());
+        reject(&wide);
+        // Reserved tag 255 (would mean 5 words; MAX_N caps at 4).
+        reject(&[255; 40]);
+        // The canonical forms of the same sets do decode.
+        let mut ok = vec![251u8];
+        ok.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut r = Reader::new(&ok);
+        assert_eq!(
+            ProcessSet::decode(&mut r).unwrap(),
+            Pid::all(64).collect::<ProcessSet>()
         );
     }
 

@@ -39,6 +39,7 @@ pub use kind::Kinded;
 pub use pid::{Pid, ProcessSet, ProcessSetIter, MAX_N};
 pub use session::{MwId, SessionKey, SvssId};
 pub use wire::{
-    CoinSlot, GsetsBody, MwDealBody, RbStep, RowsBody, SlotKind, SlotView, SvssPriv, SvssRbValue,
-    SvssSlot, Unpacked, WireKind, WireMsg, WIRE_KIND_COUNT,
+    decode_frame, encode_frame, frame_len, CoinSlot, GsetsBody, MwDealBody, RbStep, RowsBody,
+    SlotKind, SlotView, SvssPriv, SvssRbValue, SvssSlot, Unpacked, WireKind, WireMsg,
+    WIRE_KIND_COUNT,
 };

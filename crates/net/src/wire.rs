@@ -211,7 +211,7 @@ impl WireKind {
 /// Narrows a pid index to a packed excess-one byte (`index − 1`, so the
 /// full `1..=MAX_N` range fits in a `u8`), panicking past the cap — the
 /// same [`crate::MAX_N`] cap that bounds `MwId` and `ProcessSet`.
-fn pack_pid(p: Pid) -> u8 {
+pub(crate) fn pack_pid(p: Pid) -> u8 {
     assert!(
         p.index() <= crate::MAX_N,
         "process index {} exceeds the packed-wire cap of {}",
@@ -856,28 +856,100 @@ fn get_field_vec<F: Field>(r: &mut Reader<'_>) -> Result<Vec<F>, CodecError> {
     Ok(out)
 }
 
-fn put_mw(tag: u64, p: &[u8; 5], buf: &mut Vec<u8>) {
-    tag.encode(buf);
-    buf.extend_from_slice(p);
+/// Width of the packed-pid slot prefix that follows the session tag for
+/// `kind` — the only header field whose width varies by kind. Every
+/// standalone encoding is `[kind][tag: 8 LE][p-bytes: p_width]` followed
+/// by the kind's tail; the key-delta frame form elides the tag and/or
+/// p-bytes when they repeat the previous frame member's.
+fn p_width(kind: WireKind) -> usize {
+    match kind {
+        WireKind::Rows | WireKind::GsetsInit | WireKind::GsetsEcho | WireKind::GsetsReady => 1,
+        WireKind::AttachInit
+        | WireKind::AttachEcho
+        | WireKind::AttachReady
+        | WireKind::SupportInit
+        | WireKind::SupportEcho
+        | WireKind::SupportReady => 0,
+        _ => 5,
+    }
 }
 
-fn get_mw(r: &mut Reader<'_>) -> Result<(u64, [u8; 5]), CodecError> {
-    let tag = u64::decode(r)?;
-    let bytes = r.take(5)?;
-    let mut p = [0u8; 5];
-    p.copy_from_slice(bytes);
-    // Excess-one packing makes every byte value a valid index: nothing
-    // further to validate.
-    Ok((tag, p))
+/// Encodes a G-sets member table: the member pids as one adaptive
+/// [`ProcessSet`] keyset, then each member's set in ascending key order.
+/// Canonical because the table is built by iterating `G` (ascending,
+/// unique); the asserts pin that construction invariant.
+fn put_members(members: &[(Pid, ProcessSet)], buf: &mut Vec<u8>) {
+    assert!(
+        members.windows(2).all(|w| w[0].0 < w[1].0),
+        "G-set member keys must be strictly ascending"
+    );
+    let keys: ProcessSet = members.iter().map(|&(p, _)| p).collect();
+    keys.encode(buf);
+    for (_, s) in members {
+        s.encode(buf);
+    }
 }
+
+fn members_len(members: &[(Pid, ProcessSet)]) -> usize {
+    let keys: ProcessSet = members.iter().map(|&(p, _)| p).collect();
+    keys.encoded_len() + members.iter().map(|(_, s)| s.encoded_len()).sum::<usize>()
+}
+
+fn get_members(r: &mut Reader<'_>) -> Result<Vec<(Pid, ProcessSet)>, CodecError> {
+    let keys = ProcessSet::decode(r)?;
+    let mut out = Vec::with_capacity(keys.len());
+    for p in keys.iter() {
+        out.push((p, ProcessSet::decode(r)?));
+    }
+    Ok(out)
+}
+
+/// Frame prelude flag: this member reuses its predecessor's session tag.
+const FRAME_SAME_TAG: u8 = 1 << 0;
+/// Frame prelude flag: this member reuses its predecessor's p-bytes.
+const FRAME_SAME_P: u8 = 1 << 1;
 
 impl<F: Field> Wire for WireMsg<F> {
     fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(self.key.kind as u8);
+        self.key.tag.encode(buf);
+        buf.extend_from_slice(&self.key.p[..p_width(self.key.kind)]);
+        self.encode_tail(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let kb = r.byte()?;
+        let kind = WireKind::from_byte(kb).ok_or(CodecError::BadDiscriminant(kb))?;
+        let mut key = WireKey {
+            tag: u64::decode(r)?,
+            p: [0; 5],
+            aux: 0,
+            kind,
+            origin: 0,
+        };
+        let pw = p_width(kind);
+        key.p[..pw].copy_from_slice(r.take(pw)?);
+        let body = Self::decode_tail(r, &mut key)?;
+        Ok(WireMsg { key, body })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + 8 + p_width(self.key.kind) + self.tail_len()
+    }
+
+    fn framed_wire_len(&self, prev: Option<&Self>) -> usize {
+        self.framed_len(prev)
+    }
+}
+
+impl<F: Field> WireMsg<F> {
+    /// Everything after the `[kind][tag][p-bytes]` header: the aux /
+    /// origin bytes and the body. Shared by the standalone and framed
+    /// encodings, which differ only in how they spell the header.
+    fn encode_tail(&self, buf: &mut Vec<u8>) {
         let key = &self.key;
-        buf.push(key.kind as u8);
         match key.kind {
             WireKind::MwDeal => {
-                put_mw(key.tag, &key.p, buf);
                 let Body::Deal(d) = &self.body else {
                     unreachable!()
                 };
@@ -900,15 +972,12 @@ impl<F: Field> Wire for WireMsg<F> {
                 }
             }
             WireKind::MwPoint | WireKind::MwMval => {
-                put_mw(key.tag, &key.p, buf);
                 let Body::Value(v) = &self.body else {
                     unreachable!()
                 };
                 put_field(*v, buf);
             }
             WireKind::Rows => {
-                key.tag.encode(buf);
-                buf.push(key.p[0]);
                 let Body::Rows(rows) = &self.body else {
                     unreachable!()
                 };
@@ -921,7 +990,6 @@ impl<F: Field> Wire for WireMsg<F> {
             | WireKind::MwOkInit
             | WireKind::MwOkEcho
             | WireKind::MwOkReady => {
-                put_mw(key.tag, &key.p, buf);
                 buf.push(key.origin);
             }
             WireKind::MwLInit
@@ -930,7 +998,6 @@ impl<F: Field> Wire for WireMsg<F> {
             | WireKind::MwMInit
             | WireKind::MwMEcho
             | WireKind::MwMReady => {
-                put_mw(key.tag, &key.p, buf);
                 buf.push(key.origin);
                 let Body::Set(s) = &self.body else {
                     unreachable!()
@@ -938,7 +1005,6 @@ impl<F: Field> Wire for WireMsg<F> {
                 s.expand().encode(buf);
             }
             WireKind::MwReconInit | WireKind::MwReconEcho | WireKind::MwReconReady => {
-                put_mw(key.tag, &key.p, buf);
                 buf.push(key.aux);
                 buf.push(key.origin);
                 let Body::Value(v) = &self.body else {
@@ -947,14 +1013,12 @@ impl<F: Field> Wire for WireMsg<F> {
                 put_field(*v, buf);
             }
             WireKind::GsetsInit | WireKind::GsetsEcho | WireKind::GsetsReady => {
-                key.tag.encode(buf);
-                buf.push(key.p[0]);
                 buf.push(key.origin);
                 let Body::Gsets(b) = &self.body else {
                     unreachable!()
                 };
                 b.g.encode(buf);
-                b.members.encode(buf);
+                put_members(&b.members, buf);
             }
             WireKind::AttachInit
             | WireKind::AttachEcho
@@ -962,7 +1026,6 @@ impl<F: Field> Wire for WireMsg<F> {
             | WireKind::SupportInit
             | WireKind::SupportEcho
             | WireKind::SupportReady => {
-                key.tag.encode(buf);
                 buf.push(key.origin);
                 let Body::Set(s) = &self.body else {
                     unreachable!()
@@ -972,19 +1035,9 @@ impl<F: Field> Wire for WireMsg<F> {
         }
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let kb = r.byte()?;
-        let kind = WireKind::from_byte(kb).ok_or(CodecError::BadDiscriminant(kb))?;
-        let mut key = WireKey {
-            tag: 0,
-            p: [0; 5],
-            aux: 0,
-            kind,
-            origin: 0,
-        };
-        let body = match kind {
+    fn decode_tail(r: &mut Reader<'_>, key: &mut WireKey) -> Result<Body<F>, CodecError> {
+        let body = match key.kind {
             WireKind::MwDeal => {
-                (key.tag, key.p) = get_mw(r)?;
                 let others = get_field_vec(r)?;
                 let monitor_poly = get_field_vec(r)?;
                 let moderator_poly = match r.byte()? as usize {
@@ -1007,13 +1060,8 @@ impl<F: Field> Wire for WireMsg<F> {
                     moderator_poly,
                 }))
             }
-            WireKind::MwPoint | WireKind::MwMval => {
-                (key.tag, key.p) = get_mw(r)?;
-                Body::Value(get_field(r)?)
-            }
+            WireKind::MwPoint | WireKind::MwMval => Body::Value(get_field(r)?),
             WireKind::Rows => {
-                key.tag = u64::decode(r)?;
-                key.p[0] = r.byte()?;
                 let g = get_field_vec(r)?;
                 let h = get_field_vec(r)?;
                 Body::Rows(Box::new(RowsBody { g, h }))
@@ -1024,7 +1072,6 @@ impl<F: Field> Wire for WireMsg<F> {
             | WireKind::MwOkInit
             | WireKind::MwOkEcho
             | WireKind::MwOkReady => {
-                (key.tag, key.p) = get_mw(r)?;
                 key.origin = r.byte()?;
                 Body::Unit
             }
@@ -1034,23 +1081,19 @@ impl<F: Field> Wire for WireMsg<F> {
             | WireKind::MwMInit
             | WireKind::MwMEcho
             | WireKind::MwMReady => {
-                (key.tag, key.p) = get_mw(r)?;
                 key.origin = r.byte()?;
                 Body::Set(CompactSet::pack(ProcessSet::decode(r)?))
             }
             WireKind::MwReconInit | WireKind::MwReconEcho | WireKind::MwReconReady => {
-                (key.tag, key.p) = get_mw(r)?;
                 key.aux = r.byte()?;
                 key.origin = r.byte()?;
                 Body::Value(get_field(r)?)
             }
             WireKind::GsetsInit | WireKind::GsetsEcho | WireKind::GsetsReady => {
-                key.tag = u64::decode(r)?;
-                key.p[0] = r.byte()?;
                 key.origin = r.byte()?;
                 Body::Gsets(Box::new(GsetsBody {
                     g: ProcessSet::decode(r)?,
-                    members: Vec::decode(r)?,
+                    members: get_members(r)?,
                 }))
             }
             WireKind::AttachInit
@@ -1059,20 +1102,20 @@ impl<F: Field> Wire for WireMsg<F> {
             | WireKind::SupportInit
             | WireKind::SupportEcho
             | WireKind::SupportReady => {
-                key.tag = u64::decode(r)?;
                 key.origin = r.byte()?;
                 Body::Set(CompactSet::pack(ProcessSet::decode(r)?))
             }
         };
-        Ok(WireMsg { key, body })
+        Ok(body)
     }
 
-    fn encoded_len(&self) -> usize {
+    /// Byte length of [`WireMsg::encode_tail`], computed arithmetically.
+    fn tail_len(&self) -> usize {
         let body = match &self.body {
             Body::Unit => 0,
             Body::Set(s) => s.expand().encoded_len(),
             Body::Value(_) => 8,
-            Body::Gsets(b) => b.g.encoded_len() + b.members.encoded_len(),
+            Body::Gsets(b) => b.g.encoded_len() + members_len(&b.members),
             Body::Deal(d) => {
                 field_vec_len(&d.others)
                     + field_vec_len(&d.monitor_poly)
@@ -1081,21 +1124,156 @@ impl<F: Field> Wire for WireMsg<F> {
             }
             Body::Rows(rows) => field_vec_len(&rows.g) + field_vec_len(&rows.h),
         };
-        let header = match self.key.kind {
-            WireKind::MwDeal | WireKind::MwPoint | WireKind::MwMval => 1 + 13,
-            WireKind::Rows => 1 + 9,
-            WireKind::MwReconInit | WireKind::MwReconEcho | WireKind::MwReconReady => 1 + 13 + 2,
-            WireKind::GsetsInit | WireKind::GsetsEcho | WireKind::GsetsReady => 1 + 9 + 1,
-            WireKind::AttachInit
-            | WireKind::AttachEcho
-            | WireKind::AttachReady
-            | WireKind::SupportInit
-            | WireKind::SupportEcho
-            | WireKind::SupportReady => 1 + 8 + 1,
-            _ => 1 + 13 + 1, // the remaining MW RB kinds
+        let fixed = match self.key.kind {
+            WireKind::MwDeal | WireKind::MwPoint | WireKind::MwMval | WireKind::Rows => 0,
+            WireKind::MwReconInit | WireKind::MwReconEcho | WireKind::MwReconReady => 2,
+            _ => 1, // every other kind carries the one-byte origin
         };
-        header + body
+        fixed + body
     }
+
+    /// Whether `prev` lets the frame form elide the tag and/or p-bytes.
+    fn frame_flags(&self, prev: Option<&Self>) -> (bool, bool) {
+        match prev {
+            None => (false, false),
+            Some(q) => (
+                q.key.tag == self.key.tag,
+                p_width(self.key.kind) > 0 && q.key.p == self.key.p,
+            ),
+        }
+    }
+
+    /// Appends the key-delta frame encoding: a one-byte prelude whose
+    /// flags say which header fields repeat the previous frame member's
+    /// (which are then omitted), the kind byte, the surviving header
+    /// fields, and the tail. The encoder always takes an available
+    /// elision, and [`WireMsg::decode_framed`] rejects a spelled-out
+    /// field equal to the predecessor's, so the frame form is canonical
+    /// the same way the standalone form is.
+    pub fn encode_framed(&self, prev: Option<&Self>, buf: &mut Vec<u8>) {
+        let (same_tag, same_p) = self.frame_flags(prev);
+        let mut prelude = 0u8;
+        if same_tag {
+            prelude |= FRAME_SAME_TAG;
+        }
+        if same_p {
+            prelude |= FRAME_SAME_P;
+        }
+        buf.push(prelude);
+        buf.push(self.key.kind as u8);
+        if !same_tag {
+            self.key.tag.encode(buf);
+        }
+        if !same_p {
+            buf.extend_from_slice(&self.key.p[..p_width(self.key.kind)]);
+        }
+        self.encode_tail(buf);
+    }
+
+    /// Exact byte length of [`WireMsg::encode_framed`], without
+    /// serializing — the quantity the simulator charges for a message
+    /// landing in a per-recipient batch right after `prev`.
+    pub fn framed_len(&self, prev: Option<&Self>) -> usize {
+        let (same_tag, same_p) = self.frame_flags(prev);
+        1 + self.encoded_len()
+            - if same_tag { 8 } else { 0 }
+            - if same_p { p_width(self.key.kind) } else { 0 }
+    }
+
+    /// Decodes one frame member, resolving elided header fields against
+    /// `prev` (`None` for the first member, which may elide nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncation, unknown prelude bits, an
+    /// elision with no predecessor (or one whose unused p-bytes are
+    /// nonzero for this kind), or a non-minimal spelling — a tag or
+    /// p-prefix written out despite matching the predecessor's.
+    pub fn decode_framed(r: &mut Reader<'_>, prev: Option<&Self>) -> Result<Self, CodecError> {
+        let prelude = r.byte()?;
+        if prelude & !(FRAME_SAME_TAG | FRAME_SAME_P) != 0 {
+            return Err(CodecError::Invalid);
+        }
+        let same_tag = prelude & FRAME_SAME_TAG != 0;
+        let same_p = prelude & FRAME_SAME_P != 0;
+        let kb = r.byte()?;
+        let kind = WireKind::from_byte(kb).ok_or(CodecError::BadDiscriminant(kb))?;
+        let pw = p_width(kind);
+        let mut key = WireKey {
+            tag: 0,
+            p: [0; 5],
+            aux: 0,
+            kind,
+            origin: 0,
+        };
+        if same_tag {
+            key.tag = prev.ok_or(CodecError::Invalid)?.key.tag;
+        } else {
+            key.tag = u64::decode(r)?;
+            if prev.is_some_and(|q| q.key.tag == key.tag) {
+                return Err(CodecError::Invalid); // non-minimal: elision was available
+            }
+        }
+        if same_p {
+            let q = prev.ok_or(CodecError::Invalid)?;
+            // Copying the whole array must not smuggle bytes this kind
+            // never spells out.
+            if pw == 0 || q.key.p[pw..].iter().any(|&b| b != 0) {
+                return Err(CodecError::Invalid);
+            }
+            key.p = q.key.p;
+        } else {
+            key.p[..pw].copy_from_slice(r.take(pw)?);
+            if pw > 0 && prev.is_some_and(|q| q.key.p == key.p) {
+                return Err(CodecError::Invalid); // non-minimal: elision was available
+            }
+        }
+        let body = Self::decode_tail(r, &mut key)?;
+        Ok(WireMsg { key, body })
+    }
+}
+
+/// Encodes a per-recipient frame: a `u32` member count, then each
+/// message in key-delta form against its predecessor
+/// ([`WireMsg::encode_framed`]).
+pub fn encode_frame<F: Field>(msgs: &[WireMsg<F>], buf: &mut Vec<u8>) {
+    (msgs.len() as u32).encode(buf);
+    let mut prev = None;
+    for m in msgs {
+        m.encode_framed(prev, buf);
+        prev = Some(m);
+    }
+}
+
+/// Exact byte length of [`encode_frame`], without serializing.
+pub fn frame_len<F: Field>(msgs: &[WireMsg<F>]) -> usize {
+    let mut prev = None;
+    let mut n = 4;
+    for m in msgs {
+        n += m.framed_len(prev);
+        prev = Some(m);
+    }
+    n
+}
+
+/// Decodes a per-recipient frame encoded by [`encode_frame`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if any member is truncated, malformed, or
+/// non-minimally framed.
+pub fn decode_frame<F: Field>(r: &mut Reader<'_>) -> Result<Vec<WireMsg<F>>, CodecError> {
+    let len = u32::decode(r)? as usize;
+    // Each framed member is ≥ 2 bytes; bound before allocating.
+    if len > r.remaining() {
+        return Err(CodecError::Invalid);
+    }
+    let mut out: Vec<WireMsg<F>> = Vec::with_capacity(len);
+    for _ in 0..len {
+        let m = WireMsg::decode_framed(r, out.last())?;
+        out.push(m);
+    }
+    Ok(out)
 }
 
 impl<F> Kinded for WireMsg<F> {

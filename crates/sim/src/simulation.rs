@@ -713,10 +713,22 @@ impl<M: SimMsg, P: Process<M>> Simulation<M, P> {
                 to >= 1 && to <= self.procs.len(),
                 "message addressed to unknown process {to}"
             );
-            self.metrics.record_send(env.msg.kind(), env.msg.wire_len());
+            // Wire bytes are charged in frame form: each message pays
+            // its key-delta cost against the previous message in its
+            // per-recipient group (`None` = frame head pays the full
+            // header). Charging happens before the batched/reference
+            // queue-layout split below, so `set_batching(false)` prices
+            // the traffic identically and the bit-identity suites keep
+            // covering both layouts.
             match open.iter_mut().find(|g| g.to == env.to) {
-                Some(g) => g.msgs.push(env.msg),
+                Some(g) => {
+                    self.metrics
+                        .record_send(env.msg.kind(), env.msg.framed_wire_len(g.msgs.last()));
+                    g.msgs.push(env.msg);
+                }
                 None => {
+                    self.metrics
+                        .record_send(env.msg.kind(), env.msg.framed_wire_len(None));
                     let at = self
                         .scheduler
                         .delivery_time(&env, self.now, &mut self.rng)

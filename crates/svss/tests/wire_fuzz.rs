@@ -12,7 +12,7 @@ use sba_net::{
 use sba_svss::SvssMsg;
 
 fn pid() -> impl Strategy<Value = Pid> {
-    (1u32..200).prop_map(Pid::new)
+    (1u32..=256).prop_map(Pid::new)
 }
 
 fn field_el() -> impl Strategy<Value = Gf61> {
@@ -28,8 +28,11 @@ fn mw_id() -> impl Strategy<Value = MwId> {
         .prop_map(|(parent, d, m, r, c)| MwId::nested(parent, d, m, r, c))
 }
 
+/// Sets spanning the full `1..=MAX_N` index range, with enough members
+/// to exercise both the sparse and the dense arm of the adaptive set
+/// encoding (the crossover is at 8 members per spanned bitmask word).
 fn pid_set() -> impl Strategy<Value = ProcessSet> {
-    proptest::collection::btree_set(1u32..64, 0..8)
+    proptest::collection::btree_set(1u32..=256, 0..48)
         .prop_map(|s| s.into_iter().map(Pid::new).collect())
 }
 
@@ -99,7 +102,19 @@ fn svss_rb() -> impl Strategy<Value = SvssMsg<Gf61>> {
             pid(),
             rb_step(),
             pid_set(),
-            proptest::collection::vec((pid(), pid_set()), 0..4)
+            // The member table encodes as an adaptive keyset plus one
+            // set per key, so keys must be unique and ascending — the
+            // invariant the engine's G-set iteration guarantees.
+            (
+                proptest::collection::btree_set(1u32..=256, 0..4),
+                proptest::collection::vec(pid_set(), 3),
+            )
+                .prop_map(|(keys, sets)| {
+                    keys.into_iter()
+                        .map(Pid::new)
+                        .zip(sets.into_iter().cycle())
+                        .collect::<Vec<_>>()
+                })
         )
             .prop_map(|(sid, o, s, g, members)| {
                 SvssMsg::rb(
@@ -293,6 +308,127 @@ fn shrunk_deal_encoding_round_trips_and_rejects_lies() {
     );
 }
 
+/// The adaptive set encoding round-trips inside a full message at the
+/// bitmask word seams (64/65) and the cap seam (255/256), in both the
+/// sparse and dense arm, and the sizes match the minimal-form rule.
+#[test]
+fn adaptive_sets_round_trip_across_word_seams() {
+    let mw = MwId::nested(
+        SvssId::new(5, Pid::new(1)),
+        Pid::new(2),
+        Pid::new(3),
+        Pid::new(3),
+        Pid::new(2),
+    );
+    for (set, set_bytes) in [
+        (ProcessSet::new(), 1),                               // empty: bare tag
+        (Pid::all(8).collect(), 9),                           // sparse, ties go sparse
+        (Pid::all(64).collect(), 9),                          // dense, one word
+        (Pid::all(65).collect(), 17),                         // dense, word seam
+        ([64, 65].iter().map(|&i| Pid::new(i)).collect(), 3), // sparse across the seam
+        (Pid::all(255).collect(), 33),                        // dense, four words
+        (Pid::all(256).collect(), 33),                        // dense, full cap
+        (std::iter::once(Pid::new(256)).collect(), 2),        // sparse at the cap
+    ] {
+        let msg = SvssMsg::<Gf61>::rb(
+            SvssSlot::mw_l(mw),
+            Pid::new(4),
+            RbStep::Ready,
+            SvssRbValue::Set(set),
+        );
+        let bytes = msg.encoded();
+        // 15-byte header (kind + tag + 5 packed pids + origin), then the set.
+        assert_eq!(bytes.len(), 15 + set_bytes, "set {set:?}");
+        assert_eq!(msg.encoded_len(), bytes.len());
+        let mut r = Reader::new(&bytes);
+        assert_eq!(SvssMsg::<Gf61>::decode(&mut r).unwrap(), msg);
+        assert_eq!(r.remaining(), 0);
+    }
+}
+
+/// Key-delta frames: hand-built non-minimal spellings are rejected —
+/// a repeated tag written out instead of elided, delta flags with no
+/// predecessor, unknown prelude bits, and a p-elision on a kind that
+/// carries no p-bytes.
+#[test]
+fn non_minimal_frames_rejected() {
+    let msg = representative(WireKind::MwAckEcho);
+    let standalone = msg.encoded();
+
+    // Canonical two-member frame: the repeat elides tag + p-bytes.
+    let mut canonical = Vec::new();
+    sba_net::encode_frame(&[msg.clone(), msg.clone()], &mut canonical);
+    assert_eq!(
+        sba_net::frame_len(&[msg.clone(), msg.clone()]),
+        canonical.len()
+    );
+    assert_eq!(
+        sba_net::decode_frame::<Gf61>(&mut Reader::new(&canonical)).unwrap(),
+        vec![msg.clone(), msg.clone()]
+    );
+    assert_eq!(
+        canonical.len(),
+        4 + (1 + standalone.len()) + (1 + standalone.len() - 8 - 5),
+        "second member drops its 8-byte tag and 5 p-bytes"
+    );
+
+    // Same two messages with the second spelled out in full: rejected.
+    let mut spelled = Vec::new();
+    2u32.encode(&mut spelled);
+    for _ in 0..2 {
+        spelled.push(0); // prelude: nothing elided
+        spelled.extend_from_slice(&standalone);
+    }
+    assert_eq!(
+        sba_net::decode_frame::<Gf61>(&mut Reader::new(&spelled)).unwrap_err(),
+        CodecError::Invalid
+    );
+
+    // Delta flags on the first frame member: nothing to delta against.
+    for prelude in [1u8, 2, 3] {
+        let mut orphan = Vec::new();
+        1u32.encode(&mut orphan);
+        orphan.push(prelude);
+        orphan.extend_from_slice(&standalone);
+        assert_eq!(
+            sba_net::decode_frame::<Gf61>(&mut Reader::new(&orphan)).unwrap_err(),
+            CodecError::Invalid,
+            "prelude {prelude}"
+        );
+    }
+
+    // Unknown prelude bits.
+    let mut unknown = Vec::new();
+    1u32.encode(&mut unknown);
+    unknown.push(0x80);
+    unknown.extend_from_slice(&standalone);
+    assert_eq!(
+        sba_net::decode_frame::<Gf61>(&mut Reader::new(&unknown)).unwrap_err(),
+        CodecError::Invalid
+    );
+
+    // A SAME_P elision on a kind with no p-bytes (coin RB): rejected
+    // even though the byte stream is otherwise well-formed.
+    let a = representative(WireKind::AttachInit);
+    let b = SvssMsg::<Gf61>::coin_rb(
+        CoinSlot::Attach(10),
+        Pid::new(4),
+        RbStep::Init,
+        ProcessSet::new(),
+    );
+    assert_ne!(a.encoded()[1..9], b.encoded()[1..9], "tags differ");
+    let mut bad_p = Vec::new();
+    2u32.encode(&mut bad_p);
+    bad_p.push(0);
+    bad_p.extend_from_slice(&a.encoded());
+    bad_p.push(2); // SAME_P
+    bad_p.extend_from_slice(&b.encoded());
+    assert_eq!(
+        sba_net::decode_frame::<Gf61>(&mut Reader::new(&bad_p)).unwrap_err(),
+        CodecError::Invalid
+    );
+}
+
 /// Discriminant bytes outside the kind table are foreign and rejected
 /// with `BadDiscriminant`.
 #[test]
@@ -346,6 +482,48 @@ proptest! {
             let re = msg.encoded();
             let mut r2 = Reader::new(&re);
             prop_assert!(SvssMsg::<Gf61>::decode(&mut r2).is_ok());
+        }
+    }
+
+    /// Key-delta frames over arbitrary batches: encode/decode is the
+    /// identity, the arithmetic `frame_len` / per-member
+    /// `framed_wire_len` match the real bytes (they are what the
+    /// simulator charges), and every strict prefix of a frame is
+    /// rejected rather than mis-decoded.
+    #[test]
+    fn framed_batches_round_trip(msgs in proptest::collection::vec(any_msg(), 0..6)) {
+        let mut buf = Vec::new();
+        sba_net::encode_frame(&msgs, &mut buf);
+        prop_assert_eq!(sba_net::frame_len(&msgs), buf.len());
+        let mut charged = 4;
+        let mut prev: Option<&SvssMsg<Gf61>> = None;
+        for m in &msgs {
+            charged += m.framed_wire_len(prev);
+            prev = Some(m);
+        }
+        prop_assert_eq!(charged, buf.len());
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(sba_net::decode_frame::<Gf61>(&mut r).unwrap(), msgs.clone());
+        prop_assert_eq!(r.remaining(), 0);
+        if !msgs.is_empty() {
+            for cut in 0..buf.len() {
+                let mut r = Reader::new(&buf[..cut]);
+                prop_assert!(sba_net::decode_frame::<Gf61>(&mut r).is_err(),
+                    "frame truncated to {} of {} bytes decoded", cut, buf.len());
+            }
+        }
+    }
+
+    /// The frame decoder never panics on byte soup, and anything it
+    /// accepts re-encodes to an accepted frame (canonical fixpoint).
+    #[test]
+    fn frame_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut r = Reader::new(&bytes);
+        if let Ok(msgs) = sba_net::decode_frame::<Gf61>(&mut r) {
+            let mut re = Vec::new();
+            sba_net::encode_frame(&msgs, &mut re);
+            let mut r2 = Reader::new(&re);
+            prop_assert!(sba_net::decode_frame::<Gf61>(&mut r2).is_ok());
         }
     }
 }
