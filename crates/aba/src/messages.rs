@@ -209,6 +209,54 @@ impl<F: Field> Wire for AbaMsg<F> {
     }
 }
 
+impl<F: Field> sba_net::FramedWire for AbaMsg<F> {
+    /// The frame-member form matching [`Wire::framed_wire_len`]: coin
+    /// messages ride the [`WireMsg`](sba_net::WireMsg) key-delta member
+    /// encoding (eliding against a coin predecessor); vote messages
+    /// spend [`VOTE_FRAME`] in the prelude position — unambiguous, as a
+    /// coin member's prelude byte is at most 3 — followed by their full
+    /// standalone encoding.
+    fn encode_framed_member(&self, prev: Option<&Self>, buf: &mut Vec<u8>) {
+        match self {
+            AbaMsg::Coin(m) => m.encode_framed(
+                match prev {
+                    Some(AbaMsg::Coin(q)) => Some(q),
+                    _ => None,
+                },
+                buf,
+            ),
+            AbaMsg::Vote(_) => {
+                buf.push(VOTE_FRAME);
+                self.encode(buf);
+            }
+        }
+    }
+
+    fn decode_framed_member(r: &mut Reader<'_>, prev: Option<&Self>) -> Result<Self, CodecError> {
+        let mut probe = *r;
+        if probe.byte()? == VOTE_FRAME {
+            let _ = r.byte();
+            let b = r.byte()?;
+            if b != VOTE_FRAME {
+                // A vote member is the frame byte plus the standalone
+                // encoding, which repeats it; anything else is a
+                // non-canonical spelling.
+                return Err(CodecError::BadDiscriminant(b));
+            }
+            Ok(AbaMsg::Vote(MuxMsg::decode(r)?))
+        } else {
+            let inner = sba_net::WireMsg::decode_framed(
+                r,
+                match prev {
+                    Some(AbaMsg::Coin(q)) => Some(q),
+                    _ => None,
+                },
+            )?;
+            Ok(AbaMsg::Coin(inner))
+        }
+    }
+}
+
 impl<F> Kinded for AbaMsg<F> {
     fn kind(&self) -> &'static str {
         match self {
@@ -273,5 +321,52 @@ mod tests {
         });
         round_trip(msg.clone());
         assert_eq!(msg.kind(), "aba/vote");
+    }
+
+    #[test]
+    fn mixed_frames_round_trip_at_the_charged_length() {
+        use sba_net::{
+            decode_frame, encode_frame, frame_len, CoinSlot, ProcessSet, RbStep, WireMsg,
+        };
+
+        let coin = |origin: u32| -> AbaMsg<Gf61> {
+            let mut set = ProcessSet::new();
+            set.insert(Pid::new(origin));
+            AbaMsg::Coin(WireMsg::coin_rb(
+                CoinSlot::Support(5),
+                Pid::new(origin),
+                RbStep::Ready,
+                set,
+            ))
+        };
+        let vote = AbaMsg::<Gf61>::Vote(MuxMsg {
+            tag: VoteSlot::Report {
+                instance: 0,
+                round: 3,
+            },
+            origin: Pid::new(1),
+            inner: sba_broadcast::RbMsg::Ready(VoteValue::Bit(true)),
+        });
+        // Adjacent coins elide; the vote interrupts the elision chain.
+        let batch = vec![coin(1), coin(2), vote.clone(), coin(2), vote];
+
+        let mut buf = Vec::new();
+        encode_frame(&batch, &mut buf);
+        assert_eq!(buf.len(), frame_len(&batch), "frame_len mismatch");
+        let mut prev: Option<&AbaMsg<Gf61>> = None;
+        let charged: usize = batch
+            .iter()
+            .map(|m| {
+                let len = m.framed_wire_len(prev);
+                prev = Some(m);
+                len
+            })
+            .sum();
+        assert_eq!(buf.len(), 4 + charged, "member lengths disagree");
+
+        let mut r = Reader::new(&buf);
+        let got: Vec<AbaMsg<Gf61>> = decode_frame(&mut r).unwrap();
+        assert_eq!(got, batch);
+        assert_eq!(r.remaining(), 0);
     }
 }

@@ -93,6 +93,75 @@ impl ClusterConfig {
     pub fn t(&self) -> usize {
         self.t
     }
+
+    /// Builds the process table this config describes — the same table
+    /// for every runtime: [`Cluster::with_scheduler`] hands it to the
+    /// deterministic simulator, the threaded and socket harnesses hand
+    /// it to `sba_sim::threaded` / `sba_sim::socket`. `inputs[i]` is
+    /// process `i+1`'s proposal (`None` for a bystander). Also returns
+    /// the fault-free pids (the initial value of [`Cluster::honest`];
+    /// note crash-recover processes are *not* in it despite counting as
+    /// honest for reporting — use [`ClusterProcess::is_honest`] for the
+    /// reporting-honest set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n` or more than `t` processes are
+    /// corrupted.
+    pub fn processes(&self, inputs: &[Option<bool>]) -> (Vec<ClusterProcess>, Vec<Pid>) {
+        assert_eq!(inputs.len(), self.n, "one input slot per process");
+        assert!(
+            self.faults.len() <= self.t,
+            "more corrupted processes than t"
+        );
+        let params = sba_broadcast::Params::new(self.n, self.t).expect("n > 3t");
+        let mut honest = Vec::new();
+        let procs = (1..=self.n)
+            .map(|i| {
+                let pid = Pid::new(i as u32);
+                let fault = self
+                    .faults
+                    .iter()
+                    .find(|(p, _)| *p == pid)
+                    .map(|(_, f)| f.clone());
+                let mut aba_config = AbaConfig::scc(params, self.seed ^ ((i as u64) << 32));
+                aba_config.mode = self.mode;
+                aba_config.max_rounds = self.max_rounds;
+                aba_config.detection = self.detection;
+                let node: AbaNode<Gf61> = AbaNode::new(pid, aba_config);
+                let proposals = match inputs[i - 1] {
+                    Some(bit) => vec![(0u32, bit)],
+                    None => vec![],
+                };
+                let process = AbaProcess::new(node, proposals);
+                match fault {
+                    None => {
+                        honest.push(pid);
+                        ClusterProcess::Honest(process)
+                    }
+                    Some(Fault::Silent) => ClusterProcess::Silent(SilentProcess),
+                    Some(Fault::CrashAfter(k)) => {
+                        ClusterProcess::Crash(CrashProcess::new(process, k))
+                    }
+                    Some(Fault::CrashRecover { after, down_for }) => ClusterProcess::Recovering(
+                        CrashProcess::with_recovery(process, after, down_for),
+                    ),
+                    Some(Fault::LyingShares { delta }) => ClusterProcess::Byzantine(
+                        TamperProcess::new(process, adversary::lying_share_tamper(delta)),
+                    ),
+                    Some(Fault::FlippedVotes) => ClusterProcess::Byzantine(TamperProcess::new(
+                        process,
+                        adversary::vote_flip_tamper(),
+                    )),
+                    Some(Fault::Equivocate) => ClusterProcess::Byzantine(TamperProcess::new(
+                        process,
+                        adversary::equivocating_vote_tamper(),
+                    )),
+                }
+            })
+            .collect();
+        (procs, honest)
+    }
 }
 
 /// One process of the cluster: honest, or one of the fault models.
@@ -277,57 +346,7 @@ impl Cluster {
         inputs: &[Option<bool>],
         scheduler: Box<dyn Scheduler<Msg>>,
     ) -> Self {
-        assert_eq!(inputs.len(), config.n, "one input slot per process");
-        assert!(
-            config.faults.len() <= config.t,
-            "more corrupted processes than t"
-        );
-        let params = sba_broadcast::Params::new(config.n, config.t).expect("n > 3t");
-        let mut honest = Vec::new();
-        let procs: Vec<ClusterProcess> = (1..=config.n)
-            .map(|i| {
-                let pid = Pid::new(i as u32);
-                let fault = config
-                    .faults
-                    .iter()
-                    .find(|(p, _)| *p == pid)
-                    .map(|(_, f)| f.clone());
-                let mut aba_config = AbaConfig::scc(params, config.seed ^ ((i as u64) << 32));
-                aba_config.mode = config.mode;
-                aba_config.max_rounds = config.max_rounds;
-                aba_config.detection = config.detection;
-                let node: AbaNode<Gf61> = AbaNode::new(pid, aba_config);
-                let proposals = match inputs[i - 1] {
-                    Some(bit) => vec![(0u32, bit)],
-                    None => vec![],
-                };
-                let process = AbaProcess::new(node, proposals);
-                match fault {
-                    None => {
-                        honest.push(pid);
-                        ClusterProcess::Honest(process)
-                    }
-                    Some(Fault::Silent) => ClusterProcess::Silent(SilentProcess),
-                    Some(Fault::CrashAfter(k)) => {
-                        ClusterProcess::Crash(CrashProcess::new(process, k))
-                    }
-                    Some(Fault::CrashRecover { after, down_for }) => ClusterProcess::Recovering(
-                        CrashProcess::with_recovery(process, after, down_for),
-                    ),
-                    Some(Fault::LyingShares { delta }) => ClusterProcess::Byzantine(
-                        TamperProcess::new(process, adversary::lying_share_tamper(delta)),
-                    ),
-                    Some(Fault::FlippedVotes) => ClusterProcess::Byzantine(TamperProcess::new(
-                        process,
-                        adversary::vote_flip_tamper(),
-                    )),
-                    Some(Fault::Equivocate) => ClusterProcess::Byzantine(TamperProcess::new(
-                        process,
-                        adversary::equivocating_vote_tamper(),
-                    )),
-                }
-            })
-            .collect();
+        let (procs, honest) = config.processes(inputs);
         Cluster {
             sim: Simulation::new(procs, scheduler, config.seed),
             honest,

@@ -62,10 +62,14 @@ pub mod adversary;
 mod cluster;
 pub mod monitor;
 pub mod scenario;
+pub mod threaded;
 
 pub use cluster::{Cluster, ClusterCheckpoint, ClusterConfig, ClusterProcess, ClusterReport};
 pub use monitor::{InvariantMonitor, MonitorReport, MonitorViolation};
 pub use scenario::{
     Action, PlanCheckpoint, PlanCoin, PlanEvent, PlanRun, Role, ScenarioPlan, SchedLayer, Trigger,
     Zoo,
+};
+pub use threaded::{
+    run_plan, DecisionWatch, RuntimeKind, RuntimeReport, WatchViolation, WatchedProcess,
 };

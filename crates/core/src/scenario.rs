@@ -354,14 +354,18 @@ impl ScenarioPlan {
         self.build_with_inputs(&inputs)
     }
 
-    /// [`ScenarioPlan::build`] with explicit proposals. The run digest
-    /// is always enabled so runs can be recorded and replay-verified.
+    /// The [`ClusterConfig`] this plan describes: n, t, seed, coin mode,
+    /// and the role faults — everything *except* the scheduler layers
+    /// and timed events, which are schedule concerns and therefore
+    /// sim-only. This is the runtime-independent core of the plan: the
+    /// threaded and socket harnesses build their process tables from it
+    /// (via [`ClusterConfig::processes`]) while the OS supplies the
+    /// schedule.
     ///
     /// # Panics
     ///
-    /// Same conditions as [`ScenarioPlan::build`].
-    pub fn build_with_inputs(&self, inputs: &[Option<bool>]) -> PlanRun {
-        assert!(!self.layers.is_empty(), "a plan needs >= 1 scheduler layer");
+    /// Panics unless `n > 3t`.
+    pub fn cluster_config(&self) -> ClusterConfig {
         let mut config = ClusterConfig::new(self.n, self.t).seed(self.seed);
         if let PlanCoin::Oracle { seed } = self.coin {
             config = config.mode(CoinMode::Oracle(OracleCoin::new(seed, 0)));
@@ -371,6 +375,18 @@ impl ScenarioPlan {
                 config = config.fault(*p, fault);
             }
         }
+        config
+    }
+
+    /// [`ScenarioPlan::build`] with explicit proposals. The run digest
+    /// is always enabled so runs can be recorded and replay-verified.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ScenarioPlan::build`].
+    pub fn build_with_inputs(&self, inputs: &[Option<bool>]) -> PlanRun {
+        assert!(!self.layers.is_empty(), "a plan needs >= 1 scheduler layer");
+        let config = self.cluster_config();
         // A single layer is built bare so the constructed scheduler —
         // and therefore the whole run — is bit-identical to the legacy
         // non-layered construction.

@@ -131,6 +131,52 @@ pub trait Wire: Sized {
     }
 }
 
+/// A wire type with a self-delimiting per-recipient *frame member*
+/// encoding — the delta form [`encode_frame`](crate::encode_frame)
+/// strings together, and the unit the TCP transport
+/// ([`tcp`](crate::tcp)) ships.
+///
+/// Laws (enforced by frame round-trip tests):
+/// - member round-trip against the same predecessor:
+///   `decode_framed_member(&encode_framed_member(prev), prev) == self`;
+/// - byte accounting: the member's encoding is exactly
+///   [`Wire::framed_wire_len`]`(prev)` bytes — the quantity the
+///   simulator charges, so simulated and socket-shipped bytes agree.
+pub trait FramedWire: Wire {
+    /// Appends this message's frame-member encoding, eliding whatever
+    /// the predecessor `prev` (`None` = first member) lets it elide.
+    fn encode_framed_member(&self, prev: Option<&Self>, buf: &mut Vec<u8>);
+
+    /// Decodes one frame member, resolving elisions against `prev`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncation, malformed bytes, or a
+    /// non-minimal spelling (an available elision not taken).
+    fn decode_framed_member(r: &mut Reader<'_>, prev: Option<&Self>) -> Result<Self, CodecError>;
+}
+
+/// Fixed-width primitives are trivially self-delimiting: their frame
+/// member form is their standalone encoding, matching the
+/// [`Wire::framed_wire_len`] default. (Used by transport tests; protocol
+/// messages have real delta forms.)
+macro_rules! plain_framed {
+    ($($t:ty),*) => {$(
+        impl FramedWire for $t {
+            fn encode_framed_member(&self, _prev: Option<&Self>, buf: &mut Vec<u8>) {
+                self.encode(buf);
+            }
+            fn decode_framed_member(
+                r: &mut Reader<'_>,
+                _prev: Option<&Self>,
+            ) -> Result<Self, CodecError> {
+                Self::decode(r)
+            }
+        }
+    )*};
+}
+plain_framed!(u8, u32, u64, bool);
+
 impl Wire for u8 {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.push(*self);

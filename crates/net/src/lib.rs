@@ -30,9 +30,10 @@ mod fasthash;
 mod kind;
 mod pid;
 mod session;
+pub mod tcp;
 mod wire;
 
-pub use codec::{get_field, put_field, CodecError, Reader, Wire};
+pub use codec::{get_field, put_field, CodecError, FramedWire, Reader, Wire};
 pub use envelope::{Envelope, Outbox};
 pub use fasthash::{FastMap, FastSet, FxHasher};
 pub use kind::Kinded;

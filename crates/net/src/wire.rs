@@ -1233,24 +1233,33 @@ impl<F: Field> WireMsg<F> {
     }
 }
 
+impl<F: Field> crate::FramedWire for WireMsg<F> {
+    fn encode_framed_member(&self, prev: Option<&Self>, buf: &mut Vec<u8>) {
+        self.encode_framed(prev, buf);
+    }
+    fn decode_framed_member(r: &mut Reader<'_>, prev: Option<&Self>) -> Result<Self, CodecError> {
+        Self::decode_framed(r, prev)
+    }
+}
+
 /// Encodes a per-recipient frame: a `u32` member count, then each
-/// message in key-delta form against its predecessor
-/// ([`WireMsg::encode_framed`]).
-pub fn encode_frame<F: Field>(msgs: &[WireMsg<F>], buf: &mut Vec<u8>) {
+/// message in its frame-member form against its predecessor (for
+/// [`WireMsg`], the key-delta form of [`WireMsg::encode_framed`]).
+pub fn encode_frame<T: crate::FramedWire>(msgs: &[T], buf: &mut Vec<u8>) {
     (msgs.len() as u32).encode(buf);
     let mut prev = None;
     for m in msgs {
-        m.encode_framed(prev, buf);
+        m.encode_framed_member(prev, buf);
         prev = Some(m);
     }
 }
 
 /// Exact byte length of [`encode_frame`], without serializing.
-pub fn frame_len<F: Field>(msgs: &[WireMsg<F>]) -> usize {
+pub fn frame_len<T: crate::FramedWire>(msgs: &[T]) -> usize {
     let mut prev = None;
     let mut n = 4;
     for m in msgs {
-        n += m.framed_len(prev);
+        n += m.framed_wire_len(prev);
         prev = Some(m);
     }
     n
@@ -1262,15 +1271,15 @@ pub fn frame_len<F: Field>(msgs: &[WireMsg<F>]) -> usize {
 ///
 /// Returns a [`CodecError`] if any member is truncated, malformed, or
 /// non-minimally framed.
-pub fn decode_frame<F: Field>(r: &mut Reader<'_>) -> Result<Vec<WireMsg<F>>, CodecError> {
+pub fn decode_frame<T: crate::FramedWire>(r: &mut Reader<'_>) -> Result<Vec<T>, CodecError> {
     let len = u32::decode(r)? as usize;
     // Each framed member is ≥ 2 bytes; bound before allocating.
     if len > r.remaining() {
         return Err(CodecError::Invalid);
     }
-    let mut out: Vec<WireMsg<F>> = Vec::with_capacity(len);
+    let mut out: Vec<T> = Vec::with_capacity(len);
     for _ in 0..len {
-        let m = WireMsg::decode_framed(r, out.last())?;
+        let m = T::decode_framed_member(r, out.last())?;
         out.push(m);
     }
     Ok(out)

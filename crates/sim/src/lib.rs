@@ -57,6 +57,7 @@ mod metrics;
 mod observer;
 mod process;
 mod simulation;
+pub mod socket;
 mod tamper;
 pub mod threaded;
 

@@ -4,30 +4,166 @@
 //! simulator run here over `crossbeam` channels with OS-scheduler-induced
 //! nondeterminism. Experiment E10 uses this as a realism check: protocol
 //! outcomes (agreement, validity) must hold under both runtimes.
+//!
+//! Like the simulator since PR 4, the unit of delivery is the
+//! **per-sender batch**: each thread drains everything queued on its
+//! channel, groups the envelopes by sender (per-sender FIFO order is
+//! preserved; interleaving across senders is a legal asynchronous
+//! schedule), and hands each group to [`Process::on_batch`] — so the
+//! batch-amortized engine paths (routing-table probe memos, monotone
+//! advance fixpoints, session pumps) are exercised under real
+//! concurrency, not just under the sim.
+//!
+//! Shutdown is by **quiescence detection**, not by racing channel
+//! teardown: a shared in-flight counter is incremented before every send
+//! and decremented only after the receiving thread has fully processed
+//! the envelope (including dispatching its consequences), so
+//! `done == n && in_flight == 0` proves every queue is empty and nobody
+//! is mid-delivery. Threads only ever exit with drained queues — or at
+//! the wall-clock limit, in which case every undelivered envelope is
+//! counted in [`ThreadedStats::dropped`] instead of vanishing.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use sba_net::{Envelope, Outbox, Pid};
 
 use crate::{Process, SimMsg};
 
-/// Statistics from a threaded run.
+/// How long a thread parks in `recv_timeout` before re-checking the
+/// quiescence and deadline conditions.
+const POLL: Duration = Duration::from_millis(1);
+
+/// Statistics from a threaded (or socket) run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ThreadedStats {
     /// Envelopes moved between threads (including self-sends).
     pub messages: u64,
+    /// Per-sender [`Process::on_batch`] deliveries.
+    pub batches: u64,
+    /// Wire bytes of every moved envelope ([`Wire::wire_len`] for the
+    /// threaded runtime; real framed socket bytes for the socket
+    /// runtime).
+    pub bytes: u64,
+    /// Envelopes that were sent but never delivered: sends to an
+    /// already-exited peer plus queue residue at the wall-clock limit.
+    /// Always 0 for a run that ends in quiescence.
+    pub dropped: u64,
     /// Whether every process reported done before the wall-clock limit.
     pub all_done: bool,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
 
+/// The counters every worker thread shares; see the module docs for the
+/// quiescence protocol they implement.
+pub(crate) struct RunShared {
+    /// Processes currently reporting [`Process::done`]. Maintained by
+    /// *transition*: a thread adjusts it whenever its process's `done()`
+    /// flips in either direction, so a crash-recover process that
+    /// un-dones during its outage is subtracted back out instead of
+    /// latching the counter high (and ending the run early).
+    pub done: AtomicUsize,
+    /// Envelopes sent but not yet fully processed by their recipient.
+    pub in_flight: AtomicU64,
+    pub messages: AtomicU64,
+    pub batches: AtomicU64,
+    pub bytes: AtomicU64,
+    pub dropped: AtomicU64,
+    /// Set once by whichever thread first observes quiescence or the
+    /// deadline; every thread exits promptly once it is up.
+    pub shutdown: AtomicBool,
+}
+
+impl RunShared {
+    pub(crate) fn new() -> Self {
+        RunShared {
+            done: AtomicUsize::new(0),
+            in_flight: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Syncs a process's `done()` into the shared counter by transition.
+    pub(crate) fn sync_done(&self, was: &mut bool, now: bool) {
+        if now != *was {
+            if now {
+                self.done.fetch_add(1, Ordering::SeqCst);
+            } else {
+                self.done.fetch_sub(1, Ordering::SeqCst);
+            }
+            *was = now;
+        }
+    }
+
+    /// Whether the run is globally quiescent: every process done and no
+    /// envelope queued or mid-delivery anywhere.
+    pub(crate) fn quiescent(&self, n: usize) -> bool {
+        self.done.load(Ordering::SeqCst) == n && self.in_flight.load(Ordering::SeqCst) == 0
+    }
+
+    pub(crate) fn stats(&self, n: usize, elapsed: Duration) -> ThreadedStats {
+        // Whatever is still marked in flight after every thread joined
+        // was never delivered (stuck in a queue or a socket buffer when
+        // the deadline hit); fold it into the dropped count so every
+        // sent envelope is accounted either delivered or dropped.
+        let residue = self.in_flight.swap(0, Ordering::SeqCst);
+        ThreadedStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed) + residue,
+            all_done: self.done.load(Ordering::SeqCst) == n,
+            elapsed,
+        }
+    }
+}
+
+/// Reusable per-sender grouping buffers: envelopes drained from a
+/// channel are bucketed by sender (first-appearance order, per-sender
+/// FIFO preserved) and delivered one [`Process::on_batch`] per sender.
+pub(crate) struct BatchBuckets<M> {
+    buckets: Vec<Vec<M>>,
+    order: Vec<usize>,
+}
+
+impl<M> BatchBuckets<M> {
+    pub(crate) fn new(n: usize) -> Self {
+        BatchBuckets {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            order: Vec::with_capacity(n),
+        }
+    }
+
+    pub(crate) fn push(&mut self, from: Pid, msg: M) {
+        let idx = (from.index() - 1) as usize;
+        if self.buckets[idx].is_empty() {
+            self.order.push(idx);
+        }
+        self.buckets[idx].push(msg);
+    }
+
+    /// Delivers every staged group through `deliver(from, msgs)`,
+    /// clearing the buckets (capacity retained).
+    pub(crate) fn deliver(&mut self, mut deliver: impl FnMut(Pid, &mut Vec<M>)) {
+        for &idx in &self.order {
+            deliver(Pid::new(idx as u32 + 1), &mut self.buckets[idx]);
+            self.buckets[idx].clear();
+        }
+        self.order.clear();
+    }
+}
+
 /// Runs each process on its own thread until all report
-/// [`Process::done`] or `wall_limit` elapses; returns the processes (for
-/// output inspection) and run statistics.
+/// [`Process::done`] **and** every in-flight envelope has been drained,
+/// or `wall_limit` elapses; returns the processes (for output
+/// inspection) and run statistics.
 ///
 /// Unlike the simulator this is *not* deterministic — that is the point.
 pub fn run<M, P>(procs: Vec<P>, wall_limit: Duration) -> (Vec<P>, ThreadedStats)
@@ -40,52 +176,19 @@ where
     type Chan<M> = (Sender<Envelope<M>>, Receiver<Envelope<M>>);
     let channels: Vec<Chan<M>> = (0..n).map(|_| unbounded()).collect();
     let senders: Vec<Sender<Envelope<M>>> = channels.iter().map(|(s, _)| s.clone()).collect();
-    let done_count = Arc::new(AtomicUsize::new(0));
-    let msg_count = Arc::new(AtomicU64::new(0));
+    let shared = Arc::new(RunShared::new());
     let started = Instant::now();
     let deadline = started + wall_limit;
 
     let handles: Vec<_> = procs
         .into_iter()
         .enumerate()
-        .map(|(k, mut proc_)| {
+        .map(|(k, proc_)| {
             let pid = Pid::new(k as u32 + 1);
             let rx = channels[k].1.clone();
             let senders = senders.clone();
-            let done_count = Arc::clone(&done_count);
-            let msg_count = Arc::clone(&msg_count);
-            std::thread::spawn(move || {
-                let mut flagged_done = false;
-                let dispatch = |out: &mut Outbox<M>| {
-                    for env in out.drain() {
-                        msg_count.fetch_add(1, Ordering::Relaxed);
-                        let idx = (env.to.index() - 1) as usize;
-                        // A closed peer channel just means that peer exited.
-                        let _ = senders[idx].send(env);
-                    }
-                };
-                let mut out = Outbox::new(pid);
-                proc_.on_start(&mut out);
-                dispatch(&mut out);
-                loop {
-                    if !flagged_done && proc_.done() {
-                        flagged_done = true;
-                        done_count.fetch_add(1, Ordering::SeqCst);
-                    }
-                    if done_count.load(Ordering::SeqCst) == n || Instant::now() >= deadline {
-                        break;
-                    }
-                    match rx.recv_timeout(Duration::from_millis(10)) {
-                        Ok(env) => {
-                            let mut out = Outbox::new(pid);
-                            proc_.on_message(env.from, env.msg, &mut out);
-                            dispatch(&mut out);
-                        }
-                        Err(_) => continue,
-                    }
-                }
-                proc_
-            })
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker(pid, proc_, rx, senders, shared, deadline))
         })
         .collect();
 
@@ -93,12 +196,97 @@ where
         .into_iter()
         .map(|h| h.join().expect("process thread panicked"))
         .collect();
-    let stats = ThreadedStats {
-        messages: msg_count.load(Ordering::Relaxed),
-        all_done: done_count.load(Ordering::SeqCst) == n,
-        elapsed: started.elapsed(),
-    };
+    let stats = shared.stats(n, started.elapsed());
     (procs, stats)
+}
+
+fn worker<M, P>(
+    pid: Pid,
+    mut proc_: P,
+    rx: Receiver<Envelope<M>>,
+    senders: Vec<Sender<Envelope<M>>>,
+    shared: Arc<RunShared>,
+    deadline: Instant,
+) -> P
+where
+    M: SimMsg,
+    P: Process<M>,
+{
+    let n = senders.len();
+    // One outbox per thread, reused across every delivery (the sim's
+    // reusable-outbox pattern; the old per-delivery `Outbox::new` paid
+    // an allocation per message).
+    let mut out = Outbox::new(pid);
+    let mut buckets = BatchBuckets::new(n);
+    let mut was_done = false;
+
+    let dispatch = |out: &mut Outbox<M>| {
+        for env in out.drain_iter() {
+            shared.messages.fetch_add(1, Ordering::Relaxed);
+            shared
+                .bytes
+                .fetch_add(env.msg.wire_len() as u64, Ordering::Relaxed);
+            // Count the send in flight *before* it is visible to the
+            // receiver, so in_flight == 0 proves global quiescence.
+            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let idx = (env.to.index() - 1) as usize;
+            if senders[idx].send(env).is_err() {
+                // The peer exited (deadline teardown): the envelope is
+                // lost — account for it instead of silently dropping.
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                shared.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
+
+    proc_.on_start(&mut out);
+    dispatch(&mut out);
+    shared.sync_done(&mut was_done, proc_.done());
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if shared.quiescent(n) || Instant::now() >= deadline {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+        match rx.recv_timeout(POLL) {
+            Ok(env) => {
+                let mut drained = 1u64;
+                buckets.push(env.from, env.msg);
+                while let Ok(e) = rx.try_recv() {
+                    drained += 1;
+                    buckets.push(e.from, e.msg);
+                }
+                buckets.deliver(|from, msgs| {
+                    shared.batches.fetch_add(1, Ordering::Relaxed);
+                    proc_.on_batch(from, msgs, &mut out);
+                    dispatch(&mut out);
+                });
+                shared.sync_done(&mut was_done, proc_.done());
+                // Only now are the drained envelopes fully consumed:
+                // their consequences are already counted in flight, so
+                // the counter can never dip to 0 with work pending.
+                shared.in_flight.fetch_sub(drained, Ordering::SeqCst);
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Teardown: whatever is still queued here will never be delivered.
+    // (Empty when shutdown came from quiescence — in_flight == 0 means
+    // no queue anywhere holds an envelope.)
+    let mut residue = 0u64;
+    while rx.try_recv().is_ok() {
+        residue += 1;
+    }
+    if residue > 0 {
+        shared.dropped.fetch_add(residue, Ordering::Relaxed);
+        shared.in_flight.fetch_sub(residue, Ordering::SeqCst);
+    }
+    proc_
 }
 
 #[cfg(test)]
@@ -110,6 +298,7 @@ mod tests {
         me: Pid,
         n: usize,
         heard: std::collections::BTreeSet<Pid>,
+        batches_seen: u64,
     }
 
     impl Process<u64> for Greeter {
@@ -122,6 +311,12 @@ mod tests {
         }
         fn on_message(&mut self, from: Pid, _msg: u64, _out: &mut Outbox<u64>) {
             self.heard.insert(from);
+        }
+        fn on_batch(&mut self, from: Pid, msgs: &mut Vec<u64>, out: &mut Outbox<u64>) {
+            self.batches_seen += 1;
+            for msg in msgs.drain(..) {
+                self.on_message(from, msg, out);
+            }
         }
         fn done(&self) -> bool {
             self.heard.len() == self.n - 1
@@ -136,12 +331,21 @@ mod tests {
                 me: Pid::new(i as u32),
                 n,
                 heard: Default::default(),
+                batches_seen: 0,
             })
             .collect();
         let (procs, stats) = run(procs, Duration::from_secs(10));
         assert!(stats.all_done, "threads did not finish: {stats:?}");
         assert!(procs.iter().all(|p| p.done()));
         assert_eq!(stats.messages, (n * (n - 1)) as u64);
+        // 8 wire bytes per u64 message.
+        assert_eq!(stats.bytes, stats.messages * 8);
+        assert_eq!(stats.dropped, 0, "quiescent run drops nothing");
+        // Deliveries arrive via on_batch, and batches can't outnumber
+        // messages.
+        let batches: u64 = procs.iter().map(|p| p.batches_seen).sum();
+        assert_eq!(batches, stats.batches);
+        assert!(batches >= 1 && batches <= stats.messages);
     }
 
     #[test]
@@ -156,5 +360,84 @@ mod tests {
         let (_, stats) = run(vec![Stuck, Stuck], Duration::from_millis(100));
         assert!(!stats.all_done);
         assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    /// A process that is done at start, then un-dones when poked, then
+    /// re-dones after a second poke — the crash-recover shape that used
+    /// to leave the latched done counter permanently overcounted.
+    struct Flicker {
+        pokes: u64,
+    }
+
+    impl Process<u64> for Flicker {
+        fn on_start(&mut self, out: &mut Outbox<u64>) {
+            // p1 pokes p2 twice; p2 starts done, un-dones, re-dones.
+            if out.me() == Pid::new(1) {
+                out.send(Pid::new(2), 1);
+                out.send(Pid::new(2), 2);
+            }
+        }
+        fn on_message(&mut self, _from: Pid, _msg: u64, _out: &mut Outbox<u64>) {
+            self.pokes += 1;
+        }
+        fn done(&self) -> bool {
+            // Done at 0 pokes (start), not-done at 1, done again at 2.
+            self.pokes != 1
+        }
+    }
+
+    #[test]
+    fn done_regression_is_subtracted_not_latched() {
+        let procs = vec![Flicker { pokes: 0 }, Flicker { pokes: 0 }];
+        let (procs, stats) = run(procs, Duration::from_secs(10));
+        assert!(stats.all_done, "run must wait out the un-done window");
+        assert_eq!(procs[1].pokes, 2, "both pokes delivered");
+        assert_eq!(stats.dropped, 0);
+    }
+
+    /// In-flight traffic at the moment everyone reports done must still
+    /// be drained (delivered or counted), never silently lost.
+    struct ChattyDone {
+        me: Pid,
+        n: usize,
+        received: u64,
+    }
+
+    impl Process<u64> for ChattyDone {
+        fn on_start(&mut self, out: &mut Outbox<u64>) {
+            // A storm of sends to everyone, but done() is true from the
+            // start: the old runtime would race teardown against these.
+            for round in 0..50u64 {
+                for p in Pid::all(self.n) {
+                    if p != self.me {
+                        out.send(p, round);
+                    }
+                }
+            }
+        }
+        fn on_message(&mut self, _from: Pid, _msg: u64, _out: &mut Outbox<u64>) {
+            self.received += 1;
+        }
+        fn done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn in_flight_messages_drain_before_join() {
+        let n = 4;
+        let procs: Vec<ChattyDone> = (1..=n)
+            .map(|i| ChattyDone {
+                me: Pid::new(i as u32),
+                n,
+                received: 0,
+            })
+            .collect();
+        let (procs, stats) = run(procs, Duration::from_secs(10));
+        assert!(stats.all_done);
+        assert_eq!(stats.dropped, 0, "no envelope may be lost");
+        let received: u64 = procs.iter().map(|p| p.received).sum();
+        assert_eq!(received, stats.messages, "every send was delivered");
+        assert_eq!(stats.messages, 50 * (n * (n - 1)) as u64);
     }
 }

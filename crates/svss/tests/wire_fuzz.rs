@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use sba_field::{Field, Gf61};
 use sba_net::{
     CodecError, CoinSlot, GsetsBody, MwDealBody, MwId, Pid, ProcessSet, RbStep, Reader, RowsBody,
-    SvssId, SvssPriv, SvssRbValue, SvssSlot, Wire, WireKind, WIRE_KIND_COUNT,
+    SvssId, SvssPriv, SvssRbValue, SvssSlot, Wire, WireKind, WireMsg, WIRE_KIND_COUNT,
 };
 use sba_svss::SvssMsg;
 
@@ -363,7 +363,7 @@ fn non_minimal_frames_rejected() {
         canonical.len()
     );
     assert_eq!(
-        sba_net::decode_frame::<Gf61>(&mut Reader::new(&canonical)).unwrap(),
+        sba_net::decode_frame::<WireMsg<Gf61>>(&mut Reader::new(&canonical)).unwrap(),
         vec![msg.clone(), msg.clone()]
     );
     assert_eq!(
@@ -380,7 +380,7 @@ fn non_minimal_frames_rejected() {
         spelled.extend_from_slice(&standalone);
     }
     assert_eq!(
-        sba_net::decode_frame::<Gf61>(&mut Reader::new(&spelled)).unwrap_err(),
+        sba_net::decode_frame::<WireMsg<Gf61>>(&mut Reader::new(&spelled)).unwrap_err(),
         CodecError::Invalid
     );
 
@@ -391,7 +391,7 @@ fn non_minimal_frames_rejected() {
         orphan.push(prelude);
         orphan.extend_from_slice(&standalone);
         assert_eq!(
-            sba_net::decode_frame::<Gf61>(&mut Reader::new(&orphan)).unwrap_err(),
+            sba_net::decode_frame::<WireMsg<Gf61>>(&mut Reader::new(&orphan)).unwrap_err(),
             CodecError::Invalid,
             "prelude {prelude}"
         );
@@ -403,7 +403,7 @@ fn non_minimal_frames_rejected() {
     unknown.push(0x80);
     unknown.extend_from_slice(&standalone);
     assert_eq!(
-        sba_net::decode_frame::<Gf61>(&mut Reader::new(&unknown)).unwrap_err(),
+        sba_net::decode_frame::<WireMsg<Gf61>>(&mut Reader::new(&unknown)).unwrap_err(),
         CodecError::Invalid
     );
 
@@ -424,7 +424,7 @@ fn non_minimal_frames_rejected() {
     bad_p.push(2); // SAME_P
     bad_p.extend_from_slice(&b.encoded());
     assert_eq!(
-        sba_net::decode_frame::<Gf61>(&mut Reader::new(&bad_p)).unwrap_err(),
+        sba_net::decode_frame::<WireMsg<Gf61>>(&mut Reader::new(&bad_p)).unwrap_err(),
         CodecError::Invalid
     );
 }
@@ -503,12 +503,12 @@ proptest! {
         }
         prop_assert_eq!(charged, buf.len());
         let mut r = Reader::new(&buf);
-        prop_assert_eq!(sba_net::decode_frame::<Gf61>(&mut r).unwrap(), msgs.clone());
+        prop_assert_eq!(sba_net::decode_frame::<WireMsg<Gf61>>(&mut r).unwrap(), msgs.clone());
         prop_assert_eq!(r.remaining(), 0);
         if !msgs.is_empty() {
             for cut in 0..buf.len() {
                 let mut r = Reader::new(&buf[..cut]);
-                prop_assert!(sba_net::decode_frame::<Gf61>(&mut r).is_err(),
+                prop_assert!(sba_net::decode_frame::<WireMsg<Gf61>>(&mut r).is_err(),
                     "frame truncated to {} of {} bytes decoded", cut, buf.len());
             }
         }
@@ -519,11 +519,11 @@ proptest! {
     #[test]
     fn frame_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         let mut r = Reader::new(&bytes);
-        if let Ok(msgs) = sba_net::decode_frame::<Gf61>(&mut r) {
+        if let Ok(msgs) = sba_net::decode_frame::<WireMsg<Gf61>>(&mut r) {
             let mut re = Vec::new();
             sba_net::encode_frame(&msgs, &mut re);
             let mut r2 = Reader::new(&re);
-            prop_assert!(sba_net::decode_frame::<Gf61>(&mut r2).is_ok());
+            prop_assert!(sba_net::decode_frame::<WireMsg<Gf61>>(&mut r2).is_ok());
         }
     }
 }
